@@ -1,0 +1,456 @@
+//! Programmatic program construction with deferred label resolution.
+//!
+//! Generated workloads (unrolled FP blocks, parameterized loop nests) are
+//! easier to express as Rust than as text. The builder mirrors the text
+//! assembler's semantics exactly; both produce [`Program`]s.
+
+use crate::program::Program;
+use tlr_isa::{BranchCond, CodeAddr, FpCmpOp, FpOp, FpUnOp, FReg, Instr, IntOp, Operand, Reg};
+use tlr_util::FxHashMap;
+
+/// A forward-referencable code label created by [`ProgramBuilder::label`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(usize);
+
+/// Fluent program builder.
+#[derive(Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    data: Vec<(u64, u64)>,
+    data_cursor: u64,
+    labels: Vec<Option<CodeAddr>>,
+    label_names: FxHashMap<String, Label>,
+    /// (instruction index, label) pairs awaiting resolution.
+    fixups: Vec<(usize, Label)>,
+    entry: Option<Label>,
+    data_symbols: FxHashMap<String, u64>,
+}
+
+impl ProgramBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---- labels ---------------------------------------------------------
+
+    /// Create an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Create a named unbound label (or return the existing one).
+    pub fn named_label(&mut self, name: &str) -> Label {
+        if let Some(l) = self.label_names.get(name) {
+            return *l;
+        }
+        let l = self.label();
+        self.label_names.insert(name.to_string(), l);
+        l
+    }
+
+    /// Bind `label` to the current code position.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label bound twice (builder labels bind exactly once)"
+        );
+        self.labels[label.0] = Some(self.instrs.len() as CodeAddr);
+        self
+    }
+
+    /// Create a label bound to the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Mark the entry point.
+    pub fn entry(&mut self, label: Label) -> &mut Self {
+        self.entry = Some(label);
+        self
+    }
+
+    // ---- data -----------------------------------------------------------
+
+    /// Move the data cursor.
+    pub fn org(&mut self, addr: u64) -> &mut Self {
+        self.data_cursor = addr;
+        self
+    }
+
+    /// Current data cursor (next word address to be laid out).
+    pub fn data_cursor(&self) -> u64 {
+        self.data_cursor
+    }
+
+    /// Lay out integer words; returns the start address.
+    pub fn words(&mut self, values: &[u64]) -> u64 {
+        let start = self.data_cursor;
+        for &v in values {
+            self.data.push((self.data_cursor, v));
+            self.data_cursor += 1;
+        }
+        start
+    }
+
+    /// Lay out IEEE doubles; returns the start address.
+    pub fn doubles(&mut self, values: &[f64]) -> u64 {
+        let start = self.data_cursor;
+        for &v in values {
+            self.data.push((self.data_cursor, v.to_bits()));
+            self.data_cursor += 1;
+        }
+        start
+    }
+
+    /// Reserve `n` zero words; returns the start address.
+    pub fn space(&mut self, n: u64) -> u64 {
+        let start = self.data_cursor;
+        self.data_cursor += n;
+        start
+    }
+
+    /// Name a data address for diagnostics.
+    pub fn data_symbol(&mut self, name: &str, addr: u64) -> &mut Self {
+        self.data_symbols.insert(name.to_string(), addr);
+        self
+    }
+
+    // ---- instructions -----------------------------------------------------
+
+    fn push(&mut self, instr: Instr) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    /// `rd = ra <op> rb`.
+    pub fn int_op(&mut self, op: IntOp, rd: Reg, ra: Reg, rb: Operand) -> &mut Self {
+        self.push(Instr::IntOp { op, rd, ra, rb })
+    }
+
+    /// `rd = ra + rb`.
+    pub fn addq(&mut self, rd: Reg, ra: Reg, rb: impl Into<Operand>) -> &mut Self {
+        self.int_op(IntOp::Add, rd, ra, rb.into())
+    }
+
+    /// `rd = ra - rb`.
+    pub fn subq(&mut self, rd: Reg, ra: Reg, rb: impl Into<Operand>) -> &mut Self {
+        self.int_op(IntOp::Sub, rd, ra, rb.into())
+    }
+
+    /// `rd = ra * rb`.
+    pub fn mulq(&mut self, rd: Reg, ra: Reg, rb: impl Into<Operand>) -> &mut Self {
+        self.int_op(IntOp::Mul, rd, ra, rb.into())
+    }
+
+    /// `rd = ra & rb`.
+    pub fn and(&mut self, rd: Reg, ra: Reg, rb: impl Into<Operand>) -> &mut Self {
+        self.int_op(IntOp::And, rd, ra, rb.into())
+    }
+
+    /// `rd = ra | rb`.
+    pub fn or(&mut self, rd: Reg, ra: Reg, rb: impl Into<Operand>) -> &mut Self {
+        self.int_op(IntOp::Or, rd, ra, rb.into())
+    }
+
+    /// `rd = ra ^ rb`.
+    pub fn xor(&mut self, rd: Reg, ra: Reg, rb: impl Into<Operand>) -> &mut Self {
+        self.int_op(IntOp::Xor, rd, ra, rb.into())
+    }
+
+    /// `rd = ra << rb`.
+    pub fn sll(&mut self, rd: Reg, ra: Reg, rb: impl Into<Operand>) -> &mut Self {
+        self.int_op(IntOp::Sll, rd, ra, rb.into())
+    }
+
+    /// `rd = ra >> rb` (logical).
+    pub fn srl(&mut self, rd: Reg, ra: Reg, rb: impl Into<Operand>) -> &mut Self {
+        self.int_op(IntOp::Srl, rd, ra, rb.into())
+    }
+
+    /// `rd = ra >> rb` (arithmetic).
+    pub fn sra(&mut self, rd: Reg, ra: Reg, rb: impl Into<Operand>) -> &mut Self {
+        self.int_op(IntOp::Sra, rd, ra, rb.into())
+    }
+
+    /// `rd = (ra == rb)`.
+    pub fn cmpeq(&mut self, rd: Reg, ra: Reg, rb: impl Into<Operand>) -> &mut Self {
+        self.int_op(IntOp::CmpEq, rd, ra, rb.into())
+    }
+
+    /// `rd = (ra < rb)` signed.
+    pub fn cmplt(&mut self, rd: Reg, ra: Reg, rb: impl Into<Operand>) -> &mut Self {
+        self.int_op(IntOp::CmpLt, rd, ra, rb.into())
+    }
+
+    /// `rd = imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.push(Instr::Li { rd, imm })
+    }
+
+    /// `rd = ra` (pseudo).
+    pub fn mov(&mut self, rd: Reg, ra: Reg) -> &mut Self {
+        self.addq(rd, ra, 0)
+    }
+
+    /// `fd = fa <op> fb`.
+    pub fn fp_op(&mut self, op: FpOp, fd: FReg, fa: FReg, fb: FReg) -> &mut Self {
+        self.push(Instr::FpOp { op, fd, fa, fb })
+    }
+
+    /// `fd = fa + fb`.
+    pub fn addt(&mut self, fd: FReg, fa: FReg, fb: FReg) -> &mut Self {
+        self.fp_op(FpOp::Add, fd, fa, fb)
+    }
+
+    /// `fd = fa - fb`.
+    pub fn subt(&mut self, fd: FReg, fa: FReg, fb: FReg) -> &mut Self {
+        self.fp_op(FpOp::Sub, fd, fa, fb)
+    }
+
+    /// `fd = fa * fb`.
+    pub fn mult(&mut self, fd: FReg, fa: FReg, fb: FReg) -> &mut Self {
+        self.fp_op(FpOp::Mul, fd, fa, fb)
+    }
+
+    /// `fd = fa / fb`.
+    pub fn divt(&mut self, fd: FReg, fa: FReg, fb: FReg) -> &mut Self {
+        self.fp_op(FpOp::Div, fd, fa, fb)
+    }
+
+    /// `fd = <op> fa`.
+    pub fn fp_un(&mut self, op: FpUnOp, fd: FReg, fa: FReg) -> &mut Self {
+        self.push(Instr::FpUn { op, fd, fa })
+    }
+
+    /// `fd = sqrt(fa)`.
+    pub fn sqrtt(&mut self, fd: FReg, fa: FReg) -> &mut Self {
+        self.fp_un(FpUnOp::Sqrt, fd, fa)
+    }
+
+    /// `rd = (fa <op> fb)`.
+    pub fn fp_cmp(&mut self, op: FpCmpOp, rd: Reg, fa: FReg, fb: FReg) -> &mut Self {
+        self.push(Instr::FpCmp { op, rd, fa, fb })
+    }
+
+    /// `rd = MEM[base + disp]`.
+    pub fn ldq(&mut self, rd: Reg, disp: i32, base: Reg) -> &mut Self {
+        self.push(Instr::LoadInt { rd, base, disp })
+    }
+
+    /// `MEM[base + disp] = rs`.
+    pub fn stq(&mut self, rs: Reg, disp: i32, base: Reg) -> &mut Self {
+        self.push(Instr::StoreInt { rs, base, disp })
+    }
+
+    /// `fd = MEM[base + disp]`.
+    pub fn ldt(&mut self, fd: FReg, disp: i32, base: Reg) -> &mut Self {
+        self.push(Instr::LoadFp { fd, base, disp })
+    }
+
+    /// `MEM[base + disp] = fs`.
+    pub fn stt(&mut self, fs: FReg, disp: i32, base: Reg) -> &mut Self {
+        self.push(Instr::StoreFp { fs, base, disp })
+    }
+
+    /// `fd = (double) ra`.
+    pub fn itof(&mut self, fd: FReg, ra: Reg) -> &mut Self {
+        self.push(Instr::Itof { fd, ra })
+    }
+
+    /// `rd = (int) fa`.
+    pub fn ftoi(&mut self, rd: Reg, fa: FReg) -> &mut Self {
+        self.push(Instr::Ftoi { rd, fa })
+    }
+
+    /// Conditional branch to `label`.
+    pub fn branch(&mut self, cond: BranchCond, ra: Reg, label: Label) -> &mut Self {
+        self.fixups.push((self.instrs.len(), label));
+        self.push(Instr::Branch {
+            cond,
+            ra,
+            target: u32::MAX,
+        })
+    }
+
+    /// Branch if `ra == 0`.
+    pub fn beqz(&mut self, ra: Reg, label: Label) -> &mut Self {
+        self.branch(BranchCond::Eqz, ra, label)
+    }
+
+    /// Branch if `ra != 0`.
+    pub fn bnez(&mut self, ra: Reg, label: Label) -> &mut Self {
+        self.branch(BranchCond::Nez, ra, label)
+    }
+
+    /// Branch if `ra > 0`.
+    pub fn bgtz(&mut self, ra: Reg, label: Label) -> &mut Self {
+        self.branch(BranchCond::Gtz, ra, label)
+    }
+
+    /// Branch if `ra < 0`.
+    pub fn bltz(&mut self, ra: Reg, label: Label) -> &mut Self {
+        self.branch(BranchCond::Ltz, ra, label)
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn br(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.instrs.len(), label));
+        self.push(Instr::Jump { target: u32::MAX })
+    }
+
+    /// Call: `link = return address; pc = label`.
+    pub fn jsr(&mut self, link: Reg, label: Label) -> &mut Self {
+        self.fixups.push((self.instrs.len(), label));
+        self.push(Instr::Jsr {
+            link,
+            target: u32::MAX,
+        })
+    }
+
+    /// Indirect jump through `ra`.
+    pub fn jmp(&mut self, ra: Reg) -> &mut Self {
+        self.push(Instr::JmpReg { ra })
+    }
+
+    /// Stop.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instr::Halt)
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instr::Nop)
+    }
+
+    /// Current code position (address of the next instruction).
+    pub fn pc(&self) -> CodeAddr {
+        self.instrs.len() as CodeAddr
+    }
+
+    // ---- finish -----------------------------------------------------------
+
+    /// Resolve fix-ups and produce the program. Panics on unbound labels
+    /// (a builder-usage bug, not an input error).
+    pub fn build(mut self) -> Program {
+        for (idx, label) in &self.fixups {
+            let target = self.labels[label.0]
+                .unwrap_or_else(|| panic!("unbound label {label:?} referenced by instr {idx}"));
+            match &mut self.instrs[*idx] {
+                Instr::Branch { target: t, .. } | Instr::Jump { target: t } | Instr::Jsr { target: t, .. } => {
+                    *t = target
+                }
+                other => unreachable!("fixup on non-control instruction {other:?}"),
+            }
+        }
+        let entry = self
+            .entry
+            .map(|l| self.labels[l.0].expect("entry label unbound"))
+            .unwrap_or(0);
+        let mut code_symbols = FxHashMap::default();
+        for (name, label) in &self.label_names {
+            if let Some(addr) = self.labels[label.0] {
+                code_symbols.insert(name.clone(), addr);
+            }
+        }
+        let program = Program {
+            instrs: self.instrs,
+            entry,
+            data: self.data,
+            code_symbols,
+            data_symbols: self.data_symbols,
+        };
+        assert_eq!(
+            program.validate_targets(),
+            Ok(()),
+            "builder produced out-of-range branch target"
+        );
+        program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_counting_loop() {
+        let mut b = ProgramBuilder::new();
+        let r1 = Reg::new(1);
+        let buf = b.words(&[5, 6, 7]);
+        b.li(r1, 3);
+        let top = b.here();
+        b.subq(r1, r1, 1);
+        b.bnez(r1, top);
+        b.halt();
+        let prog = b.build();
+        assert_eq!(buf, 0);
+        assert_eq!(prog.len(), 4);
+        assert_eq!(
+            prog.instrs[2],
+            Instr::Branch {
+                cond: BranchCond::Nez,
+                ra: r1,
+                target: 1
+            }
+        );
+    }
+
+    #[test]
+    fn forward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let end = b.label();
+        b.br(end);
+        b.nop();
+        b.bind(end);
+        b.halt();
+        let prog = b.build();
+        assert_eq!(prog.instrs[0], Instr::Jump { target: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.br(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bind(l);
+        b.nop();
+        b.bind(l);
+    }
+
+    #[test]
+    fn data_layout_matches_text_assembler() {
+        let mut b = ProgramBuilder::new();
+        b.org(0x10);
+        let a = b.doubles(&[1.5]);
+        let s = b.space(2);
+        let w = b.words(&[9]);
+        b.halt();
+        let prog = b.build();
+        assert_eq!((a, s, w), (0x10, 0x11, 0x13));
+        assert_eq!(prog.data, vec![(0x10, 1.5f64.to_bits()), (0x13, 9)]);
+    }
+
+    #[test]
+    fn entry_label() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        let main = b.here();
+        b.halt();
+        b.entry(main);
+        let prog = b.build();
+        assert_eq!(prog.entry, 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Line lexer: turns one source line into tokens.
+//!
+//! The assembler is line-oriented (one instruction or directive per line),
+//! so the lexer never spans lines. Comments start at `;` or `#` and run to
+//! end of line.
+
+use std::fmt;
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier: mnemonic, label, register name, or symbol.
+    Ident(String),
+    /// Directive name including the leading dot (e.g. `.word`).
+    Directive(String),
+    /// Integer literal (decimal or `0x` hex, optionally negative).
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `:`
+    Colon,
+    /// `@` (absolute code-address prefix, as emitted by the disassembler).
+    At,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Directive(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Comma => write!(f, ","),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Colon => write!(f, ":"),
+            Token::At => write!(f, "@"),
+        }
+    }
+}
+
+/// Lex one line. Returns the tokens before any comment; an empty vector
+/// means the line is blank or comment-only.
+pub fn lex_line(line: &str) -> Result<Vec<Token>, String> {
+    let mut tokens = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ';' | '#' => break,
+            ' ' | '\t' | '\r' => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            '@' => {
+                tokens.push(Token::At);
+                i += 1;
+            }
+            '.' if i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_alphabetic() => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                    i += 1;
+                }
+                tokens.push(Token::Directive(line[start..i].to_string()));
+            }
+            '-' | '+' => {
+                let (tok, next) = lex_number(line, i)?;
+                tokens.push(tok);
+                i = next;
+            }
+            '0'..='9' => {
+                let (tok, next) = lex_number(line, i)?;
+                tokens.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(line[start..i].to_string()));
+            }
+            other => return Err(format!("unexpected character '{other}'")),
+        }
+    }
+    Ok(tokens)
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lex a numeric literal starting at `start`. Handles sign, `0x` hex, and
+/// floats (presence of `.` or exponent).
+fn lex_number(line: &str, start: usize) -> Result<(Token, usize), String> {
+    let bytes = line.as_bytes();
+    let mut i = start;
+    if bytes[i] == b'-' || bytes[i] == b'+' {
+        i += 1;
+        if i >= bytes.len() || !(bytes[i] as char).is_ascii_digit() {
+            return Err("dangling sign".to_string());
+        }
+    }
+    // Hex?
+    if bytes[i] == b'0' && i + 1 < bytes.len() && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X') {
+        let digits_start = i + 2;
+        let mut j = digits_start;
+        while j < bytes.len() && (bytes[j] as char).is_ascii_hexdigit() {
+            j += 1;
+        }
+        if j == digits_start {
+            return Err("hex literal with no digits".to_string());
+        }
+        let magnitude = u64::from_str_radix(&line[digits_start..j], 16)
+            .map_err(|e| format!("bad hex literal: {e}"))?;
+        let value = if bytes[start] == b'-' {
+            (magnitude as i64).wrapping_neg()
+        } else {
+            magnitude as i64
+        };
+        return Ok((Token::Int(value), j));
+    }
+    // Scan digits, detecting float syntax.
+    let mut j = i;
+    let mut is_float = false;
+    while j < bytes.len() {
+        let c = bytes[j] as char;
+        if c.is_ascii_digit() {
+            j += 1;
+        } else if c == '.' && !is_float {
+            is_float = true;
+            j += 1;
+        } else if (c == 'e' || c == 'E') && j + 1 < bytes.len() {
+            let next = bytes[j + 1] as char;
+            if next.is_ascii_digit() || next == '-' || next == '+' {
+                is_float = true;
+                j += 2;
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    let text = &line[start..j];
+    if is_float {
+        let v: f64 = text.parse().map_err(|e| format!("bad float '{text}': {e}"))?;
+        Ok((Token::Float(v), j))
+    } else {
+        let v: i64 = text.parse().map_err(|e| format!("bad integer '{text}': {e}"))?;
+        Ok((Token::Int(v), j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_instruction_line() {
+        let toks = lex_line("loop:   addq r1, r2, -3   ; comment").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("loop".into()),
+                Token::Colon,
+                Token::Ident("addq".into()),
+                Token::Ident("r1".into()),
+                Token::Comma,
+                Token::Ident("r2".into()),
+                Token::Comma,
+                Token::Int(-3),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_memref() {
+        let toks = lex_line("ldq r4, 16(r5)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("ldq".into()),
+                Token::Ident("r4".into()),
+                Token::Comma,
+                Token::Int(16),
+                Token::LParen,
+                Token::Ident("r5".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_directives_and_numbers() {
+        let toks = lex_line(".word 0x10, -2, 3.5, 1e3").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Directive(".word".into()),
+                Token::Int(16),
+                Token::Comma,
+                Token::Int(-2),
+                Token::Comma,
+                Token::Float(3.5),
+                Token::Comma,
+                Token::Float(1000.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn comment_only_line_is_empty() {
+        assert!(lex_line("  ; nothing here").unwrap().is_empty());
+        assert!(lex_line("# nor here").unwrap().is_empty());
+        assert!(lex_line("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn at_sign_code_address() {
+        let toks = lex_line("br @17").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Ident("br".into()), Token::At, Token::Int(17)]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex_line("addq r1, r2, $3").is_err());
+        assert!(lex_line("li r1, 0x").is_err());
+    }
+
+    #[test]
+    fn negative_hex() {
+        let toks = lex_line("li r1, -0x10").unwrap();
+        assert_eq!(toks[3], Token::Int(-16));
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! # tlr-asm
+//!
+//! Assembler substrate: turns readable assembly text (or builder calls)
+//! into a [`Program`] the functional simulator executes.
+//!
+//! The paper's workloads were SPEC95 binaries compiled by the DEC
+//! compilers; ours are hand-written kernels, so a pleasant assembly
+//! surface matters. Two front-ends produce identical [`Program`]s:
+//!
+//! * [`assemble`] — a two-pass text assembler with labels, numeric and
+//!   symbolic constants (`.equ`), data directives (`.org`, `.word`,
+//!   `.double`, `.space`), and line-accurate error reporting;
+//! * [`ProgramBuilder`] — a fluent Rust API with label fix-ups, used where
+//!   a workload's code is itself generated (e.g. the unrolled `fpppp`
+//!   basic blocks).
+//!
+//! ## Syntax
+//!
+//! ```text
+//! ; comment        # also a comment
+//!         .equ    N, 64          ; symbolic constant
+//!         .org    0x1000         ; data cursor (word address)
+//! table:  .word   1, 2, 3        ; 64-bit data words, label = 0x1000
+//! grid:   .space  16             ; reserve 16 zero words
+//! vals:   .double 3.5, -1.0      ; IEEE doubles
+//!
+//!         li      r1, N          ; code section: mnemonics + operands
+//! loop:   ldq     r2, 0(r16)
+//!         addq    r2, r2, 5      ; third operand may be reg or immediate
+//!         stq     r2, 0(r16)
+//!         addq    r16, r16, 1
+//!         subq    r1, r1, 1
+//!         bnez    r1, loop
+//!         halt
+//! ```
+//!
+//! Addresses are word-granular (one 64-bit value per address); code
+//! addresses are instruction indices, independent of the data space.
+
+mod builder;
+mod lexer;
+mod parser;
+mod program;
+
+pub use builder::{Label, ProgramBuilder};
+pub use parser::{assemble, AsmError, AsmErrorKind};
+pub use program::{DataImage, Program};

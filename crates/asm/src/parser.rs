@@ -1,0 +1,1010 @@
+//! Two-pass assembler.
+//!
+//! Pass 1 parses every line into an intermediate form, lays out data, and
+//! binds labels (code labels to instruction indices, data labels to word
+//! addresses). Pass 2 encodes instructions with all symbols resolved.
+
+use crate::lexer::{lex_line, Token};
+use crate::program::Program;
+use std::fmt;
+use tlr_isa::{BranchCond, CodeAddr, FpCmpOp, FpOp, FpUnOp, FReg, Instr, IntOp, Operand, Reg};
+use tlr_util::FxHashMap;
+
+/// What went wrong.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AsmErrorKind {
+    /// Lexical error.
+    Lex(String),
+    /// Mnemonic not recognized.
+    UnknownMnemonic(String),
+    /// Directive not recognized.
+    UnknownDirective(String),
+    /// Operand list malformed for this mnemonic.
+    BadOperands {
+        /// The mnemonic being assembled.
+        mnemonic: String,
+        /// Human-readable expected shape.
+        expected: &'static str,
+    },
+    /// Referenced symbol was never defined.
+    UnknownSymbol(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A label at end of file binds to nothing.
+    DanglingLabel(String),
+    /// `.equ` needs a literal or already-defined symbol.
+    BadEqu(String),
+    /// Immediate operand does not fit the instruction field.
+    ImmOutOfRange(i64),
+    /// `.entry` names an unknown code label.
+    BadEntry(String),
+    /// A branch/jump targets an address outside the program.
+    TargetOutOfRange {
+        /// The invalid target address.
+        target: u32,
+        /// Number of instructions in the program.
+        len: u32,
+    },
+}
+
+impl fmt::Display for AsmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmErrorKind::Lex(msg) => write!(f, "lex error: {msg}"),
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic '{m}'"),
+            AsmErrorKind::UnknownDirective(d) => write!(f, "unknown directive '{d}'"),
+            AsmErrorKind::BadOperands { mnemonic, expected } => {
+                write!(f, "bad operands for '{mnemonic}', expected {expected}")
+            }
+            AsmErrorKind::UnknownSymbol(s) => write!(f, "unknown symbol '{s}'"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label '{l}'"),
+            AsmErrorKind::DanglingLabel(l) => write!(f, "label '{l}' binds to nothing"),
+            AsmErrorKind::BadEqu(s) => write!(f, "bad .equ: {s}"),
+            AsmErrorKind::ImmOutOfRange(v) => write!(f, "immediate {v} out of range"),
+            AsmErrorKind::BadEntry(l) => write!(f, ".entry names unknown label '{l}'"),
+            AsmErrorKind::TargetOutOfRange { target, len } => {
+                write!(f, "branch target @{target} outside the program (length {len})")
+            }
+        }
+    }
+}
+
+/// An assembly error with its 1-based source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Error detail.
+    pub kind: AsmErrorKind,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.kind)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A parsed line body.
+#[derive(Debug)]
+enum Body {
+    Instr {
+        mnemonic: String,
+        operands: Vec<Opnd>,
+    },
+    Directive {
+        name: String,
+        args: Vec<Token>,
+    },
+}
+
+/// A parsed operand.
+#[derive(Debug, Clone)]
+enum Opnd {
+    IntReg(Reg),
+    FpReg(FReg),
+    Int(i64),
+    /// Parsed but rejected by every encoder: FP immediates enter programs
+    /// only through `.double` data. Kept so the error is "bad operands for
+    /// <mnemonic>" rather than a lex error.
+    #[allow(dead_code)]
+    Float(f64),
+    Symbol(String),
+    /// `@N` absolute code address.
+    CodeAddr(i64),
+    /// `disp(base)` memory reference; `disp` is an int or symbol.
+    MemRef { disp: Box<Opnd>, base: Reg },
+}
+
+/// Try to interpret an identifier as a register name.
+fn reg_of(name: &str) -> Option<Opnd> {
+    match name {
+        "sp" => return Some(Opnd::IntReg(Reg::SP)),
+        "zero" => return Some(Opnd::IntReg(Reg::ZERO)),
+        "fzero" => return Some(Opnd::FpReg(FReg::ZERO)),
+        _ => {}
+    }
+    let (kind, rest) = name.split_at(1);
+    let n: u8 = rest.parse().ok()?;
+    if n >= 32 || (rest.len() > 1 && rest.starts_with('0')) {
+        return None;
+    }
+    match kind {
+        "r" => Some(Opnd::IntReg(Reg::new(n))),
+        "f" => Some(Opnd::FpReg(FReg::new(n))),
+        _ => None,
+    }
+}
+
+/// Parse the operand list of an instruction line.
+fn parse_operands(tokens: &[Token]) -> Result<Vec<Opnd>, String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let opnd = match &tokens[i] {
+            Token::Ident(name) => {
+                i += 1;
+                reg_of(name).unwrap_or_else(|| Opnd::Symbol(name.clone()))
+            }
+            Token::Int(v) => {
+                i += 1;
+                Opnd::Int(*v)
+            }
+            Token::Float(v) => {
+                i += 1;
+                Opnd::Float(*v)
+            }
+            Token::At => {
+                i += 1;
+                match tokens.get(i) {
+                    Some(Token::Int(v)) => {
+                        i += 1;
+                        Opnd::CodeAddr(*v)
+                    }
+                    _ => return Err("'@' must be followed by an integer".into()),
+                }
+            }
+            other => return Err(format!("unexpected token '{other}'")),
+        };
+        // Memory reference suffix: `(reg)`.
+        let opnd = if matches!(tokens.get(i), Some(Token::LParen)) {
+            i += 1;
+            let base = match tokens.get(i) {
+                Some(Token::Ident(name)) => match reg_of(name) {
+                    Some(Opnd::IntReg(r)) => r,
+                    _ => return Err(format!("memory base must be an integer register, got '{name}'")),
+                },
+                other => return Err(format!("expected base register, got {other:?}")),
+            };
+            i += 1;
+            if !matches!(tokens.get(i), Some(Token::RParen)) {
+                return Err("missing ')' after base register".into());
+            }
+            i += 1;
+            match opnd {
+                Opnd::Int(_) | Opnd::Symbol(_) => Opnd::MemRef {
+                    disp: Box::new(opnd),
+                    base,
+                },
+                _ => return Err("memory displacement must be an integer or symbol".into()),
+            }
+        } else {
+            opnd
+        };
+        out.push(opnd);
+        // Operand separator.
+        match tokens.get(i) {
+            Some(Token::Comma) => i += 1,
+            None => break,
+            Some(other) => return Err(format!("expected ',' between operands, got '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+struct ParsedLine {
+    line_no: usize,
+    labels: Vec<String>,
+    body: Option<Body>,
+}
+
+/// Parse source text into lines (labels split off, operands parsed).
+fn parse_lines(source: &str) -> Result<Vec<ParsedLine>, AsmError> {
+    let mut lines = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let err = |kind| AsmError { line: line_no, kind };
+        let mut tokens = lex_line(raw).map_err(|m| err(AsmErrorKind::Lex(m)))?;
+        // Peel leading `ident :` label pairs.
+        let mut labels = Vec::new();
+        while tokens.len() >= 2
+            && matches!(&tokens[0], Token::Ident(_))
+            && matches!(&tokens[1], Token::Colon)
+        {
+            if let Token::Ident(name) = tokens.remove(0) {
+                labels.push(name);
+            }
+            tokens.remove(0); // colon
+        }
+        let body = match tokens.first() {
+            None => None,
+            Some(Token::Directive(_)) => {
+                let name = match tokens.remove(0) {
+                    Token::Directive(d) => d,
+                    _ => unreachable!(),
+                };
+                Some(Body::Directive { name, args: tokens })
+            }
+            Some(Token::Ident(_)) => {
+                let mnemonic = match tokens.remove(0) {
+                    Token::Ident(m) => m,
+                    _ => unreachable!(),
+                };
+                let operands = parse_operands(&tokens).map_err(|m| err(AsmErrorKind::Lex(m)))?;
+                Some(Body::Instr { mnemonic, operands })
+            }
+            Some(other) => {
+                return Err(err(AsmErrorKind::Lex(format!(
+                    "line must start with a label, mnemonic or directive, got '{other}'"
+                ))))
+            }
+        };
+        if body.is_none() && labels.is_empty() {
+            continue;
+        }
+        lines.push(ParsedLine {
+            line_no,
+            labels,
+            body,
+        });
+    }
+    Ok(lines)
+}
+
+/// Symbol environment built in pass 1.
+struct SymEnv {
+    equs: FxHashMap<String, i64>,
+    code: FxHashMap<String, CodeAddr>,
+    data: FxHashMap<String, u64>,
+}
+
+impl SymEnv {
+    /// Resolve a symbol used as an immediate value: `.equ` constants take
+    /// precedence, then data labels (their word address), then code labels
+    /// (their instruction index, enabling function-pointer tables).
+    fn value_of(&self, name: &str) -> Option<i64> {
+        if let Some(v) = self.equs.get(name) {
+            return Some(*v);
+        }
+        if let Some(a) = self.data.get(name) {
+            return Some(*a as i64);
+        }
+        self.code.get(name).map(|a| *a as i64)
+    }
+
+    fn code_target(&self, name: &str) -> Option<CodeAddr> {
+        self.code.get(name).copied()
+    }
+}
+
+/// Assemble source text into a [`Program`].
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let lines = parse_lines(source)?;
+
+    // ---- Pass 1: layout ------------------------------------------------
+    let mut env = SymEnv {
+        equs: FxHashMap::default(),
+        code: FxHashMap::default(),
+        data: FxHashMap::default(),
+    };
+    let mut data: Vec<(u64, u64)> = Vec::new();
+    let mut data_cursor: u64 = 0;
+    let mut instr_count: u32 = 0;
+    let mut pending: Vec<(usize, String)> = Vec::new();
+    let mut entry_symbol: Option<(usize, String)> = None;
+
+    for line in &lines {
+        let err = |kind| AsmError {
+            line: line.line_no,
+            kind,
+        };
+        for label in &line.labels {
+            pending.push((line.line_no, label.clone()));
+        }
+        match &line.body {
+            None => {}
+            Some(Body::Instr { .. }) => {
+                for (lno, label) in pending.drain(..) {
+                    if env.code.insert(label.clone(), instr_count).is_some()
+                        || env.data.contains_key(&label)
+                        || env.equs.contains_key(&label)
+                    {
+                        return Err(AsmError {
+                            line: lno,
+                            kind: AsmErrorKind::DuplicateLabel(label),
+                        });
+                    }
+                }
+                instr_count += 1;
+            }
+            Some(Body::Directive { name, args }) => match name.as_str() {
+                ".org" => {
+                    // Address change happens before binding labels, so a
+                    // label on the same line binds to the new cursor.
+                    match args.as_slice() {
+                        [Token::Int(v)] if *v >= 0 => data_cursor = *v as u64,
+                        _ => {
+                            return Err(err(AsmErrorKind::BadOperands {
+                                mnemonic: ".org".into(),
+                                expected: "a non-negative integer address",
+                            }))
+                        }
+                    }
+                    bind_data_labels(&mut pending, &mut env, data_cursor)?;
+                }
+                ".word" | ".double" | ".space" => {
+                    bind_data_labels(&mut pending, &mut env, data_cursor)?;
+                    layout_data(name, args, &env, &mut data, &mut data_cursor)
+                        .map_err(err)?;
+                }
+                ".equ" => {
+                    let (sym, value) = match args.as_slice() {
+                        [Token::Ident(sym), Token::Comma, Token::Int(v)] => (sym.clone(), *v),
+                        [Token::Ident(sym), Token::Comma, Token::Ident(other)] => {
+                            let v = env.value_of(other).ok_or_else(|| {
+                                err(AsmErrorKind::BadEqu(format!("unknown symbol '{other}'")))
+                            })?;
+                            (sym.clone(), v)
+                        }
+                        _ => {
+                            return Err(err(AsmErrorKind::BadEqu(
+                                "expected '.equ NAME, value'".into(),
+                            )))
+                        }
+                    };
+                    if env.equs.insert(sym.clone(), value).is_some() {
+                        return Err(err(AsmErrorKind::DuplicateLabel(sym)));
+                    }
+                }
+                ".entry" => match args.as_slice() {
+                    [Token::Ident(sym)] => entry_symbol = Some((line.line_no, sym.clone())),
+                    _ => {
+                        return Err(err(AsmErrorKind::BadOperands {
+                            mnemonic: ".entry".into(),
+                            expected: "a code label",
+                        }))
+                    }
+                },
+                other => return Err(err(AsmErrorKind::UnknownDirective(other.to_string()))),
+            },
+        }
+    }
+    if let Some((lno, label)) = pending.into_iter().next() {
+        return Err(AsmError {
+            line: lno,
+            kind: AsmErrorKind::DanglingLabel(label),
+        });
+    }
+
+    // ---- Pass 2: encode -------------------------------------------------
+    let mut instrs: Vec<Instr> = Vec::with_capacity(instr_count as usize);
+    let mut instr_lines: Vec<usize> = Vec::with_capacity(instr_count as usize);
+    for line in &lines {
+        if let Some(Body::Instr { mnemonic, operands }) = &line.body {
+            let instr =
+                encode(mnemonic, operands, &env).map_err(|kind| AsmError {
+                    line: line.line_no,
+                    kind,
+                })?;
+            instrs.push(instr);
+            instr_lines.push(line.line_no);
+        }
+    }
+
+    let entry = match entry_symbol {
+        None => 0,
+        Some((lno, sym)) => env.code_target(&sym).ok_or(AsmError {
+            line: lno,
+            kind: AsmErrorKind::BadEntry(sym),
+        })?,
+    };
+
+    let program = Program {
+        instrs,
+        entry,
+        data,
+        code_symbols: env.code,
+        data_symbols: env.data,
+    };
+    // Labels always resolve in range, but absolute `@N` targets can point
+    // anywhere: validate and report against the offending source line.
+    if let Err((addr, target)) = program.validate_targets() {
+        return Err(AsmError {
+            line: instr_lines[addr as usize],
+            kind: AsmErrorKind::TargetOutOfRange {
+                target,
+                len: program.instrs.len() as u32,
+            },
+        });
+    }
+    Ok(program)
+}
+
+fn bind_data_labels(
+    pending: &mut Vec<(usize, String)>,
+    env: &mut SymEnv,
+    cursor: u64,
+) -> Result<(), AsmError> {
+    for (lno, label) in pending.drain(..) {
+        if env.data.insert(label.clone(), cursor).is_some()
+            || env.code.contains_key(&label)
+            || env.equs.contains_key(&label)
+        {
+            return Err(AsmError {
+                line: lno,
+                kind: AsmErrorKind::DuplicateLabel(label),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn layout_data(
+    name: &str,
+    args: &[Token],
+    env: &SymEnv,
+    data: &mut Vec<(u64, u64)>,
+    cursor: &mut u64,
+) -> Result<(), AsmErrorKind> {
+    // Split args at commas into single-token values.
+    let mut values: Vec<&Token> = Vec::new();
+    let mut expecting_value = true;
+    for tok in args {
+        match tok {
+            Token::Comma if !expecting_value => expecting_value = true,
+            t if expecting_value => {
+                values.push(t);
+                expecting_value = false;
+            }
+            _ => {
+                return Err(AsmErrorKind::BadOperands {
+                    mnemonic: name.to_string(),
+                    expected: "comma-separated values",
+                })
+            }
+        }
+    }
+    match name {
+        ".word" => {
+            for tok in values {
+                let v: u64 = match tok {
+                    Token::Int(v) => *v as u64,
+                    Token::Ident(sym) => env
+                        .value_of(sym)
+                        .ok_or_else(|| AsmErrorKind::UnknownSymbol(sym.clone()))?
+                        as u64,
+                    _ => {
+                        return Err(AsmErrorKind::BadOperands {
+                            mnemonic: ".word".into(),
+                            expected: "integers or symbols",
+                        })
+                    }
+                };
+                data.push((*cursor, v));
+                *cursor += 1;
+            }
+        }
+        ".double" => {
+            for tok in values {
+                let v: f64 = match tok {
+                    Token::Float(v) => *v,
+                    Token::Int(v) => *v as f64,
+                    _ => {
+                        return Err(AsmErrorKind::BadOperands {
+                            mnemonic: ".double".into(),
+                            expected: "floating-point literals",
+                        })
+                    }
+                };
+                data.push((*cursor, v.to_bits()));
+                *cursor += 1;
+            }
+        }
+        ".space" => match values.as_slice() {
+            [Token::Int(n)] if *n >= 0 => {
+                // Reserved words read as zero; no image entries needed.
+                *cursor += *n as u64;
+            }
+            _ => {
+                return Err(AsmErrorKind::BadOperands {
+                    mnemonic: ".space".into(),
+                    expected: "a non-negative word count",
+                })
+            }
+        },
+        _ => unreachable!("caller dispatches only data directives"),
+    }
+    Ok(())
+}
+
+/// Immediate field limits for three-operand integer instructions: the
+/// value must survive the `i32` operand field.
+fn int_operand(opnd: &Opnd, env: &SymEnv) -> Result<Operand, AsmErrorKind> {
+    match opnd {
+        Opnd::IntReg(r) => Ok(Operand::Reg(*r)),
+        Opnd::Int(v) => i32::try_from(*v)
+            .map(Operand::Imm)
+            .map_err(|_| AsmErrorKind::ImmOutOfRange(*v)),
+        Opnd::Symbol(sym) => {
+            let v = env
+                .value_of(sym)
+                .ok_or_else(|| AsmErrorKind::UnknownSymbol(sym.clone()))?;
+            i32::try_from(v)
+                .map(Operand::Imm)
+                .map_err(|_| AsmErrorKind::ImmOutOfRange(v))
+        }
+        _ => Err(AsmErrorKind::BadOperands {
+            mnemonic: String::new(),
+            expected: "register or immediate",
+        }),
+    }
+}
+
+fn disp_of(disp: &Opnd, env: &SymEnv) -> Result<i32, AsmErrorKind> {
+    let v = match disp {
+        Opnd::Int(v) => *v,
+        Opnd::Symbol(sym) => env
+            .value_of(sym)
+            .ok_or_else(|| AsmErrorKind::UnknownSymbol(sym.clone()))?,
+        _ => unreachable!("parser restricts displacement shapes"),
+    };
+    i32::try_from(v).map_err(|_| AsmErrorKind::ImmOutOfRange(v))
+}
+
+fn branch_target(opnd: &Opnd, env: &SymEnv) -> Result<CodeAddr, AsmErrorKind> {
+    match opnd {
+        Opnd::CodeAddr(v) => u32::try_from(*v).map_err(|_| AsmErrorKind::ImmOutOfRange(*v)),
+        Opnd::Int(v) => u32::try_from(*v).map_err(|_| AsmErrorKind::ImmOutOfRange(*v)),
+        Opnd::Symbol(sym) => env
+            .code_target(sym)
+            .ok_or_else(|| AsmErrorKind::UnknownSymbol(sym.clone())),
+        _ => Err(AsmErrorKind::BadOperands {
+            mnemonic: String::new(),
+            expected: "code label or @address",
+        }),
+    }
+}
+
+fn encode(mnemonic: &str, ops: &[Opnd], env: &SymEnv) -> Result<Instr, AsmErrorKind> {
+    use Opnd::*;
+    let bad = |expected: &'static str| AsmErrorKind::BadOperands {
+        mnemonic: mnemonic.to_string(),
+        expected,
+    };
+    let int_op = |op: IntOp| -> Result<Instr, AsmErrorKind> {
+        match ops {
+            [IntReg(rd), IntReg(ra), rb] => Ok(Instr::IntOp {
+                op,
+                rd: *rd,
+                ra: *ra,
+                rb: int_operand(rb, env).map_err(|e| match e {
+                    AsmErrorKind::BadOperands { .. } => bad("rd, ra, rb|imm"),
+                    other => other,
+                })?,
+            }),
+            _ => Err(bad("rd, ra, rb|imm")),
+        }
+    };
+    let fp_op = |op: FpOp| -> Result<Instr, AsmErrorKind> {
+        match ops {
+            [FpReg(fd), FpReg(fa), FpReg(fb)] => Ok(Instr::FpOp {
+                op,
+                fd: *fd,
+                fa: *fa,
+                fb: *fb,
+            }),
+            _ => Err(bad("fd, fa, fb")),
+        }
+    };
+    let fp_un = |op: FpUnOp| -> Result<Instr, AsmErrorKind> {
+        match ops {
+            [FpReg(fd), FpReg(fa)] => Ok(Instr::FpUn {
+                op,
+                fd: *fd,
+                fa: *fa,
+            }),
+            _ => Err(bad("fd, fa")),
+        }
+    };
+    let fp_cmp = |op: FpCmpOp| -> Result<Instr, AsmErrorKind> {
+        match ops {
+            [IntReg(rd), FpReg(fa), FpReg(fb)] => Ok(Instr::FpCmp {
+                op,
+                rd: *rd,
+                fa: *fa,
+                fb: *fb,
+            }),
+            _ => Err(bad("rd, fa, fb")),
+        }
+    };
+    let branch = |cond: BranchCond| -> Result<Instr, AsmErrorKind> {
+        match ops {
+            [IntReg(ra), target] => Ok(Instr::Branch {
+                cond,
+                ra: *ra,
+                target: branch_target(target, env)?,
+            }),
+            _ => Err(bad("ra, label")),
+        }
+    };
+
+    match mnemonic {
+        "addq" => int_op(IntOp::Add),
+        "subq" => int_op(IntOp::Sub),
+        "mulq" => int_op(IntOp::Mul),
+        "and" => int_op(IntOp::And),
+        "or" => int_op(IntOp::Or),
+        "xor" => int_op(IntOp::Xor),
+        "sll" => int_op(IntOp::Sll),
+        "srl" => int_op(IntOp::Srl),
+        "sra" => int_op(IntOp::Sra),
+        "cmpeq" => int_op(IntOp::CmpEq),
+        "cmplt" => int_op(IntOp::CmpLt),
+        "cmple" => int_op(IntOp::CmpLe),
+        "cmpult" => int_op(IntOp::CmpUlt),
+
+        "li" => match ops {
+            [IntReg(rd), Int(v)] => Ok(Instr::Li { rd: *rd, imm: *v }),
+            [IntReg(rd), Symbol(sym)] => {
+                let v = env
+                    .value_of(sym)
+                    .ok_or_else(|| AsmErrorKind::UnknownSymbol(sym.clone()))?;
+                Ok(Instr::Li { rd: *rd, imm: v })
+            }
+            [IntReg(rd), CodeAddr(v)] => Ok(Instr::Li { rd: *rd, imm: *v }),
+            _ => Err(bad("rd, imm|symbol")),
+        },
+        // Pseudo: register move / clear.
+        "mov" => match ops {
+            [IntReg(rd), IntReg(ra)] => Ok(Instr::IntOp {
+                op: IntOp::Add,
+                rd: *rd,
+                ra: *ra,
+                rb: Operand::Imm(0),
+            }),
+            _ => Err(bad("rd, ra")),
+        },
+        "clr" => match ops {
+            [IntReg(rd)] => Ok(Instr::Li { rd: *rd, imm: 0 }),
+            _ => Err(bad("rd")),
+        },
+
+        "addt" => fp_op(FpOp::Add),
+        "subt" => fp_op(FpOp::Sub),
+        "mult" => fp_op(FpOp::Mul),
+        "divt" => fp_op(FpOp::Div),
+        "sqrtt" => fp_un(FpUnOp::Sqrt),
+        "negt" => fp_un(FpUnOp::Neg),
+        "abst" => fp_un(FpUnOp::Abs),
+        "fmov" => fp_un(FpUnOp::Mov),
+        "cmpteq" => fp_cmp(FpCmpOp::Eq),
+        "cmptlt" => fp_cmp(FpCmpOp::Lt),
+        "cmptle" => fp_cmp(FpCmpOp::Le),
+
+        "ldq" => match ops {
+            [IntReg(rd), MemRef { disp, base }] => Ok(Instr::LoadInt {
+                rd: *rd,
+                base: *base,
+                disp: disp_of(disp, env)?,
+            }),
+            _ => Err(bad("rd, disp(base)")),
+        },
+        "stq" => match ops {
+            [IntReg(rs), MemRef { disp, base }] => Ok(Instr::StoreInt {
+                rs: *rs,
+                base: *base,
+                disp: disp_of(disp, env)?,
+            }),
+            _ => Err(bad("rs, disp(base)")),
+        },
+        "ldt" => match ops {
+            [FpReg(fd), MemRef { disp, base }] => Ok(Instr::LoadFp {
+                fd: *fd,
+                base: *base,
+                disp: disp_of(disp, env)?,
+            }),
+            _ => Err(bad("fd, disp(base)")),
+        },
+        "stt" => match ops {
+            [FpReg(fs), MemRef { disp, base }] => Ok(Instr::StoreFp {
+                fs: *fs,
+                base: *base,
+                disp: disp_of(disp, env)?,
+            }),
+            _ => Err(bad("fs, disp(base)")),
+        },
+
+        "itof" => match ops {
+            [FpReg(fd), IntReg(ra)] => Ok(Instr::Itof { fd: *fd, ra: *ra }),
+            _ => Err(bad("fd, ra")),
+        },
+        "ftoi" => match ops {
+            [IntReg(rd), FpReg(fa)] => Ok(Instr::Ftoi { rd: *rd, fa: *fa }),
+            _ => Err(bad("rd, fa")),
+        },
+
+        "beqz" => branch(BranchCond::Eqz),
+        "bnez" => branch(BranchCond::Nez),
+        "bltz" => branch(BranchCond::Ltz),
+        "blez" => branch(BranchCond::Lez),
+        "bgtz" => branch(BranchCond::Gtz),
+        "bgez" => branch(BranchCond::Gez),
+
+        "br" => match ops {
+            [target] => Ok(Instr::Jump {
+                target: branch_target(target, env)?,
+            }),
+            _ => Err(bad("label")),
+        },
+        "jsr" => match ops {
+            [IntReg(link), target] => Ok(Instr::Jsr {
+                link: *link,
+                target: branch_target(target, env)?,
+            }),
+            _ => Err(bad("link, label")),
+        },
+        "jmp" | "ret" => match ops {
+            [IntReg(ra)] => Ok(Instr::JmpReg { ra: *ra }),
+            _ => Err(bad("ra")),
+        },
+        "halt" => match ops {
+            [] => Ok(Instr::Halt),
+            _ => Err(bad("no operands")),
+        },
+        "nop" => match ops {
+            [] => Ok(Instr::Nop),
+            _ => Err(bad("no operands")),
+        },
+
+        other => Err(AsmErrorKind::UnknownMnemonic(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_loop_kernel() {
+        let prog = assemble(
+            r#"
+            .equ    N, 4
+            .org    0x100
+    buf:    .word   10, 20, 30, 40
+
+            li      r1, N
+            li      r2, buf
+    loop:   ldq     r3, 0(r2)
+            addq    r3, r3, 1
+            stq     r3, 0(r2)
+            addq    r2, r2, 1
+            subq    r1, r1, 1
+            bnez    r1, loop
+            halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 9);
+        assert_eq!(prog.code_label("loop"), Some(2));
+        assert_eq!(prog.data_label("buf"), Some(0x100));
+        assert_eq!(prog.data, vec![(0x100, 10), (0x101, 20), (0x102, 30), (0x103, 40)]);
+        assert_eq!(
+            prog.instrs[0],
+            Instr::Li {
+                rd: Reg::new(1),
+                imm: 4
+            }
+        );
+        assert_eq!(
+            prog.instrs[7],
+            Instr::Branch {
+                cond: BranchCond::Nez,
+                ra: Reg::new(1),
+                target: 2
+            }
+        );
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let prog = assemble(
+            r#"
+            br      end
+            nop
+    end:    halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(prog.instrs[0], Instr::Jump { target: 2 });
+    }
+
+    #[test]
+    fn entry_directive() {
+        let prog = assemble(
+            r#"
+            .entry  main
+            nop
+    main:   halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(prog.entry, 1);
+    }
+
+    #[test]
+    fn doubles_and_space() {
+        let prog = assemble(
+            r#"
+            .org 10
+    a:      .double 1.5, -2.0
+    b:      .space 3
+    c:      .word 7
+            halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(prog.data_label("a"), Some(10));
+        assert_eq!(prog.data_label("b"), Some(12));
+        assert_eq!(prog.data_label("c"), Some(15));
+        assert_eq!(prog.data[0], (10, 1.5f64.to_bits()));
+        assert_eq!(prog.data[1], (11, (-2.0f64).to_bits()));
+        assert_eq!(prog.data[2], (15, 7));
+    }
+
+    #[test]
+    fn fp_instructions() {
+        let prog = assemble(
+            r#"
+            addt    f1, f2, f3
+            sqrtt   f4, f5
+            cmptlt  r1, f1, f2
+            itof    f6, r2
+            ftoi    r3, f6
+            halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            prog.instrs[0],
+            Instr::FpOp {
+                op: FpOp::Add,
+                fd: FReg::new(1),
+                fa: FReg::new(2),
+                fb: FReg::new(3)
+            }
+        );
+        assert_eq!(
+            prog.instrs[2],
+            Instr::FpCmp {
+                op: FpCmpOp::Lt,
+                rd: Reg::new(1),
+                fa: FReg::new(1),
+                fb: FReg::new(2)
+            }
+        );
+    }
+
+    #[test]
+    fn error_unknown_mnemonic_with_line() {
+        let err = assemble("  nop\n  frobnicate r1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.kind, AsmErrorKind::UnknownMnemonic("frobnicate".into()));
+    }
+
+    #[test]
+    fn error_unknown_symbol() {
+        let err = assemble("li r1, missing\nhalt\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.kind, AsmErrorKind::UnknownSymbol("missing".into()));
+    }
+
+    #[test]
+    fn error_duplicate_label() {
+        let err = assemble("x: nop\nx: halt\n").unwrap_err();
+        assert_eq!(err.kind, AsmErrorKind::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn error_dangling_label() {
+        let err = assemble("nop\norphan:\n").unwrap_err();
+        assert_eq!(err.kind, AsmErrorKind::DanglingLabel("orphan".into()));
+    }
+
+    #[test]
+    fn error_bad_operands() {
+        let err = assemble("addq r1, r2\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadOperands { .. }));
+        let err = assemble("ldq f1, 0(r2)\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadOperands { .. }));
+    }
+
+    #[test]
+    fn pseudo_ops() {
+        let prog = assemble("mov r1, r2\nclr r3\nhalt\n").unwrap();
+        assert_eq!(
+            prog.instrs[0],
+            Instr::IntOp {
+                op: IntOp::Add,
+                rd: Reg::new(1),
+                ra: Reg::new(2),
+                rb: Operand::Imm(0)
+            }
+        );
+        assert_eq!(
+            prog.instrs[1],
+            Instr::Li {
+                rd: Reg::new(3),
+                imm: 0
+            }
+        );
+    }
+
+    #[test]
+    fn register_aliases() {
+        let prog = assemble("mov sp, zero\nhalt\n").unwrap();
+        assert_eq!(
+            prog.instrs[0],
+            Instr::IntOp {
+                op: IntOp::Add,
+                rd: Reg::SP,
+                ra: Reg::ZERO,
+                rb: Operand::Imm(0)
+            }
+        );
+    }
+
+    #[test]
+    fn code_label_as_value_for_function_tables() {
+        let prog = assemble(
+            r#"
+    main:   li      r1, handler
+            jmp     r1
+    handler: halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            prog.instrs[0],
+            Instr::Li {
+                rd: Reg::new(1),
+                imm: 2
+            }
+        );
+    }
+
+    #[test]
+    fn multiple_labels_one_line() {
+        let prog = assemble("a: b: nop\nhalt\n").unwrap();
+        assert_eq!(prog.code_label("a"), Some(0));
+        assert_eq!(prog.code_label("b"), Some(0));
+    }
+
+    #[test]
+    fn error_target_out_of_range() {
+        let err = assemble("nop\nbr @7\nhalt\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(
+            err.kind,
+            AsmErrorKind::TargetOutOfRange { target: 7, len: 3 }
+        );
+    }
+
+    #[test]
+    fn at_addresses_roundtrip_disassembly() {
+        // The disassembler emits `@N` targets; they must re-assemble.
+        let src = "br @2\nnop\nhalt\n";
+        let prog = assemble(src).unwrap();
+        assert_eq!(prog.instrs[0], Instr::Jump { target: 2 });
+    }
+}

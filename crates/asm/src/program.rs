@@ -1,0 +1,100 @@
+//! The executable program container shared by both assembler front-ends.
+
+use tlr_isa::{CodeAddr, Instr};
+use tlr_util::FxHashMap;
+
+/// Initial memory image: word address → 64-bit value. Only explicitly
+/// initialized words appear; everything else reads as zero.
+pub type DataImage = Vec<(u64, u64)>;
+
+/// An executable program: instruction array + initial data image +
+/// symbol tables for diagnostics.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Instructions; the address of `instrs[i]` is `i`.
+    pub instrs: Vec<Instr>,
+    /// Entry point (instruction index).
+    pub entry: CodeAddr,
+    /// Initial memory contents.
+    pub data: DataImage,
+    /// Code labels → addresses (for diagnostics and tests).
+    pub code_symbols: FxHashMap<String, CodeAddr>,
+    /// Data labels → word addresses.
+    pub data_symbols: FxHashMap<String, u64>,
+}
+
+impl Program {
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Look up a code label.
+    pub fn code_label(&self, name: &str) -> Option<CodeAddr> {
+        self.code_symbols.get(name).copied()
+    }
+
+    /// Look up a data label.
+    pub fn data_label(&self, name: &str) -> Option<u64> {
+        self.data_symbols.get(name).copied()
+    }
+
+    /// Sanity-check that every control-flow target is inside the program.
+    /// Returns the offending (instruction address, target) on failure.
+    pub fn validate_targets(&self) -> Result<(), (CodeAddr, CodeAddr)> {
+        let n = self.instrs.len() as u32;
+        for (addr, instr) in self.instrs.iter().enumerate() {
+            let bad = match instr {
+                Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Jsr { target, .. } => {
+                    (*target >= n).then_some(*target)
+                }
+                _ => None,
+            };
+            if let Some(target) = bad {
+                return Err((addr as u32, target));
+            }
+        }
+        Ok(())
+    }
+
+    /// Full disassembly listing.
+    pub fn disassemble(&self) -> String {
+        tlr_isa::disasm::disassemble(&self.instrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlr_isa::{BranchCond, Reg};
+
+    #[test]
+    fn validate_catches_out_of_range_target() {
+        let prog = Program {
+            instrs: vec![
+                Instr::Branch {
+                    cond: BranchCond::Eqz,
+                    ra: Reg::new(0),
+                    target: 5,
+                },
+                Instr::Halt,
+            ],
+            ..Default::default()
+        };
+        assert_eq!(prog.validate_targets(), Err((0, 5)));
+    }
+
+    #[test]
+    fn validate_accepts_in_range() {
+        let prog = Program {
+            instrs: vec![Instr::Jump { target: 1 }, Instr::Halt],
+            ..Default::default()
+        };
+        assert_eq!(prog.validate_targets(), Ok(()));
+    }
+}

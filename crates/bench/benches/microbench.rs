@@ -1,0 +1,186 @@
+//! Criterion micro-benchmarks for the simulation substrate: these keep
+//! the reproduction *runnable at paper scale* (50M-instruction streams)
+//! by tracking the per-instruction cost of every pipeline stage.
+//!
+//! Throughputs are reported in instructions (elements) per second.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::time::Duration;
+use tlr_core::{
+    EngineConfig, Heuristic, InstrReuseTable, IoCaps, LimitConfig, LimitStudySink,
+    ReuseTraceMemory, RtmConfig, TraceAccum, TraceReuseEngine,
+};
+use tlr_isa::{Alpha21164, Loc, NullSink, StreamSink};
+use tlr_timing::{TimingSim, Window};
+use tlr_vm::Vm;
+use tlr_workloads::synthetic::{generate, SyntheticConfig};
+
+const N: usize = 20_000;
+
+fn stream() -> Vec<tlr_isa::DynInstr> {
+    generate(
+        &SyntheticConfig {
+            redundancy: 0.85,
+            seed: 42,
+            ..Default::default()
+        },
+        N,
+    )
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm");
+    g.throughput(Throughput::Elements(N as u64));
+    let prog = tlr_workloads::by_name("compress").unwrap().program(1);
+    g.bench_function("execute_compress", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&prog);
+            vm.run(N as u64, &mut NullSink).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_ilr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ilr");
+    g.throughput(Throughput::Elements(N as u64));
+    let s = stream();
+    g.bench_function("infinite_table_probe", |b| {
+        b.iter_batched(
+            InstrReuseTable::new,
+            |mut table| {
+                for d in &s {
+                    std::hint::black_box(table.probe_insert(d));
+                }
+                table
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_timing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timing");
+    g.throughput(Throughput::Elements(N as u64));
+    let s = stream();
+    let lat = Alpha21164;
+    g.bench_function("infinite_window_step", |b| {
+        b.iter(|| {
+            let mut sim = TimingSim::new(Window::infinite(), &lat);
+            for d in &s {
+                sim.step_normal(d);
+            }
+            sim.cycles()
+        })
+    });
+    g.bench_function("w256_step", |b| {
+        b.iter(|| {
+            let mut sim = TimingSim::new(Window::finite(256), &lat);
+            for d in &s {
+                sim.step_normal(d);
+            }
+            sim.cycles()
+        })
+    });
+    g.finish();
+}
+
+fn bench_limit_sink(c: &mut Criterion) {
+    let mut g = c.benchmark_group("limit_study");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    let s = stream();
+    let lat = Alpha21164;
+    // The full figure ensemble: ~22 concurrent timing models.
+    g.bench_function("full_ensemble", |b| {
+        b.iter(|| {
+            let mut sink = LimitStudySink::new(LimitConfig::default(), &lat);
+            for d in &s {
+                sink.observe(d);
+            }
+            sink.finish();
+        })
+    });
+    g.finish();
+}
+
+fn bench_rtm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtm");
+    let s = stream();
+    // Build a population of traces to insert/look up.
+    let mut accum = TraceAccum::new(IoCaps::PAPER);
+    let mut records = Vec::new();
+    for d in &s {
+        if !accum.try_add(d) || accum.len() >= 6 {
+            records.extend(accum.finalize());
+        }
+    }
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("insert", |b| {
+        b.iter_batched(
+            || ReuseTraceMemory::new(RtmConfig::RTM_4K),
+            |mut rtm| {
+                for r in &records {
+                    rtm.insert(r.clone());
+                }
+                rtm
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_4K);
+    for r in &records {
+        rtm.insert(r.clone());
+    }
+    g.bench_function("lookup", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for r in &records {
+                if rtm.lookup(r.start_pc, |loc: Loc| {
+                    r.ins
+                        .iter()
+                        .find(|(l, _)| *l == loc)
+                        .map(|(_, v)| *v)
+                        .unwrap_or(0)
+                })
+                .is_some()
+                {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(20);
+    let prog = tlr_workloads::by_name("ijpeg").unwrap().program(1);
+    g.bench_function("execution_driven_i4", |b| {
+        b.iter(|| {
+            let mut engine = TraceReuseEngine::new(
+                &prog,
+                EngineConfig::paper(RtmConfig::RTM_4K, Heuristic::FixedExp(4)),
+            );
+            engine.run(N as u64).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_vm, bench_ilr, bench_timing, bench_limit_sink, bench_rtm, bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,277 @@
+//! `reproduce` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! reproduce [OPTIONS] [TARGETS...]
+//!
+//! TARGETS: fig3 fig4 fig5 fig6 fig7 fig8 io fig9 ablation pipeline validbit schemes all
+//!          (default: all)
+//!
+//! OPTIONS:
+//!   --budget N    dynamic instructions per benchmark   (default 400000)
+//!   --seed N      workload seed                        (default 20260611)
+//!   --window N    finite window size                   (default 256)
+//!   --threads N   worker threads                       (default: all cores)
+//!   --out DIR     write CSVs here                      (default results/)
+//!   --charts      also print ASCII bar charts
+//! ```
+
+use std::path::PathBuf;
+use tlr_bench::figures;
+use tlr_bench::{run_engine_grid, run_limit_studies, BenchResult, HarnessConfig};
+use tlr_core::{Heuristic, RtmConfig};
+use tlr_stats::Table;
+
+struct Options {
+    cfg: HarnessConfig,
+    targets: Vec<String>,
+    out_dir: PathBuf,
+    charts: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut cfg = HarnessConfig::default();
+    let mut targets = Vec::new();
+    let mut out_dir = PathBuf::from("results");
+    let mut charts = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--budget" => cfg.budget = value("--budget")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => cfg.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--window" => cfg.window = value("--window")?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => cfg.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => out_dir = PathBuf::from(value("--out")?),
+            "--charts" => charts = true,
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                std::process::exit(0);
+            }
+            t if !t.starts_with('-') => targets.push(t.to_string()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    Ok(Options {
+        cfg,
+        targets,
+        out_dir,
+        charts,
+    })
+}
+
+const HELP: &str = "reproduce [--budget N] [--seed N] [--window N] [--threads N] [--out DIR] [--charts] \
+                    [fig3|fig4|fig5|fig6|fig7|fig8|io|fig9|ablation|pipeline|validbit|schemes|all ...]";
+
+fn emit(out_dir: &PathBuf, name: &str, title: &str, table: &Table) {
+    println!("== {title} ==");
+    println!("{}", table.to_text());
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("warning: cannot create {}: {e}", out_dir.display());
+        return;
+    }
+    let path = out_dir.join(format!("{name}.csv"));
+    if let Err(e) = std::fs::write(&path, table.to_csv()) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    }
+}
+
+fn wants(targets: &[String], t: &str) -> bool {
+    targets.iter().any(|x| x == t || x == "all")
+}
+
+fn limit_figures(opts: &Options, results: &[BenchResult]) {
+    let t = &opts.targets;
+    if wants(t, "fig3") {
+        emit(
+            &opts.out_dir,
+            "fig3",
+            "Figure 3: instruction-level reusability (perfect engine, % of dynamic instructions)",
+            &figures::fig3(results),
+        );
+        if opts.charts {
+            println!(
+                "{}",
+                figures::chart("reusability %", results, |r| r.limit.reusability_pct)
+            );
+        }
+    }
+    if wants(t, "fig4") {
+        emit(
+            &opts.out_dir,
+            "fig4a",
+            "Figure 4a: ILR speed-up, infinite window, 1-cycle reuse latency",
+            &figures::fig4a(results),
+        );
+        emit(
+            &opts.out_dir,
+            "fig4b",
+            "Figure 4b: ILR speed-up vs reuse latency (infinite window, averages)",
+            &figures::fig4b(results),
+        );
+    }
+    if wants(t, "fig5") {
+        emit(
+            &opts.out_dir,
+            "fig5a",
+            "Figure 5a: ILR speed-up, 256-entry window, 1-cycle reuse latency",
+            &figures::fig5a(results),
+        );
+        emit(
+            &opts.out_dir,
+            "fig5b",
+            "Figure 5b: ILR speed-up vs reuse latency (256-entry window, averages)",
+            &figures::fig5b(results),
+        );
+    }
+    if wants(t, "fig6") {
+        emit(
+            &opts.out_dir,
+            "fig6a",
+            "Figure 6a: TLR speed-up, infinite window, 1-cycle reuse latency",
+            &figures::fig6a(results),
+        );
+        emit(
+            &opts.out_dir,
+            "fig6b",
+            "Figure 6b: TLR speed-up, 256-entry window, 1-cycle reuse latency",
+            &figures::fig6b(results),
+        );
+        if opts.charts {
+            println!(
+                "{}",
+                figures::chart("TLR speed-up (W=256)", results, |r| r
+                    .limit
+                    .tlr_speedup_win(1))
+            );
+        }
+    }
+    if wants(t, "fig7") {
+        emit(
+            &opts.out_dir,
+            "fig7",
+            "Figure 7: average trace size (maximal reusable traces)",
+            &figures::fig7(results),
+        );
+    }
+    if wants(t, "fig8") {
+        emit(
+            &opts.out_dir,
+            "fig8a",
+            "Figure 8a: TLR speed-up vs constant reuse latency (W=256, averages)",
+            &figures::fig8a(results),
+        );
+        emit(
+            &opts.out_dir,
+            "fig8b",
+            "Figure 8b: TLR speed-up vs proportional latency K x (inputs+outputs) (W=256)",
+            &figures::fig8b(results),
+        );
+    }
+    if wants(t, "io") {
+        emit(
+            &opts.out_dir,
+            "io",
+            "Section 4.5: per-trace I/O and bandwidth per reused instruction",
+            &figures::io_table(results),
+        );
+    }
+    if wants(t, "ablation") {
+        emit(
+            &opts.out_dir,
+            "ablation_slots",
+            "Ablation: window slots per reused trace (TLR, W=256, 1-cycle latency)",
+            &figures::ablation_slots(results),
+        );
+    }
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+    let needs_limits = ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "io", "ablation"]
+        .iter()
+        .any(|t| wants(&opts.targets, t));
+    let needs_engine = wants(&opts.targets, "fig9");
+
+    println!(
+        "trace-level reuse reproduction | budget {} instrs/benchmark, seed {}, window {}",
+        tlr_util::group_digits(opts.cfg.budget),
+        opts.cfg.seed,
+        opts.cfg.window
+    );
+    println!();
+
+    if needs_limits {
+        let start = std::time::Instant::now();
+        let results = run_limit_studies(&opts.cfg);
+        eprintln!("[limit studies: {:?}]", start.elapsed());
+        limit_figures(&opts, &results);
+    }
+
+    if wants(&opts.targets, "validbit") {
+        let start = std::time::Instant::now();
+        let table = figures::validbit_table(&opts.cfg);
+        eprintln!("[valid-bit comparison: {:?}]", start.elapsed());
+        emit(
+            &opts.out_dir,
+            "validbit",
+            "Reuse-test comparison (Section 3.3): value comparison vs valid bit + invalidation",
+            &table,
+        );
+    }
+
+    if wants(&opts.targets, "schemes") {
+        let start = std::time::Instant::now();
+        let table = figures::schemes_table(&opts.cfg);
+        eprintln!("[scheme comparison: {:?}]", start.elapsed());
+        emit(
+            &opts.out_dir,
+            "schemes",
+            "Instruction-reuse schemes (Section 2, Sodani & Sohi): Sv values vs Sn names",
+            &table,
+        );
+    }
+
+    if wants(&opts.targets, "pipeline") {
+        let start = std::time::Instant::now();
+        let table = figures::pipeline_ablation(&opts.cfg);
+        eprintln!("[pipeline ablation: {:?}]", start.elapsed());
+        emit(
+            &opts.out_dir,
+            "pipeline_ablation",
+            "Pipeline ablation (Section 3 model): fetch-skip and window-bypass decomposition",
+            &table,
+        );
+    }
+
+    if needs_engine {
+        let start = std::time::Instant::now();
+        let rtms = RtmConfig::PAPER_SWEEP;
+        let heuristics = Heuristic::paper_sweep();
+        let cells = run_engine_grid(&opts.cfg, &rtms, &heuristics);
+        eprintln!("[engine grid: {:?}]", start.elapsed());
+        emit(
+            &opts.out_dir,
+            "fig9a",
+            "Figure 9a: % of dynamic instructions reused (finite RTM, average of 14 benchmarks)",
+            &figures::fig9a(&cells, &rtms, &heuristics),
+        );
+        emit(
+            &opts.out_dir,
+            "fig9b",
+            "Figure 9b: average reused-trace size (finite RTM, average of 14 benchmarks)",
+            &figures::fig9b(&cells, &rtms, &heuristics),
+        );
+    }
+}

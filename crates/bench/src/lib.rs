@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! # tlr-bench
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§4) from this workspace's substrate, printing
+//! paper-reported values next to measured ones and writing CSV into
+//! `results/`.
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `reproduce fig3` | Figure 3 — instruction-level reusability |
+//! | `reproduce fig4` | Figure 4 — ILR speed-up, infinite window (a: per-benchmark @1 cycle, b: latency sweep) |
+//! | `reproduce fig5` | Figure 5 — ILR speed-up, 256-entry window |
+//! | `reproduce fig6` | Figure 6 — TLR speed-up @1 cycle (a: infinite, b: 256-entry) |
+//! | `reproduce fig7` | Figure 7 — average trace size |
+//! | `reproduce fig8` | Figure 8 — TLR latency sensitivity (a: constant 1–4, b: ∝ I/O, K sweep) |
+//! | `reproduce io` | §4.5 text — per-trace I/O counts and bandwidth per reused instruction |
+//! | `reproduce fig9` | Figure 9 — finite RTM × collection heuristic (% reused, trace size) |
+//! | `reproduce ablation` | ours — window slots per reused trace (0 vs 1), fetch-skip decomposition |
+//!
+//! All figure functions are library code so the integration tests can run
+//! them at reduced budgets.
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::{run_engine_grid, run_limit_studies, BenchResult, EngineCell, HarnessConfig};

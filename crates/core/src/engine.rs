@@ -1,0 +1,380 @@
+//! The execution-driven trace-reuse engine (§3.3 + §4.6).
+//!
+//! This is the "realistic" machine of Figure 9: a functional processor
+//! front-end that, at every fetch point, first consults the RTM. On a hit
+//! — a resident trace starting at the current PC whose recorded live-in
+//! values all equal the current architectural values — the processor
+//! *skips* the trace: its recorded outputs are applied to the register
+//! file and memory, the PC jumps to the trace's next-PC, and none of the
+//! covered instructions are fetched or executed. On a miss, one
+//! instruction executes normally and is offered to the trace collector.
+//!
+//! Correctness of the skip is a theorem of the deterministic ISA: every
+//! value a trace reads is either produced inside the trace or captured in
+//! its live-in set, so matching live-ins imply identical execution. The
+//! engine (optionally) verifies this wholesale: a run with reuse enabled
+//! must leave the same architectural state as a plain run
+//! (`tests/engine_equivalence.rs`).
+
+use crate::collect::{CollectStats, Collector, Heuristic};
+use crate::ilr::FiniteIlrBuffer;
+use crate::rtm::{ReuseBackend, ReuseTraceMemory, RtmConfig, RtmStats};
+use crate::trace::IoCaps;
+use crate::valid_bit::InvalidatingRtm;
+use tlr_asm::Program;
+use tlr_stats::Histogram;
+use tlr_vm::{StepResult, Vm, VmError};
+
+/// Which reuse test the engine uses (§3.3 describes both).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReuseTest {
+    /// Read all input locations and compare against recorded values (the
+    /// mechanism the paper evaluates).
+    #[default]
+    ValueCompare,
+    /// Valid bit + invalidation on every architectural write — simpler
+    /// test, conservative coverage.
+    ValidBit,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// RTM geometry.
+    pub rtm: RtmConfig,
+    /// Trace-collection heuristic.
+    pub heuristic: Heuristic,
+    /// Per-trace I/O caps (the paper uses [`IoCaps::PAPER`]).
+    pub caps: IoCaps,
+    /// Reuse-test mechanism.
+    pub reuse_test: ReuseTest,
+}
+
+impl EngineConfig {
+    /// Figure 9's default: paper caps, value-comparison reuse test,
+    /// caller-chosen RTM and heuristic.
+    pub fn paper(rtm: RtmConfig, heuristic: Heuristic) -> Self {
+        Self {
+            rtm,
+            heuristic,
+            caps: IoCaps::PAPER,
+            reuse_test: ReuseTest::ValueCompare,
+        }
+    }
+
+    /// Same configuration with the valid-bit reuse test.
+    pub fn with_valid_bit(mut self) -> Self {
+        self.reuse_test = ReuseTest::ValidBit;
+        self
+    }
+}
+
+/// What a run of the engine produced.
+#[derive(Clone, Debug)]
+pub struct EngineStats {
+    /// Instructions the VM actually executed.
+    pub executed: u64,
+    /// Instructions covered by reuse hits (never fetched).
+    pub skipped: u64,
+    /// Number of reuse operations (RTM hits taken).
+    pub reuse_ops: u64,
+    /// Whether the program ran to its `halt`.
+    pub halted: bool,
+    /// RTM behaviour counters.
+    pub rtm: RtmStats,
+    /// Collector counters.
+    pub collect: CollectStats,
+    /// Distribution of reused trace lengths.
+    pub reused_sizes: Histogram,
+}
+
+impl EngineStats {
+    /// Total dynamic instructions the program made progress by
+    /// (executed + skipped).
+    pub fn total(&self) -> u64 {
+        self.executed + self.skipped
+    }
+
+    /// Figure 9a's metric: % of dynamic instructions whose execution was
+    /// skipped through trace reuse.
+    pub fn pct_reused(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            100.0 * self.skipped as f64 / self.total() as f64
+        }
+    }
+
+    /// Figure 9b's metric: average size of a *reused* trace.
+    pub fn avg_reused_trace_size(&self) -> f64 {
+        if self.reuse_ops == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / self.reuse_ops as f64
+        }
+    }
+}
+
+/// The execution-driven reuse engine: VM + RTM backend + collector.
+pub struct TraceReuseEngine {
+    vm: Vm,
+    rtm: Box<dyn ReuseBackend>,
+    collector: Collector,
+    executed: u64,
+    skipped: u64,
+    reuse_ops: u64,
+    halted: bool,
+    reused_sizes: Histogram,
+}
+
+impl TraceReuseEngine {
+    /// Load `program` under `config`. The ILR-driven heuristics get a
+    /// finite ILR buffer with the RTM's geometry ("this memory has as
+    /// many entries as the RTM", §4.6).
+    pub fn new(program: &Program, config: EngineConfig) -> Self {
+        let ilr = match config.heuristic {
+            Heuristic::IlrNe | Heuristic::IlrExp => {
+                Some(FiniteIlrBuffer::new(config.rtm.geometry))
+            }
+            Heuristic::FixedExp(_) | Heuristic::BasicBlock => None,
+        };
+        let rtm: Box<dyn ReuseBackend> = match config.reuse_test {
+            ReuseTest::ValueCompare => Box::new(ReuseTraceMemory::new(config.rtm)),
+            ReuseTest::ValidBit => Box::new(InvalidatingRtm::new(config.rtm.geometry)),
+        };
+        Self {
+            vm: Vm::new(program),
+            rtm,
+            collector: Collector::new(config.heuristic, config.caps, ilr),
+            executed: 0,
+            skipped: 0,
+            reuse_ops: 0,
+            halted: false,
+            reused_sizes: Histogram::new(),
+        }
+    }
+
+    /// Access the VM (state inspection in tests).
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    /// Access the RTM backend.
+    pub fn rtm(&self) -> &dyn ReuseBackend {
+        self.rtm.as_ref()
+    }
+
+    /// Run until `halt` or until `budget` total dynamic instructions
+    /// (executed + skipped) have been accounted.
+    pub fn run(&mut self, budget: u64) -> Result<EngineStats, VmError> {
+        while self.executed + self.skipped < budget && !self.halted {
+            self.step()?;
+        }
+        Ok(self.stats())
+    }
+
+    /// One engine step: a reuse hit (skipping a whole trace) or one
+    /// executed instruction.
+    pub fn step(&mut self) -> Result<(), VmError> {
+        let pc = self.vm.pc();
+        let vm = &self.vm;
+        let state = |loc| vm.peek_loc(loc);
+        if let Some(hit) = self.rtm.lookup(pc, &state) {
+            self.vm
+                .apply_trace(hit.outs.iter().copied(), hit.next_pc)?;
+            self.skipped += hit.len as u64;
+            self.reuse_ops += 1;
+            self.reused_sizes.record(hit.len as u64);
+            // The trace's outputs are architectural writes: valid-bit
+            // backends must see them.
+            for (loc, _) in hit.outs.iter() {
+                self.rtm.on_write(*loc);
+            }
+            let recs = self.collector.on_reuse_hit(&hit);
+            let vm = &self.vm;
+            let state = |loc| vm.peek_loc(loc);
+            for rec in recs {
+                self.rtm.insert(rec, &state);
+            }
+            return Ok(());
+        }
+        match self.vm.step()? {
+            StepResult::Executed(d) => {
+                self.executed += 1;
+                for (loc, _) in d.writes.iter() {
+                    self.rtm.on_write(*loc);
+                }
+                let recs = self.collector.on_executed(&d);
+                let vm = &self.vm;
+                let state = |loc| vm.peek_loc(loc);
+                for rec in recs {
+                    self.rtm.insert(rec, &state);
+                }
+            }
+            StepResult::Halted => {
+                self.halted = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            executed: self.executed,
+            skipped: self.skipped,
+            reuse_ops: self.reuse_ops,
+            halted: self.halted,
+            rtm: self.rtm.stats(),
+            collect: self.collector.stats(),
+            reused_sizes: self.reused_sizes.clone(),
+        }
+    }
+}
+
+/// Convenience: run `program` under `config` for `budget` instructions.
+pub fn run_engine(
+    program: &Program,
+    config: EngineConfig,
+    budget: u64,
+) -> Result<EngineStats, VmError> {
+    TraceReuseEngine::new(program, config).run(budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlr_asm::assemble;
+    use tlr_isa::{Loc, NullSink};
+
+    /// A tight loop recomputing identical values: ideal for reuse.
+    const HOT_LOOP: &str = r#"
+            .org 0x80
+    tab:    .word 2, 4, 6, 8
+            li      r9, 300
+    outer:  li      r1, tab
+            li      r2, 4
+            li      r5, 0
+    inner:  ldq     r3, 0(r1)
+            addq    r5, r5, r3
+            addq    r1, r1, 1
+            subq    r2, r2, 1
+            bnez    r2, inner
+            stq     r5, 64(zero)
+            subq    r9, r9, 1
+            bnez    r9, outer
+            halt
+    "#;
+
+    #[test]
+    fn fixed_heuristic_reuses_hot_loop() {
+        let prog = assemble(HOT_LOOP).unwrap();
+        let mut engine = TraceReuseEngine::new(
+            &prog,
+            EngineConfig::paper(RtmConfig::RTM_4K, Heuristic::FixedExp(4)),
+        );
+        let stats = engine.run(1_000_000).unwrap();
+        assert!(stats.halted);
+        assert!(stats.reuse_ops > 0, "no reuse at all");
+        assert!(
+            stats.pct_reused() > 30.0,
+            "pct_reused = {}",
+            stats.pct_reused()
+        );
+    }
+
+    #[test]
+    fn reuse_preserves_architectural_state() {
+        let prog = assemble(HOT_LOOP).unwrap();
+        // Plain run.
+        let mut plain = tlr_vm::Vm::new(&prog);
+        plain.run(1_000_000, &mut NullSink).unwrap();
+        let expect = plain.peek_loc(Loc::Mem(64));
+
+        for heuristic in [
+            Heuristic::IlrNe,
+            Heuristic::IlrExp,
+            Heuristic::FixedExp(2),
+            Heuristic::FixedExp(6),
+        ] {
+            let mut engine = TraceReuseEngine::new(
+                &prog,
+                EngineConfig::paper(RtmConfig::RTM_512, heuristic),
+            );
+            let stats = engine.run(1_000_000).unwrap();
+            assert!(stats.halted, "{heuristic:?} did not finish");
+            assert_eq!(
+                engine.vm().peek_loc(Loc::Mem(64)),
+                expect,
+                "{heuristic:?} corrupted state"
+            );
+            // Progress accounting matches the plain run exactly.
+            assert_eq!(stats.total(), plain.executed(), "{heuristic:?}");
+        }
+    }
+
+    #[test]
+    fn ilr_heuristics_reuse_after_warmup() {
+        let prog = assemble(HOT_LOOP).unwrap();
+        let mut engine = TraceReuseEngine::new(
+            &prog,
+            EngineConfig::paper(RtmConfig::RTM_4K, Heuristic::IlrExp),
+        );
+        let stats = engine.run(1_000_000).unwrap();
+        assert!(stats.reuse_ops > 0);
+        assert!(stats.pct_reused() > 20.0, "pct = {}", stats.pct_reused());
+    }
+
+    #[test]
+    fn expansion_grows_reused_traces() {
+        let prog = assemble(HOT_LOOP).unwrap();
+        let small = TraceReuseEngine::new(
+            &prog,
+            EngineConfig::paper(RtmConfig::RTM_4K, Heuristic::FixedExp(2)),
+        )
+        .run(1_000_000)
+        .unwrap();
+        // With expansion, average reused trace size should exceed the
+        // base length 2 eventually.
+        assert!(
+            small.avg_reused_trace_size() > 2.0,
+            "avg = {}",
+            small.avg_reused_trace_size()
+        );
+        assert!(small.collect.expansions > 0);
+    }
+
+    #[test]
+    fn bigger_rtm_reuses_no_less() {
+        let prog = assemble(HOT_LOOP).unwrap();
+        let mut results = Vec::new();
+        for rtm in [RtmConfig::RTM_512, RtmConfig::RTM_4K] {
+            let stats = TraceReuseEngine::new(
+                &prog,
+                EngineConfig::paper(rtm, Heuristic::FixedExp(4)),
+            )
+            .run(1_000_000)
+            .unwrap();
+            results.push(stats.pct_reused());
+        }
+        // This program's working set fits even the small RTM, so both
+        // should reuse; the larger must not do worse by more than noise.
+        assert!(results[1] >= results[0] - 1.0, "{results:?}");
+    }
+
+    #[test]
+    fn budget_bounds_total_progress() {
+        let prog = assemble(HOT_LOOP).unwrap();
+        let stats = TraceReuseEngine::new(
+            &prog,
+            EngineConfig::paper(RtmConfig::RTM_512, Heuristic::FixedExp(4)),
+        )
+        .run(500)
+        .unwrap();
+        assert!(!stats.halted);
+        // A single step may overshoot by at most one (expanded) trace
+        // length.
+        assert!(stats.total() >= 500);
+        assert!(stats.total() < 500 + 4096);
+    }
+}

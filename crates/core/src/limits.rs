@@ -1,0 +1,671 @@
+//! The limit studies of §4: perfect (infinite-history) reuse engines
+//! measured against the Austin–Sohi timing models.
+//!
+//! One streaming pass over a workload's dynamic stream drives, in
+//! lock-step:
+//!
+//! * the infinite instruction-reuse table (Figure 3's reusability);
+//! * base machines (infinite and W-entry windows);
+//! * instruction-level reuse machines at several reuse latencies
+//!   (Figures 4 and 5);
+//! * trace-level reuse machines over *maximal reusable traces* — the
+//!   upper bound construction justified by Theorem 1 — at constant
+//!   latencies (Figures 6 and 8a), at latencies proportional to the
+//!   trace's I/O count (Figure 8b), and with 0-slot window accounting
+//!   (our ablation of the "one reuse op in the ROB" choice);
+//! * trace size and I/O statistics (Figure 7 and the §4.5 text numbers).
+//!
+//! Keeping every model in one pass means the stream is generated once by
+//! the VM and never materialized.
+
+use crate::ilr::InstrReuseTable;
+use crate::trace::{IoCaps, TraceAccum};
+use tlr_isa::{DynInstr, LatencyModel, StreamSink};
+use tlr_stats::Histogram;
+use tlr_timing::{TimingResult, TimingSim, Window};
+
+/// Reuse-latency rule for a trace reuse operation (§4.5).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LatencyRule {
+    /// Fixed cycles per reuse operation (valid-bit style reuse test).
+    Constant(u64),
+    /// `ceil(K × (inputs + outputs))` cycles, minimum 1 — models reading
+    /// all inputs and writing all outputs through a port of bandwidth
+    /// `1/K` values per cycle (full-comparison reuse test).
+    ProportionalK(f64),
+}
+
+impl LatencyRule {
+    /// Latency for a trace with the given I/O counts.
+    pub fn latency(&self, inputs: usize, outputs: usize) -> u64 {
+        match self {
+            LatencyRule::Constant(c) => (*c).max(1),
+            LatencyRule::ProportionalK(k) => {
+                ((k * (inputs + outputs) as f64).ceil() as u64).max(1)
+            }
+        }
+    }
+}
+
+/// Configuration of the combined limit study.
+#[derive(Clone, Debug)]
+pub struct LimitConfig {
+    /// Finite window size (the paper uses 256).
+    pub window: usize,
+    /// Instruction-level reuse latencies to evaluate (Figures 4b/5b).
+    pub ilr_latencies: Vec<u64>,
+    /// Constant trace reuse latencies (Figures 6/8a).
+    pub tlr_const_latencies: Vec<u64>,
+    /// Proportional-K values (Figure 8b).
+    pub tlr_k_values: Vec<f64>,
+    /// Window slots a reused trace consumes (1 = the paper's reuse op
+    /// providing precise exceptions; the study also runs a 0-slot
+    /// ablation regardless).
+    pub trace_slots: u32,
+}
+
+impl Default for LimitConfig {
+    fn default() -> Self {
+        Self {
+            window: 256,
+            ilr_latencies: vec![1, 2, 3, 4],
+            tlr_const_latencies: vec![1, 2, 3, 4],
+            tlr_k_values: vec![
+                1.0 / 32.0,
+                1.0 / 16.0,
+                1.0 / 8.0,
+                1.0 / 4.0,
+                1.0 / 2.0,
+                1.0,
+            ],
+            trace_slots: 1,
+        }
+    }
+}
+
+/// Aggregate trace-size and I/O statistics over the maximal-trace
+/// partition (Figure 7, §4.5).
+#[derive(Clone, Debug, Default)]
+pub struct TraceIoStats {
+    /// Number of (maximal reusable) traces.
+    pub traces: u64,
+    /// Dynamic instructions covered by those traces.
+    pub instrs_in_traces: u64,
+    /// Total register live-ins across traces.
+    pub reg_ins: u64,
+    /// Total memory live-ins.
+    pub mem_ins: u64,
+    /// Total register live-outs.
+    pub reg_outs: u64,
+    /// Total memory live-outs.
+    pub mem_outs: u64,
+    /// Trace-size distribution.
+    pub sizes: Histogram,
+}
+
+impl TraceIoStats {
+    /// Mean instructions per trace.
+    pub fn avg_size(&self) -> f64 {
+        if self.traces == 0 {
+            0.0
+        } else {
+            self.instrs_in_traces as f64 / self.traces as f64
+        }
+    }
+
+    /// Mean input values per trace (registers + memory).
+    pub fn avg_inputs(&self) -> f64 {
+        if self.traces == 0 {
+            0.0
+        } else {
+            (self.reg_ins + self.mem_ins) as f64 / self.traces as f64
+        }
+    }
+
+    /// Mean output values per trace.
+    pub fn avg_outputs(&self) -> f64 {
+        if self.traces == 0 {
+            0.0
+        } else {
+            (self.reg_outs + self.mem_outs) as f64 / self.traces as f64
+        }
+    }
+
+    /// Reads required per reused instruction (§4.5: 0.43 in the paper).
+    pub fn reads_per_reused_instr(&self) -> f64 {
+        if self.instrs_in_traces == 0 {
+            0.0
+        } else {
+            (self.reg_ins + self.mem_ins) as f64 / self.instrs_in_traces as f64
+        }
+    }
+
+    /// Writes required per reused instruction (§4.5: 0.33 in the paper).
+    pub fn writes_per_reused_instr(&self) -> f64 {
+        if self.instrs_in_traces == 0 {
+            0.0
+        } else {
+            (self.reg_outs + self.mem_outs) as f64 / self.instrs_in_traces as f64
+        }
+    }
+}
+
+/// Everything the pass produces for one workload.
+#[derive(Clone, Debug)]
+pub struct LimitResult {
+    /// Total dynamic instructions analyzed.
+    pub total_instrs: u64,
+    /// Figure 3: % of dynamic instructions reusable at instruction level.
+    pub reusability_pct: f64,
+    /// Base machine, infinite window.
+    pub base_inf: TimingResult,
+    /// Base machine, W-entry window.
+    pub base_win: TimingResult,
+    /// ILR, infinite window, per latency (Figure 4).
+    pub ilr_inf: Vec<(u64, TimingResult)>,
+    /// ILR, W window, per latency (Figure 5).
+    pub ilr_win: Vec<(u64, TimingResult)>,
+    /// TLR, infinite window, per constant latency (Figure 6a uses 1).
+    pub tlr_inf: Vec<(u64, TimingResult)>,
+    /// TLR, W window, per constant latency (Figures 6b, 8a).
+    pub tlr_win_const: Vec<(u64, TimingResult)>,
+    /// TLR, W window, per proportional K (Figure 8b).
+    pub tlr_win_prop: Vec<(f64, TimingResult)>,
+    /// TLR, W window, latency 1, 0 window slots per trace (ablation).
+    pub tlr_win_slots0: TimingResult,
+    /// Trace size / I/O statistics (Figure 7, §4.5).
+    pub trace_stats: TraceIoStats,
+}
+
+impl LimitResult {
+    /// Speed-up helper: base cycles / variant cycles (1.0 when degenerate).
+    fn speedup(base: TimingResult, variant: TimingResult) -> f64 {
+        if variant.cycles == 0 {
+            1.0
+        } else {
+            base.cycles as f64 / variant.cycles as f64
+        }
+    }
+
+    /// ILR speed-up at `latency` for the infinite window.
+    pub fn ilr_speedup_inf(&self, latency: u64) -> f64 {
+        let v = self.ilr_inf.iter().find(|(l, _)| *l == latency).unwrap().1;
+        Self::speedup(self.base_inf, v)
+    }
+
+    /// ILR speed-up at `latency` for the W window.
+    pub fn ilr_speedup_win(&self, latency: u64) -> f64 {
+        let v = self.ilr_win.iter().find(|(l, _)| *l == latency).unwrap().1;
+        Self::speedup(self.base_win, v)
+    }
+
+    /// TLR speed-up at constant `latency`, infinite window.
+    pub fn tlr_speedup_inf(&self, latency: u64) -> f64 {
+        let v = self.tlr_inf.iter().find(|(l, _)| *l == latency).unwrap().1;
+        Self::speedup(self.base_inf, v)
+    }
+
+    /// TLR speed-up at constant `latency`, W window.
+    pub fn tlr_speedup_win(&self, latency: u64) -> f64 {
+        let v = self
+            .tlr_win_const
+            .iter()
+            .find(|(l, _)| *l == latency)
+            .unwrap()
+            .1;
+        Self::speedup(self.base_win, v)
+    }
+
+    /// TLR speed-up at proportional `k`, W window.
+    pub fn tlr_speedup_k(&self, k: f64) -> f64 {
+        let v = self
+            .tlr_win_prop
+            .iter()
+            .find(|(kk, _)| (*kk - k).abs() < 1e-12)
+            .unwrap()
+            .1;
+        Self::speedup(self.base_win, v)
+    }
+
+    /// TLR speed-up with 0-slot traces (ablation), W window, latency 1.
+    pub fn tlr_speedup_slots0(&self) -> f64 {
+        Self::speedup(self.base_win, self.tlr_win_slots0)
+    }
+}
+
+struct TlrSim<'a> {
+    rule: LatencyRule,
+    slots: u32,
+    sim: TimingSim<'a>,
+}
+
+/// The streaming limit-study sink. Feed it a dynamic stream (it is a
+/// [`StreamSink`], so `vm.run(budget, &mut sink)` works directly), then
+/// call [`LimitStudySink::result`].
+pub struct LimitStudySink<'a> {
+    ilr_table: InstrReuseTable,
+    base_inf: TimingSim<'a>,
+    base_win: TimingSim<'a>,
+    ilr_inf: Vec<(u64, TimingSim<'a>)>,
+    ilr_win: Vec<(u64, TimingSim<'a>)>,
+    tlr_inf: Vec<TlrSim<'a>>,
+    tlr_win: Vec<TlrSim<'a>>,
+    /// Index pairs into `tlr_win` describing which sims correspond to
+    /// (const latencies, K values, slots0).
+    buffer: Vec<DynInstr>,
+    accum: TraceAccum,
+    stats: TraceIoStats,
+    config: LimitConfig,
+}
+
+impl<'a> LimitStudySink<'a> {
+    /// Build the full sim ensemble for `config` over `latency`.
+    pub fn new(config: LimitConfig, latency: &'a dyn LatencyModel) -> Self {
+        let w = config.window;
+        let mk_inf = || TimingSim::new(Window::infinite(), latency);
+        let mk_win = || TimingSim::new(Window::finite(w), latency);
+
+        let ilr_inf = config
+            .ilr_latencies
+            .iter()
+            .map(|&l| (l, mk_inf()))
+            .collect();
+        let ilr_win = config
+            .ilr_latencies
+            .iter()
+            .map(|&l| (l, mk_win()))
+            .collect();
+        let tlr_inf = config
+            .tlr_const_latencies
+            .iter()
+            .map(|&l| TlrSim {
+                rule: LatencyRule::Constant(l),
+                slots: config.trace_slots,
+                sim: mk_inf(),
+            })
+            .collect();
+        let mut tlr_win: Vec<TlrSim<'a>> = config
+            .tlr_const_latencies
+            .iter()
+            .map(|&l| TlrSim {
+                rule: LatencyRule::Constant(l),
+                slots: config.trace_slots,
+                sim: mk_win(),
+            })
+            .collect();
+        for &k in &config.tlr_k_values {
+            tlr_win.push(TlrSim {
+                rule: LatencyRule::ProportionalK(k),
+                slots: config.trace_slots,
+                sim: mk_win(),
+            });
+        }
+        // Ablation: latency 1, zero window slots.
+        tlr_win.push(TlrSim {
+            rule: LatencyRule::Constant(1),
+            slots: 0,
+            sim: mk_win(),
+        });
+
+        Self {
+            ilr_table: InstrReuseTable::new(),
+            base_inf: mk_inf(),
+            base_win: mk_win(),
+            ilr_inf,
+            ilr_win,
+            tlr_inf,
+            tlr_win,
+            buffer: Vec::with_capacity(256),
+            accum: TraceAccum::new(IoCaps::UNLIMITED),
+            stats: TraceIoStats::default(),
+            config,
+        }
+    }
+
+    fn flush_trace(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let n_in = self.accum.live_ins().len();
+        let n_out = self.accum.live_outs().len();
+        let live_in_locs: Vec<tlr_isa::Loc> =
+            self.accum.live_ins().iter().map(|(l, _)| *l).collect();
+
+        for tlr in self.tlr_inf.iter_mut().chain(self.tlr_win.iter_mut()) {
+            let lat = tlr.rule.latency(n_in, n_out);
+            let (floor, t_reuse) = tlr.sim.trace_floor(live_in_locs.iter(), lat);
+            let mut tmax = 0u64;
+            for d in &self.buffer {
+                tmax = tmax.max(tlr.sim.step_trace_member(d, floor, t_reuse));
+            }
+            tlr.sim.end_trace(tmax, tlr.slots);
+        }
+
+        // Statistics (Figure 7, §4.5).
+        self.stats.traces += 1;
+        self.stats.instrs_in_traces += self.buffer.len() as u64;
+        self.stats.sizes.record(self.buffer.len() as u64);
+        let (mut ri, mut mi) = (0u64, 0u64);
+        for (l, _) in self.accum.live_ins() {
+            if l.is_mem() {
+                mi += 1;
+            } else {
+                ri += 1;
+            }
+        }
+        let (mut ro, mut mo) = (0u64, 0u64);
+        for (l, _) in self.accum.live_outs() {
+            if l.is_mem() {
+                mo += 1;
+            } else {
+                ro += 1;
+            }
+        }
+        self.stats.reg_ins += ri;
+        self.stats.mem_ins += mi;
+        self.stats.reg_outs += ro;
+        self.stats.mem_outs += mo;
+
+        self.buffer.clear();
+        let _ = self.accum.finalize();
+    }
+
+    /// Extract the final result (call after the stream ends; `finish()`
+    /// is invoked automatically when used via `Vm::run`).
+    pub fn result(mut self) -> LimitResult {
+        self.flush_trace();
+        let res = |s: &TimingSim| TimingResult {
+            instrs: s.instr_count(),
+            cycles: s.cycles(),
+            ipc: s.ipc(),
+        };
+        let tlr_win_slots0 = res(&self.tlr_win.last().unwrap().sim);
+        let n_const = self.config.tlr_const_latencies.len();
+        LimitResult {
+            total_instrs: self.ilr_table.observed(),
+            reusability_pct: self.ilr_table.reusability_pct(),
+            base_inf: res(&self.base_inf),
+            base_win: res(&self.base_win),
+            ilr_inf: self.ilr_inf.iter().map(|(l, s)| (*l, res(s))).collect(),
+            ilr_win: self.ilr_win.iter().map(|(l, s)| (*l, res(s))).collect(),
+            tlr_inf: self
+                .tlr_inf
+                .iter()
+                .map(|t| {
+                    let LatencyRule::Constant(l) = t.rule else {
+                        unreachable!()
+                    };
+                    (l, res(&t.sim))
+                })
+                .collect(),
+            tlr_win_const: self.tlr_win[..n_const]
+                .iter()
+                .map(|t| {
+                    let LatencyRule::Constant(l) = t.rule else {
+                        unreachable!()
+                    };
+                    (l, res(&t.sim))
+                })
+                .collect(),
+            tlr_win_prop: self.tlr_win[n_const..self.tlr_win.len() - 1]
+                .iter()
+                .map(|t| {
+                    let LatencyRule::ProportionalK(k) = t.rule else {
+                        unreachable!()
+                    };
+                    (k, res(&t.sim))
+                })
+                .collect(),
+            tlr_win_slots0,
+            trace_stats: self.stats,
+        }
+    }
+}
+
+impl StreamSink for LimitStudySink<'_> {
+    fn observe(&mut self, d: &DynInstr) {
+        let reusable = self.ilr_table.probe_insert(d);
+        self.base_inf.step_normal(d);
+        self.base_win.step_normal(d);
+        for (lat, sim) in &mut self.ilr_inf {
+            if reusable {
+                sim.step_reused_instr(d, *lat);
+            } else {
+                sim.step_normal(d);
+            }
+        }
+        for (lat, sim) in &mut self.ilr_win {
+            if reusable {
+                sim.step_reused_instr(d, *lat);
+            } else {
+                sim.step_normal(d);
+            }
+        }
+        if reusable {
+            let added = self.accum.try_add(d);
+            debug_assert!(added, "UNLIMITED caps must accept everything");
+            self.buffer.push(d.clone());
+        } else {
+            self.flush_trace();
+            for tlr in self.tlr_inf.iter_mut().chain(self.tlr_win.iter_mut()) {
+                tlr.sim.step_normal(d);
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        self.flush_trace();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlr_asm::assemble;
+    use tlr_isa::Alpha21164;
+    use tlr_vm::Vm;
+
+    fn study(src: &str, budget: u64) -> LimitResult {
+        let prog = assemble(src).unwrap();
+        let mut vm = Vm::new(&prog);
+        let mut sink = LimitStudySink::new(LimitConfig::default(), &Alpha21164);
+        vm.run(budget, &mut sink).unwrap();
+        sink.result()
+    }
+
+    /// A loop that recomputes the same values every iteration: high
+    /// reusability, long traces.
+    const REDUNDANT_LOOP: &str = r#"
+            .org 0x100
+    data:   .word 3, 5, 7, 11, 13, 17, 19, 23
+            li      r9, 200          ; outer iterations
+    outer:  li      r1, data
+            li      r2, 8            ; inner count
+            li      r5, 0            ; acc
+    inner:  ldq     r3, 0(r1)
+            mulq    r4, r3, r3
+            addq    r5, r5, r4
+            addq    r1, r1, 1
+            subq    r2, r2, 1
+            bnez    r2, inner
+            stq     r5, 100(zero)
+            subq    r9, r9, 1
+            bnez    r9, outer
+            halt
+    "#;
+
+    /// A cyclic pointer chase, unrolled ×8: after the first lap every
+    /// load repeats (same address, same value), so the *critical path*
+    /// itself — a chain of dependent loads — is reusable. This is the
+    /// structure that lets trace-level reuse beat the dataflow limit.
+    /// Nodes live at 0x200..0x208, each holding the address of the next.
+    const POINTER_CHASE: &str = r#"
+            .org 0x200
+    nodes:  .word 0x201, 0x202, 0x203, 0x204, 0x205, 0x206, 0x207, 0x200
+            li      r1, nodes
+            li      r9, 200
+    loop:   ldq     r1, 0(r1)
+            ldq     r1, 0(r1)
+            ldq     r1, 0(r1)
+            ldq     r1, 0(r1)
+            ldq     r1, 0(r1)
+            ldq     r1, 0(r1)
+            ldq     r1, 0(r1)
+            ldq     r1, 0(r1)
+            subq    r9, r9, 1
+            bnez    r9, loop
+            halt
+    "#;
+
+    #[test]
+    fn redundant_loop_is_highly_reusable() {
+        let res = study(REDUNDANT_LOOP, 100_000);
+        // After the first outer iteration everything repeats exactly.
+        assert!(
+            res.reusability_pct > 90.0,
+            "reusability={}",
+            res.reusability_pct
+        );
+    }
+
+    #[test]
+    fn tlr_beats_ilr_on_dependent_chains() {
+        // The 8 dependent loads of one unrolled lap form one reusable
+        // trace: ILR can shave each load to 1 cycle, TLR collapses the
+        // whole chain to 1 cycle.
+        let res = study(POINTER_CHASE, 100_000);
+        let ilr = res.ilr_speedup_inf(1);
+        let tlr = res.tlr_speedup_inf(1);
+        assert!(ilr > 1.2, "ilr={ilr}");
+        assert!(tlr > 2.0 * ilr, "tlr={tlr} ilr={ilr}");
+    }
+
+    #[test]
+    fn oracle_reuse_never_hurts() {
+        for src in [REDUNDANT_LOOP, POINTER_CHASE] {
+            let res = study(src, 50_000);
+            for lat in [1, 2, 3, 4] {
+                assert!(res.ilr_speedup_inf(lat) >= 1.0 - 1e-9);
+                assert!(res.ilr_speedup_win(lat) >= 1.0 - 1e-9);
+                assert!(res.tlr_speedup_win(lat) >= 1.0 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ilr_collapses_at_higher_latency_tlr_does_not() {
+        // The paper's headline contrast (Fig 4b/5b vs Fig 8a): at reuse
+        // latency 4, ILR's benefit all but vanishes (critical-path
+        // instructions are short-latency, so the oracle falls back to
+        // normal execution), while TLR retains a large speed-up (one
+        // 4-cycle reuse op still replaces a many-cycle chain).
+        let res = study(POINTER_CHASE, 100_000);
+        assert!(
+            res.ilr_speedup_win(4) < 1.1,
+            "ilr@4 = {}",
+            res.ilr_speedup_win(4)
+        );
+        assert!(
+            res.tlr_speedup_win(4) > 1.5,
+            "tlr@4 = {}",
+            res.tlr_speedup_win(4)
+        );
+    }
+
+    #[test]
+    fn window_bypass_makes_limited_window_tlr_stronger() {
+        // Figure 6's second-order result: TLR speed-up on the finite
+        // window exceeds TLR speed-up on the infinite window (reused
+        // traces bypass the window).
+        let res = study(POINTER_CHASE, 100_000);
+        assert!(
+            res.tlr_speedup_win(1) >= res.tlr_speedup_inf(1),
+            "win={} inf={}",
+            res.tlr_speedup_win(1),
+            res.tlr_speedup_inf(1)
+        );
+    }
+
+    #[test]
+    fn slots0_at_least_as_fast_as_slots1() {
+        for src in [REDUNDANT_LOOP, POINTER_CHASE] {
+            let res = study(src, 50_000);
+            assert!(res.tlr_speedup_slots0() >= res.tlr_speedup_win(1) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn proportional_latency_tracks_io() {
+        assert_eq!(LatencyRule::ProportionalK(1.0 / 16.0).latency(6, 5), 1);
+        assert_eq!(LatencyRule::ProportionalK(1.0).latency(6, 5), 11);
+        assert_eq!(LatencyRule::ProportionalK(0.5).latency(6, 5), 6);
+        assert_eq!(LatencyRule::Constant(3).latency(100, 100), 3);
+        // Minimum 1 cycle even for tiny traces.
+        assert_eq!(LatencyRule::ProportionalK(1.0 / 32.0).latency(1, 0), 1);
+    }
+
+    #[test]
+    fn trace_stats_accumulate() {
+        let res = study(REDUNDANT_LOOP, 100_000);
+        let ts = &res.trace_stats;
+        assert!(ts.traces > 0);
+        assert!(ts.avg_size() > 1.0);
+        assert!(ts.avg_inputs() > 0.0);
+        assert!(ts.avg_outputs() > 0.0);
+        assert_eq!(ts.sizes.sum(), ts.instrs_in_traces);
+        // Per-reused-instruction bandwidth must undercut 1 read + 1 write
+        // per instruction by a wide margin for loop-shaped traces (§4.5).
+        assert!(ts.reads_per_reused_instr() < 1.0);
+        assert!(ts.writes_per_reused_instr() < 1.0);
+    }
+
+    #[test]
+    fn non_redundant_stream_gets_no_tlr_win() {
+        // A counter producing fresh values every iteration: nothing (but
+        // the li constants) is reusable; speed-ups stay ≈ 1.
+        let src = r#"
+            li      r1, 5000
+            li      r2, 0
+    loop:   addq    r2, r2, r1      ; r2 takes a new value every time
+            subq    r1, r1, 1
+            bnez    r1, loop
+            stq     r2, 0(zero)
+            halt
+        "#;
+        let res = study(src, 100_000);
+        assert!(
+            res.reusability_pct < 10.0,
+            "reusability={}",
+            res.reusability_pct
+        );
+        assert!(res.tlr_speedup_inf(1) < 1.2);
+    }
+
+    #[test]
+    fn reusability_matches_table_definition() {
+        // Two identical passes over the same data: second pass fully
+        // reusable, so overall reusability ≈ 50%.
+        let src = r#"
+            .org 0x40
+    d:      .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10
+            li      r9, 2
+    pass:   li      r1, d
+            li      r2, 10
+    el:     ldq     r3, 0(r1)
+            mulq    r3, r3, r3
+            stq     r3, 32(r1)
+            addq    r1, r1, 1
+            subq    r2, r2, 1
+            bnez    r2, el
+            subq    r9, r9, 1
+            bnez    r9, pass
+            halt
+        "#;
+        let res = study(src, 100_000);
+        assert!(
+            (res.reusability_pct - 50.0).abs() < 15.0,
+            "reusability={}",
+            res.reusability_pct
+        );
+    }
+}

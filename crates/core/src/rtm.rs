@@ -1,0 +1,334 @@
+//! The Reuse Trace Memory (§3.1, §4.6).
+//!
+//! A set-associative memory indexed by the least-significant bits of the
+//! PC. Each set holds several PC groups; each group holds several traces
+//! starting at that PC (the paper's "N entries per initial PC"), replaced
+//! LRU. An entry stores the trace's input identifiers+contents, output
+//! identifiers+contents and next PC — Figure 1 of the paper.
+//!
+//! The **reuse test** (§3.3) implemented here is the value-comparison
+//! variant: on every fetch, each candidate trace for the current PC is
+//! checked by reading the current contents of all its input locations and
+//! comparing against the recorded values. (The paper's alternative — a
+//! valid bit invalidated on every write — trades test latency for
+//! invalidation traffic; Figure 8b models its cost as reuse latency
+//! proportional to the trace I/O count, which `tlr-core::limits` covers.)
+
+use crate::ilr::{SetAssocGeometry, SetAssocStore};
+use crate::trace::TraceRecord;
+use tlr_isa::Loc;
+
+/// RTM configuration: geometry is the paper's, I/O caps are enforced at
+/// collection time (see [`crate::trace::IoCaps`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RtmConfig {
+    /// Set-associative geometry.
+    pub geometry: SetAssocGeometry,
+}
+
+impl RtmConfig {
+    /// 512-entry RTM: 32 sets × 4 ways × 4 traces per PC (§4.6: "4-way
+    /// set-associative memory (5-bit index) with 4 entries per initial
+    /// PC").
+    pub const RTM_512: RtmConfig = RtmConfig {
+        geometry: SetAssocGeometry {
+            sets: 32,
+            ways: 4,
+            per_pc: 4,
+        },
+    };
+
+    /// 4K-entry RTM: 128 sets × 4 ways × 8 traces per PC.
+    pub const RTM_4K: RtmConfig = RtmConfig {
+        geometry: SetAssocGeometry {
+            sets: 128,
+            ways: 4,
+            per_pc: 8,
+        },
+    };
+
+    /// 32K-entry RTM: 256 sets × 8 ways × 16 traces per PC.
+    pub const RTM_32K: RtmConfig = RtmConfig {
+        geometry: SetAssocGeometry {
+            sets: 256,
+            ways: 8,
+            per_pc: 16,
+        },
+    };
+
+    /// 256K-entry RTM: 2048 sets × 8 ways × 16 traces per PC.
+    pub const RTM_256K: RtmConfig = RtmConfig {
+        geometry: SetAssocGeometry {
+            sets: 2048,
+            ways: 8,
+            per_pc: 16,
+        },
+    };
+
+    /// The four capacities evaluated in Figure 9, ascending.
+    pub const PAPER_SWEEP: [RtmConfig; 4] = [
+        RtmConfig::RTM_512,
+        RtmConfig::RTM_4K,
+        RtmConfig::RTM_32K,
+        RtmConfig::RTM_256K,
+    ];
+
+    /// Total trace capacity.
+    pub fn capacity(&self) -> u64 {
+        self.geometry.capacity()
+    }
+
+    /// Human-readable capacity label ("512", "4K", ...).
+    pub fn label(&self) -> String {
+        let c = self.capacity();
+        if c.is_multiple_of(1024) {
+            format!("{}K", c / 1024)
+        } else {
+            format!("{c}")
+        }
+    }
+}
+
+/// Counters for RTM behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RtmStats {
+    /// Reuse tests performed (one per fetch of a PC with resident traces
+    /// counts per candidate-set probe; misses on empty groups count too).
+    pub lookups: u64,
+    /// Successful reuse tests.
+    pub hits: u64,
+    /// Traces stored.
+    pub stores: u64,
+    /// Traces rejected as duplicates of a resident entry.
+    pub duplicate_stores: u64,
+    /// Entries evicted (LRU, either level).
+    pub evictions: u64,
+}
+
+/// A reuse-test mechanism behind the engine: either the full
+/// value-comparison RTM ([`ReuseTraceMemory`]) or the §3.3 valid-bit
+/// variant ([`crate::valid_bit::InvalidatingRtm`]).
+pub trait ReuseBackend {
+    /// The reuse test at a fetch point: return a trace starting at `pc`
+    /// that is guaranteed to reproduce execution from the current state.
+    fn lookup(&mut self, pc: u32, state: &dyn Fn(Loc) -> u64) -> Option<TraceRecord>;
+
+    /// Store a collected trace. `state` reads the architectural value of
+    /// a location *at store time* (valid-bit backends need it to detect
+    /// self-clobbered inputs; the value-comparison backend ignores it).
+    fn insert(&mut self, rec: TraceRecord, state: &dyn Fn(Loc) -> u64);
+
+    /// Notify an architectural write (valid-bit backends invalidate
+    /// matching entries; the value-comparison backend does nothing).
+    fn on_write(&mut self, loc: Loc);
+
+    /// Behaviour counters.
+    fn stats(&self) -> RtmStats;
+
+    /// Entries resident.
+    fn resident(&self) -> u64;
+}
+
+/// The Reuse Trace Memory.
+pub struct ReuseTraceMemory {
+    store: SetAssocStore<TraceRecord>,
+    stats: RtmStats,
+}
+
+impl ReuseTraceMemory {
+    /// Empty RTM with the given configuration.
+    pub fn new(config: RtmConfig) -> Self {
+        Self {
+            store: SetAssocStore::new(config.geometry),
+            stats: RtmStats::default(),
+        }
+    }
+
+    /// Behaviour counters so far.
+    pub fn stats(&self) -> RtmStats {
+        self.stats
+    }
+
+    /// Traces currently resident.
+    pub fn resident(&self) -> u64 {
+        self.store.resident
+    }
+
+    /// The reuse test: find a resident trace starting at `pc` whose
+    /// recorded live-in values all equal the current architectural values
+    /// (`state(loc)`); most recently used candidates are preferred. On a
+    /// hit the entry is touched (MRU) and cloned out.
+    ///
+    /// The state closure is the processor's register file / memory read
+    /// port; `tlr_vm::Vm::peek_loc` is the canonical implementation.
+    pub fn lookup(&mut self, pc: u32, state: impl Fn(Loc) -> u64) -> Option<TraceRecord> {
+        self.stats.lookups += 1;
+        let entries = self.store.group_mut(pc)?;
+        // MRU-first: highest index is most recently used.
+        let found = entries
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, rec)| rec.ins.iter().all(|(loc, val)| state(*loc) == *val))
+            .map(|(i, rec)| (i, rec.clone()));
+        match found {
+            Some((idx, rec)) => {
+                self.store.touch(pc, idx);
+                self.stats.hits += 1;
+                Some(rec)
+            }
+            None => None,
+        }
+    }
+
+    /// Store a collected trace. A trace identical in inputs to a resident
+    /// entry for the same PC is dropped (equal inputs imply equal
+    /// outputs, so it adds no coverage) — its entry is refreshed to MRU
+    /// instead.
+    pub fn insert(&mut self, record: TraceRecord) {
+        let pc = record.start_pc;
+        if let Some(entries) = self.store.group_mut(pc) {
+            if let Some(idx) = entries
+                .iter()
+                .position(|e| e.ins == record.ins && e.len == record.len)
+            {
+                self.store.touch(pc, idx);
+                self.stats.duplicate_stores += 1;
+                return;
+            }
+        }
+        self.stats.stores += 1;
+        self.stats.evictions += self.store.insert(pc, record);
+    }
+}
+
+impl ReuseBackend for ReuseTraceMemory {
+    fn lookup(&mut self, pc: u32, state: &dyn Fn(Loc) -> u64) -> Option<TraceRecord> {
+        ReuseTraceMemory::lookup(self, pc, state)
+    }
+
+    fn insert(&mut self, rec: TraceRecord, _state: &dyn Fn(Loc) -> u64) {
+        ReuseTraceMemory::insert(self, rec)
+    }
+
+    fn on_write(&mut self, _loc: Loc) {}
+
+    fn stats(&self) -> RtmStats {
+        ReuseTraceMemory::stats(self)
+    }
+
+    fn resident(&self) -> u64 {
+        ReuseTraceMemory::resident(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn rec(start_pc: u32, ins: &[(Loc, u64)], outs: &[(Loc, u64)], next_pc: u32) -> TraceRecord {
+        TraceRecord {
+            start_pc,
+            next_pc,
+            len: 3,
+            ins: ins.to_vec().into_boxed_slice(),
+            outs: outs.to_vec().into_boxed_slice(),
+        }
+    }
+
+    const R1: Loc = Loc::IntReg(1);
+    const R2: Loc = Loc::IntReg(2);
+
+    #[test]
+    fn paper_configs_have_paper_capacities() {
+        assert_eq!(RtmConfig::RTM_512.capacity(), 512);
+        assert_eq!(RtmConfig::RTM_4K.capacity(), 4096);
+        assert_eq!(RtmConfig::RTM_32K.capacity(), 32768);
+        assert_eq!(RtmConfig::RTM_256K.capacity(), 262144);
+        assert_eq!(RtmConfig::RTM_4K.label(), "4K");
+        assert_eq!(RtmConfig::RTM_512.label(), "512");
+    }
+
+    #[test]
+    fn lookup_requires_all_inputs_to_match() {
+        let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        rtm.insert(rec(10, &[(R1, 5), (Loc::Mem(100), 7)], &[(R2, 12)], 14));
+
+        let good: HashMap<Loc, u64> = [(R1, 5), (Loc::Mem(100), 7)].into();
+        let hit = rtm.lookup(10, |l| good.get(&l).copied().unwrap_or(0)).unwrap();
+        assert_eq!(hit.next_pc, 14);
+        assert_eq!(hit.outs.as_ref(), &[(R2, 12)]);
+
+        let bad: HashMap<Loc, u64> = [(R1, 5), (Loc::Mem(100), 8)].into();
+        assert!(rtm.lookup(10, |l| bad.get(&l).copied().unwrap_or(0)).is_none());
+        // Different PC misses regardless of state.
+        assert!(rtm.lookup(11, |l| good.get(&l).copied().unwrap_or(0)).is_none());
+        assert_eq!(rtm.stats().hits, 1);
+        assert_eq!(rtm.stats().lookups, 3);
+    }
+
+    #[test]
+    fn multiple_traces_per_pc_coexist() {
+        // "up to 4 different traces starting at the same PC can be stored"
+        let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        for v in 0..4u64 {
+            rtm.insert(rec(10, &[(R1, v)], &[(R2, v * 10)], 20));
+        }
+        assert_eq!(rtm.resident(), 4);
+        for v in (0..4u64).rev() {
+            let hit = rtm.lookup(10, |l| if l == R1 { v } else { 0 }).unwrap();
+            assert_eq!(hit.outs[0].1, v * 10);
+        }
+    }
+
+    #[test]
+    fn per_pc_lru_replacement() {
+        let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512); // 4 per PC
+        for v in 0..4u64 {
+            rtm.insert(rec(10, &[(R1, v)], &[], 20));
+        }
+        // Touch v=0 making v=1 the LRU; a fifth trace evicts v=1.
+        assert!(rtm.lookup(10, |l| if l == R1 { 0 } else { 9 }).is_some());
+        rtm.insert(rec(10, &[(R1, 99)], &[], 20));
+        assert_eq!(rtm.resident(), 4);
+        assert!(rtm.lookup(10, |l| if l == R1 { 0 } else { 9 }).is_some());
+        assert!(rtm.lookup(10, |l| if l == R1 { 1 } else { 9 }).is_none());
+        assert!(rtm.lookup(10, |l| if l == R1 { 99 } else { 9 }).is_some());
+        assert_eq!(rtm.stats().evictions, 1);
+    }
+
+    #[test]
+    fn duplicate_store_is_dropped() {
+        let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        let r = rec(10, &[(R1, 5)], &[(R2, 6)], 12);
+        rtm.insert(r.clone());
+        rtm.insert(r.clone());
+        assert_eq!(rtm.resident(), 1);
+        assert_eq!(rtm.stats().stores, 1);
+        assert_eq!(rtm.stats().duplicate_stores, 1);
+    }
+
+    #[test]
+    fn set_conflicts_evict_whole_pc_groups() {
+        // 32 sets in RTM_512: PCs 0 and 32 share set 0. With 4 ways they
+        // coexist; load 5 distinct PCs in the same set and one group goes.
+        let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        for k in 0..5u32 {
+            let pc = k * 32;
+            rtm.insert(rec(pc, &[(R1, 1)], &[], pc + 1));
+        }
+        // PC 0 was the LRU group: gone.
+        assert!(rtm.lookup(0, |_| 1).is_none());
+        assert!(rtm.lookup(4 * 32, |_| 1).is_some());
+    }
+
+    #[test]
+    fn empty_input_trace_always_hits() {
+        // A trace with no live-ins (pure constant generation) matches any
+        // state — the reuse test has nothing to compare.
+        let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        rtm.insert(rec(10, &[], &[(R2, 1)], 13));
+        assert!(rtm.lookup(10, |_| 12345).is_some());
+    }
+}

@@ -1,0 +1,304 @@
+//! The Sodani & Sohi reuse-buffer schemes (§2 of the paper, citing
+//! "Dynamic Instruction Reuse", ISCA 1997).
+//!
+//! The paper's related-work section describes three instruction-level
+//! schemes; the two implementable without rename-stage integration are
+//! reproduced here so the trace-level results can be put in context:
+//!
+//! * **Sv — operand values** ([`SvBuffer`]): each entry holds the source
+//!   *values* and the result of the last execution(s); the reuse test
+//!   compares current operand values. This is the semantics of
+//!   [`crate::ilr::FiniteIlrBuffer`]; `SvBuffer` is a thin wrapper that
+//!   fixes the vocabulary.
+//!
+//! * **Sn — operand names** ([`SnBuffer`]): each entry holds the source
+//!   *names* (register identifiers / load address) and a valid bit; any
+//!   write to a source name invalidates the entry, and the reuse test is
+//!   just the valid bit. Strictly more conservative than Sv: a value
+//!   rewritten with the same contents still kills the entry. (The third
+//!   scheme, Sn+d, chains dependent entries through producer pointers —
+//!   its incremental benefit exists only inside a fetch group, which the
+//!   stream-level analysis here does not model.)
+//!
+//! The `reproduce schemes` experiment measures both on every workload;
+//! `Sn ≤ Sv` pointwise is asserted by property tests.
+
+use crate::ilr::{FiniteIlrBuffer, SetAssocGeometry};
+use tlr_isa::{DynInstr, Loc};
+use tlr_util::FxHashMap;
+
+/// The value-based scheme (Sv): finite per-PC input-value history.
+pub struct SvBuffer {
+    inner: FiniteIlrBuffer,
+}
+
+impl SvBuffer {
+    /// New buffer with the given geometry.
+    pub fn new(geometry: SetAssocGeometry) -> Self {
+        Self {
+            inner: FiniteIlrBuffer::new(geometry),
+        }
+    }
+
+    /// Test-and-record one executed instruction.
+    pub fn probe_insert(&mut self, d: &DynInstr) -> bool {
+        self.inner.probe_insert(d)
+    }
+
+    /// Percentage of observed instructions found reusable.
+    pub fn reusability_pct(&self) -> f64 {
+        self.inner.reusability_pct()
+    }
+}
+
+struct SnEntry {
+    /// Locations this entry's instruction read (names, not values).
+    sources: Vec<Loc>,
+    valid: bool,
+    generation: u32,
+}
+
+/// The name-based scheme (Sn): one entry per static instruction,
+/// invalidated by any write to one of its source locations.
+pub struct SnBuffer {
+    /// Per-PC entries (direct-mapped by static instruction, as in the
+    /// scheme description; capacity bounds the number of resident PCs).
+    entries: FxHashMap<u32, SnEntry>,
+    /// Source location → (pc, generation) watchers.
+    watchers: FxHashMap<Loc, Vec<(u32, u32)>>,
+    capacity: usize,
+    generation: u32,
+    observed: u64,
+    reusable: u64,
+    invalidations: u64,
+}
+
+impl SnBuffer {
+    /// New buffer holding at most `capacity` static-instruction entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        Self {
+            entries: FxHashMap::default(),
+            watchers: FxHashMap::default(),
+            capacity,
+            generation: 0,
+            observed: 0,
+            reusable: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Process one executed instruction: test its entry's valid bit,
+    /// apply its writes' invalidations, then (re)establish its entry.
+    pub fn probe_insert(&mut self, d: &DynInstr) -> bool {
+        self.observed += 1;
+        // 1. The reuse test: a valid entry guarantees the sources are
+        //    untouched since the recorded execution. For loads, an
+        //    unchanged base register implies the same address, and no
+        //    invalidating store touched that address — so the whole
+        //    input set is provably identical, no value comparison needed.
+        let reusable = self
+            .entries
+            .get(&d.pc)
+            .is_some_and(|e| e.valid && e.sources.len() == d.reads.len());
+        if reusable {
+            self.reusable += 1;
+        }
+        // 2. This instruction's writes invalidate matching entries
+        //    (including, possibly, its own previous one).
+        for (loc, _) in d.writes.iter() {
+            if let Some(watchers) = self.watchers.remove(loc) {
+                for (pc, generation) in watchers {
+                    if let Some(e) = self.entries.get_mut(&pc) {
+                        if e.generation == generation && e.valid {
+                            e.valid = false;
+                            self.invalidations += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // 3. (Re)establish this PC's entry — unless the instruction just
+        //    clobbered one of its own sources, in which case the entry
+        //    would be stillborn.
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&d.pc) {
+            // Full: evict an arbitrary invalid entry, else refuse.
+            let victim = self
+                .entries
+                .iter()
+                .find(|(_, e)| !e.valid)
+                .map(|(pc, _)| *pc);
+            match victim {
+                Some(pc) => {
+                    self.entries.remove(&pc);
+                }
+                None => return reusable,
+            }
+        }
+        self.generation = self.generation.wrapping_add(1);
+        let self_clobbered = d
+            .reads
+            .iter()
+            .any(|(r, _)| d.writes.iter().any(|(w, _)| w == r));
+        let generation = self.generation;
+        for (loc, _) in d.reads.iter() {
+            self.watchers.entry(*loc).or_default().push((d.pc, generation));
+        }
+        self.entries.insert(
+            d.pc,
+            SnEntry {
+                sources: d.reads.iter().map(|(l, _)| *l).collect(),
+                valid: !self_clobbered,
+                generation,
+            },
+        );
+        reusable
+    }
+
+    /// Percentage of observed instructions found reusable.
+    pub fn reusability_pct(&self) -> f64 {
+        if self.observed == 0 {
+            0.0
+        } else {
+            100.0 * self.reusable as f64 / self.observed as f64
+        }
+    }
+
+    /// Entries invalidated by writes so far.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+}
+
+/// Measured reusability of both schemes over one stream.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchemeComparison {
+    /// Sv (operand values) reusability, %.
+    pub sv_pct: f64,
+    /// Sn (operand names / valid bit) reusability, %.
+    pub sn_pct: f64,
+}
+
+/// Run both schemes side by side over a stream.
+pub fn compare_schemes<'a>(
+    stream: impl IntoIterator<Item = &'a DynInstr>,
+    geometry: SetAssocGeometry,
+) -> SchemeComparison {
+    let mut sv = SvBuffer::new(geometry);
+    let mut sn = SnBuffer::new(geometry.capacity() as usize);
+    for d in stream {
+        sv.probe_insert(d);
+        sn.probe_insert(d);
+    }
+    SchemeComparison {
+        sv_pct: sv.reusability_pct(),
+        sn_pct: sn.reusability_pct(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlr_isa::OpClass;
+
+    fn di(pc: u32, reads: &[(Loc, u64)], writes: &[(Loc, u64)]) -> DynInstr {
+        DynInstr {
+            pc,
+            next_pc: pc + 1,
+            class: OpClass::IntAlu,
+            reads: reads.iter().copied().collect(),
+            writes: writes.iter().copied().collect(),
+        }
+    }
+
+    const R1: Loc = Loc::IntReg(1);
+    const R2: Loc = Loc::IntReg(2);
+    const R3: Loc = Loc::IntReg(3);
+
+    #[test]
+    fn sn_hits_on_untouched_sources() {
+        let mut sn = SnBuffer::new(64);
+        let d = di(10, &[(R1, 5)], &[(R2, 6)]);
+        assert!(!sn.probe_insert(&d));
+        assert!(sn.probe_insert(&d));
+        assert!(sn.probe_insert(&d));
+    }
+
+    #[test]
+    fn sn_invalidated_by_silent_write() {
+        let mut sn = SnBuffer::new(64);
+        let user = di(10, &[(R1, 5)], &[(R2, 6)]);
+        let writer_same_value = di(11, &[], &[(R1, 5)]);
+        sn.probe_insert(&user);
+        sn.probe_insert(&writer_same_value); // rewrites r1 with 5
+        // Sv would still hit here; Sn must not.
+        assert!(!sn.probe_insert(&user), "Sn must be conservative");
+        assert_eq!(sn.invalidations(), 1);
+
+        let mut sv = SvBuffer::new(SetAssocGeometry {
+            sets: 8,
+            ways: 4,
+            per_pc: 4,
+        });
+        sv.probe_insert(&user);
+        sv.probe_insert(&writer_same_value);
+        assert!(sv.probe_insert(&user), "Sv compares values and hits");
+    }
+
+    #[test]
+    fn sn_self_clobbering_instruction_never_reuses() {
+        let mut sn = SnBuffer::new(64);
+        // A counter: reads r3, writes r3 — its entry is always stillborn.
+        for v in 0..10u64 {
+            let d = di(20, &[(R3, v)], &[(R3, v + 1)]);
+            assert!(!sn.probe_insert(&d), "iteration {v}");
+        }
+    }
+
+    #[test]
+    fn sn_never_beats_sv_on_consistent_streams() {
+        use tlr_workloads::synthetic::{generate, SyntheticConfig};
+        for seed in [1u64, 9, 77] {
+            let stream = generate(
+                &SyntheticConfig {
+                    seed,
+                    redundancy: 0.7,
+                    ..Default::default()
+                },
+                20_000,
+            );
+            let cmp = compare_schemes(
+                stream.iter(),
+                SetAssocGeometry {
+                    sets: 256,
+                    ways: 8,
+                    per_pc: 16,
+                },
+            );
+            assert!(
+                cmp.sn_pct <= cmp.sv_pct + 1e-9,
+                "seed {seed}: Sn {} > Sv {}",
+                cmp.sn_pct,
+                cmp.sv_pct
+            );
+        }
+    }
+
+    #[test]
+    fn sn_capacity_pressure_reduces_reuse() {
+        let mk_stream = || {
+            (0..400u32)
+                .cycle()
+                .take(8_000)
+                .map(|pc| di(pc, &[(R1, 1)], &[(R2, 2)]))
+                .collect::<Vec<_>>()
+        };
+        let mut big = SnBuffer::new(1024);
+        let mut small = SnBuffer::new(16);
+        for d in mk_stream() {
+            big.probe_insert(&d);
+            small.probe_insert(&d);
+        }
+        assert!(big.reusability_pct() > small.reusability_pct());
+    }
+}

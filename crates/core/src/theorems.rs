@@ -1,0 +1,258 @@
+//! Executable forms of the paper's theorems (§4.4 and the appendix).
+//!
+//! * **Theorem 1** (and its generalization, Theorem 3): if a trace is
+//!   reusable — some earlier dynamic instance of the *same* trace had the
+//!   same live-in locations and values — then every constituent
+//!   instruction (sub-trace) is individually reusable.
+//! * **Theorem 2** (and Theorem 4): the converse fails — all members
+//!   being reusable does *not* make the trace reusable, because each
+//!   member may match a *different* past instance.
+//!
+//! Theorem 1 justifies the paper's upper-bound construction: the
+//! instructions coverable by trace reuse are at most the individually
+//! reusable ones, so partitioning the stream into maximal reusable runs
+//! bounds trace-level reusability from above. [`check_theorem1`] verifies
+//! the implication holds over any stream our machinery produces (a strong
+//! self-test of signature and live-set computation), and
+//! [`theorem2_counterexample`] reproduces the appendix's construction.
+
+use crate::ilr::InstrReuseTable;
+use crate::trace::{IoCaps, TraceAccum};
+use tlr_isa::{DynInstr, Loc, OpClass};
+use tlr_util::fxhash::Signature128;
+use tlr_util::FxHashSet;
+
+/// Outcome of a theorem-1 sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TheoremCheck {
+    /// Complete traces examined.
+    pub traces: u64,
+    /// Traces found reusable (same identity + live-ins seen before).
+    pub reusable_traces: u64,
+    /// Reusable traces containing a non-reusable member — **must be 0**
+    /// (a violation falsifies Theorem 1 for this stream, i.e. reveals a
+    /// bug in the analysis machinery).
+    pub violations: u64,
+}
+
+/// Identity+input signature of a trace instance: the member PC sequence
+/// (the trace's identity — "different dynamic instances of the same
+/// trace") combined with the live-in locations and values.
+fn trace_signature(members: &[DynInstr], live_ins: &[(Loc, u64)]) -> u128 {
+    let mut sig = Signature128::new(0x7a_5ce5);
+    for d in members {
+        sig.push(d.pc as u64);
+    }
+    sig.push(u64::MAX); // separator between identity and inputs
+    for (loc, val) in live_ins {
+        sig.push(loc.encode());
+        sig.push(*val);
+    }
+    sig.finish()
+}
+
+/// Partition `stream` into consecutive traces of `trace_len` instructions
+/// (the trailing partial chunk is ignored) and verify Theorem 1: every
+/// reusable trace consists solely of individually-reusable instructions.
+pub fn check_theorem1(stream: &[DynInstr], trace_len: usize) -> TheoremCheck {
+    assert!(trace_len >= 1);
+    let mut ilr = InstrReuseTable::new();
+    let mut seen: FxHashSet<u128> = FxHashSet::default();
+    let mut out = TheoremCheck::default();
+
+    let mut accum = TraceAccum::new(IoCaps::UNLIMITED);
+    let mut member_flags: Vec<bool> = Vec::with_capacity(trace_len);
+    let mut members: Vec<DynInstr> = Vec::with_capacity(trace_len);
+
+    for d in stream {
+        member_flags.push(ilr.probe_insert(d));
+        let ok = accum.try_add(d);
+        debug_assert!(ok);
+        members.push(d.clone());
+        if members.len() == trace_len {
+            let live_ins = accum.live_ins().to_vec();
+            let sig = trace_signature(&members, &live_ins);
+            let trace_reusable = !seen.insert(sig);
+            out.traces += 1;
+            if trace_reusable {
+                out.reusable_traces += 1;
+                if member_flags.iter().any(|r| !r) {
+                    out.violations += 1;
+                }
+            }
+            let _ = accum.finalize();
+            members.clear();
+            member_flags.clear();
+        }
+    }
+    out
+}
+
+/// Theorem 3 check: partition into "big" traces of `sub_len × k`
+/// instructions and verify that a reusable big trace implies every
+/// constituent sub-trace of `sub_len` instructions is reusable *as a
+/// trace*.
+pub fn check_theorem3(stream: &[DynInstr], sub_len: usize, k: usize) -> TheoremCheck {
+    assert!(sub_len >= 1 && k >= 1);
+    let big_len = sub_len * k;
+    let mut big_seen: FxHashSet<u128> = FxHashSet::default();
+    let mut sub_seen: FxHashSet<u128> = FxHashSet::default();
+    let mut out = TheoremCheck::default();
+
+    let mut i = 0;
+    while i + big_len <= stream.len() {
+        let big = &stream[i..i + big_len];
+        // Sub-trace reusability flags, in order.
+        let mut sub_flags = Vec::with_capacity(k);
+        for s in 0..k {
+            let sub = &big[s * sub_len..(s + 1) * sub_len];
+            let mut acc = TraceAccum::new(IoCaps::UNLIMITED);
+            for d in sub {
+                let ok = acc.try_add(d);
+                debug_assert!(ok);
+            }
+            let live = acc.live_ins().to_vec();
+            let sig = trace_signature(sub, &live);
+            sub_flags.push(!sub_seen.insert(sig));
+        }
+        let mut acc = TraceAccum::new(IoCaps::UNLIMITED);
+        for d in big {
+            let ok = acc.try_add(d);
+            debug_assert!(ok);
+        }
+        let live = acc.live_ins().to_vec();
+        let sig = trace_signature(big, &live);
+        let big_reusable = !big_seen.insert(sig);
+        out.traces += 1;
+        if big_reusable {
+            out.reusable_traces += 1;
+            if sub_flags.iter().any(|r| !r) {
+                out.violations += 1;
+            }
+        }
+        i += big_len;
+    }
+    out
+}
+
+/// The appendix's Theorem-2 construction: a stream in which, at some
+/// point, every instruction of a two-instruction trace is individually
+/// reusable while the trace as a whole is not (each member matches a
+/// *different* past instance).
+///
+/// Returns `(stream, trace_len)`; the final trace (last `trace_len`
+/// records) is the counterexample.
+pub fn theorem2_counterexample() -> (Vec<DynInstr>, usize) {
+    let mk = |pc: u32, loc: Loc, val: u64| DynInstr {
+        pc,
+        next_pc: pc + 1,
+        class: OpClass::IntAlu,
+        reads: [(loc, val)].into_iter().collect(),
+        writes: Default::default(),
+    };
+    let r1 = Loc::IntReg(1);
+    let r2 = Loc::IntReg(2);
+    // Instance 1 of trace <pc0, pc1>: inputs (A=10, X=100).
+    // Instance 2:                     inputs (B=20, Y=200).
+    // Instance 3:                     inputs (A=10, Y=200):
+    //   pc0 reusable (matches instance 1), pc1 reusable (matches
+    //   instance 2), but the pair (A, Y) was never seen → trace not
+    //   reusable.
+    let stream = vec![
+        mk(0, r1, 10),
+        mk(1, r2, 100),
+        mk(0, r1, 20),
+        mk(1, r2, 200),
+        mk(0, r1, 10),
+        mk(1, r2, 200),
+    ];
+    (stream, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(pc: u32, reads: &[(Loc, u64)], writes: &[(Loc, u64)]) -> DynInstr {
+        DynInstr {
+            pc,
+            next_pc: pc + 1,
+            class: OpClass::IntAlu,
+            reads: reads.iter().copied().collect(),
+            writes: writes.iter().copied().collect(),
+        }
+    }
+
+    const R1: Loc = Loc::IntReg(1);
+    const R2: Loc = Loc::IntReg(2);
+
+    #[test]
+    fn identical_repeated_trace_is_reusable_and_clean() {
+        // Trace <pc0, pc1> executed twice with identical values.
+        let t = vec![
+            mk(0, &[(R1, 1)], &[(R2, 2)]),
+            mk(1, &[(R2, 2)], &[(R1, 3)]),
+        ];
+        let mut stream = t.clone();
+        stream.extend(t);
+        let res = check_theorem1(&stream, 2);
+        assert_eq!(res.traces, 2);
+        assert_eq!(res.reusable_traces, 1);
+        assert_eq!(res.violations, 0);
+    }
+
+    #[test]
+    fn theorem2_counterexample_behaves_as_stated() {
+        let (stream, trace_len) = theorem2_counterexample();
+        // Every member of the last trace is individually reusable.
+        let mut ilr = InstrReuseTable::new();
+        let flags: Vec<bool> = stream.iter().map(|d| ilr.probe_insert(d)).collect();
+        let last = &flags[stream.len() - trace_len..];
+        assert!(last.iter().all(|&f| f), "members must be reusable: {flags:?}");
+        // But the trace itself is not reusable.
+        let res = check_theorem1(&stream, trace_len);
+        assert_eq!(res.traces, 3);
+        assert_eq!(
+            res.reusable_traces, 0,
+            "theorem 2: the whole trace must NOT be reusable"
+        );
+        assert_eq!(res.violations, 0);
+    }
+
+    #[test]
+    fn internal_values_do_not_block_trace_reuse() {
+        // The trace writes r2 then reads it: r2 is internal, so instances
+        // with different *initial* r2 but equal live-ins are the same.
+        let a = vec![
+            mk(0, &[(R1, 5)], &[(R2, 6)]),
+            mk(1, &[(R2, 6)], &[(R2, 7)]),
+        ];
+        let mut stream = a.clone();
+        stream.extend(a);
+        let res = check_theorem1(&stream, 2);
+        assert_eq!(res.reusable_traces, 1);
+        assert_eq!(res.violations, 0);
+    }
+
+    #[test]
+    fn theorem3_nested_granularities() {
+        // A 4-instruction trace repeated: the big trace (4) is reusable on
+        // the second pass, and both sub-traces (2+2) must be too.
+        let t: Vec<DynInstr> = (0..4)
+            .map(|pc| mk(pc, &[(R1, 9)], &[(R2, pc as u64)]))
+            .collect();
+        let mut stream = t.clone();
+        stream.extend(t);
+        let res = check_theorem3(&stream, 2, 2);
+        assert_eq!(res.traces, 2);
+        assert_eq!(res.reusable_traces, 1);
+        assert_eq!(res.violations, 0);
+    }
+
+    #[test]
+    fn trailing_partial_chunk_ignored() {
+        let stream = vec![mk(0, &[], &[]), mk(1, &[], &[]), mk(2, &[], &[])];
+        let res = check_theorem1(&stream, 2);
+        assert_eq!(res.traces, 1);
+    }
+}

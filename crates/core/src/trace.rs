@@ -1,0 +1,481 @@
+//! Traces: live-in / live-out computation, accumulation under I/O caps,
+//! and merging (dynamic expansion).
+//!
+//! A trace (§3.1) is identified by its **input** — starting PC plus the
+//! set of live locations (read before written inside the trace) with
+//! their values — and its **output** — the locations written with their
+//! final values, plus the next PC. [`TraceAccum`] builds those sets
+//! incrementally as instructions execute; [`TraceRecord`] is the
+//! finished, immutable form stored in the RTM.
+
+use tlr_isa::{DynInstr, Loc};
+use tlr_util::{FxHashMap, FxHashSet};
+
+/// Per-trace input/output capacity limits.
+///
+/// Figure 9's realistic configuration: "the number of inputs and outputs
+/// have been limited to 8 registers and 4 memory values" — applied to the
+/// input side and the output side independently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoCaps {
+    /// Max register live-ins.
+    pub reg_in: usize,
+    /// Max memory live-ins.
+    pub mem_in: usize,
+    /// Max register live-outs.
+    pub reg_out: usize,
+    /// Max memory live-outs.
+    pub mem_out: usize,
+}
+
+impl IoCaps {
+    /// The paper's limits: 8 registers + 4 memory values on each side.
+    pub const PAPER: IoCaps = IoCaps {
+        reg_in: 8,
+        mem_in: 4,
+        reg_out: 8,
+        mem_out: 4,
+    };
+
+    /// Effectively unlimited (limit studies).
+    pub const UNLIMITED: IoCaps = IoCaps {
+        reg_in: usize::MAX,
+        mem_in: usize::MAX,
+        reg_out: usize::MAX,
+        mem_out: usize::MAX,
+    };
+}
+
+/// A finished trace: the RTM entry payload (Figure 1 of the paper).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Starting PC ("initial PC" field).
+    pub start_pc: u32,
+    /// PC of the instruction that follows the trace ("next PC" field).
+    pub next_pc: u32,
+    /// Dynamic instructions the trace covers.
+    pub len: u32,
+    /// Live-in locations and their values, in first-read order.
+    pub ins: Box<[(Loc, u64)]>,
+    /// Output locations and their final values, in first-write order.
+    pub outs: Box<[(Loc, u64)]>,
+}
+
+impl TraceRecord {
+    /// Number of register live-ins.
+    pub fn reg_ins(&self) -> usize {
+        self.ins.iter().filter(|(l, _)| !l.is_mem()).count()
+    }
+
+    /// Number of memory live-ins.
+    pub fn mem_ins(&self) -> usize {
+        self.ins.iter().filter(|(l, _)| l.is_mem()).count()
+    }
+
+    /// Number of register live-outs.
+    pub fn reg_outs(&self) -> usize {
+        self.outs.iter().filter(|(l, _)| !l.is_mem()).count()
+    }
+
+    /// Number of memory live-outs.
+    pub fn mem_outs(&self) -> usize {
+        self.outs.iter().filter(|(l, _)| l.is_mem()).count()
+    }
+
+    /// Merge `self` followed immediately by `next` into one longer trace
+    /// (dynamic expansion, §3.2 / Figure 9's `EXP` heuristics).
+    ///
+    /// * merged inputs = `self.ins` plus those of `next.ins` whose
+    ///   location `self` does not write (those are satisfied internally);
+    /// * merged outputs = `self.outs` overridden by `next.outs` (the
+    ///   later write is the final value), preserving first-write order;
+    /// * `next_pc` comes from `next`.
+    ///
+    /// Returns `None` if the merged trace would exceed `caps`, or if the
+    /// traces are not adjacent (`self.next_pc != next.start_pc`).
+    pub fn merge(&self, next: &TraceRecord, caps: &IoCaps) -> Option<TraceRecord> {
+        if self.next_pc != next.start_pc {
+            return None;
+        }
+        let self_out_locs: FxHashSet<Loc> = self.outs.iter().map(|(l, _)| *l).collect();
+        let self_in_locs: FxHashSet<Loc> = self.ins.iter().map(|(l, _)| *l).collect();
+        let mut ins: Vec<(Loc, u64)> = self.ins.to_vec();
+        for (loc, val) in next.ins.iter() {
+            if !self_out_locs.contains(loc) && !self_in_locs.contains(loc) {
+                ins.push((*loc, *val));
+            }
+        }
+        let mut outs: Vec<(Loc, u64)> = self.outs.to_vec();
+        let mut out_index: FxHashMap<Loc, usize> =
+            outs.iter().enumerate().map(|(i, (l, _))| (*l, i)).collect();
+        for (loc, val) in next.outs.iter() {
+            match out_index.get(loc) {
+                Some(i) => outs[*i].1 = *val,
+                None => {
+                    out_index.insert(*loc, outs.len());
+                    outs.push((*loc, *val));
+                }
+            }
+        }
+        let record = TraceRecord {
+            start_pc: self.start_pc,
+            next_pc: next.next_pc,
+            len: self.len + next.len,
+            ins: ins.into_boxed_slice(),
+            outs: outs.into_boxed_slice(),
+        };
+        record.within_caps(caps).then_some(record)
+    }
+
+    fn within_caps(&self, caps: &IoCaps) -> bool {
+        self.reg_ins() <= caps.reg_in
+            && self.mem_ins() <= caps.mem_in
+            && self.reg_outs() <= caps.reg_out
+            && self.mem_outs() <= caps.mem_out
+    }
+}
+
+/// Incremental trace accumulator.
+///
+/// Feed executed instructions with [`TraceAccum::try_add`]; it refuses
+/// (without mutating) any instruction that would push the live-in or
+/// live-out sets past the caps, letting the collector finalize the
+/// current trace and start a new one.
+#[derive(Debug)]
+pub struct TraceAccum {
+    caps: IoCaps,
+    start_pc: Option<u32>,
+    next_pc: u32,
+    len: u32,
+    ins: Vec<(Loc, u64)>,
+    outs: Vec<(Loc, u64)>,
+    in_locs: FxHashSet<Loc>,
+    out_index: FxHashMap<Loc, usize>,
+    reg_ins: usize,
+    mem_ins: usize,
+    reg_outs: usize,
+    mem_outs: usize,
+}
+
+impl TraceAccum {
+    /// Empty accumulator under `caps`.
+    pub fn new(caps: IoCaps) -> Self {
+        Self {
+            caps,
+            start_pc: None,
+            next_pc: 0,
+            len: 0,
+            ins: Vec::new(),
+            outs: Vec::new(),
+            in_locs: FxHashSet::default(),
+            out_index: FxHashMap::default(),
+            reg_ins: 0,
+            mem_ins: 0,
+            reg_outs: 0,
+            mem_outs: 0,
+        }
+    }
+
+    /// Number of instructions accumulated.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// `true` when no instructions have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Try to append one executed instruction. Returns `false` — leaving
+    /// the accumulator untouched — if the addition would exceed the I/O
+    /// caps. Instructions must be fed in execution order; the first one
+    /// fixes `start_pc`, the last one fixes `next_pc`.
+    pub fn try_add(&mut self, d: &DynInstr) -> bool {
+        // Count the *new* live-ins and live-outs this instruction adds.
+        let mut new_reg_ins = 0usize;
+        let mut new_mem_ins = 0usize;
+        for (loc, _) in d.reads.iter() {
+            // A location is a new live-in if the trace has neither
+            // written it nor already recorded it as live-in.
+            if !self.out_index.contains_key(loc) && !self.in_locs.contains(loc) {
+                if loc.is_mem() {
+                    new_mem_ins += 1;
+                } else {
+                    new_reg_ins += 1;
+                }
+            }
+        }
+        let mut new_reg_outs = 0usize;
+        let mut new_mem_outs = 0usize;
+        for (loc, _) in d.writes.iter() {
+            if !self.out_index.contains_key(loc) {
+                if loc.is_mem() {
+                    new_mem_outs += 1;
+                } else {
+                    new_reg_outs += 1;
+                }
+            }
+        }
+        if self.reg_ins + new_reg_ins > self.caps.reg_in
+            || self.mem_ins + new_mem_ins > self.caps.mem_in
+            || self.reg_outs + new_reg_outs > self.caps.reg_out
+            || self.mem_outs + new_mem_outs > self.caps.mem_out
+        {
+            return false;
+        }
+        // Commit.
+        if self.start_pc.is_none() {
+            self.start_pc = Some(d.pc);
+        }
+        for (loc, val) in d.reads.iter() {
+            if !self.out_index.contains_key(loc) && self.in_locs.insert(*loc) {
+                self.ins.push((*loc, *val));
+                if loc.is_mem() {
+                    self.mem_ins += 1;
+                } else {
+                    self.reg_ins += 1;
+                }
+            }
+        }
+        for (loc, val) in d.writes.iter() {
+            match self.out_index.get(loc) {
+                Some(i) => self.outs[*i].1 = *val,
+                None => {
+                    self.out_index.insert(*loc, self.outs.len());
+                    self.outs.push((*loc, *val));
+                    if loc.is_mem() {
+                        self.mem_outs += 1;
+                    } else {
+                        self.reg_outs += 1;
+                    }
+                }
+            }
+        }
+        self.next_pc = d.next_pc;
+        self.len += 1;
+        true
+    }
+
+    /// Finish the trace, resetting the accumulator. Returns `None` when
+    /// empty.
+    pub fn finalize(&mut self) -> Option<TraceRecord> {
+        if self.len == 0 {
+            return None;
+        }
+        let record = TraceRecord {
+            start_pc: self.start_pc.take().unwrap(),
+            next_pc: self.next_pc,
+            len: self.len,
+            ins: std::mem::take(&mut self.ins).into_boxed_slice(),
+            outs: std::mem::take(&mut self.outs).into_boxed_slice(),
+        };
+        self.len = 0;
+        self.in_locs.clear();
+        self.out_index.clear();
+        self.reg_ins = 0;
+        self.mem_ins = 0;
+        self.reg_outs = 0;
+        self.mem_outs = 0;
+        Some(record)
+    }
+
+    /// Live-in locations accumulated so far (first-read order).
+    pub fn live_ins(&self) -> &[(Loc, u64)] {
+        &self.ins
+    }
+
+    /// Output locations accumulated so far (first-write order, final
+    /// values).
+    pub fn live_outs(&self) -> &[(Loc, u64)] {
+        &self.outs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlr_isa::OpClass;
+
+    fn di(pc: u32, reads: &[(Loc, u64)], writes: &[(Loc, u64)]) -> DynInstr {
+        DynInstr {
+            pc,
+            next_pc: pc + 1,
+            class: OpClass::IntAlu,
+            reads: reads.iter().copied().collect(),
+            writes: writes.iter().copied().collect(),
+        }
+    }
+
+    const R1: Loc = Loc::IntReg(1);
+    const R2: Loc = Loc::IntReg(2);
+    const R3: Loc = Loc::IntReg(3);
+
+    #[test]
+    fn live_in_excludes_internally_produced_values() {
+        let mut acc = TraceAccum::new(IoCaps::UNLIMITED);
+        // r2 = r1 + 1; r3 = r2 + 1  →  live-in {r1}, live-out {r2, r3}.
+        assert!(acc.try_add(&di(0, &[(R1, 10)], &[(R2, 11)])));
+        assert!(acc.try_add(&di(1, &[(R2, 11)], &[(R3, 12)])));
+        let rec = acc.finalize().unwrap();
+        assert_eq!(rec.ins.as_ref(), &[(R1, 10)]);
+        assert_eq!(rec.outs.as_ref(), &[(R2, 11), (R3, 12)]);
+        assert_eq!(rec.start_pc, 0);
+        assert_eq!(rec.next_pc, 2);
+        assert_eq!(rec.len, 2);
+    }
+
+    #[test]
+    fn live_in_records_first_value_read() {
+        let mut acc = TraceAccum::new(IoCaps::UNLIMITED);
+        // Read r1 (=5), write r1, read r1 again (=6): live-in value is 5.
+        assert!(acc.try_add(&di(0, &[(R1, 5)], &[(R1, 6)])));
+        assert!(acc.try_add(&di(1, &[(R1, 6)], &[(R2, 7)])));
+        let rec = acc.finalize().unwrap();
+        assert_eq!(rec.ins.as_ref(), &[(R1, 5)]);
+        assert_eq!(rec.outs.as_ref(), &[(R1, 6), (R2, 7)]);
+    }
+
+    #[test]
+    fn live_out_keeps_final_value() {
+        let mut acc = TraceAccum::new(IoCaps::UNLIMITED);
+        assert!(acc.try_add(&di(0, &[], &[(R1, 1)])));
+        assert!(acc.try_add(&di(1, &[], &[(R1, 2)])));
+        let rec = acc.finalize().unwrap();
+        assert_eq!(rec.outs.as_ref(), &[(R1, 2)]);
+    }
+
+    #[test]
+    fn memory_locations_count_separately() {
+        let mut acc = TraceAccum::new(IoCaps {
+            reg_in: 8,
+            mem_in: 1,
+            reg_out: 8,
+            mem_out: 8,
+        });
+        assert!(acc.try_add(&di(0, &[(Loc::Mem(100), 1)], &[(R1, 1)])));
+        // Second distinct memory live-in exceeds the cap of 1.
+        assert!(!acc.try_add(&di(1, &[(Loc::Mem(101), 2)], &[(R2, 2)])));
+        // Accumulator unchanged by the refusal.
+        assert_eq!(acc.len(), 1);
+        // Re-reading the same memory word is fine (not a new live-in).
+        assert!(acc.try_add(&di(1, &[(Loc::Mem(100), 1)], &[(R2, 2)])));
+        let rec = acc.finalize().unwrap();
+        assert_eq!(rec.mem_ins(), 1);
+        assert_eq!(rec.len, 2);
+    }
+
+    #[test]
+    fn refusal_is_transactional() {
+        let caps = IoCaps {
+            reg_in: 1,
+            mem_in: 0,
+            reg_out: 1,
+            mem_out: 0,
+        };
+        let mut acc = TraceAccum::new(caps);
+        assert!(acc.try_add(&di(0, &[(R1, 1)], &[(R2, 2)])));
+        let before_ins = acc.live_ins().to_vec();
+        // Needs a second register live-in (r3): refused.
+        assert!(!acc.try_add(&di(1, &[(R3, 3)], &[(R2, 4)])));
+        assert_eq!(acc.live_ins(), before_ins.as_slice());
+        // A cap-respecting instruction still fits (reads r2 = internal).
+        assert!(acc.try_add(&di(1, &[(R2, 2)], &[(R2, 5)])));
+    }
+
+    #[test]
+    fn finalize_resets() {
+        let mut acc = TraceAccum::new(IoCaps::UNLIMITED);
+        assert!(acc.try_add(&di(7, &[(R1, 1)], &[(R2, 2)])));
+        let rec = acc.finalize().unwrap();
+        assert_eq!(rec.start_pc, 7);
+        assert!(acc.finalize().is_none());
+        assert!(acc.try_add(&di(9, &[(R2, 2)], &[(R1, 3)])));
+        let rec2 = acc.finalize().unwrap();
+        assert_eq!(rec2.start_pc, 9);
+        assert_eq!(rec2.ins.as_ref(), &[(R2, 2)]);
+    }
+
+    #[test]
+    fn merge_chains_adjacent_traces() {
+        // T1: in {r1}, out {r2}; T2: in {r2, r3}, out {r2, r4}.
+        let t1 = TraceRecord {
+            start_pc: 0,
+            next_pc: 2,
+            len: 2,
+            ins: vec![(R1, 1)].into_boxed_slice(),
+            outs: vec![(R2, 5)].into_boxed_slice(),
+        };
+        let t2 = TraceRecord {
+            start_pc: 2,
+            next_pc: 6,
+            len: 3,
+            ins: vec![(R2, 5), (R3, 3)].into_boxed_slice(),
+            outs: vec![(R2, 9), (Loc::Mem(4), 1)].into_boxed_slice(),
+        };
+        let m = t1.merge(&t2, &IoCaps::UNLIMITED).unwrap();
+        assert_eq!(m.start_pc, 0);
+        assert_eq!(m.next_pc, 6);
+        assert_eq!(m.len, 5);
+        // r2 is produced by t1, so it is NOT a live-in of the merge.
+        assert_eq!(m.ins.as_ref(), &[(R1, 1), (R3, 3)]);
+        // r2's final value comes from t2.
+        assert_eq!(m.outs.as_ref(), &[(R2, 9), (Loc::Mem(4), 1)]);
+    }
+
+    #[test]
+    fn merge_rejects_non_adjacent() {
+        let t1 = TraceRecord {
+            start_pc: 0,
+            next_pc: 2,
+            len: 1,
+            ins: Box::new([]),
+            outs: Box::new([]),
+        };
+        let t2 = TraceRecord {
+            start_pc: 3,
+            next_pc: 4,
+            len: 1,
+            ins: Box::new([]),
+            outs: Box::new([]),
+        };
+        assert_eq!(t1.merge(&t2, &IoCaps::UNLIMITED), None);
+    }
+
+    #[test]
+    fn merge_respects_caps() {
+        let t1 = TraceRecord {
+            start_pc: 0,
+            next_pc: 1,
+            len: 1,
+            ins: vec![(R1, 1)].into_boxed_slice(),
+            outs: vec![(R2, 2)].into_boxed_slice(),
+        };
+        let t2 = TraceRecord {
+            start_pc: 1,
+            next_pc: 2,
+            len: 1,
+            ins: vec![(R3, 3)].into_boxed_slice(),
+            outs: vec![(Loc::IntReg(4), 4)].into_boxed_slice(),
+        };
+        let tight = IoCaps {
+            reg_in: 1,
+            mem_in: 0,
+            reg_out: 2,
+            mem_out: 0,
+        };
+        assert_eq!(t1.merge(&t2, &tight), None);
+        let loose = IoCaps {
+            reg_in: 2,
+            mem_in: 0,
+            reg_out: 2,
+            mem_out: 0,
+        };
+        assert!(t1.merge(&t2, &loose).is_some());
+    }
+
+    #[test]
+    fn paper_caps_shape() {
+        assert_eq!(IoCaps::PAPER.reg_in, 8);
+        assert_eq!(IoCaps::PAPER.mem_in, 4);
+    }
+}

@@ -1,0 +1,90 @@
+//! Disassembly: `Display` for [`Instr`] producing assembler-compatible
+//! text. The assembler's round-trip property tests (`parse ∘ disasm = id`)
+//! lean on this module, so the emitted syntax must stay in lock-step with
+//! `tlr-asm`'s grammar.
+
+use crate::instr::Instr;
+use std::fmt;
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::IntOp { op, rd, ra, rb } => write!(f, "{} {rd}, {ra}, {rb}", op.mnemonic()),
+            Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Instr::FpOp { op, fd, fa, fb } => write!(f, "{} {fd}, {fa}, {fb}", op.mnemonic()),
+            Instr::FpUn { op, fd, fa } => write!(f, "{} {fd}, {fa}", op.mnemonic()),
+            Instr::FpCmp { op, rd, fa, fb } => write!(f, "{} {rd}, {fa}, {fb}", op.mnemonic()),
+            Instr::LoadInt { rd, base, disp } => write!(f, "ldq {rd}, {disp}({base})"),
+            Instr::StoreInt { rs, base, disp } => write!(f, "stq {rs}, {disp}({base})"),
+            Instr::LoadFp { fd, base, disp } => write!(f, "ldt {fd}, {disp}({base})"),
+            Instr::StoreFp { fs, base, disp } => write!(f, "stt {fs}, {disp}({base})"),
+            Instr::Itof { fd, ra } => write!(f, "itof {fd}, {ra}"),
+            Instr::Ftoi { rd, fa } => write!(f, "ftoi {rd}, {fa}"),
+            Instr::Branch { cond, ra, target } => {
+                write!(f, "{} {ra}, @{target}", cond.mnemonic())
+            }
+            Instr::Jump { target } => write!(f, "br @{target}"),
+            Instr::Jsr { link, target } => write!(f, "jsr {link}, @{target}"),
+            Instr::JmpReg { ra } => write!(f, "jmp {ra}"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+/// Render a whole instruction sequence with addresses, one per line.
+pub fn disassemble(instrs: &[Instr]) -> String {
+    let mut out = String::with_capacity(instrs.len() * 24);
+    for (addr, instr) in instrs.iter().enumerate() {
+        out.push_str(&format!("{addr:6}:  {instr}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BranchCond, FpOp, Instr, IntOp, Operand};
+    use crate::reg::{FReg, Reg};
+
+    #[test]
+    fn display_forms() {
+        let i = Instr::IntOp {
+            op: IntOp::Add,
+            rd: Reg::new(1),
+            ra: Reg::new(2),
+            rb: Operand::Imm(-3),
+        };
+        assert_eq!(i.to_string(), "addq r1, r2, -3");
+
+        let l = Instr::LoadInt {
+            rd: Reg::new(4),
+            base: Reg::new(5),
+            disp: 16,
+        };
+        assert_eq!(l.to_string(), "ldq r4, 16(r5)");
+
+        let b = Instr::Branch {
+            cond: BranchCond::Nez,
+            ra: Reg::new(6),
+            target: 42,
+        };
+        assert_eq!(b.to_string(), "bnez r6, @42");
+
+        let fp = Instr::FpOp {
+            op: FpOp::Div,
+            fd: FReg::new(1),
+            fa: FReg::new(2),
+            fb: FReg::new(3),
+        };
+        assert_eq!(fp.to_string(), "divt f1, f2, f3");
+    }
+
+    #[test]
+    fn disassemble_numbers_lines() {
+        let prog = vec![Instr::Nop, Instr::Halt];
+        let text = disassemble(&prog);
+        assert!(text.contains("0:  nop"));
+        assert!(text.contains("1:  halt"));
+    }
+}

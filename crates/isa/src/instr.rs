@@ -1,0 +1,473 @@
+//! Static instructions of the Alpha-flavoured ISA.
+//!
+//! Design notes relative to the real Alpha:
+//!
+//! * Code addresses are instruction indices (`CodeAddr = u32`), not byte
+//!   addresses — the paper's analyses only use PCs as identifiers.
+//! * Integer compare instructions write `0`/`1` to an integer register;
+//!   conditional branches test an integer register against zero (`beqz`,
+//!   `bltz`, ...), exactly the Alpha compare-then-branch idiom.
+//! * FP compares also write `0`/`1` to an *integer* register, which keeps
+//!   every branch a single-register test (the real Alpha writes an FP
+//!   register and has FP branch forms; folding them changes nothing the
+//!   reuse study observes and keeps the ISA orthogonal).
+//! * There is no integer divide (the Alpha has none either); workloads use
+//!   shifts/masks or FP division.
+//! * `li` loads an arbitrary 64-bit immediate in one instruction (the real
+//!   Alpha needs `lda`/`ldah` sequences; collapsing them only shortens
+//!   instruction counts uniformly).
+
+use crate::reg::{FReg, Reg};
+use std::fmt;
+
+/// A code address: an index into the program's instruction array.
+pub type CodeAddr = u32;
+
+/// Second source operand of an integer operation: register or a small
+/// immediate (the assembler synthesizes larger constants via `li`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Operand {
+    /// Register operand.
+    Reg(Reg),
+    /// Immediate operand, sign-extended to 64 bits.
+    Imm(i32),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+/// Integer ALU / multiply operations (`rd = ra <op> rb`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum IntOp {
+    /// Wrapping 64-bit add.
+    Add,
+    /// Wrapping 64-bit subtract.
+    Sub,
+    /// Wrapping 64-bit multiply (the only long-latency integer op).
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (by `rb & 63`).
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Signed compare: `rd = (ra == rb) as u64`.
+    CmpEq,
+    /// Signed compare: `rd = (ra < rb) as u64`.
+    CmpLt,
+    /// Signed compare: `rd = (ra <= rb) as u64`.
+    CmpLe,
+    /// Unsigned compare: `rd = (ra < rb) as u64`.
+    CmpUlt,
+}
+
+impl IntOp {
+    /// Assembler mnemonic (Alpha-style `q` suffix for quadword).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IntOp::Add => "addq",
+            IntOp::Sub => "subq",
+            IntOp::Mul => "mulq",
+            IntOp::And => "and",
+            IntOp::Or => "or",
+            IntOp::Xor => "xor",
+            IntOp::Sll => "sll",
+            IntOp::Srl => "srl",
+            IntOp::Sra => "sra",
+            IntOp::CmpEq => "cmpeq",
+            IntOp::CmpLt => "cmplt",
+            IntOp::CmpLe => "cmple",
+            IntOp::CmpUlt => "cmpult",
+        }
+    }
+
+    /// All integer operations (used by tests and fuzzers).
+    pub const ALL: [IntOp; 13] = [
+        IntOp::Add,
+        IntOp::Sub,
+        IntOp::Mul,
+        IntOp::And,
+        IntOp::Or,
+        IntOp::Xor,
+        IntOp::Sll,
+        IntOp::Srl,
+        IntOp::Sra,
+        IntOp::CmpEq,
+        IntOp::CmpLt,
+        IntOp::CmpLe,
+        IntOp::CmpUlt,
+    ];
+}
+
+/// Two-source floating-point operations (`fd = fa <op> fb`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum FpOp {
+    /// IEEE double add.
+    Add,
+    /// IEEE double subtract.
+    Sub,
+    /// IEEE double multiply.
+    Mul,
+    /// IEEE double divide (long latency).
+    Div,
+}
+
+impl FpOp {
+    /// Assembler mnemonic (Alpha `t` = IEEE double).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpOp::Add => "addt",
+            FpOp::Sub => "subt",
+            FpOp::Mul => "mult",
+            FpOp::Div => "divt",
+        }
+    }
+
+    /// All FP binary operations.
+    pub const ALL: [FpOp; 4] = [FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div];
+}
+
+/// Single-source floating-point operations (`fd = <op> fa`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum FpUnOp {
+    /// IEEE square root (long latency).
+    Sqrt,
+    /// Negate.
+    Neg,
+    /// Absolute value.
+    Abs,
+    /// Register move.
+    Mov,
+}
+
+impl FpUnOp {
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpUnOp::Sqrt => "sqrtt",
+            FpUnOp::Neg => "negt",
+            FpUnOp::Abs => "abst",
+            FpUnOp::Mov => "fmov",
+        }
+    }
+
+    /// All FP unary operations.
+    pub const ALL: [FpUnOp; 4] = [FpUnOp::Sqrt, FpUnOp::Neg, FpUnOp::Abs, FpUnOp::Mov];
+}
+
+/// FP compare predicates (`rd = (fa <cond> fb) as u64`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum FpCmpOp {
+    /// Equal.
+    Eq,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+}
+
+impl FpCmpOp {
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpCmpOp::Eq => "cmpteq",
+            FpCmpOp::Lt => "cmptlt",
+            FpCmpOp::Le => "cmptle",
+        }
+    }
+}
+
+/// Branch conditions testing one integer register against zero.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum BranchCond {
+    /// Branch if register == 0.
+    Eqz,
+    /// Branch if register != 0.
+    Nez,
+    /// Branch if register < 0 (signed).
+    Ltz,
+    /// Branch if register <= 0 (signed).
+    Lez,
+    /// Branch if register > 0 (signed).
+    Gtz,
+    /// Branch if register >= 0 (signed).
+    Gez,
+}
+
+impl BranchCond {
+    /// Evaluate the condition against a register value.
+    #[inline]
+    pub fn eval(self, v: u64) -> bool {
+        let s = v as i64;
+        match self {
+            BranchCond::Eqz => s == 0,
+            BranchCond::Nez => s != 0,
+            BranchCond::Ltz => s < 0,
+            BranchCond::Lez => s <= 0,
+            BranchCond::Gtz => s > 0,
+            BranchCond::Gez => s >= 0,
+        }
+    }
+
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eqz => "beqz",
+            BranchCond::Nez => "bnez",
+            BranchCond::Ltz => "bltz",
+            BranchCond::Lez => "blez",
+            BranchCond::Gtz => "bgtz",
+            BranchCond::Gez => "bgez",
+        }
+    }
+
+    /// All branch conditions.
+    pub const ALL: [BranchCond; 6] = [
+        BranchCond::Eqz,
+        BranchCond::Nez,
+        BranchCond::Ltz,
+        BranchCond::Lez,
+        BranchCond::Gtz,
+        BranchCond::Gez,
+    ];
+}
+
+/// A static instruction.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Instr {
+    /// `rd = ra <op> operand`.
+    IntOp {
+        /// Operation.
+        op: IntOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        ra: Reg,
+        /// Second source (register or immediate).
+        rb: Operand,
+    },
+    /// `rd = imm` (64-bit immediate load).
+    Li {
+        /// Destination.
+        rd: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `fd = fa <op> fb`.
+    FpOp {
+        /// Operation.
+        op: FpOp,
+        /// Destination.
+        fd: FReg,
+        /// First source.
+        fa: FReg,
+        /// Second source.
+        fb: FReg,
+    },
+    /// `fd = <op> fa`.
+    FpUn {
+        /// Operation.
+        op: FpUnOp,
+        /// Destination.
+        fd: FReg,
+        /// Source.
+        fa: FReg,
+    },
+    /// `rd = (fa <cond> fb) as u64` — FP compare into an integer register.
+    FpCmp {
+        /// Predicate.
+        op: FpCmpOp,
+        /// Destination (integer).
+        rd: Reg,
+        /// First source.
+        fa: FReg,
+        /// Second source.
+        fb: FReg,
+    },
+    /// `rd = MEM[ra + disp]` (integer load, word-granular address).
+    LoadInt {
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Word displacement.
+        disp: i32,
+    },
+    /// `MEM[base + disp] = rs`.
+    StoreInt {
+        /// Value source.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Word displacement.
+        disp: i32,
+    },
+    /// `fd = MEM[base + disp]` reinterpreted as an IEEE double.
+    LoadFp {
+        /// Destination.
+        fd: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Word displacement.
+        disp: i32,
+    },
+    /// `MEM[base + disp] = fs` (bit pattern of the double).
+    StoreFp {
+        /// Value source.
+        fs: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Word displacement.
+        disp: i32,
+    },
+    /// `fd = (ra as i64) as f64` — integer to FP conversion.
+    Itof {
+        /// Destination.
+        fd: FReg,
+        /// Source.
+        ra: Reg,
+    },
+    /// `rd = fa as i64` (truncating) — FP to integer conversion.
+    Ftoi {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        fa: FReg,
+    },
+    /// Conditional branch on an integer register.
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// Tested register.
+        ra: Reg,
+        /// Target address.
+        target: CodeAddr,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target address.
+        target: CodeAddr,
+    },
+    /// Jump and link: `link = return address; pc = target`.
+    Jsr {
+        /// Link register receiving `pc + 1`.
+        link: Reg,
+        /// Target address.
+        target: CodeAddr,
+    },
+    /// Indirect jump: `pc = ra` (function return / computed goto).
+    JmpReg {
+        /// Register holding the target address.
+        ra: Reg,
+    },
+    /// Stop execution.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl Instr {
+    /// `true` for instructions that may redirect control flow.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. }
+                | Instr::Jump { .. }
+                | Instr::Jsr { .. }
+                | Instr::JmpReg { .. }
+                | Instr::Halt
+        )
+    }
+
+    /// `true` for memory accesses.
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self,
+            Instr::LoadInt { .. }
+                | Instr::StoreInt { .. }
+                | Instr::LoadFp { .. }
+                | Instr::StoreFp { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_condition_semantics() {
+        let neg = (-5i64) as u64;
+        assert!(BranchCond::Eqz.eval(0));
+        assert!(!BranchCond::Eqz.eval(1));
+        assert!(BranchCond::Nez.eval(neg));
+        assert!(BranchCond::Ltz.eval(neg));
+        assert!(!BranchCond::Ltz.eval(0));
+        assert!(BranchCond::Lez.eval(0));
+        assert!(BranchCond::Gtz.eval(3));
+        assert!(!BranchCond::Gtz.eval(0));
+        assert!(BranchCond::Gez.eval(0));
+        assert!(!BranchCond::Gez.eval(neg));
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let b = Instr::Branch {
+            cond: BranchCond::Eqz,
+            ra: Reg::new(1),
+            target: 0,
+        };
+        assert!(b.is_control());
+        assert!(!b.is_mem());
+        let ld = Instr::LoadInt {
+            rd: Reg::new(1),
+            base: Reg::new(2),
+            disp: 0,
+        };
+        assert!(ld.is_mem());
+        assert!(!ld.is_control());
+        assert!(Instr::Halt.is_control());
+        assert!(!Instr::Nop.is_control());
+    }
+
+    #[test]
+    fn mnemonics_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for op in IntOp::ALL {
+            assert!(seen.insert(op.mnemonic()));
+        }
+        for op in FpOp::ALL {
+            assert!(seen.insert(op.mnemonic()));
+        }
+        for op in FpUnOp::ALL {
+            assert!(seen.insert(op.mnemonic()));
+        }
+        for c in BranchCond::ALL {
+            assert!(seen.insert(c.mnemonic()));
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Instruction classes and latency models.
+//!
+//! The paper: *"The latency of the instructions has been borrowed from the
+//! latency of the Alpha 21164 instructions"* (§4, citing the 21164
+//! Hardware Reference Manual). [`Alpha21164`] transcribes those operate
+//! latencies; [`UnitLatency`] (everything = 1 cycle) and [`CustomLatency`]
+//! exist for sensitivity tests.
+
+use crate::instr::Instr;
+
+/// Coarse instruction class used for latency lookup and statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum OpClass {
+    /// Integer add/sub/logical/shift/compare and immediate loads.
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Memory load (integer or FP destination).
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch / jump / call / return.
+    Branch,
+    /// FP add/sub/neg/abs/move/compare.
+    FpAdd,
+    /// FP multiply.
+    FpMul,
+    /// FP divide.
+    FpDiv,
+    /// FP square root.
+    FpSqrt,
+    /// Int↔FP conversion.
+    Cvt,
+    /// No-op / halt.
+    Nop,
+}
+
+impl OpClass {
+    /// All classes (for exhaustive tests and histograms).
+    pub const ALL: [OpClass; 11] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::FpSqrt,
+        OpClass::Cvt,
+        OpClass::Nop,
+    ];
+
+    /// Classify a static instruction.
+    pub fn of(instr: &Instr) -> OpClass {
+        use crate::instr::{FpOp, FpUnOp, IntOp};
+        match instr {
+            Instr::IntOp { op: IntOp::Mul, .. } => OpClass::IntMul,
+            Instr::IntOp { .. } | Instr::Li { .. } => OpClass::IntAlu,
+            Instr::FpOp { op: FpOp::Div, .. } => OpClass::FpDiv,
+            Instr::FpOp { .. } => match instr {
+                Instr::FpOp { op: FpOp::Mul, .. } => OpClass::FpMul,
+                _ => OpClass::FpAdd,
+            },
+            Instr::FpUn { op: FpUnOp::Sqrt, .. } => OpClass::FpSqrt,
+            Instr::FpUn { .. } | Instr::FpCmp { .. } => OpClass::FpAdd,
+            Instr::LoadInt { .. } | Instr::LoadFp { .. } => OpClass::Load,
+            Instr::StoreInt { .. } | Instr::StoreFp { .. } => OpClass::Store,
+            Instr::Itof { .. } | Instr::Ftoi { .. } => OpClass::Cvt,
+            Instr::Branch { .. } | Instr::Jump { .. } | Instr::Jsr { .. } | Instr::JmpReg { .. } => {
+                OpClass::Branch
+            }
+            Instr::Halt | Instr::Nop => OpClass::Nop,
+        }
+    }
+
+    /// `true` for classes whose instructions reference memory.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// `true` for floating-point compute classes.
+    pub fn is_fp(self) -> bool {
+        matches!(
+            self,
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt | OpClass::Cvt
+        )
+    }
+}
+
+/// A latency model maps an instruction class to a result latency in cycles.
+pub trait LatencyModel: Sync {
+    /// Latency in cycles for `class`. Must be ≥ 1.
+    fn latency(&self, class: OpClass) -> u64;
+}
+
+/// Alpha 21164 operate latencies (Hardware Reference Manual, 1995):
+///
+/// | class | cycles | note |
+/// |---|---|---|
+/// | integer ALU | 1 | add/logical/shift/compare |
+/// | integer multiply | 8 | `mull`; `mulq` is 12 — we use one class |
+/// | load | 2 | D-cache hit |
+/// | store | 1 | |
+/// | branch | 1 | |
+/// | FP add/sub/cmp | 4 | |
+/// | FP multiply | 4 | |
+/// | FP divide | 22 | double precision (15–31 range; typical quoted 22) |
+/// | FP sqrt | 30 | (21164A FSQRT-class latency) |
+/// | convert | 4 | |
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Alpha21164;
+
+impl LatencyModel for Alpha21164 {
+    #[inline]
+    fn latency(&self, class: OpClass) -> u64 {
+        match class {
+            OpClass::IntAlu => 1,
+            OpClass::IntMul => 8,
+            OpClass::Load => 2,
+            OpClass::Store => 1,
+            OpClass::Branch => 1,
+            OpClass::FpAdd => 4,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 22,
+            OpClass::FpSqrt => 30,
+            OpClass::Cvt => 4,
+            OpClass::Nop => 1,
+        }
+    }
+}
+
+/// Every instruction takes one cycle — isolates dataflow-shape effects
+/// from latency effects in sensitivity studies.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UnitLatency;
+
+impl LatencyModel for UnitLatency {
+    #[inline]
+    fn latency(&self, _class: OpClass) -> u64 {
+        1
+    }
+}
+
+/// A user-supplied latency table.
+#[derive(Clone, Debug)]
+pub struct CustomLatency {
+    table: [u64; OpClass::ALL.len()],
+}
+
+impl CustomLatency {
+    /// Start from an existing model.
+    pub fn from_model(model: &dyn LatencyModel) -> Self {
+        let mut table = [1u64; OpClass::ALL.len()];
+        for (i, class) in OpClass::ALL.iter().enumerate() {
+            table[i] = model.latency(*class);
+        }
+        Self { table }
+    }
+
+    /// Override the latency for one class. Panics on zero (completion
+    /// times must strictly advance).
+    pub fn set(mut self, class: OpClass, cycles: u64) -> Self {
+        assert!(cycles >= 1, "latency must be >= 1 cycle");
+        let idx = OpClass::ALL.iter().position(|c| *c == class).unwrap();
+        self.table[idx] = cycles;
+        self
+    }
+}
+
+impl LatencyModel for CustomLatency {
+    #[inline]
+    fn latency(&self, class: OpClass) -> u64 {
+        let idx = OpClass::ALL.iter().position(|c| *c == class).unwrap();
+        self.table[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BranchCond, FpOp, FpUnOp, Instr, IntOp, Operand};
+    use crate::reg::{FReg, Reg};
+
+    #[test]
+    fn alpha_latencies_are_positive_and_ordered() {
+        let m = Alpha21164;
+        for class in OpClass::ALL {
+            assert!(m.latency(class) >= 1);
+        }
+        assert!(m.latency(OpClass::FpDiv) > m.latency(OpClass::FpMul));
+        assert!(m.latency(OpClass::IntMul) > m.latency(OpClass::IntAlu));
+        assert_eq!(m.latency(OpClass::Load), 2);
+    }
+
+    #[test]
+    fn classification_covers_every_shape() {
+        let r = Reg::new(1);
+        let f = FReg::new(1);
+        let cases = [
+            (
+                Instr::IntOp {
+                    op: IntOp::Add,
+                    rd: r,
+                    ra: r,
+                    rb: Operand::Imm(1),
+                },
+                OpClass::IntAlu,
+            ),
+            (
+                Instr::IntOp {
+                    op: IntOp::Mul,
+                    rd: r,
+                    ra: r,
+                    rb: Operand::Reg(r),
+                },
+                OpClass::IntMul,
+            ),
+            (Instr::Li { rd: r, imm: 7 }, OpClass::IntAlu),
+            (
+                Instr::FpOp {
+                    op: FpOp::Add,
+                    fd: f,
+                    fa: f,
+                    fb: f,
+                },
+                OpClass::FpAdd,
+            ),
+            (
+                Instr::FpOp {
+                    op: FpOp::Mul,
+                    fd: f,
+                    fa: f,
+                    fb: f,
+                },
+                OpClass::FpMul,
+            ),
+            (
+                Instr::FpOp {
+                    op: FpOp::Div,
+                    fd: f,
+                    fa: f,
+                    fb: f,
+                },
+                OpClass::FpDiv,
+            ),
+            (
+                Instr::FpUn {
+                    op: FpUnOp::Sqrt,
+                    fd: f,
+                    fa: f,
+                },
+                OpClass::FpSqrt,
+            ),
+            (
+                Instr::FpUn {
+                    op: FpUnOp::Neg,
+                    fd: f,
+                    fa: f,
+                },
+                OpClass::FpAdd,
+            ),
+            (
+                Instr::LoadInt {
+                    rd: r,
+                    base: r,
+                    disp: 0,
+                },
+                OpClass::Load,
+            ),
+            (
+                Instr::StoreFp {
+                    fs: f,
+                    base: r,
+                    disp: 0,
+                },
+                OpClass::Store,
+            ),
+            (Instr::Itof { fd: f, ra: r }, OpClass::Cvt),
+            (Instr::Ftoi { rd: r, fa: f }, OpClass::Cvt),
+            (
+                Instr::Branch {
+                    cond: BranchCond::Eqz,
+                    ra: r,
+                    target: 0,
+                },
+                OpClass::Branch,
+            ),
+            (Instr::Jump { target: 0 }, OpClass::Branch),
+            (Instr::Halt, OpClass::Nop),
+        ];
+        for (instr, expect) in cases {
+            assert_eq!(OpClass::of(&instr), expect, "{instr:?}");
+        }
+    }
+
+    #[test]
+    fn custom_latency_overrides() {
+        let m = CustomLatency::from_model(&Alpha21164).set(OpClass::Load, 10);
+        assert_eq!(m.latency(OpClass::Load), 10);
+        assert_eq!(m.latency(OpClass::IntAlu), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be >= 1")]
+    fn zero_latency_rejected() {
+        let _ = CustomLatency::from_model(&UnitLatency).set(OpClass::Load, 0);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # tlr-isa
+//!
+//! The instruction-set substrate for the Trace-Level Reuse reproduction.
+//!
+//! The paper's experiments ran DEC Alpha binaries of SPEC95 under ATOM and
+//! used Alpha 21164 instruction latencies. We do not have those binaries
+//! (or an Alpha), so this crate defines a compact **Alpha-flavoured 64-bit
+//! load/store ISA** with the properties the study actually depends on:
+//!
+//! * a RISC register file split into 32 integer and 32 floating-point
+//!   registers, with `r31`/`f31` hardwired to zero (Alpha convention);
+//! * word-granular memory (one 64-bit value per address), matching the
+//!   paper's treatment of "memory locations" as unit storage cells;
+//! * instruction classes with distinct latencies (integer ALU, integer
+//!   multiply, loads/stores, branches, FP add/mul/div/sqrt, conversions),
+//!   with the [`latency::Alpha21164`] table transcribed from the 21164
+//!   hardware reference manual;
+//! * a [`DynInstr`] record per executed instruction carrying the exact
+//!   information an ATOM instrumentation pass would produce: PC, the
+//!   sequence of (location, value) pairs read, the sequence written, and
+//!   the next PC.
+//!
+//! Everything downstream — the functional simulator, the Austin–Sohi
+//! timing analysis and the reuse engines — is written against these types.
+
+pub mod disasm;
+pub mod dynrec;
+pub mod instr;
+pub mod latency;
+pub mod reg;
+
+pub use dynrec::{CollectSink, DynInstr, NullSink, ReadSet, StreamSink, Tee, WriteSet};
+pub use instr::{BranchCond, CodeAddr, FpCmpOp, FpOp, FpUnOp, Instr, IntOp, Operand};
+pub use latency::{Alpha21164, CustomLatency, LatencyModel, OpClass, UnitLatency};
+pub use reg::{FReg, Loc, Reg, NUM_FREGS, NUM_IREGS};

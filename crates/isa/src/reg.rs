@@ -1,0 +1,207 @@
+//! Architectural registers and storage locations.
+
+use std::fmt;
+
+/// Number of integer registers (`r0..r31`).
+pub const NUM_IREGS: u8 = 32;
+
+/// Number of floating-point registers (`f0..f31`).
+pub const NUM_FREGS: u8 = 32;
+
+/// An integer register. `r31` reads as zero and discards writes
+/// (Alpha convention).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `r31`.
+    pub const ZERO: Reg = Reg(31);
+
+    /// Conventional stack-pointer register (`r30`), used by the assembler's
+    /// call helpers. The hardware attaches no special meaning to it.
+    pub const SP: Reg = Reg(30);
+
+    /// Construct `r{n}`. Panics if `n >= 32`.
+    #[inline]
+    pub const fn new(n: u8) -> Reg {
+        assert!(n < NUM_IREGS);
+        Reg(n)
+    }
+
+    /// Register number in `0..32`.
+    #[inline]
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// `true` for the hardwired-zero register.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point register. `f31` reads as +0.0 and discards writes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// The hardwired-zero register `f31`.
+    pub const ZERO: FReg = FReg(31);
+
+    /// Construct `f{n}`. Panics if `n >= 32`.
+    #[inline]
+    pub const fn new(n: u8) -> FReg {
+        assert!(n < NUM_FREGS);
+        FReg(n)
+    }
+
+    /// Register number in `0..32`.
+    #[inline]
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// `true` for the hardwired-zero register.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+}
+
+impl fmt::Debug for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A storage location: the unit of the paper's input/output sets.
+///
+/// A trace's *input* is the set of locations that are read before being
+/// written (live-ins) together with their values; its *output* is the set
+/// of locations written. Locations are integer registers, FP registers, or
+/// 64-bit memory words identified by their word address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Loc {
+    /// Integer register `r{0..31}`.
+    IntReg(u8),
+    /// Floating-point register `f{0..31}`.
+    FpReg(u8),
+    /// Memory word (word-granular address).
+    Mem(u64),
+}
+
+impl Loc {
+    /// Dense index for register locations: integer registers map to
+    /// `0..32`, FP registers to `32..64`. Memory locations have no dense
+    /// index (`None`); callers keep them in a hash map instead.
+    #[inline]
+    pub fn reg_index(self) -> Option<usize> {
+        match self {
+            Loc::IntReg(n) => Some(n as usize),
+            Loc::FpReg(n) => Some(32 + n as usize),
+            Loc::Mem(_) => None,
+        }
+    }
+
+    /// `true` for memory locations.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, Loc::Mem(_))
+    }
+
+    /// Stable 64-bit encoding used in signatures: registers occupy a
+    /// reserved low range that word addresses are shifted past.
+    #[inline]
+    pub fn encode(self) -> u64 {
+        match self {
+            Loc::IntReg(n) => n as u64,
+            Loc::FpReg(n) => 32 + n as u64,
+            // Memory addresses are word-granular; shifting by 7 bits keeps
+            // the encoding injective (addresses stay below 2^57 in
+            // practice — the VM's address space is far smaller).
+            Loc::Mem(a) => 64 + (a << 7),
+        }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Loc::IntReg(n) => write!(f, "r{n}"),
+            Loc::FpReg(n) => write!(f, "f{n}"),
+            Loc::Mem(a) => write!(f, "[{a:#x}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_registers() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(FReg::ZERO.is_zero());
+        assert!(!Reg::new(0).is_zero());
+        assert_eq!(Reg::ZERO.index(), 31);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_reg_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn loc_reg_index_is_dense_and_disjoint() {
+        assert_eq!(Loc::IntReg(0).reg_index(), Some(0));
+        assert_eq!(Loc::IntReg(31).reg_index(), Some(31));
+        assert_eq!(Loc::FpReg(0).reg_index(), Some(32));
+        assert_eq!(Loc::FpReg(31).reg_index(), Some(63));
+        assert_eq!(Loc::Mem(0).reg_index(), None);
+    }
+
+    #[test]
+    fn loc_encoding_is_injective_across_kinds() {
+        let locs = [
+            Loc::IntReg(0),
+            Loc::IntReg(31),
+            Loc::FpReg(0),
+            Loc::FpReg(31),
+            Loc::Mem(0),
+            Loc::Mem(1),
+            Loc::Mem(12345),
+        ];
+        for (i, a) in locs.iter().enumerate() {
+            for (j, b) in locs.iter().enumerate() {
+                assert_eq!(a.encode() == b.encode(), i == j, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Loc::IntReg(3).to_string(), "r3");
+        assert_eq!(Loc::FpReg(7).to_string(), "f7");
+        assert_eq!(Loc::Mem(16).to_string(), "[0x10]");
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # tlr-pipeline
+//!
+//! A cycle-level superscalar processor model implementing §3's
+//! "preliminary realistic implementation" of trace-level reuse
+//! (Figure 2 of the paper): *fetch → decode/rename → window/issue →
+//! execute → commit*, with the Reuse Trace Memory consulted at every
+//! fetch point.
+//!
+//! On an RTM hit the processor:
+//!
+//! 1. redirects fetch to the trace's next-PC — the covered instructions
+//!    are **never fetched** (saving fetch bandwidth);
+//! 2. applies the trace's recorded outputs through a single reuse
+//!    operation that occupies one window slot (configurably zero — the
+//!    ideal-bypass ablation) and completes one reuse latency after the
+//!    trace's live-in values are ready;
+//! 3. keeps collecting traces around the hit per the configured
+//!    heuristic (expansion included).
+//!
+//! The execution core models: finite fetch bandwidth, a finite
+//! instruction window with in-order dispatch and in-order retirement,
+//! dataflow-accurate operand readiness (register *and* memory
+//! dependences), infinite functional units (as the paper assumes), and
+//! perfect branch prediction (control effects are outside the paper's
+//! scope).
+//!
+//! The model is execution-driven: it runs the real `tlr-vm` interpreter
+//! underneath, so reused traces must actually match architectural state
+//! — a wrong RTM hit would corrupt execution and fail the equivalence
+//! tests.
+
+mod ablation;
+mod model;
+
+pub use ablation::{run_ablation, AblationRow};
+pub use model::{run_pipeline, PipeConfig, PipeStats, Pipeline, ReuseConfig};

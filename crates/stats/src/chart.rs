@@ -1,0 +1,134 @@
+//! ASCII horizontal bar charts approximating the paper's figures.
+//!
+//! Each per-benchmark figure (reusability, speed-up, trace size) renders
+//! as one bar per label, scaled to a fixed width, optionally on a log
+//! axis (Figure 7 plots trace sizes on a log scale).
+
+/// A horizontal bar chart.
+pub struct BarChart {
+    title: String,
+    entries: Vec<(String, f64)>,
+    width: usize,
+    log_scale: bool,
+}
+
+impl BarChart {
+    /// New chart with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            entries: Vec::new(),
+            width: 50,
+            log_scale: false,
+        }
+    }
+
+    /// Maximum bar width in characters (default 50).
+    pub fn width(mut self, width: usize) -> Self {
+        assert!(width >= 1);
+        self.width = width;
+        self
+    }
+
+    /// Plot bar lengths on a log10 axis (values must be ≥ 1 to show).
+    pub fn log_scale(mut self) -> Self {
+        self.log_scale = true;
+        self
+    }
+
+    /// Add one bar.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        self.entries.push((label.into(), value));
+        self
+    }
+
+    /// Render. Non-finite or negative values render as a `?` marker
+    /// rather than poisoning the scale.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let label_w = self
+            .entries
+            .iter()
+            .map(|(l, _)| l.len())
+            .max()
+            .unwrap_or(0);
+        let xform = |v: f64| -> f64 {
+            if self.log_scale {
+                if v >= 1.0 {
+                    v.log10()
+                } else {
+                    0.0
+                }
+            } else {
+                v
+            }
+        };
+        let max = self
+            .entries
+            .iter()
+            .map(|(_, v)| xform(*v))
+            .filter(|v| v.is_finite())
+            .fold(0.0f64, f64::max);
+        for (label, value) in &self.entries {
+            if !value.is_finite() || *value < 0.0 {
+                out.push_str(&format!("{label:<label_w$}  ?\n"));
+                continue;
+            }
+            let frac = if max > 0.0 { xform(*value) / max } else { 0.0 };
+            let bars = (frac * self.width as f64).round() as usize;
+            out.push_str(&format!(
+                "{label:<label_w$}  {} {value:.2}\n",
+                "#".repeat(bars)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scaled_bars() {
+        let mut c = BarChart::new("speed-up").width(10);
+        c.bar("a", 1.0);
+        c.bar("bb", 2.0);
+        let text = c.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "speed-up");
+        assert!(lines[1].starts_with("a "));
+        // a gets 5 hashes, bb gets 10.
+        assert_eq!(lines[1].matches('#').count(), 5);
+        assert_eq!(lines[2].matches('#').count(), 10);
+        assert!(lines[2].ends_with("2.00"));
+    }
+
+    #[test]
+    fn log_scale_compresses() {
+        let mut c = BarChart::new("sizes").width(12).log_scale();
+        c.bar("small", 10.0); // log10 = 1
+        c.bar("big", 1000.0); // log10 = 3
+        let text = c.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[1].matches('#').count(), 4); // 1/3 of 12
+        assert_eq!(lines[2].matches('#').count(), 12);
+    }
+
+    #[test]
+    fn pathological_values_marked() {
+        let mut c = BarChart::new("x");
+        c.bar("nan", f64::NAN);
+        c.bar("neg", -1.0);
+        let text = c.render();
+        assert_eq!(text.matches('?').count(), 2);
+    }
+
+    #[test]
+    fn empty_chart_is_title_only() {
+        let c = BarChart::new("empty");
+        assert_eq!(c.render(), "empty\n");
+    }
+}

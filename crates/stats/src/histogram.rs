@@ -1,0 +1,170 @@
+//! Histograms for count-valued observations (trace sizes, window
+//! residency). Buckets are power-of-two ranges, which is what Figure 7's
+//! log axis effectively shows.
+
+/// A power-of-two bucketed histogram of `u64` observations with exact
+/// count/sum tracking for the mean.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    /// `buckets[k]` counts observations with `floor(log2(v)) == k`
+    /// (v ≥ 1). Zero observations land in `zeros`.
+    buckets: Vec<u64>,
+    zeros: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+        if value == 0 {
+            self.zeros += 1;
+            return;
+        }
+        let bucket = 63 - value.leading_zeros() as usize;
+        if bucket >= self.buckets.len() {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (None when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Iterate `(bucket_low, bucket_high_inclusive, count)` for non-empty
+    /// buckets, in ascending order; the zero bucket comes first as
+    /// `(0, 0, n)`.
+    pub fn iter_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        let zero = (self.zeros > 0).then_some((0u64, 0u64, self.zeros));
+        zero.into_iter().chain(
+            self.buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c > 0)
+                .map(|(k, c)| (1u64 << k, (1u64 << k) * 2 - 1, *c)),
+        )
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.zeros += other.zeros;
+        self.max = self.max.max(other.max);
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+    }
+
+    /// Render a compact text summary.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = format!(
+            "{title}: n={} mean={:.2} max={}\n",
+            self.count,
+            self.mean().unwrap_or(0.0),
+            self.max
+        );
+        for (lo, hi, c) in self.iter_buckets() {
+            let pct = 100.0 * c as f64 / self.count as f64;
+            if lo == hi {
+                out.push_str(&format!("  [{lo:>8}]          {c:>10} ({pct:5.1}%)\n"));
+            } else {
+                out.push_str(&format!("  [{lo:>8},{hi:>8}] {c:>10} ({pct:5.1}%)\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64, u64)> = h.iter_buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![
+                (0, 0, 1),
+                (1, 1, 2),
+                (2, 3, 2),
+                (4, 7, 2),
+                (8, 15, 1),
+                (512, 1023, 1)
+            ]
+        );
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.sum(), 1026);
+    }
+
+    #[test]
+    fn mean_matches_sum_over_count() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        assert_eq!(h.mean(), Some(15.0));
+        assert_eq!(Histogram::new().mean(), None);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        a.record(1);
+        a.record(100);
+        let mut b = Histogram::new();
+        b.record(0);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 201);
+        assert_eq!(a.max(), 100);
+        let total: u64 = a.iter_buckets().map(|(_, _, c)| c).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn render_contains_percentages() {
+        let mut h = Histogram::new();
+        for _ in 0..4 {
+            h.record(2);
+        }
+        let text = h.render("trace size");
+        assert!(text.contains("n=4"));
+        assert!(text.contains("100.0%"));
+    }
+}

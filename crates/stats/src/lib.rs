@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! # tlr-stats
+//!
+//! Statistics and reporting helpers for the experiment harness.
+//!
+//! The paper is specific about aggregation (§4.1): *"Average speed-ups
+//! have been computed through harmonic means and average percentages have
+//! been determined through arithmetic means."* [`harmonic_mean`] and
+//! [`arithmetic_mean`] implement exactly those, and the figure
+//! reproductions in `tlr-bench` use them accordingly.
+//!
+//! [`Table`] renders aligned text for terminal output plus CSV for the
+//! `results/` directory; [`BarChart`] gives a quick ASCII rendition of
+//! each per-benchmark figure; [`Histogram`] summarizes trace-size
+//! distributions (Figure 7 uses a log axis — `log2_bucket` mirrors that).
+
+pub mod chart;
+pub mod histogram;
+pub mod means;
+pub mod table;
+
+pub use chart::BarChart;
+pub use histogram::Histogram;
+pub use means::{arithmetic_mean, geometric_mean, harmonic_mean, Summary};
+pub use table::{Align, Table};

@@ -1,0 +1,132 @@
+//! Aggregation functions matching the paper's methodology.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+///
+/// Used for averaging *percentages* (reusability, reuse coverage), per
+/// §4.1 of the paper.
+pub fn arithmetic_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Harmonic mean. Returns `None` for an empty slice or any non-positive
+/// value (a zero or negative speed-up is a bug upstream, not a number to
+/// average away).
+///
+/// Used for averaging *speed-ups*, per §4.1 of the paper.
+pub fn harmonic_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0) {
+        return None;
+    }
+    let inv_sum: f64 = values.iter().map(|v| 1.0 / v).sum();
+    Some(values.len() as f64 / inv_sum)
+}
+
+/// Geometric mean. Returns `None` for an empty slice or non-positive
+/// values. Not used by the paper; provided for sensitivity comparisons in
+/// EXPERIMENTS.md.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Five-number style summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Standard deviation (population).
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` when empty.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        let mean = arithmetic_mean(values)?;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut var_acc = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            var_acc += (v - mean) * (v - mean);
+        }
+        Some(Summary {
+            n: values.len(),
+            min,
+            max,
+            mean,
+            stddev: (var_acc / values.len() as f64).sqrt(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(arithmetic_mean(&[]), None);
+        assert_eq!(arithmetic_mean(&[2.0]), Some(2.0));
+        assert_eq!(arithmetic_mean(&[1.0, 2.0, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn harmonic_basics() {
+        assert_eq!(harmonic_mean(&[]), None);
+        assert_eq!(harmonic_mean(&[4.0]), Some(4.0));
+        // HM(1,1,4) = 3 / (1 + 1 + 0.25) = 4/3
+        let hm = harmonic_mean(&[1.0, 1.0, 4.0]).unwrap();
+        assert!((hm - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[1.0, 0.0]), None);
+        assert_eq!(harmonic_mean(&[1.0, -2.0]), None);
+    }
+
+    #[test]
+    fn geometric_basics() {
+        let gm = geometric_mean(&[1.0, 4.0]).unwrap();
+        assert!((gm - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.stddev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(Summary::of(&[]), None);
+    }
+
+    proptest! {
+        /// HM ≤ GM ≤ AM for positive samples — the classic mean
+        /// inequality; also all three lie within [min, max].
+        #[test]
+        fn mean_inequality(values in proptest::collection::vec(0.01f64..1e6, 1..32)) {
+            let am = arithmetic_mean(&values).unwrap();
+            let gm = geometric_mean(&values).unwrap();
+            let hm = harmonic_mean(&values).unwrap();
+            let eps = 1e-9 * am.abs().max(1.0);
+            prop_assert!(hm <= gm + eps, "hm={hm} gm={gm}");
+            prop_assert!(gm <= am + eps, "gm={gm} am={am}");
+            let (lo, hi) = values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(*v), hi.max(*v)));
+            prop_assert!(hm >= lo - eps && am <= hi + eps);
+        }
+    }
+}

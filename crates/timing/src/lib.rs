@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! # tlr-timing
+//!
+//! The paper's timing methodology (§4), an extension of Austin & Sohi's
+//! dynamic dependence analysis:
+//!
+//! * **Infinite window** — each instruction's completion time is the
+//!   maximum completion time of the producers of its inputs plus its
+//!   latency. Inputs cover registers *and* memory words, so store→load
+//!   dependences serialize exactly like register dependences. IPC is the
+//!   instruction count divided by the maximum completion time.
+//!
+//! * **Finite window of W entries** — additionally, instruction *i* may
+//!   not begin before the *graduation time* of instruction *i − W*, where
+//!   graduation time is the running maximum of completion times. Only the
+//!   last W graduation times are tracked (a ring buffer).
+//!
+//! * **Reuse-aware stepping** — [`TimingSim`] exposes the three moves the
+//!   reuse studies need: [`TimingSim::step_normal`] (base machine),
+//!   [`TimingSim::step_reused_instr`] (instruction-level reuse with the
+//!   paper's oracle: never slower than normal execution), and the
+//!   trace-level protocol ([`TimingSim::trace_floor`] /
+//!   [`TimingSim::step_trace_member`] / [`TimingSim::end_trace`]) in
+//!   which a whole reused trace completes at the trace's live-in
+//!   readiness plus one reuse latency and occupies a configurable number
+//!   of window slots (0 or 1) instead of one per instruction — the
+//!   fetch-skip / window-bypass effect that makes trace-level reuse beat
+//!   instruction-level reuse in the limited-window scenario.
+//!
+//! The number of functional units is infinite throughout, as in the
+//! paper ("we focus on scenarios with a limited instruction window but
+//! infinite number of functional units").
+
+mod base;
+mod sim;
+mod tables;
+mod window;
+
+pub use base::{analyze_base, BaseTimingSink, TimingResult};
+pub use sim::TimingSim;
+pub use tables::CompletionTables;
+pub use window::Window;

@@ -1,0 +1,114 @@
+//! Completion-time tables over storage locations.
+//!
+//! "For each logical register and each memory location, the completion
+//! time of the latest instruction that has updated such storage location
+//! so far is kept in a table" (§4). Registers live in a dense 64-entry
+//! array; memory words in a hash map keyed by word address.
+
+use tlr_isa::Loc;
+use tlr_util::FxHashMap;
+
+/// Completion time per storage location. Locations never written complete
+/// at time 0 (available from the start).
+#[derive(Clone, Debug)]
+pub struct CompletionTables {
+    regs: [u64; 64],
+    mem: FxHashMap<u64, u64>,
+}
+
+impl Default for CompletionTables {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompletionTables {
+    /// Fresh tables (everything ready at cycle 0).
+    pub fn new() -> Self {
+        Self {
+            regs: [0; 64],
+            mem: FxHashMap::default(),
+        }
+    }
+
+    /// Completion time of the latest writer of `loc`.
+    #[inline]
+    pub fn get(&self, loc: Loc) -> u64 {
+        match loc.reg_index() {
+            Some(i) => self.regs[i],
+            None => match loc {
+                Loc::Mem(addr) => self.mem.get(&addr).copied().unwrap_or(0),
+                _ => unreachable!(),
+            },
+        }
+    }
+
+    /// Record that `loc` was (re)written by an instruction completing at
+    /// `time`.
+    #[inline]
+    pub fn set(&mut self, loc: Loc, time: u64) {
+        match loc.reg_index() {
+            Some(i) => self.regs[i] = time,
+            None => match loc {
+                Loc::Mem(addr) => {
+                    self.mem.insert(addr, time);
+                }
+                _ => unreachable!(),
+            },
+        }
+    }
+
+    /// Maximum completion time over a read set (0 for an empty set).
+    #[inline]
+    pub fn max_over_reads(&self, reads: &[(Loc, u64)]) -> u64 {
+        reads.iter().map(|(loc, _)| self.get(*loc)).max().unwrap_or(0)
+    }
+
+    /// Maximum completion time over a list of locations.
+    #[inline]
+    pub fn max_over_locs<'a>(&self, locs: impl IntoIterator<Item = &'a Loc>) -> u64 {
+        locs.into_iter().map(|loc| self.get(*loc)).max().unwrap_or(0)
+    }
+
+    /// Number of memory words tracked (footprint reporting).
+    pub fn mem_entries(&self) -> usize {
+        self.mem.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_locations_complete_at_zero() {
+        let t = CompletionTables::new();
+        assert_eq!(t.get(Loc::IntReg(5)), 0);
+        assert_eq!(t.get(Loc::FpReg(5)), 0);
+        assert_eq!(t.get(Loc::Mem(123)), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip_all_kinds() {
+        let mut t = CompletionTables::new();
+        t.set(Loc::IntReg(3), 10);
+        t.set(Loc::FpReg(3), 20);
+        t.set(Loc::Mem(3), 30);
+        assert_eq!(t.get(Loc::IntReg(3)), 10);
+        assert_eq!(t.get(Loc::FpReg(3)), 20);
+        assert_eq!(t.get(Loc::Mem(3)), 30);
+        // Int and FP register 3 are distinct locations.
+        t.set(Loc::IntReg(3), 11);
+        assert_eq!(t.get(Loc::FpReg(3)), 20);
+    }
+
+    #[test]
+    fn max_over_reads_takes_latest_producer() {
+        let mut t = CompletionTables::new();
+        t.set(Loc::IntReg(1), 5);
+        t.set(Loc::Mem(9), 12);
+        let reads = [(Loc::IntReg(1), 0), (Loc::Mem(9), 0), (Loc::IntReg(2), 0)];
+        assert_eq!(t.max_over_reads(&reads), 12);
+        assert_eq!(t.max_over_reads(&[]), 0);
+    }
+}

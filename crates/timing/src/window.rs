@@ -1,0 +1,133 @@
+//! Instruction-window models.
+//!
+//! The finite model implements the paper's rule: the completion time of an
+//! instruction is additionally bounded below by "the graduation time of
+//! the instruction W locations above in the trace", where graduation time
+//! is the running maximum of completion times ("the maximum completion
+//! time of any previous instruction, including itself"). Only the last W
+//! graduation times need tracking — a ring buffer.
+
+/// An instruction window: either unbounded or a W-entry ring.
+#[derive(Clone, Debug)]
+pub enum Window {
+    /// No window constraint (the paper's "infinite window" scenario).
+    Infinite,
+    /// W-entry window.
+    Finite {
+        /// Ring of the last W graduation times.
+        ring: Vec<u64>,
+        /// Number of slots consumed so far.
+        issued: u64,
+        /// Running maximum of completion times.
+        grad: u64,
+    },
+}
+
+impl Window {
+    /// Unbounded window.
+    pub fn infinite() -> Self {
+        Window::Infinite
+    }
+
+    /// W-entry window. `w` must be ≥ 1.
+    pub fn finite(w: usize) -> Self {
+        assert!(w >= 1, "window size must be at least 1");
+        Window::Finite {
+            ring: vec![0; w],
+            issued: 0,
+            grad: 0,
+        }
+    }
+
+    /// Earliest time the *next* instruction (or reuse operation) may
+    /// begin: the graduation time of the instruction W slots above, or 0
+    /// while the window has free slots / for the infinite window.
+    #[inline]
+    pub fn issue_floor(&self) -> u64 {
+        match self {
+            Window::Infinite => 0,
+            Window::Finite { ring, issued, .. } => {
+                if (*issued as usize) < ring.len() {
+                    0
+                } else {
+                    ring[(*issued as usize) % ring.len()]
+                }
+            }
+        }
+    }
+
+    /// Consume one window slot for an operation completing at
+    /// `completion`.
+    #[inline]
+    pub fn occupy(&mut self, completion: u64) {
+        if let Window::Finite { ring, issued, grad } = self {
+            *grad = (*grad).max(completion);
+            let idx = (*issued as usize) % ring.len();
+            ring[idx] = *grad;
+            *issued += 1;
+        }
+    }
+
+    /// Window capacity (`None` for infinite).
+    pub fn capacity(&self) -> Option<usize> {
+        match self {
+            Window::Infinite => None,
+            Window::Finite { ring, .. } => Some(ring.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_window_never_constrains() {
+        let mut w = Window::infinite();
+        for t in [5, 100, 3] {
+            assert_eq!(w.issue_floor(), 0);
+            w.occupy(t);
+        }
+    }
+
+    #[test]
+    fn finite_window_floor_is_grad_w_back() {
+        let mut w = Window::finite(2);
+        // Slots 0 and 1 are free.
+        assert_eq!(w.issue_floor(), 0);
+        w.occupy(10); // instr 0: grad 10
+        assert_eq!(w.issue_floor(), 0);
+        w.occupy(4); // instr 1: grad stays 10
+        // Next instruction (index 2) is floored by grad of instr 0 = 10.
+        assert_eq!(w.issue_floor(), 10);
+        w.occupy(20); // instr 2: grad 20
+        // Instr 3 floored by grad of instr 1 = 10.
+        assert_eq!(w.issue_floor(), 10);
+        w.occupy(5); // instr 3
+        // Instr 4 floored by grad of instr 2 = 20.
+        assert_eq!(w.issue_floor(), 20);
+    }
+
+    #[test]
+    fn graduation_is_running_max() {
+        let mut w = Window::finite(1);
+        w.occupy(100);
+        assert_eq!(w.issue_floor(), 100);
+        w.occupy(1); // completes earlier, but graduation is running max
+        assert_eq!(w.issue_floor(), 100);
+        w.occupy(200);
+        assert_eq!(w.issue_floor(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size")]
+    fn zero_window_rejected() {
+        let _ = Window::finite(0);
+    }
+
+    #[test]
+    fn capacity_reporting() {
+        assert_eq!(Window::infinite().capacity(), None);
+        assert_eq!(Window::finite(256).capacity(), Some(256));
+    }
+}

@@ -1,0 +1,124 @@
+//! A dense, fixed-size bitset over `u64` blocks.
+//!
+//! Used for register liveness when computing the live-in set of a trace:
+//! 64 architectural registers (32 integer + 32 floating-point) fit in one
+//! block, so membership tests on the hot path are a mask and a shift.
+
+/// Growable dense bitset.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DenseBitSet {
+    blocks: Vec<u64>,
+}
+
+impl DenseBitSet {
+    /// Empty set with capacity for `bits` bits pre-allocated.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            blocks: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    /// Set bit `i`, growing as needed. Returns `true` if the bit was newly
+    /// set (was previously clear).
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (block, mask) = (i / 64, 1u64 << (i % 64));
+        if block >= self.blocks.len() {
+            self.blocks.resize(block + 1, 0);
+        }
+        let was_clear = self.blocks[block] & mask == 0;
+        self.blocks[block] |= mask;
+        was_clear
+    }
+
+    /// Clear bit `i`. Returns `true` if the bit was previously set.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        let (block, mask) = (i / 64, 1u64 << (i % 64));
+        if block >= self.blocks.len() {
+            return false;
+        }
+        let was_set = self.blocks[block] & mask != 0;
+        self.blocks[block] &= !mask;
+        was_set
+    }
+
+    /// Test bit `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        let (block, mask) = (i / 64, 1u64 << (i % 64));
+        self.blocks.get(block).is_some_and(|b| b & mask != 0)
+    }
+
+    /// Clear all bits, keeping capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.blocks.iter_mut().for_each(|b| *b = 0);
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Iterate over set bit indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            let mut b = block;
+            std::iter::from_fn(move || {
+                if b == 0 {
+                    None
+                } else {
+                    let tz = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    Some(bi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = DenseBitSet::with_capacity(64);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut s = DenseBitSet::default();
+        assert!(s.insert(1000));
+        assert!(s.contains(1000));
+        assert!(!s.contains(999));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn iter_yields_sorted_indices() {
+        let mut s = DenseBitSet::default();
+        for i in [5usize, 64, 1, 130, 63] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![1, 5, 63, 64, 130]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_but_empties() {
+        let mut s = DenseBitSet::with_capacity(128);
+        s.insert(100);
+        s.clear();
+        assert_eq!(s.count(), 0);
+        assert!(!s.contains(100));
+    }
+}

@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+//! # tlr-util
+//!
+//! Zero-dependency support types shared across the trace-reuse workspace.
+//!
+//! The simulation pipeline processes tens of millions of dynamic
+//! instructions per run, so the hot-path containers here are designed to be
+//! allocation-free and branch-light:
+//!
+//! * [`InlineVec`] — a fixed-capacity vector stored inline (no heap), used
+//!   for the read/write sets of a dynamic instruction and the live-in /
+//!   live-out lists of a reuse-trace-memory entry.
+//! * [`FxHasher64`] / [`fx_hash_u64`] — the rustc-fx multiplicative hash,
+//!   hand-rolled so that stream signatures are bit-stable across toolchain
+//!   and dependency upgrades (a requirement for reproducible experiments).
+//! * [`SplitMix64`] and [`Xoshiro256StarStar`] — small deterministic RNGs
+//!   used by the workload input-image generators; seeding is part of each
+//!   experiment's identity, so we do not depend on an external crate whose
+//!   stream might change between versions.
+//! * [`DenseBitSet`] — a plain `u64`-block bitset for register liveness.
+
+pub mod bitset;
+pub mod fxhash;
+pub mod inline_vec;
+pub mod rng;
+
+pub use bitset::DenseBitSet;
+pub use fxhash::{fx_hash_bytes, fx_hash_u64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher64};
+pub use inline_vec::InlineVec;
+pub use rng::{SplitMix64, Xoshiro256StarStar};
+
+/// Format a large count with `_` separators every three digits
+/// (e.g. `12_345_678`) for readable harness output.
+pub fn group_digits(mut n: u64) -> String {
+    if n == 0 {
+        return "0".to_string();
+    }
+    let mut groups: Vec<String> = Vec::new();
+    while n > 0 {
+        groups.push(format!("{:03}", n % 1000));
+        n /= 1000;
+    }
+    let mut out = String::new();
+    for (i, g) in groups.iter().rev().enumerate() {
+        if i == 0 {
+            // Strip leading zeros from the most significant group.
+            out.push_str(g.trim_start_matches('0'));
+        } else {
+            out.push('_');
+            out.push_str(g);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_digits_formats() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(7), "7");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1000), "1_000");
+        assert_eq!(group_digits(1234567), "1_234_567");
+        assert_eq!(group_digits(50_000_000), "50_000_000");
+    }
+}

@@ -1,0 +1,144 @@
+//! Sparse paged memory of 64-bit words.
+//!
+//! Addresses are word-granular (one value per address), matching the
+//! paper's treatment of memory locations as unit storage cells. Storage
+//! is a hash map of fixed-size pages so that workloads with scattered
+//! data segments (hash tables, heaps) stay compact while hot loops get
+//! contiguous page-local access.
+
+use tlr_util::FxHashMap;
+
+/// Words per page; power of two so address splitting is a shift/mask.
+const PAGE_WORDS: usize = 1024;
+const PAGE_SHIFT: u32 = PAGE_WORDS.trailing_zeros();
+const PAGE_MASK: u64 = (PAGE_WORDS as u64) - 1;
+
+/// Sparse word-addressed memory. Unwritten words read as zero.
+#[derive(Default)]
+pub struct Memory {
+    pages: FxHashMap<u64, Box<[u64; PAGE_WORDS]>>,
+}
+
+impl Memory {
+    /// Empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an initial image of (address, value) pairs.
+    pub fn from_image(image: &[(u64, u64)]) -> Self {
+        let mut mem = Self::new();
+        for &(addr, value) in image {
+            mem.write(addr, value);
+        }
+        mem
+    }
+
+    /// Read the word at `addr` (zero if never written).
+    #[inline]
+    pub fn read(&self, addr: u64) -> u64 {
+        let page = addr >> PAGE_SHIFT;
+        match self.pages.get(&page) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Write the word at `addr`.
+    #[inline]
+    pub fn write(&mut self, addr: u64, value: u64) {
+        let page = addr >> PAGE_SHIFT;
+        let p = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u64; PAGE_WORDS]));
+        p[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Read the word at `addr` as an IEEE double.
+    #[inline]
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read(addr))
+    }
+
+    /// Write an IEEE double at `addr`.
+    #[inline]
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write(addr, value.to_bits());
+    }
+
+    /// Number of resident pages (for tests / footprint reporting).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Iterate all explicitly-written words (unordered).
+    pub fn iter_words(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.pages.iter().flat_map(|(page, data)| {
+            let base = page << PAGE_SHIFT;
+            data.iter()
+                .enumerate()
+                .filter(|(_, v)| **v != 0)
+                .map(move |(i, v)| (base + i as u64, *v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.read(0), 0);
+        assert_eq!(mem.read(u64::MAX / 2), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut mem = Memory::new();
+        mem.write(5, 42);
+        mem.write(5 + PAGE_WORDS as u64, 43);
+        assert_eq!(mem.read(5), 42);
+        assert_eq!(mem.read(5 + PAGE_WORDS as u64), 43);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn f64_views() {
+        let mut mem = Memory::new();
+        mem.write_f64(9, -3.25);
+        assert_eq!(mem.read_f64(9), -3.25);
+        assert_eq!(mem.read(9), (-3.25f64).to_bits());
+    }
+
+    #[test]
+    fn from_image() {
+        let mem = Memory::from_image(&[(1, 10), (2, 20)]);
+        assert_eq!(mem.read(1), 10);
+        assert_eq!(mem.read(2), 20);
+        assert_eq!(mem.read(3), 0);
+    }
+
+    #[test]
+    fn iter_words_reports_nonzero() {
+        let mut mem = Memory::new();
+        mem.write(3, 7);
+        mem.write(2000, 8);
+        mem.write(4, 0); // explicit zero is indistinguishable from unwritten
+        let mut words: Vec<(u64, u64)> = mem.iter_words().collect();
+        words.sort_unstable();
+        assert_eq!(words, vec![(3, 7), (2000, 8)]);
+    }
+
+    #[test]
+    fn page_boundary_isolation() {
+        let mut mem = Memory::new();
+        let last_of_page = PAGE_WORDS as u64 - 1;
+        mem.write(last_of_page, 1);
+        mem.write(last_of_page + 1, 2);
+        assert_eq!(mem.read(last_of_page), 1);
+        assert_eq!(mem.read(last_of_page + 1), 2);
+    }
+}

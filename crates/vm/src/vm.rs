@@ -1,0 +1,626 @@
+//! The functional simulator core.
+
+use crate::memory::Memory;
+use std::fmt;
+use tlr_asm::Program;
+use tlr_isa::{
+    DynInstr, FpCmpOp, FpOp, FpUnOp, Instr, IntOp, Loc, OpClass, Operand, Reg, StreamSink,
+};
+
+/// An execution error. The program counter identifies the faulting
+/// instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// Fetch fell off the end of the instruction array.
+    PcOutOfRange {
+        /// The invalid PC.
+        pc: u32,
+    },
+    /// An indirect jump targeted an address outside the program.
+    BadJumpTarget {
+        /// PC of the jump instruction.
+        pc: u32,
+        /// The invalid target.
+        target: u64,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::PcOutOfRange { pc } => write!(f, "fetch out of range at pc={pc}"),
+            VmError::BadJumpTarget { pc, target } => {
+                write!(f, "indirect jump at pc={pc} to invalid target {target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Result of a single [`Vm::step`].
+#[derive(Debug, PartialEq)]
+pub enum StepResult {
+    /// One instruction executed; the record describes it.
+    Executed(DynInstr),
+    /// The program reached `halt`.
+    Halted,
+}
+
+/// How a [`Vm::run`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The program executed `halt`.
+    Halted {
+        /// Instructions executed (halt itself is not counted or recorded).
+        executed: u64,
+    },
+    /// The instruction budget ran out first.
+    BudgetExhausted {
+        /// Instructions executed (== the budget).
+        executed: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Instructions executed in either case.
+    pub fn executed(self) -> u64 {
+        match self {
+            RunOutcome::Halted { executed } | RunOutcome::BudgetExhausted { executed } => executed,
+        }
+    }
+}
+
+/// The architectural simulator.
+///
+/// Holds the program, the register files, memory, and the PC. `r31`/`f31`
+/// are hardwired zero: reads yield zero without being recorded as inputs
+/// and writes are discarded without being recorded as outputs (they are
+/// literals, not storage locations — Alpha convention).
+pub struct Vm {
+    program: Program,
+    iregs: [u64; 32],
+    fregs: [f64; 32],
+    mem: Memory,
+    pc: u32,
+    executed: u64,
+}
+
+impl Vm {
+    /// Load a program: memory gets the data image, registers start at
+    /// zero, PC at the entry point.
+    pub fn new(program: &Program) -> Self {
+        Self {
+            mem: Memory::from_image(&program.data),
+            iregs: [0; 32],
+            fregs: [0.0; 32],
+            pc: program.entry,
+            executed: 0,
+            program: program.clone(),
+        }
+    }
+
+    /// Current program counter.
+    #[inline]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Total instructions executed so far (reused/skipped instructions
+    /// applied via [`Vm::apply_trace`] are *not* counted here).
+    #[inline]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Memory view (tests / post-run inspection).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    #[inline]
+    fn read_ireg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.iregs[r.index() as usize]
+        }
+    }
+
+    #[inline]
+    fn read_freg(&self, r: tlr_isa::FReg) -> f64 {
+        if r.is_zero() {
+            0.0
+        } else {
+            self.fregs[r.index() as usize]
+        }
+    }
+
+    /// Read the current architectural value of a location, as the RTM
+    /// reuse test does when comparing a candidate trace's live-ins against
+    /// processor state.
+    #[inline]
+    pub fn peek_loc(&self, loc: Loc) -> u64 {
+        match loc {
+            Loc::IntReg(n) => {
+                if n == 31 {
+                    0
+                } else {
+                    self.iregs[n as usize]
+                }
+            }
+            Loc::FpReg(n) => {
+                if n == 31 {
+                    0
+                } else {
+                    self.fregs[n as usize].to_bits()
+                }
+            }
+            Loc::Mem(addr) => self.mem.read(addr),
+        }
+    }
+
+    /// Apply a reused trace's outputs and jump to its next PC — the
+    /// processor-state update of §3.3, performed *instead of* fetching and
+    /// executing the trace body. `skipped` is the number of dynamic
+    /// instructions the trace covers (bookkeeping only).
+    ///
+    /// Returns an error if `next_pc` is outside the program.
+    pub fn apply_trace(
+        &mut self,
+        outputs: impl IntoIterator<Item = (Loc, u64)>,
+        next_pc: u32,
+    ) -> Result<(), VmError> {
+        if next_pc as usize >= self.program.instrs.len() {
+            return Err(VmError::BadJumpTarget {
+                pc: self.pc,
+                target: next_pc as u64,
+            });
+        }
+        for (loc, value) in outputs {
+            self.poke_loc(loc, value);
+        }
+        self.pc = next_pc;
+        Ok(())
+    }
+
+    /// Write a location directly (used by `apply_trace` and tests).
+    #[inline]
+    pub fn poke_loc(&mut self, loc: Loc, value: u64) {
+        match loc {
+            Loc::IntReg(n) => {
+                if n != 31 {
+                    self.iregs[n as usize] = value;
+                }
+            }
+            Loc::FpReg(n) => {
+                if n != 31 {
+                    self.fregs[n as usize] = f64::from_bits(value);
+                }
+            }
+            Loc::Mem(addr) => self.mem.write(addr, value),
+        }
+    }
+
+    /// Execute one instruction, returning its dynamic record (or
+    /// [`StepResult::Halted`]).
+    pub fn step(&mut self) -> Result<StepResult, VmError> {
+        let pc = self.pc;
+        let instr = *self
+            .program
+            .instrs
+            .get(pc as usize)
+            .ok_or(VmError::PcOutOfRange { pc })?;
+
+        let mut rec = DynInstr {
+            pc,
+            next_pc: pc + 1,
+            class: OpClass::of(&instr),
+            reads: Default::default(),
+            writes: Default::default(),
+        };
+
+        macro_rules! read_r {
+            ($r:expr) => {{
+                let r: Reg = $r;
+                let v = self.read_ireg(r);
+                if !r.is_zero() {
+                    rec.reads.push((Loc::IntReg(r.index()), v));
+                }
+                v
+            }};
+        }
+        macro_rules! read_f {
+            ($r:expr) => {{
+                let r: tlr_isa::FReg = $r;
+                let v = self.read_freg(r);
+                if !r.is_zero() {
+                    rec.reads.push((Loc::FpReg(r.index()), v.to_bits()));
+                }
+                v
+            }};
+        }
+        macro_rules! write_r {
+            ($r:expr, $v:expr) => {{
+                let r: Reg = $r;
+                let v: u64 = $v;
+                if !r.is_zero() {
+                    self.iregs[r.index() as usize] = v;
+                    rec.writes.push((Loc::IntReg(r.index()), v));
+                }
+            }};
+        }
+        macro_rules! write_f {
+            ($r:expr, $v:expr) => {{
+                let r: tlr_isa::FReg = $r;
+                let v: f64 = $v;
+                if !r.is_zero() {
+                    self.fregs[r.index() as usize] = v;
+                    rec.writes.push((Loc::FpReg(r.index()), v.to_bits()));
+                }
+            }};
+        }
+
+        match instr {
+            Instr::IntOp { op, rd, ra, rb } => {
+                let a = read_r!(ra);
+                let b = match rb {
+                    Operand::Reg(r) => read_r!(r),
+                    Operand::Imm(v) => v as i64 as u64,
+                };
+                let v = eval_int_op(op, a, b);
+                write_r!(rd, v);
+            }
+            Instr::Li { rd, imm } => {
+                write_r!(rd, imm as u64);
+            }
+            Instr::FpOp { op, fd, fa, fb } => {
+                let a = read_f!(fa);
+                let b = read_f!(fb);
+                let v = match op {
+                    FpOp::Add => a + b,
+                    FpOp::Sub => a - b,
+                    FpOp::Mul => a * b,
+                    FpOp::Div => a / b,
+                };
+                write_f!(fd, v);
+            }
+            Instr::FpUn { op, fd, fa } => {
+                let a = read_f!(fa);
+                let v = match op {
+                    FpUnOp::Sqrt => a.sqrt(),
+                    FpUnOp::Neg => -a,
+                    FpUnOp::Abs => a.abs(),
+                    FpUnOp::Mov => a,
+                };
+                write_f!(fd, v);
+            }
+            Instr::FpCmp { op, rd, fa, fb } => {
+                let a = read_f!(fa);
+                let b = read_f!(fb);
+                let v = match op {
+                    FpCmpOp::Eq => a == b,
+                    FpCmpOp::Lt => a < b,
+                    FpCmpOp::Le => a <= b,
+                } as u64;
+                write_r!(rd, v);
+            }
+            Instr::LoadInt { rd, base, disp } => {
+                let addr = read_r!(base).wrapping_add(disp as i64 as u64);
+                let v = self.mem.read(addr);
+                rec.reads.push((Loc::Mem(addr), v));
+                write_r!(rd, v);
+            }
+            Instr::StoreInt { rs, base, disp } => {
+                let v = read_r!(rs);
+                let addr = read_r!(base).wrapping_add(disp as i64 as u64);
+                self.mem.write(addr, v);
+                rec.writes.push((Loc::Mem(addr), v));
+            }
+            Instr::LoadFp { fd, base, disp } => {
+                let addr = read_r!(base).wrapping_add(disp as i64 as u64);
+                let bits = self.mem.read(addr);
+                rec.reads.push((Loc::Mem(addr), bits));
+                write_f!(fd, f64::from_bits(bits));
+            }
+            Instr::StoreFp { fs, base, disp } => {
+                let v = read_f!(fs);
+                let addr = read_r!(base).wrapping_add(disp as i64 as u64);
+                self.mem.write(addr, v.to_bits());
+                rec.writes.push((Loc::Mem(addr), v.to_bits()));
+            }
+            Instr::Itof { fd, ra } => {
+                let a = read_r!(ra);
+                write_f!(fd, a as i64 as f64);
+            }
+            Instr::Ftoi { rd, fa } => {
+                let a = read_f!(fa);
+                // `as` saturates on overflow and maps NaN to 0: deterministic.
+                write_r!(rd, a as i64 as u64);
+            }
+            Instr::Branch { cond, ra, target } => {
+                let v = read_r!(ra);
+                if cond.eval(v) {
+                    rec.next_pc = target;
+                }
+            }
+            Instr::Jump { target } => {
+                rec.next_pc = target;
+            }
+            Instr::Jsr { link, target } => {
+                write_r!(link, (pc + 1) as u64);
+                rec.next_pc = target;
+            }
+            Instr::JmpReg { ra } => {
+                let v = read_r!(ra);
+                if v as usize >= self.program.instrs.len() {
+                    return Err(VmError::BadJumpTarget { pc, target: v });
+                }
+                rec.next_pc = v as u32;
+            }
+            Instr::Halt => return Ok(StepResult::Halted),
+            Instr::Nop => {}
+        }
+
+        self.pc = rec.next_pc;
+        self.executed += 1;
+        Ok(StepResult::Executed(rec))
+    }
+
+    /// Run until `halt` or until `budget` instructions have executed,
+    /// pushing every record to `sink`.
+    pub fn run(&mut self, budget: u64, sink: &mut impl StreamSink) -> Result<RunOutcome, VmError> {
+        let mut n = 0u64;
+        while n < budget {
+            match self.step()? {
+                StepResult::Executed(rec) => {
+                    sink.observe(&rec);
+                    n += 1;
+                }
+                StepResult::Halted => {
+                    sink.finish();
+                    return Ok(RunOutcome::Halted { executed: n });
+                }
+            }
+        }
+        sink.finish();
+        Ok(RunOutcome::BudgetExhausted { executed: n })
+    }
+}
+
+#[inline]
+fn eval_int_op(op: IntOp, a: u64, b: u64) -> u64 {
+    match op {
+        IntOp::Add => a.wrapping_add(b),
+        IntOp::Sub => a.wrapping_sub(b),
+        IntOp::Mul => a.wrapping_mul(b),
+        IntOp::And => a & b,
+        IntOp::Or => a | b,
+        IntOp::Xor => a ^ b,
+        IntOp::Sll => a << (b & 63),
+        IntOp::Srl => a >> (b & 63),
+        IntOp::Sra => ((a as i64) >> (b & 63)) as u64,
+        IntOp::CmpEq => (a == b) as u64,
+        IntOp::CmpLt => ((a as i64) < (b as i64)) as u64,
+        IntOp::CmpLe => ((a as i64) <= (b as i64)) as u64,
+        IntOp::CmpUlt => (a < b) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlr_asm::assemble;
+    use tlr_isa::CollectSink;
+
+    fn run_source(src: &str, budget: u64) -> (Vm, Vec<DynInstr>, RunOutcome) {
+        let prog = assemble(src).expect("assembly failed");
+        let mut vm = Vm::new(&prog);
+        let mut sink = CollectSink::default();
+        let outcome = vm.run(budget, &mut sink).expect("vm error");
+        (vm, sink.records, outcome)
+    }
+
+    #[test]
+    fn arithmetic_loop_sums() {
+        let (vm, recs, outcome) = run_source(
+            r#"
+            li      r1, 0        ; sum
+            li      r2, 5        ; i
+    loop:   addq    r1, r1, r2
+            subq    r2, r2, 1
+            bnez    r2, loop
+            halt
+            "#,
+            1000,
+        );
+        assert!(matches!(outcome, RunOutcome::Halted { .. }));
+        assert_eq!(vm.peek_loc(Loc::IntReg(1)), 15); // 5+4+3+2+1
+        // 2 setup + 5 iterations * 3 instructions
+        assert_eq!(recs.len(), 17);
+    }
+
+    #[test]
+    fn loads_and_stores_record_memory_locations() {
+        let (vm, recs, _) = run_source(
+            r#"
+            .org 100
+    v:      .word 7
+            li      r1, v
+            ldq     r2, 0(r1)
+            addq    r2, r2, 1
+            stq     r2, 1(r1)
+            halt
+            "#,
+            100,
+        );
+        assert_eq!(vm.memory().read(101), 8);
+        let load = &recs[1];
+        assert!(load.reads.iter().any(|(l, v)| *l == Loc::Mem(100) && *v == 7));
+        let store = &recs[3];
+        assert!(store.writes.iter().any(|(l, v)| *l == Loc::Mem(101) && *v == 8));
+    }
+
+    #[test]
+    fn zero_register_is_not_a_location() {
+        let (_, recs, _) = run_source(
+            r#"
+            addq    zero, zero, 5   ; write discarded, reads unrecorded
+            mov     r1, zero
+            halt
+            "#,
+            10,
+        );
+        assert!(recs[0].reads.is_empty());
+        assert!(recs[0].writes.is_empty());
+        // mov r1, zero reads nothing (zero reg) and writes r1 = 0.
+        assert!(recs[1].reads.is_empty());
+        assert_eq!(recs[1].writes.as_slice(), &[(Loc::IntReg(1), 0)]);
+    }
+
+    #[test]
+    fn fp_pipeline_works() {
+        let (vm, _, _) = run_source(
+            r#"
+            .org 0
+    a:      .double 2.25
+            li      r1, a
+            ldt     f1, 0(r1)
+            sqrtt   f2, f1
+            addt    f3, f2, f2
+            stt     f3, 1(r1)
+            halt
+            "#,
+            100,
+        );
+        assert_eq!(vm.memory().read_f64(1), 3.0);
+    }
+
+    #[test]
+    fn fp_compare_and_branch() {
+        let (vm, _, _) = run_source(
+            r#"
+            .org 0
+    vals:   .double 1.5, 2.5
+            li      r1, vals
+            ldt     f1, 0(r1)
+            ldt     f2, 1(r1)
+            cmptlt  r2, f1, f2
+            beqz    r2, nope
+            li      r3, 111
+            halt
+    nope:   li      r3, 222
+            halt
+            "#,
+            100,
+        );
+        assert_eq!(vm.peek_loc(Loc::IntReg(3)), 111);
+    }
+
+    #[test]
+    fn jsr_and_ret() {
+        let (vm, recs, _) = run_source(
+            r#"
+            jsr     r26, fn
+            li      r2, 99
+            halt
+    fn:     li      r1, 42
+            ret     r26
+            "#,
+            100,
+        );
+        assert_eq!(vm.peek_loc(Loc::IntReg(1)), 42);
+        assert_eq!(vm.peek_loc(Loc::IntReg(2)), 99);
+        // jsr writes the link register.
+        assert_eq!(recs[0].writes.as_slice(), &[(Loc::IntReg(26), 1)]);
+        assert_eq!(recs[0].next_pc, 3);
+    }
+
+    #[test]
+    fn budget_exhaustion() {
+        let (_, recs, outcome) = run_source("loop: br loop\n", 25);
+        assert_eq!(outcome, RunOutcome::BudgetExhausted { executed: 25 });
+        assert_eq!(recs.len(), 25);
+    }
+
+    #[test]
+    fn pc_out_of_range_reported() {
+        // A program with no halt falls off the end.
+        let prog = assemble("nop\n").unwrap();
+        let mut vm = Vm::new(&prog);
+        let mut sink = CollectSink::default();
+        let err = vm.run(10, &mut sink).unwrap_err();
+        assert_eq!(err, VmError::PcOutOfRange { pc: 1 });
+    }
+
+    #[test]
+    fn bad_indirect_jump_reported() {
+        let (prog, _) = (assemble("li r1, 999\njmp r1\nhalt\n").unwrap(), ());
+        let mut vm = Vm::new(&prog);
+        assert!(matches!(vm.step(), Ok(StepResult::Executed(_))));
+        assert_eq!(
+            vm.step().unwrap_err(),
+            VmError::BadJumpTarget { pc: 1, target: 999 }
+        );
+    }
+
+    #[test]
+    fn apply_trace_updates_state_and_pc() {
+        let prog = assemble("nop\nnop\nnop\nhalt\n").unwrap();
+        let mut vm = Vm::new(&prog);
+        vm.apply_trace(
+            [(Loc::IntReg(5), 77), (Loc::Mem(10), 88), (Loc::FpReg(2), 2.5f64.to_bits())],
+            3,
+        )
+        .unwrap();
+        assert_eq!(vm.pc(), 3);
+        assert_eq!(vm.peek_loc(Loc::IntReg(5)), 77);
+        assert_eq!(vm.peek_loc(Loc::Mem(10)), 88);
+        assert_eq!(vm.peek_loc(Loc::FpReg(2)), 2.5f64.to_bits());
+        // Continuing from the applied PC halts immediately.
+        assert_eq!(vm.step().unwrap(), StepResult::Halted);
+    }
+
+    #[test]
+    fn apply_trace_rejects_bad_next_pc() {
+        let prog = assemble("halt\n").unwrap();
+        let mut vm = Vm::new(&prog);
+        assert!(vm.apply_trace([], 5).is_err());
+    }
+
+    #[test]
+    fn int_op_semantics() {
+        assert_eq!(eval_int_op(IntOp::Add, u64::MAX, 1), 0);
+        assert_eq!(eval_int_op(IntOp::Sub, 0, 1), u64::MAX);
+        assert_eq!(eval_int_op(IntOp::Mul, u64::MAX, 2), u64::MAX - 1); // wraps mod 2^64
+        assert_eq!(eval_int_op(IntOp::Sll, 1, 65), 2); // shift mod 64
+        assert_eq!(eval_int_op(IntOp::Sra, (-8i64) as u64, 1), (-4i64) as u64);
+        assert_eq!(eval_int_op(IntOp::CmpLt, (-1i64) as u64, 0), 1);
+        assert_eq!(eval_int_op(IntOp::CmpUlt, (-1i64) as u64, 0), 0);
+        assert_eq!(eval_int_op(IntOp::CmpLe, 3, 3), 1);
+        assert_eq!(eval_int_op(IntOp::CmpEq, 3, 4), 0);
+    }
+
+    #[test]
+    fn determinism_same_program_same_stream() {
+        let src = r#"
+            li      r1, 10
+            li      r2, 0x100
+    loop:   stq     r1, 0(r2)
+            ldq     r3, 0(r2)
+            mulq    r3, r3, r3
+            addq    r2, r2, 1
+            subq    r1, r1, 1
+            bnez    r1, loop
+            halt
+        "#;
+        let (_, a, _) = run_source(src, 10_000);
+        let (_, b, _) = run_source(src, 10_000);
+        assert_eq!(a, b);
+    }
+}

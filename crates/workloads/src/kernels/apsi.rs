@@ -1,0 +1,118 @@
+//! `apsi` — mesoscale meteorology (SPECfp95 141.apsi).
+//!
+//! Mid-pack FP benchmark: moderate reusability (~75%), short traces
+//! (~4), small speed-ups.
+//!
+//! Mechanism: temperature advection over a *static terrain field*. Per
+//! grid point, the terrain lookups, slope interpolation and addressing
+//! all repeat every sweep (R); the temperature value itself evolves
+//! (pressure forcing added each step), so the load/update/store of `t[i]`
+//! is fresh (F). The F burst is deliberately interleaved mid-body so
+//! maximal reusable runs stay short even though overall reusability is
+//! fair.
+
+use crate::{PaperRefs, Suite, Workload};
+use tlr_asm::{assemble, Program};
+use tlr_util::Xoshiro256StarStar;
+
+const N: u64 = 96;
+const TERRAIN: u64 = 0x1000;
+const TEMP: u64 = 0x2000;
+const COEFF: u64 = 0x800;
+
+fn source(iters: u32) -> String {
+    format!(
+        r#"
+        .equ    TERRAIN, {TERRAIN}
+        .equ    TEMP, {TEMP}
+        .equ    COEFF, {COEFF}
+        .equ    N, {N}
+
+        li      r9, {iters}
+sweep:  li      r1, 0               ; index
+        li      r2, N
+        subq    r2, r2, 1
+        li      r7, TERRAIN
+        li      r6, TEMP
+        li      r8, COEFF
+inner:  addq    r4, r7, r1          ; R: &terrain[i]
+        ldt     f1, 0(r4)           ; R: static terrain
+        ldt     f2, 1(r4)           ; R
+        subt    f3, f2, f1          ; R: slope
+        ldt     f4, 0(r8)           ; R: gradient coefficient
+        mult    f5, f3, f4          ; R: forcing term (static per i)
+        addq    r5, r6, r1          ; R: &t[i]
+        ldt     f6, 0(r5)           ; F: evolving temperature
+        addt    f7, f6, f5          ; F
+        ldt     f8, 1(r8)           ; R: drift constant
+        addt    f7, f7, f8          ; F: strict drift keeps values fresh
+        stt     f7, 0(r5)           ; F
+        addq    r1, r1, 1           ; R
+        subq    r2, r2, 1           ; R
+        bnez    r2, inner           ; R
+        subq    r9, r9, 1           ; F
+        bnez    r9, sweep           ; F
+        halt
+"#
+    )
+}
+
+fn build(seed: u64, iters: u32) -> Program {
+    let mut prog = assemble(&source(iters)).expect("apsi kernel must assemble");
+    let mut rng = Xoshiro256StarStar::new(seed ^ 0x0a_9651);
+    prog.data.push((COEFF, 0.0625f64.to_bits()));
+    prog.data.push((COEFF + 1, 0.03125f64.to_bits()));
+    for i in 0..=N {
+        prog.data
+            .push((TERRAIN + i, rng.next_f64_in(0.0, 100.0).to_bits()));
+    }
+    for i in 0..N {
+        prog.data
+            .push((TEMP + i, rng.next_f64_in(260.0, 300.0).to_bits()));
+    }
+    prog
+}
+
+/// Register the workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "apsi",
+        suite: Suite::Fp,
+        description: "temperature advection over static terrain: static interpolation \
+                      reuses, evolving temperature interleaves fresh bursts (short traces)",
+        paper: PaperRefs {
+            reusability_pct: 75.0,
+            ilr_speedup_inf: 1.3,
+            ilr_speedup_w256: 1.25,
+            tlr_speedup_inf: 1.5,
+            tlr_speedup_w256: 2.0,
+            trace_size: 4.5,
+        },
+        default_iters: 300,
+        build,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::profile;
+
+    #[test]
+    fn reusability_is_moderate_traces_short() {
+        let prog = build(11, 40);
+        let p = profile(&prog, 60_000);
+        assert!(
+            (60.0..88.0).contains(&p.pct()),
+            "apsi reusability {}",
+            p.pct()
+        );
+        assert!(
+            p.avg_trace() < 12.0,
+            "apsi traces too long: {}",
+            p.avg_trace()
+        );
+        // More reusable than applu's band.
+        assert!(p.pct() > 55.0);
+    }
+}

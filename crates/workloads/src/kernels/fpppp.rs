@@ -1,0 +1,136 @@
+//! `fpppp` — quantum chemistry two-electron integrals (SPECfp95
+//! 145.fpppp).
+//!
+//! The real program is famous for enormous straight-line basic blocks of
+//! floating-point code. In the paper it shows decent instruction-level
+//! reusability but almost no ILR speed-up (Figure 4a: ≈1.0) and short
+//! traces with little TLR gain.
+//!
+//! Mechanism: a large *generated* straight-line block (built with
+//! [`tlr_asm::ProgramBuilder`], as the real code is compiler-unrolled)
+//! evaluating integral-like contractions. Most operands are static basis
+//! coefficients (R loads and R products of static values), but every few
+//! operations the running contraction accumulates into an evolving total
+//! (F), so reusable runs stay short and the critical path — the fresh
+//! accumulator chain of 1-and-4-cycle ops — is untouchable by reuse.
+
+use crate::{PaperRefs, Suite, Workload};
+use tlr_asm::{Program, ProgramBuilder};
+use tlr_isa::{FReg, Reg};
+use tlr_util::Xoshiro256StarStar;
+
+const COEFF: u64 = 0x1000;
+/// Static coefficients in the block.
+const N_COEFF: u64 = 128;
+/// Contraction groups per straight-line block.
+const GROUPS: usize = 40;
+
+fn build(seed: u64, iters: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let mut rng = Xoshiro256StarStar::new(seed ^ 0xf9_9990);
+
+    b.org(COEFF);
+    let coeffs: Vec<f64> = (0..N_COEFF).map(|_| rng.next_f64_in(0.1, 2.0)).collect();
+    b.doubles(&coeffs);
+
+    let r_iter = Reg::new(9);
+    let r_base = Reg::new(8);
+    let f_acc = FReg::new(20); // evolving total (F chain)
+    let f_drift = FReg::new(21);
+
+    b.li(r_iter, iters as i64);
+    b.li(r_base, COEFF as i64);
+    // A tiny strictly-positive drift keeps the accumulator fresh forever.
+    b.ldt(f_drift, 0, r_base);
+    let top = b.here();
+
+    // The straight-line "basic block": GROUPS contraction groups. Each
+    // group loads static coefficients, combines them (all R — the values
+    // repeat every outer iteration), then folds into the evolving
+    // accumulator (F) — the fold is the trace breaker.
+    //
+    // The block *structure* (which coefficient each group touches) is
+    // compiled code: it uses a fixed generator stream so that the code is
+    // identical across seeds — only the coefficient *values* are seeded.
+    let mut pick = Xoshiro256StarStar::new(0x000b_10c4);
+    for _ in 0..GROUPS {
+        let c0 = pick.next_below(N_COEFF) as i32;
+        let c1 = pick.next_below(N_COEFF) as i32;
+        let c2 = pick.next_below(N_COEFF) as i32;
+        let (f1, f2, f3, f4) = (FReg::new(1), FReg::new(2), FReg::new(3), FReg::new(4));
+        b.ldt(f1, c0, r_base); // R
+        b.ldt(f2, c1, r_base); // R
+        b.ldt(f3, c2, r_base); // R
+        b.mult(f4, f1, f2); // R (static × static)
+        b.addt(f4, f4, f3); // R
+        b.mult(f4, f4, f1); // R
+        // Fold into the evolving total: F, breaks the reusable run.
+        b.addt(f_acc, f_acc, f4); // F
+        b.addt(f_acc, f_acc, f_drift); // F
+    }
+    b.subq(r_iter, r_iter, 1); // F (outer counter)
+    b.bnez(r_iter, top);
+    // Publish the total so the block is observable.
+    b.stt(f_acc, (COEFF + N_COEFF) as i32, Reg::ZERO);
+    b.halt();
+    b.build()
+}
+
+/// Register the workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "fpppp",
+        suite: Suite::Fp,
+        description: "giant generated straight-line FP block: static contractions reuse, \
+                      the evolving accumulator chain defeats both reuse levels",
+        paper: PaperRefs {
+            reusability_pct: 84.0,
+            ilr_speedup_inf: 1.05,
+            ilr_speedup_w256: 1.05,
+            tlr_speedup_inf: 1.6,
+            tlr_speedup_w256: 2.2,
+            trace_size: 4.2,
+        },
+        default_iters: 1500,
+        build,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::profile;
+
+    #[test]
+    fn profile_matches_fpppp_shape() {
+        let prog = build(11, 150);
+        let p = profile(&prog, 50_000);
+        assert!(
+            (70.0..92.0).contains(&p.pct()),
+            "fpppp reusability {}",
+            p.pct()
+        );
+        assert!(
+            p.avg_trace() < 10.0,
+            "fpppp traces too long: {}",
+            p.avg_trace()
+        );
+    }
+
+    #[test]
+    fn block_is_straight_line_heavy() {
+        // The generated block should dwarf its loop overhead: branch
+        // density well under 2%.
+        let prog = build(1, 1);
+        let branches = prog
+            .instrs
+            .iter()
+            .filter(|i| i.is_control())
+            .count();
+        assert!(
+            (branches as f64) < 0.02 * prog.len() as f64,
+            "{branches} branches in {} instrs",
+            prog.len()
+        );
+    }
+}

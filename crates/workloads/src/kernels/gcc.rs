@@ -1,0 +1,142 @@
+//! `gcc` — optimizing C compiler (SPECint95 126.gcc).
+//!
+//! In the paper: very reusable (Figure 3 puts it among the highest), yet
+//! with *almost no* speed-up from instruction-level reuse (Figure 4a:
+//! ≈1.0) and a modest trace-level one. The reason: the critical path is
+//! bookkeeping — counters and accumulators taking fresh values — made of
+//! 1-cycle operations that reuse cannot shorten even when it could match
+//! them.
+//!
+//! Mechanism: a lexer-style finite state machine. Tokens from a repeated
+//! source pattern are classified through a static class table and
+//! dispatched through a *jump table* (indirect `jmp`, as compilers'
+//! switch statements compile to). All dispatch work repeats every pass
+//! (R). Each handler increments its class counter — genuinely chained
+//! fresh adds (F) that form the critical path and cap both reuse levels.
+
+use crate::{PaperRefs, Suite, Workload};
+use tlr_asm::{assemble, Program};
+use tlr_util::Xoshiro256StarStar;
+
+const TEXT: u64 = 0x1000;
+const CLASSTBL: u64 = 0x2000; // token -> class
+const COUNTS: u64 = 0x3000; // per-class counters
+const NTOKENS: u64 = 160;
+const VOCAB: u64 = 32;
+const NCLASSES: u64 = 8;
+
+fn source(iters: u32) -> String {
+    // One handler per class: load/increment/store its counter, then
+    // rejoin. Handlers are distinct code (distinct PCs), like a real
+    // switch.
+    let mut handlers = String::new();
+    for c in 0..NCLASSES {
+        handlers.push_str(&format!(
+            r#"
+hand{c}: addq    r5, zero, COUNTS
+        ldq     r6, {c}(r5)         ; F: evolving class counter
+        addq    r6, r6, 1           ; F: the chained critical path
+        stq     r6, {c}(r5)         ; F
+        br      join
+"#
+        ));
+    }
+    format!(
+        r#"
+        .equ    TEXT, {TEXT}
+        .equ    CLASSTBL, {CLASSTBL}
+        .equ    COUNTS, {COUNTS}
+        .equ    NTOKENS, {NTOKENS}
+
+        li      r9, {iters}
+pass:   li      r1, TEXT
+        li      r2, NTOKENS
+tok:    ldq     r3, 0(r1)           ; R: token (pattern repeats)
+        addq    r4, r3, CLASSTBL    ; R
+        ldq     r4, 0(r4)           ; R: class (static table)
+        addq    r4, r4, jumptbl_base ; R: handler table slot
+        ldq     r4, 0(r4)           ; R: handler address (static)
+        jmp     r4                  ; R: switch dispatch
+{handlers}
+join:   addq    r1, r1, 1           ; R
+        subq    r2, r2, 1           ; R
+        bnez    r2, tok             ; R
+        subq    r9, r9, 1           ; F
+        bnez    r9, pass            ; F
+        halt
+
+        .equ    jumptbl_base, 0x4000
+"#
+    )
+}
+
+fn build(seed: u64, iters: u32) -> Program {
+    let mut prog = assemble(&source(iters)).expect("gcc kernel must assemble");
+    let mut rng = Xoshiro256StarStar::new(seed ^ 0x6cc_001);
+    for i in 0..NTOKENS {
+        prog.data.push((TEXT + i, rng.next_below(VOCAB)));
+    }
+    for t in 0..VOCAB {
+        prog.data.push((CLASSTBL + t, rng.next_below(NCLASSES)));
+    }
+    // Jump table: handler code addresses, resolved from labels.
+    for c in 0..NCLASSES {
+        let addr = prog
+            .code_label(&format!("hand{c}"))
+            .expect("handler label must exist");
+        prog.data.push((0x4000 + c, addr as u64));
+    }
+    prog
+}
+
+/// Register the workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "gcc",
+        suite: Suite::Int,
+        description: "lexer FSM with jump-table dispatch: dispatch reuses, but chained \
+                      1-cycle class counters own the critical path (ILR gains ~nothing)",
+        paper: PaperRefs {
+            reusability_pct: 94.0,
+            ilr_speedup_inf: 1.05,
+            ilr_speedup_w256: 1.05,
+            tlr_speedup_inf: 1.5,
+            tlr_speedup_w256: 2.8,
+            trace_size: 16.0,
+        },
+        default_iters: 190,
+        build,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::profile;
+    use tlr_isa::NullSink;
+
+    #[test]
+    fn profile_matches_gcc_shape() {
+        let prog = build(11, 30);
+        let p = profile(&prog, 60_000);
+        assert!(
+            (75.0..96.0).contains(&p.pct()),
+            "gcc reusability {}",
+            p.pct()
+        );
+        assert!(
+            p.avg_trace() < 30.0,
+            "gcc trace size {}",
+            p.avg_trace()
+        );
+    }
+
+    #[test]
+    fn class_counters_add_up_to_token_count() {
+        let prog = build(5, 3);
+        let mut vm = tlr_vm::Vm::new(&prog);
+        vm.run(10_000_000, &mut NullSink).unwrap();
+        let total: u64 = (0..NCLASSES).map(|c| vm.memory().read(COUNTS + c)).sum();
+        assert_eq!(total, 3 * NTOKENS);
+    }
+}

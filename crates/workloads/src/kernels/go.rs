@@ -1,0 +1,134 @@
+//! `go` — game of Go, position evaluation (SPECint95 099.go).
+//!
+//! Mid-pack integer benchmark: high reusability, ≈20-instruction traces,
+//! moderate speed-ups at both levels.
+//!
+//! Mechanism: repeated evaluation rounds over a board that changes only
+//! slightly between rounds (a handful of stones placed/removed, as in
+//! game-tree search re-evaluating siblings). The evaluator walks the
+//! board through a serpentine chase (reusable serial chain), scores each
+//! point from its stone and two neighbours (reusable except around the
+//! mutated cells), and folds row sums into a per-round report indexed by
+//! round (fresh but unchained). Mutation values derive from the round
+//! number, so no long fresh chain forms.
+
+use crate::{PaperRefs, Suite, Workload};
+use tlr_asm::{assemble, Program};
+use tlr_util::Xoshiro256StarStar;
+
+const SIZE: u64 = 192; // board cells (serpentine order)
+const BOARD: u64 = 0x1000;
+const NEXT: u64 = 0x2000; // serpentine successor
+const ROWSUM: u64 = 0x3000;
+const REPORT: u64 = 0x3400;
+
+fn source(iters: u32) -> String {
+    format!(
+        r#"
+        .equ    BOARD, {BOARD}
+        .equ    NEXT, {NEXT}
+        .equ    ROWSUM, {ROWSUM}
+        .equ    REPORT, {REPORT}
+        .equ    SIZE, {SIZE}
+
+        li      r9, {iters}
+        li      r10, 0              ; round number
+        li      r1, 0               ; board cursor: never reset — the
+                                    ; serpentine closes after SIZE steps
+round:  li      r2, SIZE
+        li      r5, 0               ; row accumulator (resets per round)
+cell:   addq    r3, r1, NEXT        ; R
+        ldq     r1, 0(r3)           ; R: serpentine chase (serial chain)
+        addq    r4, r1, BOARD       ; R
+        ldq     r6, 0(r4)           ; R (F near mutated cells)
+        ldq     r7, 1(r4)           ; R: neighbour
+        sll     r8, r6, 2           ; R: pattern score
+        xor     r8, r8, r7          ; R
+        addq    r5, r5, r8          ; R: row accumulator (repeats per round
+                                    ;    for rows without mutations)
+        and     r11, r1, 1          ; R: row report every other cell
+        bnez    r11, norow          ; R
+        sra     r12, r1, 1          ; R: row index
+        addq    r12, r12, ROWSUM    ; R
+        xor     r13, r5, r10        ; F: fold the round number (unchained)
+        stq     r13, 0(r12)         ; F: per-round row report
+        li      r5, 0               ; R
+norow:  subq    r2, r2, 1           ; R
+        bnez    r2, cell            ; R
+        ; Mutate one stone: position and value derived from the round
+        ; number only (fresh burst, no chained accumulator).
+        mulq    r13, r10, 1597334677 ; F: Weyl-style position hash
+        and     r13, r13, 127       ; F
+        addq    r13, r13, BOARD     ; F
+        and     r14, r10, 3         ; F: stone colour/empty
+        stq     r14, 0(r13)         ; F
+        and     r15, r10, 255       ; F
+        addq    r15, r15, REPORT    ; F
+        stq     r5, 0(r15)          ; F: report slot indexed by round
+        addq    r10, r10, 1         ; F
+        subq    r9, r9, 1           ; F
+        bnez    r9, round           ; F
+        halt
+"#
+    )
+}
+
+fn build(seed: u64, iters: u32) -> Program {
+    let mut prog = assemble(&source(iters)).expect("go kernel must assemble");
+    let mut rng = Xoshiro256StarStar::new(seed ^ 0x60_0660);
+    for i in 0..SIZE {
+        prog.data.push((BOARD + i, rng.next_below(3)));
+    }
+    // Serpentine order: a fixed odd-stride walk (coprime with 192: odd
+    // and not divisible by 3).
+    let mut stride = 2 * rng.next_below(SIZE / 2) + 1;
+    if stride.is_multiple_of(3) {
+        stride += 2;
+    }
+    for i in 0..SIZE {
+        prog.data.push((NEXT + i, (i + stride) % SIZE));
+    }
+    prog
+}
+
+/// Register the workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "go",
+        suite: Suite::Int,
+        description: "board evaluation rounds with sparse mutations: serpentine scan \
+                      chains reuse, mutated neighbourhoods inject fresh work",
+        paper: PaperRefs {
+            reusability_pct: 90.0,
+            ilr_speedup_inf: 1.3,
+            ilr_speedup_w256: 1.3,
+            tlr_speedup_inf: 2.2,
+            tlr_speedup_w256: 3.0,
+            trace_size: 18.0,
+        },
+        default_iters: 280,
+        build,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::profile;
+
+    #[test]
+    fn profile_matches_go_shape() {
+        let prog = build(11, 30);
+        let p = profile(&prog, 60_000);
+        assert!(
+            (78.0..97.0).contains(&p.pct()),
+            "go reusability {}",
+            p.pct()
+        );
+        assert!(
+            (6.0..80.0).contains(&p.avg_trace()),
+            "go trace size {}",
+            p.avg_trace()
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! `ijpeg` — JPEG compression (SPECint95 132.ijpeg).
+//!
+//! The paper's trace-level champion for the infinite window: Figure 6a
+//! reports an 11.57× speed-up — the whole per-block transform chain
+//! collapses — with the longest integer traces (≈37).
+//!
+//! Mechanism: DCT-style butterfly transforms over image blocks drawn
+//! from a small pool of distinct pixel rows (smooth images repeat block
+//! content), linked by a DC *predictor* carried from block to block —
+//! JPEG's DC DPCM coding. The predictor advances by a full-period
+//! shift-add recurrence (guaranteed periodic, never reset), so the deep
+//! serial chain it forms across the entire run consists of repeating
+//! 1-cycle operations: trace-level reuse collapses whole blocks of it at
+//! once, while instruction-level reuse gains almost nothing (there is no
+//! latency to shave off a 1-cycle link) — reproducing ijpeg's signature
+//! combination of a huge TLR win with a modest ILR one. One output write
+//! per block is recomputed from the pass number (fresh, unchained).
+
+use crate::{PaperRefs, Suite, Workload};
+use tlr_asm::{assemble, Program};
+use tlr_util::Xoshiro256StarStar;
+
+const BLOCKS: u64 = 128;
+const POOL_ROWS: u64 = 12;
+const BLKIDX: u64 = 0x1000; // block -> pool row
+const POOL: u64 = 0x1100; // pool rows of 8 pixels
+const OUT: u64 = 0x2000;
+
+fn source(iters: u32) -> String {
+    format!(
+        r#"
+        .equ    BLKIDX, {BLKIDX}
+        .equ    POOL, {POOL}
+        .equ    OUT, {OUT}
+        .equ    BLOCKS, {BLOCKS}
+
+        li      r9, {iters}
+        li      r10, 0              ; pass number
+        li      r3, 7               ; DC predictor state: NEVER reset.
+                                    ; It advances by a full-period
+                                    ; shift-add LCG (5c+1 mod 16), so its
+                                    ; value sequence is periodic and the
+                                    ; deep 1-cycle chain through it is
+                                    ; fully reusable — exactly what trace
+                                    ; reuse collapses and instruction
+                                    ; reuse cannot (1-cycle links).
+pass:   li      r1, 0               ; block index
+        li      r2, BLOCKS
+blk:    addq    r4, r1, BLKIDX      ; R
+        ldq     r5, 0(r4)           ; R: pool row id (static mapping)
+        sll     r5, r5, 3           ; R
+        addq    r5, r5, POOL        ; R
+        ldq     r11, 0(r5)          ; R: pixels (pooled rows repeat)
+        ldq     r12, 1(r5)          ; R
+        ldq     r13, 2(r5)          ; R
+        ldq     r14, 3(r5)          ; R
+        ldq     r15, 4(r5)          ; R
+        ldq     r16, 5(r5)          ; R
+        ldq     r17, 6(r5)          ; R
+        ldq     r18, 7(r5)          ; R
+        addq    r11, r11, r3        ; R: DC predictor feeds the butterfly,
+                                    ;    so the whole transform chains
+        addq    r19, r11, r18       ; R: butterfly stage 1
+        subq    r20, r11, r18       ; R
+        addq    r21, r12, r17       ; R
+        subq    r22, r12, r17       ; R
+        addq    r23, r13, r16       ; R
+        subq    r24, r13, r16       ; R
+        addq    r25, r14, r15       ; R
+        subq    r26, r14, r15       ; R
+        addq    r27, r19, r25       ; R: stage 2
+        subq    r28, r19, r25       ; R
+        addq    r19, r21, r23       ; R
+        subq    r21, r21, r23       ; R
+        addq    r27, r27, r19       ; R: DC term
+        sll     r28, r28, 1         ; R
+        xor     r28, r28, r21       ; R
+        xor     r28, r28, r20       ; R
+        xor     r28, r28, r22       ; R
+        xor     r28, r28, r24       ; R
+        xor     r28, r28, r26       ; R
+        ; DC predictor advance: three full-period LCG steps (c = 5c+1
+        ; mod 16 each), the serial spine of the whole run.
+        sll     r29, r3, 2          ; R
+        addq    r3, r3, r29         ; R
+        addq    r3, r3, 1           ; R
+        and     r3, r3, 15          ; R
+        sll     r29, r3, 2          ; R
+        addq    r3, r3, r29         ; R
+        addq    r3, r3, 1           ; R
+        and     r3, r3, 15          ; R
+        sll     r29, r3, 2          ; R
+        addq    r3, r3, r29         ; R
+        addq    r3, r3, 1           ; R
+        and     r3, r3, 15          ; R
+        addq    r7, r1, OUT         ; R
+        xor     r6, r10, r3         ; F: output coefficient (pass-derived)
+        stq     r6, 0(r7)           ; F
+        addq    r1, r1, 1           ; R
+        subq    r2, r2, 1           ; R
+        bnez    r2, blk             ; R
+        addq    r10, r10, 1         ; F
+        subq    r9, r9, 1           ; F
+        bnez    r9, pass            ; F
+        halt
+"#
+    )
+}
+
+fn build(seed: u64, iters: u32) -> Program {
+    let mut prog = assemble(&source(iters)).expect("ijpeg kernel must assemble");
+    let mut rng = Xoshiro256StarStar::new(seed ^ 0x13_9e61);
+    for b in 0..BLOCKS {
+        prog.data.push((BLKIDX + b, rng.next_below(POOL_ROWS)));
+    }
+    for r in 0..POOL_ROWS {
+        for p in 0..8 {
+            prog.data.push((POOL + r * 8 + p, rng.next_below(256)));
+        }
+    }
+    prog
+}
+
+/// Register the workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "ijpeg",
+        suite: Suite::Int,
+        description: "DCT butterflies over pooled blocks linked by the DC predictor chain: \
+                      the whole per-pass chain is reusable (the paper's 11.6x TLR standout)",
+        paper: PaperRefs {
+            reusability_pct: 96.0,
+            ilr_speedup_inf: 1.3,
+            ilr_speedup_w256: 1.3,
+            tlr_speedup_inf: 11.57,
+            tlr_speedup_w256: 8.0,
+            trace_size: 36.7,
+        },
+        default_iters: 160,
+        build,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::profile;
+
+    #[test]
+    fn profile_matches_ijpeg_shape() {
+        let prog = build(11, 30);
+        let p = profile(&prog, 60_000);
+        assert!(
+            p.pct() > 88.0,
+            "ijpeg reusability {}",
+            p.pct()
+        );
+        assert!(
+            (20.0..60.0).contains(&p.avg_trace()),
+            "ijpeg trace size {}",
+            p.avg_trace()
+        );
+    }
+}

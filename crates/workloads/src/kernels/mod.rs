@@ -1,0 +1,113 @@
+//! The 14 SPEC95-named kernels.
+//!
+//! ## The four dials every kernel is built around
+//!
+//! The limit studies respond to exactly four stream properties, so each
+//! kernel is a deliberate mix of four ingredient classes:
+//!
+//! * **R — repeating work**: instructions whose (PC, input values) recur
+//!   (loads of stable tables, inner-loop control that restarts every
+//!   outer iteration, arithmetic over pooled values). Raises Figure 3
+//!   reusability.
+//! * **F — fresh work**: instructions that see new values every time
+//!   (global accumulators, time-evolving fields, outermost counters).
+//!   Caps reusability and *breaks traces*: the average maximal-run length
+//!   (Figure 7) is roughly the R:F interleave period.
+//! * **Critical-path composition**: if the longest dataflow chain is made
+//!   of R-instructions, trace reuse collapses it and the infinite-window
+//!   speed-up (Figure 6a) is large (`ijpeg`, `hydro2d`, `turb3d`); if it
+//!   is F (a serial accumulator), infinite-window TLR gains ≈ nothing
+//!   (`perl` at 1.01) and only the window-bypass effect (Figure 6b)
+//!   remains.
+//! * **Latency on the reusable path**: reusable multiplies (8 cycles) or
+//!   sqrt (30) give instruction-level reuse something to shorten
+//!   (`turb3d` at 4.0, `compress` at 2.5); reusable 1-cycle ALU chains
+//!   give it nothing (`gcc`, `fpppp` ≈ 1.0).
+//!
+//! Every kernel documents its mix in these terms. Iteration counts are
+//! parameterized; data images are seeded and generated in Rust.
+
+pub mod applu;
+pub mod apsi;
+pub mod compress;
+pub mod fpppp;
+pub mod gcc;
+pub mod go;
+pub mod hydro2d;
+pub mod ijpeg;
+pub mod li;
+pub mod perl;
+pub mod su2cor;
+pub mod tomcatv;
+pub mod turb3d;
+pub mod vortex;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared profile-measurement helpers for kernel unit tests (a local
+    //! reusability counter so this crate does not dev-depend on
+    //! `tlr-core`).
+
+    use tlr_asm::Program;
+    use tlr_isa::{DynInstr, StreamSink};
+    use tlr_util::FxHashSet;
+    use tlr_vm::Vm;
+
+    #[derive(Default)]
+    pub struct ReuseProfile {
+        seen: FxHashSet<(u32, u128)>,
+        pub total: u64,
+        pub reusable: u64,
+        /// Current run of reusable instructions.
+        run: u64,
+        /// Completed maximal runs (count, instr sum).
+        pub runs: u64,
+        pub run_instrs: u64,
+    }
+
+    impl ReuseProfile {
+        pub fn pct(&self) -> f64 {
+            100.0 * self.reusable as f64 / self.total as f64
+        }
+
+        pub fn avg_trace(&self) -> f64 {
+            if self.runs == 0 {
+                0.0
+            } else {
+                self.run_instrs as f64 / self.runs as f64
+            }
+        }
+
+        fn close_run(&mut self) {
+            if self.run > 0 {
+                self.runs += 1;
+                self.run_instrs += self.run;
+                self.run = 0;
+            }
+        }
+    }
+
+    impl StreamSink for ReuseProfile {
+        fn observe(&mut self, d: &DynInstr) {
+            self.total += 1;
+            if !self.seen.insert((d.pc, d.input_signature())) {
+                self.reusable += 1;
+                self.run += 1;
+            } else {
+                self.close_run();
+            }
+        }
+
+        fn finish(&mut self) {
+            self.close_run();
+        }
+    }
+
+    /// Run `prog` for `budget` instructions and profile reusability.
+    pub fn profile(prog: &Program, budget: u64) -> ReuseProfile {
+        let mut vm = Vm::new(prog);
+        let mut p = ReuseProfile::default();
+        vm.run(budget, &mut p).expect("kernel must execute cleanly");
+        p
+    }
+}

@@ -1,0 +1,127 @@
+//! `perl` — Perl interpreter (SPECint95 134.perl).
+//!
+//! The paper's cautionary tale: reusability is high, yet the
+//! infinite-window trace-level speed-up is **1.01** — the lowest of the
+//! suite — while the limited-window run still gains from fetch/window
+//! bypass. The critical path simply is not reusable.
+//!
+//! Mechanism: hashing words from a fixed dictionary into a symbol table.
+//! Per-word work (rolling hash over the word's characters, bucket probe)
+//! repeats exactly — every word is from the dictionary — so most
+//! instructions are reusable. But the interpreter's *global state* chain
+//! `g = g × 31 + h(word)` takes a fresh value on every word forever: an
+//! unbreakable serial multiply chain that neither reuse level can touch.
+//! Bucket hit counters add mid-word fresh bursts that keep traces near
+//! the paper's ≈15.
+
+use crate::{PaperRefs, Suite, Workload};
+use tlr_asm::{assemble, Program};
+use tlr_util::Xoshiro256StarStar;
+
+const NWORDS: u64 = 64;
+const WORDLEN: u64 = 8;
+const WORDS: u64 = 0x1000; // dictionary: NWORDS × WORDLEN chars
+const BUCKETS: u64 = 0x2000; // hit counters
+const GLOBAL: u64 = 0x2f00;
+const SEQ: u64 = 0x3000; // word sequence (indices into dictionary)
+const SEQLEN: u64 = 128;
+
+fn source(iters: u32) -> String {
+    format!(
+        r#"
+        .equ    WORDS, {WORDS}
+        .equ    BUCKETS, {BUCKETS}
+        .equ    GLOBAL, {GLOBAL}
+        .equ    SEQ, {SEQ}
+        .equ    SEQLEN, {SEQLEN}
+        .equ    WORDLEN, {WORDLEN}
+
+        li      r9, {iters}
+        ldq     r10, GLOBAL(zero)   ; global interpreter state (F chain)
+pass:   li      r1, 0               ; sequence cursor
+        li      r2, SEQLEN
+word:   addq    r3, r1, SEQ         ; R
+        ldq     r4, 0(r3)           ; R: word index (sequence repeats)
+        sll     r5, r4, 3           ; R
+        addq    r5, r5, WORDS       ; R: word base
+        li      r6, WORDLEN         ; R
+        li      r7, 5381            ; R: per-word hash seed (djb2-style)
+hchar:  ldq     r8, 0(r5)           ; R: character (dictionary is static)
+        mulq    r7, r7, 33          ; R: rolling hash (repeats per word)
+        addq    r7, r7, r8          ; R
+        addq    r5, r5, 1           ; R
+        subq    r6, r6, 1           ; R
+        bnez    r6, hchar           ; R
+        and     r11, r7, 63         ; R: bucket index
+        addq    r11, r11, BUCKETS   ; R
+        ldq     r12, 0(r11)         ; F: hit counter (evolves per bucket)
+        addq    r12, r12, 1         ; F
+        stq     r12, 0(r11)         ; F
+        mulq    r10, r10, 31        ; F: GLOBAL STATE — the serial chain
+        addq    r10, r10, r7        ; F:   no value ever repeats
+        addq    r1, r1, 1           ; R
+        subq    r2, r2, 1           ; R
+        bnez    r2, word            ; R
+        subq    r9, r9, 1           ; F
+        bnez    r9, pass            ; F
+        halt
+"#
+    )
+}
+
+fn build(seed: u64, iters: u32) -> Program {
+    let mut prog = assemble(&source(iters)).expect("perl kernel must assemble");
+    let mut rng = Xoshiro256StarStar::new(seed ^ 0x9e_4151);
+    for w in 0..NWORDS {
+        for c in 0..WORDLEN {
+            prog.data.push((WORDS + w * WORDLEN + c, 32 + rng.next_below(96)));
+        }
+    }
+    for i in 0..SEQLEN {
+        prog.data.push((SEQ + i, rng.next_below(NWORDS)));
+    }
+    prog.data.push((GLOBAL, 0x9e3779b97f4a7c15 ^ seed));
+    prog
+}
+
+/// Register the workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "perl",
+        suite: Suite::Int,
+        description: "word hashing with a fresh global-state multiply chain: reusable \
+                      bodies, unreusable critical path (the paper's 1.01x TLR case)",
+        paper: PaperRefs {
+            reusability_pct: 88.0,
+            ilr_speedup_inf: 1.2,
+            ilr_speedup_w256: 1.2,
+            tlr_speedup_inf: 1.01,
+            tlr_speedup_w256: 2.0,
+            trace_size: 15.0,
+        },
+        default_iters: 75,
+        build,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::profile;
+
+    #[test]
+    fn profile_matches_perl_shape() {
+        let prog = build(11, 10);
+        let p = profile(&prog, 60_000);
+        assert!(
+            (80.0..96.0).contains(&p.pct()),
+            "perl reusability {}",
+            p.pct()
+        );
+        assert!(
+            (6.0..40.0).contains(&p.avg_trace()),
+            "perl trace size {}",
+            p.avg_trace()
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! `su2cor` — quantum chromodynamics, quenched SU(2) gauge field
+//! (SPECfp95 103.su2cor).
+//!
+//! Mid-to-high FP benchmark: good reusability, ≈30-instruction traces,
+//! moderate trace-level speed-up.
+//!
+//! Mechanism: the gauge configuration is *quenched* — link matrices are
+//! drawn from a small pool of distinct values and never updated. Sweeps
+//! walk the links through a static permutation (a dependent load chain,
+//! which is the reusable critical path), load the link's pooled matrix
+//! elements and form plaquette-like products — all repeating exactly
+//! every sweep. A per-pair diagnostic recomputed from the sweep number
+//! (fresh values, but *not* serially chained) breaks traces every couple
+//! of links; one genuinely chained accumulator per sweep keeps a thin
+//! fresh spine.
+
+use crate::{PaperRefs, Suite, Workload};
+use tlr_asm::{assemble, Program};
+use tlr_util::Xoshiro256StarStar;
+
+const LINKS: u64 = 256;
+const POOL_SIZE: u64 = 8;
+const PERM: u64 = 0x1000; // next-link permutation
+const POOLIDX: u64 = 0x1400; // link -> pool index
+const POOL: u64 = 0x1800; // pool of 4-double "matrices"
+const SITE: u64 = 0x2000; // per-link results
+const SCRATCH: u64 = 0x2800; // diagnostics
+const ACC: u64 = 0x2ff0;
+
+fn source(iters: u32) -> String {
+    format!(
+        r#"
+        .equ    PERM, {PERM}
+        .equ    POOLIDX, {POOLIDX}
+        .equ    POOL, {POOL}
+        .equ    SITE, {SITE}
+        .equ    SCRATCH, {SCRATCH}
+        .equ    ACC, {ACC}
+        .equ    LINKS, {LINKS}
+
+        li      r9, {iters}
+        li      r10, 0              ; sweep number
+        li      r1, 0               ; chase cursor: never reset — the link
+                                    ; permutation closes after LINKS steps
+sweep:  li      r2, LINKS
+        fmov    f9, f31             ; R: zero the per-sweep action
+link:   addq    r3, r1, PERM        ; R
+        ldq     r1, 0(r3)           ; R: chase to next link (serial chain)
+        addq    r4, r1, POOLIDX     ; R
+        ldq     r5, 0(r4)           ; R: pool index (pooled, repeats)
+        sll     r6, r5, 2           ; R
+        addq    r6, r6, POOL        ; R
+        ldt     f1, 0(r6)           ; R: matrix elements (pooled)
+        ldt     f2, 1(r6)           ; R
+        ldt     f3, 2(r6)           ; R
+        ldt     f4, 3(r6)           ; R
+        mult    f5, f1, f4          ; R: plaquette-ish determinant terms
+        mult    f6, f2, f3          ; R
+        subt    f7, f5, f6          ; R
+        addq    r7, r1, SITE        ; R
+        stt     f7, 0(r7)           ; R: same value every sweep
+        and     r8, r1, 1           ; R: every other link...
+        bnez    r8, skipd           ; R
+        itof    f8, r10             ; F: diagnostic from sweep number
+        mult    f8, f8, f7          ; F (fresh × pooled)
+        addq    r7, r1, SCRATCH     ; R
+        stt     f8, 0(r7)           ; F
+skipd:  addt    f9, f9, f7          ; R: sweep action (resets every sweep)
+        subq    r2, r2, 1           ; R
+        bnez    r2, link            ; R
+        ldt     f10, ACC(zero)      ; F: global action (chained across sweeps)
+        addt    f10, f10, f9        ; F
+        stt     f10, ACC(zero)      ; F
+        addq    r10, r10, 1         ; F
+        subq    r9, r9, 1           ; F
+        bnez    r9, sweep           ; F
+        halt
+"#
+    )
+}
+
+fn build(seed: u64, iters: u32) -> Program {
+    let mut prog = assemble(&source(iters)).expect("su2cor kernel must assemble");
+    let mut rng = Xoshiro256StarStar::new(seed ^ 0x52c_071);
+    // Single-cycle permutation over the links (a rotated index walk with
+    // a seeded stride that is coprime to LINKS keeps it one cycle).
+    let stride = 2 * rng.next_below(LINKS / 2) + 1; // odd => coprime to 256
+    for i in 0..LINKS {
+        prog.data.push((PERM + i, (i + stride) % LINKS));
+    }
+    for i in 0..LINKS {
+        prog.data.push((POOLIDX + i, rng.next_below(POOL_SIZE)));
+    }
+    for m in 0..POOL_SIZE {
+        for e in 0..4 {
+            prog.data.push((
+                POOL + m * 4 + e,
+                rng.next_f64_in(-1.0, 1.0).to_bits(),
+            ));
+        }
+    }
+    prog
+}
+
+/// Register the workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "su2cor",
+        suite: Suite::Fp,
+        description: "quenched gauge sweeps: pooled link matrices and a permutation-chase \
+                      chain reuse; sweep-number diagnostics break traces every other link",
+        paper: PaperRefs {
+            reusability_pct: 85.0,
+            ilr_speedup_inf: 1.5,
+            ilr_speedup_w256: 1.4,
+            tlr_speedup_inf: 2.5,
+            tlr_speedup_w256: 3.2,
+            trace_size: 30.0,
+        },
+        default_iters: 80,
+        build,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::profile;
+
+    #[test]
+    fn profile_matches_su2cor_shape() {
+        let prog = build(11, 15);
+        let p = profile(&prog, 60_000);
+        assert!(
+            (75.0..96.0).contains(&p.pct()),
+            "su2cor reusability {}",
+            p.pct()
+        );
+        assert!(
+            (10.0..80.0).contains(&p.avg_trace()),
+            "su2cor trace size {}",
+            p.avg_trace()
+        );
+    }
+
+    #[test]
+    fn permutation_is_a_single_cycle() {
+        let prog = build(9, 1);
+        let perm: std::collections::HashMap<u64, u64> = prog
+            .data
+            .iter()
+            .filter(|(a, _)| (PERM..PERM + LINKS).contains(a))
+            .map(|(a, v)| (a - PERM, *v))
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut cur = 0u64;
+        for _ in 0..LINKS {
+            assert!(seen.insert(cur), "permutation revisits {cur} early");
+            cur = perm[&cur];
+        }
+        assert_eq!(cur, 0, "permutation must close a single cycle");
+    }
+}

@@ -1,0 +1,154 @@
+//! `tomcatv` — vectorized mesh generation (SPECfp95 101.tomcatv).
+//!
+//! High-reusability FP benchmark with mid-sized traces (≈40) and a solid
+//! trace-level speed-up; its square roots give instruction-level reuse
+//! something real to shorten.
+//!
+//! Mechanism: repeated smoothing passes over a *static* mesh: the
+//! coordinate arrays are read-only, so every distance computation —
+//! including the 30-cycle `sqrtt` — repeats exactly. Cells are visited
+//! through a static permutation chase (serial, reusable). Every third
+//! cell a residual diagnostic is recomputed from the pass number (fresh,
+//! unchained), which breaks traces at the ≈40-instruction scale.
+
+use crate::{PaperRefs, Suite, Workload};
+use tlr_asm::{assemble, Program};
+use tlr_util::Xoshiro256StarStar;
+
+const CELLS: u64 = 96;
+const NEXT: u64 = 0x1000;
+const XS: u64 = 0x1100;
+const YS: u64 = 0x1200;
+const OUT: u64 = 0x1300;
+const SCRATCH: u64 = 0x1400;
+const COEFF: u64 = 0x800;
+
+fn source(iters: u32) -> String {
+    format!(
+        r#"
+        .equ    NEXT, {NEXT}
+        .equ    XS, {XS}
+        .equ    YS, {YS}
+        .equ    OUT, {OUT}
+        .equ    SCRATCH, {SCRATCH}
+        .equ    COEFF, {COEFF}
+        .equ    CELLS, {CELLS}
+
+        li      r9, {iters}
+        li      r10, 0              ; pass number
+        li      r1, 0               ; chase cursor: NEVER reset — the
+                                    ; permutation closes after CELLS steps,
+                                    ; so the serial chase chain runs across
+                                    ; all passes with repeating values
+pass:   li      r2, CELLS
+        li      r11, 0              ; cell counter within pass
+cell:   addq    r3, r1, NEXT        ; R
+        ldq     r1, 0(r3)           ; R: serial chase (critical path)
+        addq    r4, r1, XS          ; R
+        ldt     f1, 0(r4)           ; R: static x
+        addq    r5, r1, YS          ; R
+        ldt     f2, 0(r5)           ; R: static y
+        mult    f3, f1, f1          ; R
+        mult    f4, f2, f2          ; R
+        addt    f5, f3, f4          ; R
+        sqrtt   f6, f5              ; R: 30-cycle op, fully reusable
+        ldt     f7, 0(zero)         ; R: smoothing coefficient (word 0)
+        mult    f8, f6, f7          ; R
+        addq    r6, r1, OUT         ; R
+        stt     f8, 0(r6)           ; R: same smoothed value every pass
+        addq    r11, r11, 1         ; R (resets per pass)
+        mulq    r7, r11, 0xAAAB     ; R: pseudo-period selector (repeats per pass)
+        and     r7, r7, 1           ; R: fires on ~1/2 of cells
+        bnez    r7, skipd           ; R
+        addq    r8, r1, SCRATCH     ; R (kept ahead of the fresh burst so
+                                    ;    the burst stays contiguous)
+        itof    f9, r10             ; F: residual from pass number
+        mult    f9, f9, f8          ; F
+        stt     f9, 0(r8)           ; F
+skipd:  subq    r2, r2, 1           ; R
+        bnez    r2, cell            ; R
+        addq    r10, r10, 1         ; F
+        subq    r9, r9, 1           ; F
+        bnez    r9, pass            ; F
+        halt
+"#
+    )
+}
+
+fn build(seed: u64, iters: u32) -> Program {
+    let mut prog = assemble(&source(iters)).expect("tomcatv kernel must assemble");
+    let mut rng = Xoshiro256StarStar::new(seed ^ 0x70_c47);
+    // Smoothing coefficient lives at word 0 (loaded via 0(zero)).
+    prog.data.push((0, 0.75f64.to_bits()));
+    let stride = 2 * rng.next_below(CELLS / 2) + 1; // odd => coprime to 96? not always
+    // 96 = 2^5 * 3: an odd stride coprime to 96 must also avoid 3.
+    let stride = if stride.is_multiple_of(3) { stride + 2 } else { stride };
+    for i in 0..CELLS {
+        prog.data.push((NEXT + i, (i + stride) % CELLS));
+    }
+    for i in 0..CELLS {
+        prog.data.push((XS + i, rng.next_f64_in(-8.0, 8.0).to_bits()));
+        prog.data.push((YS + i, rng.next_f64_in(-8.0, 8.0).to_bits()));
+    }
+    prog
+}
+
+/// Register the workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "tomcatv",
+        suite: Suite::Fp,
+        description: "mesh smoothing over static coordinates: reusable sqrt-heavy bodies \
+                      on a permutation-chase chain; pass-number residuals break traces",
+        paper: PaperRefs {
+            reusability_pct: 90.0,
+            ilr_speedup_inf: 1.6,
+            ilr_speedup_w256: 1.5,
+            tlr_speedup_inf: 4.0,
+            tlr_speedup_w256: 6.0,
+            trace_size: 45.0,
+        },
+        default_iters: 220,
+        build,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::profile;
+
+    #[test]
+    fn profile_matches_tomcatv_shape() {
+        let prog = build(11, 25);
+        let p = profile(&prog, 60_000);
+        assert!(
+            (80.0..98.0).contains(&p.pct()),
+            "tomcatv reusability {}",
+            p.pct()
+        );
+        assert!(
+            (15.0..120.0).contains(&p.avg_trace()),
+            "tomcatv trace size {}",
+            p.avg_trace()
+        );
+    }
+
+    #[test]
+    fn permutation_visits_every_cell() {
+        let prog = build(23, 1);
+        let next: std::collections::HashMap<u64, u64> = prog
+            .data
+            .iter()
+            .filter(|(a, _)| (NEXT..NEXT + CELLS).contains(a))
+            .map(|(a, v)| (a - NEXT, *v))
+            .collect();
+        let mut cur = 0u64;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..CELLS {
+            assert!(seen.insert(cur));
+            cur = next[&cur];
+        }
+        assert_eq!(seen.len() as u64, CELLS);
+    }
+}

@@ -1,0 +1,216 @@
+#![warn(missing_docs)]
+//! # tlr-workloads
+//!
+//! The workload substrate: 14 kernels named after the paper's SPEC95
+//! subset (7 integer + 7 floating-point), each hand-written in the
+//! trace-reuse ISA to mimic the *value-redundancy profile* that drives
+//! the corresponding benchmark's behaviour in the paper's figures.
+//!
+//! ## Why synthetic kernels are a faithful substitute
+//!
+//! The paper's analyses consume only the dynamic instruction stream with
+//! operand values. What determines every reported number is:
+//!
+//! 1. the fraction of dynamic instructions whose (PC, input values)
+//!    repeat — Figure 3;
+//! 2. whether the *critical dataflow path* consists of repeating values
+//!    (then trace reuse collapses it and beats the dataflow limit —
+//!    Figure 6a) or of fresh values (then only the window-bypass effect
+//!    helps — Figure 6b vs 6a);
+//! 3. the lengths of maximal reusable runs — Figure 7;
+//! 4. the latency mix on reusable critical paths — Figures 4/5/8.
+//!
+//! Each kernel documents which mechanism it exercises and which paper
+//! benchmark it stands in for. The per-benchmark `paper` reference
+//! numbers are digitized (approximately) from the figures and printed
+//! next to measured values by the `reproduce` harness.
+//!
+//! ## Determinism
+//!
+//! A kernel is a pure function of `(seed, iterations)`. Input images are
+//! generated with the workspace's own RNGs, so streams are bit-stable
+//! across platforms and releases.
+
+pub mod kernels;
+pub mod synthetic;
+
+use tlr_asm::Program;
+
+/// Benchmark suite, as the paper splits averages.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Suite {
+    /// SPECint95 subset.
+    Int,
+    /// SPECfp95 subset.
+    Fp,
+}
+
+impl Suite {
+    /// Label used in tables ("INT" / "FP").
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::Int => "INT",
+            Suite::Fp => "FP",
+        }
+    }
+}
+
+/// Paper-reported values for one benchmark, digitized from the figures
+/// (the text gives exact values only for a few points; the rest are
+/// approximate bar heights — see EXPERIMENTS.md).
+#[derive(Clone, Copy, Debug)]
+pub struct PaperRefs {
+    /// Figure 3: instruction-level reusability (% of dynamic instrs).
+    pub reusability_pct: f64,
+    /// Figure 4a: ILR speed-up, infinite window, 1-cycle latency.
+    pub ilr_speedup_inf: f64,
+    /// Figure 5a: ILR speed-up, 256-entry window, 1-cycle latency.
+    pub ilr_speedup_w256: f64,
+    /// Figure 6a: TLR speed-up, infinite window, 1-cycle latency.
+    pub tlr_speedup_inf: f64,
+    /// Figure 6b: TLR speed-up, 256-entry window, 1-cycle latency.
+    pub tlr_speedup_w256: f64,
+    /// Figure 7: average (maximal reusable) trace size.
+    pub trace_size: f64,
+}
+
+/// A registered workload.
+pub struct Workload {
+    /// Benchmark name (paper's SPEC95 subset).
+    pub name: &'static str,
+    /// Suite (integer / floating point).
+    pub suite: Suite,
+    /// One-line description of the kernel and the mechanism it models.
+    pub description: &'static str,
+    /// Paper-reported reference values.
+    pub paper: PaperRefs,
+    /// Default outer iteration count — sized so the default harness
+    /// budget (≈400k dynamic instructions) is reached before `halt`.
+    pub default_iters: u32,
+    build: fn(seed: u64, iters: u32) -> Program,
+}
+
+impl Workload {
+    /// Build the program for `seed` with the default iteration count.
+    pub fn program(&self, seed: u64) -> Program {
+        (self.build)(seed, self.default_iters)
+    }
+
+    /// Build with an explicit iteration count (tests use small counts to
+    /// reach `halt` quickly).
+    pub fn program_with(&self, seed: u64, iters: u32) -> Program {
+        (self.build)(seed, iters)
+    }
+}
+
+/// All 14 workloads in the paper's listing order (FP suite first in the
+/// figures' x-axes: applu..turb3d, then compress..vortex).
+pub fn all() -> Vec<Workload> {
+    vec![
+        kernels::applu::workload(),
+        kernels::apsi::workload(),
+        kernels::fpppp::workload(),
+        kernels::hydro2d::workload(),
+        kernels::su2cor::workload(),
+        kernels::tomcatv::workload(),
+        kernels::turb3d::workload(),
+        kernels::compress::workload(),
+        kernels::gcc::workload(),
+        kernels::go::workload(),
+        kernels::ijpeg::workload(),
+        kernels::li::workload(),
+        kernels::perl::workload(),
+        kernels::vortex::workload(),
+    ]
+}
+
+/// Look a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// The integer subset.
+pub fn int_suite() -> Vec<Workload> {
+    all().into_iter().filter(|w| w.suite == Suite::Int).collect()
+}
+
+/// The FP subset.
+pub fn fp_suite() -> Vec<Workload> {
+    all().into_iter().filter(|w| w.suite == Suite::Fp).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlr_isa::NullSink;
+    use tlr_vm::{RunOutcome, Vm};
+
+    #[test]
+    fn registry_is_complete() {
+        let names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "applu", "apsi", "fpppp", "hydro2d", "su2cor", "tomcatv", "turb3d", "compress",
+                "gcc", "go", "ijpeg", "li", "perl", "vortex",
+            ]
+        );
+        assert_eq!(int_suite().len(), 7);
+        assert_eq!(fp_suite().len(), 7);
+        assert!(by_name("hydro2d").is_some());
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn every_workload_assembles_and_halts() {
+        for w in all() {
+            let prog = w.program_with(42, 2);
+            assert!(!prog.is_empty(), "{}: empty program", w.name);
+            let mut vm = Vm::new(&prog);
+            let outcome = vm
+                .run(5_000_000, &mut NullSink)
+                .unwrap_or_else(|e| panic!("{}: vm error {e}", w.name));
+            assert!(
+                matches!(outcome, RunOutcome::Halted { .. }),
+                "{}: did not halt in 5M instrs",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn default_iters_fill_the_default_budget() {
+        // Each workload must sustain at least 400k dynamic instructions
+        // at its default iteration count (the harness default).
+        for w in all() {
+            let prog = w.program(7);
+            let mut vm = Vm::new(&prog);
+            let outcome = vm.run(400_000, &mut NullSink).unwrap();
+            assert!(
+                matches!(outcome, RunOutcome::BudgetExhausted { .. }),
+                "{}: halted after only {} instrs",
+                w.name,
+                outcome.executed()
+            );
+        }
+    }
+
+    #[test]
+    fn workloads_are_seed_deterministic() {
+        for w in all() {
+            let a = w.program_with(5, 2);
+            let b = w.program_with(5, 2);
+            assert_eq!(a.instrs, b.instrs, "{}", w.name);
+            assert_eq!(a.data, b.data, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn seeds_change_data_not_code() {
+        for w in all() {
+            let a = w.program_with(1, 2);
+            let b = w.program_with(2, 2);
+            assert_eq!(a.instrs, b.instrs, "{}: code must not depend on seed", w.name);
+        }
+    }
+}

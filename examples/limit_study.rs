@@ -1,0 +1,78 @@
+//! Reproduce the paper's limit-study methodology on one benchmark:
+//! instruction-level vs trace-level reuse under infinite history tables
+//! (§4.2–§4.5 of the paper), on both window models.
+//!
+//! ```sh
+//! cargo run --release --example limit_study [benchmark] [budget]
+//! ```
+
+use trace_reuse::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "ijpeg".to_string());
+    let budget: u64 = args
+        .next()
+        .map(|s| s.parse().expect("budget must be a number"))
+        .unwrap_or(200_000);
+
+    let workload = tlr_workloads::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark '{name}'; available:");
+        for w in tlr_workloads::all() {
+            eprintln!("  {:9} - {}", w.name, w.description);
+        }
+        std::process::exit(2);
+    });
+
+    println!("== {} ==\n{}\n", workload.name, workload.description);
+
+    let program = workload.program(2026);
+    let mut vm = Vm::new(&program);
+    let mut sink = LimitStudySink::new(LimitConfig::default(), &Alpha21164);
+    vm.run(budget, &mut sink).expect("workload must execute");
+    let res = sink.result();
+
+    println!(
+        "{} dynamic instructions analyzed; {:.1}% reusable at instruction level",
+        res.total_instrs, res.reusability_pct
+    );
+    println!(
+        "base machine: {:.2} IPC (infinite window) / {:.2} IPC (256-entry window)",
+        res.base_inf.ipc, res.base_win.ipc
+    );
+    println!();
+    println!("speed-ups at 1-cycle reuse latency:");
+    println!(
+        "  instruction-level reuse:  {:.2} (infinite)   {:.2} (W=256)",
+        res.ilr_speedup_inf(1),
+        res.ilr_speedup_win(1)
+    );
+    println!(
+        "  trace-level reuse:        {:.2} (infinite)   {:.2} (W=256)",
+        res.tlr_speedup_inf(1),
+        res.tlr_speedup_win(1)
+    );
+    println!();
+    println!("latency sensitivity (W=256):");
+    for lat in [1u64, 2, 3, 4] {
+        println!(
+            "  latency {lat}: ILR {:.2}   TLR {:.2}",
+            res.ilr_speedup_win(lat),
+            res.tlr_speedup_win(lat)
+        );
+    }
+    println!();
+    let ts = &res.trace_stats;
+    println!(
+        "maximal reusable traces: {} traces, {:.1} instructions each on average",
+        ts.traces,
+        ts.avg_size()
+    );
+    println!(
+        "per trace: {:.1} inputs, {:.1} outputs -> {:.2} reads and {:.2} writes per reused instruction",
+        ts.avg_inputs(),
+        ts.avg_outputs(),
+        ts.reads_per_reused_instr(),
+        ts.writes_per_reused_instr()
+    );
+}

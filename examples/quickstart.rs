@@ -1,0 +1,75 @@
+//! Quickstart: assemble a small program, run it under the trace-reuse
+//! engine, and inspect what got skipped.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use trace_reuse::prelude::*;
+
+fn main() {
+    // A toy kernel: repeatedly sum the squares of a small table. After
+    // the first pass, every iteration recomputes exactly the same values
+    // — ideal food for trace-level reuse.
+    let program = assemble(
+        r#"
+        .org    0x100
+table:  .word   3, 1, 4, 1, 5, 9, 2, 6
+
+        li      r9, 500             ; outer repetitions
+outer:  li      r1, table
+        li      r2, 8
+        li      r5, 0
+inner:  ldq     r3, 0(r1)
+        mulq    r4, r3, r3
+        addq    r5, r5, r4
+        addq    r1, r1, 1
+        subq    r2, r2, 1
+        bnez    r2, inner
+        stq     r5, 64(zero)        ; publish the sum
+        subq    r9, r9, 1
+        bnez    r9, outer
+        halt
+        "#,
+    )
+    .expect("assembly failed");
+
+    // Plain run, for reference.
+    let mut vm = Vm::new(&program);
+    let outcome = vm.run(1_000_000, &mut NullSink).unwrap();
+    println!(
+        "plain run: {} instructions, sum-of-squares = {}",
+        outcome.executed(),
+        vm.peek_loc(Loc::Mem(64))
+    );
+
+    // The same program under the reuse engine: a 4K-entry Reuse Trace
+    // Memory with fixed-length-4 trace collection and dynamic expansion.
+    let mut engine = TraceReuseEngine::new(
+        &program,
+        EngineConfig::paper(RtmConfig::RTM_4K, Heuristic::FixedExp(4)),
+    );
+    let stats = engine.run(1_000_000).unwrap();
+    assert_eq!(
+        engine.vm().peek_loc(Loc::Mem(64)),
+        vm.peek_loc(Loc::Mem(64)),
+        "reuse must preserve architectural state"
+    );
+
+    println!(
+        "reuse run: {} executed + {} skipped via {} reuse ops",
+        stats.executed, stats.skipped, stats.reuse_ops
+    );
+    println!(
+        "           {:.1}% of dynamic instructions were never fetched or executed",
+        stats.pct_reused()
+    );
+    println!(
+        "           average reused trace: {:.1} instructions",
+        stats.avg_reused_trace_size()
+    );
+    println!(
+        "           RTM: {} lookups, {} hits, {} stored traces",
+        stats.rtm.lookups, stats.rtm.hits, stats.rtm.stores
+    );
+}

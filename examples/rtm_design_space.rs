@@ -1,0 +1,55 @@
+//! Explore the Reuse Trace Memory design space on one workload: RTM
+//! capacity × collection heuristic, the axes of the paper's Figure 9.
+//!
+//! ```sh
+//! cargo run --release --example rtm_design_space [benchmark] [budget]
+//! ```
+
+use trace_reuse::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "compress".to_string());
+    let budget: u64 = args
+        .next()
+        .map(|s| s.parse().expect("budget must be a number"))
+        .unwrap_or(200_000);
+
+    let workload = tlr_workloads::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark '{name}'");
+        std::process::exit(2);
+    });
+    let program = workload.program(7);
+
+    println!(
+        "RTM design space on '{}' ({} dynamic instructions per cell)\n",
+        workload.name, budget
+    );
+    println!(
+        "{:10} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "heuristic", "RTM", "% reused", "avg trace", "hits", "evictions"
+    );
+
+    // The paper's Figure 9 sweep, plus Huang & Lilja's basic-block
+    // policy as a baseline (§2 calls block reuse a special case of
+    // trace-level reuse).
+    let mut heuristics = tlr_core::Heuristic::paper_sweep();
+    heuristics.push(tlr_core::Heuristic::BasicBlock);
+    for heuristic in heuristics {
+        for rtm in RtmConfig::PAPER_SWEEP {
+            let mut engine =
+                TraceReuseEngine::new(&program, EngineConfig::paper(rtm, heuristic));
+            let stats = engine.run(budget).expect("engine run failed");
+            println!(
+                "{:10} {:>10} {:>11.1}% {:>12.2} {:>10} {:>10}",
+                heuristic.label(),
+                rtm.label(),
+                stats.pct_reused(),
+                stats.avg_reused_trace_size(),
+                stats.rtm.hits,
+                stats.rtm.evictions
+            );
+        }
+        println!();
+    }
+}

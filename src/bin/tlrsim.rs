@@ -1,0 +1,236 @@
+//! `tlrsim` — assemble, run and analyze trace-reuse programs from the
+//! command line.
+//!
+//! ```text
+//! tlrsim run FILE      [--budget N] [--reuse] [--rtm SIZE] [--heuristic H]
+//! tlrsim disasm FILE
+//! tlrsim analyze FILE  [--budget N] [--window W]
+//!
+//!   SIZE: 512 | 4k | 32k | 256k            (default 4k)
+//!   H:    i1..i8 | ilr-ne | ilr-exp | bb   (default i4)
+//! ```
+//!
+//! `run` executes a program (optionally under the reuse engine), `disasm`
+//! prints the assembled listing, and `analyze` runs the paper's full
+//! limit study on it.
+
+use trace_reuse::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  tlrsim run FILE     [--budget N] [--reuse] [--rtm 512|4k|32k|256k] \
+         [--heuristic i1..i8|ilr-ne|ilr-exp|bb]\n  tlrsim disasm FILE\n  tlrsim analyze FILE \
+         [--budget N] [--window W]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn load(path: &str) -> Program {
+    let source = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    match assemble(&source) {
+        Ok(p) => p,
+        Err(e) => fail(&format!("{path}: {e}")),
+    }
+}
+
+fn parse_rtm(s: &str) -> RtmConfig {
+    match s.to_ascii_lowercase().as_str() {
+        "512" => RtmConfig::RTM_512,
+        "4k" => RtmConfig::RTM_4K,
+        "32k" => RtmConfig::RTM_32K,
+        "256k" => RtmConfig::RTM_256K,
+        other => fail(&format!("unknown RTM size '{other}' (512|4k|32k|256k)")),
+    }
+}
+
+fn parse_heuristic(s: &str) -> Heuristic {
+    match s.to_ascii_lowercase().as_str() {
+        "ilr-ne" => Heuristic::IlrNe,
+        "ilr-exp" => Heuristic::IlrExp,
+        "bb" => Heuristic::BasicBlock,
+        other => match other.strip_prefix('i').and_then(|n| n.parse::<u32>().ok()) {
+            Some(n) if (1..=64).contains(&n) => Heuristic::FixedExp(n),
+            _ => fail(&format!(
+                "unknown heuristic '{other}' (i1..i8, ilr-ne, ilr-exp, bb)"
+            )),
+        },
+    }
+}
+
+struct Flags {
+    budget: u64,
+    window: usize,
+    reuse: bool,
+    rtm: RtmConfig,
+    heuristic: Heuristic,
+}
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut flags = Flags {
+        budget: 1_000_000,
+        window: 256,
+        reuse: false,
+        rtm: RtmConfig::RTM_4K,
+        heuristic: Heuristic::FixedExp(4),
+    };
+    let mut i = 0;
+    let value = |args: &[String], i: usize, name: &str| -> String {
+        args.get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| fail(&format!("missing value for {name}")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--budget" => {
+                flags.budget = value(args, i, "--budget")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("--budget: {e}")));
+                i += 2;
+            }
+            "--window" => {
+                flags.window = value(args, i, "--window")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("--window: {e}")));
+                i += 2;
+            }
+            "--reuse" => {
+                flags.reuse = true;
+                i += 1;
+            }
+            "--rtm" => {
+                flags.rtm = parse_rtm(&value(args, i, "--rtm"));
+                i += 2;
+            }
+            "--heuristic" => {
+                flags.heuristic = parse_heuristic(&value(args, i, "--heuristic"));
+                i += 2;
+            }
+            other => fail(&format!("unknown option '{other}'")),
+        }
+    }
+    flags
+}
+
+fn cmd_run(path: &str, flags: &Flags) {
+    let program = load(path);
+    if !flags.reuse {
+        let mut vm = Vm::new(&program);
+        let started = std::time::Instant::now();
+        let outcome = vm
+            .run(flags.budget, &mut NullSink)
+            .unwrap_or_else(|e| fail(&format!("runtime error: {e}")));
+        let dt = started.elapsed();
+        println!(
+            "{}: {} instructions in {:.1} ms ({:.1} M instr/s)",
+            match outcome {
+                RunOutcome::Halted { .. } => "halted",
+                RunOutcome::BudgetExhausted { .. } => "budget exhausted",
+            },
+            outcome.executed(),
+            dt.as_secs_f64() * 1e3,
+            outcome.executed() as f64 / dt.as_secs_f64() / 1e6
+        );
+        return;
+    }
+    let mut engine = TraceReuseEngine::new(
+        &program,
+        EngineConfig::paper(flags.rtm, flags.heuristic),
+    );
+    let stats = engine
+        .run(flags.budget)
+        .unwrap_or_else(|e| fail(&format!("engine error: {e}")));
+    println!(
+        "{}: {} total instructions ({} executed, {} skipped)",
+        if stats.halted { "halted" } else { "budget exhausted" },
+        stats.total(),
+        stats.executed,
+        stats.skipped
+    );
+    println!(
+        "reuse: {:.1}% of instructions via {} reuse ops (avg trace {:.1})",
+        stats.pct_reused(),
+        stats.reuse_ops,
+        stats.avg_reused_trace_size()
+    );
+    println!(
+        "RTM [{} {}]: {} lookups, {} hits, {} stores, {} evictions",
+        flags.rtm.label(),
+        flags.heuristic.label(),
+        stats.rtm.lookups,
+        stats.rtm.hits,
+        stats.rtm.stores,
+        stats.rtm.evictions
+    );
+}
+
+fn cmd_disasm(path: &str) {
+    let program = load(path);
+    print!("{}", program.disassemble());
+    if !program.data.is_empty() {
+        println!("; data image: {} initialized words", program.data.len());
+    }
+}
+
+fn cmd_analyze(path: &str, flags: &Flags) {
+    let program = load(path);
+    let mut vm = Vm::new(&program);
+    let mut sink = LimitStudySink::new(
+        tlr_core::LimitConfig {
+            window: flags.window,
+            ..Default::default()
+        },
+        &Alpha21164,
+    );
+    vm.run(flags.budget, &mut sink)
+        .unwrap_or_else(|e| fail(&format!("runtime error: {e}")));
+    let res = sink.result();
+    println!("analyzed {} dynamic instructions", res.total_instrs);
+    println!(
+        "instruction-level reusability: {:.1}%",
+        res.reusability_pct
+    );
+    println!(
+        "base IPC: {:.2} (infinite window) / {:.2} (W={})",
+        res.base_inf.ipc, res.base_win.ipc, flags.window
+    );
+    println!(
+        "speed-up @1-cycle reuse: ILR {:.2}/{:.2}, TLR {:.2}/{:.2} (infinite / W={})",
+        res.ilr_speedup_inf(1),
+        res.ilr_speedup_win(1),
+        res.tlr_speedup_inf(1),
+        res.tlr_speedup_win(1),
+        flags.window
+    );
+    let ts = &res.trace_stats;
+    println!(
+        "maximal reusable traces: {} (avg {:.1} instrs, {:.1} in / {:.1} out values)",
+        ts.traces,
+        ts.avg_size(),
+        ts.avg_inputs(),
+        ts.avg_outputs()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, file, rest) = match args.split_first() {
+        Some((cmd, rest)) => match rest.split_first() {
+            Some((file, rest)) if !file.starts_with('-') => (cmd.as_str(), file.clone(), rest),
+            _ => usage(),
+        },
+        None => usage(),
+    };
+    let flags = parse_flags(rest);
+    match cmd {
+        "run" => cmd_run(&file, &flags),
+        "disasm" => cmd_disasm(&file),
+        "analyze" => cmd_analyze(&file, &flags),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,143 @@
+//! Assembler round-trip property: `assemble(disassemble(p)) == p` for
+//! arbitrary well-formed programs, plus determinism of the VM over
+//! random (structurally safe) programs.
+
+use proptest::prelude::*;
+use tlr_asm::{assemble, Program};
+use tlr_isa::{BranchCond, CollectSink, FpOp, FpUnOp, FReg, Instr, IntOp, Operand, Reg};
+use tlr_vm::Vm;
+
+/// Strategy for a random instruction with control-flow targets bounded
+/// by `len` (so programs are always well-formed).
+fn instr_strategy(len: u32) -> impl Strategy<Value = Instr> {
+    let reg = (0u8..32).prop_map(Reg::new);
+    let freg = (0u8..32).prop_map(FReg::new);
+    let operand = prop_oneof![
+        (0u8..32).prop_map(|r| Operand::Reg(Reg::new(r))),
+        (-1000i32..1000).prop_map(Operand::Imm),
+    ];
+    let int_op = prop_oneof![
+        Just(IntOp::Add),
+        Just(IntOp::Sub),
+        Just(IntOp::Mul),
+        Just(IntOp::And),
+        Just(IntOp::Or),
+        Just(IntOp::Xor),
+        Just(IntOp::Sll),
+        Just(IntOp::Srl),
+        Just(IntOp::Sra),
+        Just(IntOp::CmpEq),
+        Just(IntOp::CmpLt),
+        Just(IntOp::CmpLe),
+        Just(IntOp::CmpUlt),
+    ];
+    let fp_op = prop_oneof![
+        Just(FpOp::Add),
+        Just(FpOp::Sub),
+        Just(FpOp::Mul),
+        Just(FpOp::Div)
+    ];
+    let fp_un = prop_oneof![
+        Just(FpUnOp::Sqrt),
+        Just(FpUnOp::Neg),
+        Just(FpUnOp::Abs),
+        Just(FpUnOp::Mov)
+    ];
+    let cond = prop_oneof![
+        Just(BranchCond::Eqz),
+        Just(BranchCond::Nez),
+        Just(BranchCond::Ltz),
+        Just(BranchCond::Lez),
+        Just(BranchCond::Gtz),
+        Just(BranchCond::Gez),
+    ];
+    prop_oneof![
+        (int_op, reg.clone(), reg.clone(), operand)
+            .prop_map(|(op, rd, ra, rb)| Instr::IntOp { op, rd, ra, rb }),
+        (reg.clone(), any::<i32>()).prop_map(|(rd, imm)| Instr::Li {
+            rd,
+            imm: imm as i64
+        }),
+        (fp_op, freg.clone(), freg.clone(), freg.clone())
+            .prop_map(|(op, fd, fa, fb)| Instr::FpOp { op, fd, fa, fb }),
+        (fp_un, freg.clone(), freg.clone()).prop_map(|(op, fd, fa)| Instr::FpUn { op, fd, fa }),
+        (reg.clone(), reg.clone(), 0i32..64)
+            .prop_map(|(rd, base, disp)| Instr::LoadInt { rd, base, disp }),
+        (reg.clone(), reg.clone(), 0i32..64)
+            .prop_map(|(rs, base, disp)| Instr::StoreInt { rs, base, disp }),
+        (freg.clone(), reg.clone(), 0i32..64)
+            .prop_map(|(fd, base, disp)| Instr::LoadFp { fd, base, disp }),
+        (freg.clone(), reg.clone(), 0i32..64)
+            .prop_map(|(fs, base, disp)| Instr::StoreFp { fs, base, disp }),
+        (freg.clone(), reg.clone()).prop_map(|(fd, ra)| Instr::Itof { fd, ra }),
+        (reg.clone(), freg).prop_map(|(rd, fa)| Instr::Ftoi { rd, fa }),
+        (cond, reg, 0u32..len).prop_map(|(cond, ra, target)| Instr::Branch { cond, ra, target }),
+        (0u32..len).prop_map(|target| Instr::Jump { target }),
+        Just(Instr::Nop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Disassemble → reassemble is the identity on instructions.
+    #[test]
+    fn roundtrip(instrs in proptest::collection::vec(instr_strategy(32), 1..32)) {
+        let mut text = String::new();
+        for i in &instrs {
+            text.push_str(&i.to_string());
+            text.push('\n');
+        }
+        // Pad so that every generated branch target (0..32) is in range.
+        while text.lines().count() < 32 {
+            text.push_str("nop\n");
+        }
+        text.push_str("halt\n");
+        let prog = assemble(&text).expect("disassembly must reassemble");
+        prop_assert_eq!(&prog.instrs[..instrs.len()], instrs.as_slice());
+    }
+
+    /// The VM is deterministic over arbitrary programs: two runs yield
+    /// identical streams (guarding against hidden state in the VM).
+    #[test]
+    fn vm_determinism(instrs in proptest::collection::vec(instr_strategy(16), 1..16)) {
+        let program = Program {
+            instrs: {
+                let mut v = instrs;
+                v.push(Instr::Halt);
+                v
+            },
+            ..Default::default()
+        };
+        let run = || {
+            let mut vm = Vm::new(&program);
+            let mut sink = CollectSink::default();
+            // Random programs may loop forever or jump off the rails;
+            // both budget exhaustion and VmError are acceptable, they
+            // just must be *identical* across runs.
+            let outcome = vm.run(2_000, &mut sink);
+            (format!("{outcome:?}"), sink.records)
+        };
+        let (o1, s1) = run();
+        let (o2, s2) = run();
+        prop_assert_eq!(o1, o2);
+        prop_assert_eq!(s1, s2);
+    }
+}
+
+/// Whole-workload disassembly reassembles to identical code.
+#[test]
+fn workload_disassembly_roundtrips() {
+    for w in tlr_workloads::all() {
+        let prog = w.program_with(3, 2);
+        let mut text = prog
+            .instrs
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        text.push('\n');
+        let again = assemble(&text).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(again.instrs, prog.instrs, "{}", w.name);
+    }
+}

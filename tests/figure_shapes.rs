@@ -1,0 +1,210 @@
+//! End-to-end figure-shape regression tests: quick-budget runs of the
+//! whole harness must reproduce the paper's *qualitative* results. These
+//! are the claims DESIGN.md commits to; a workload or analysis change
+//! that breaks a headline shape fails here.
+
+use tlr_bench::{run_engine_grid, run_limit_studies, BenchResult, HarnessConfig};
+use tlr_core::{Heuristic, RtmConfig};
+
+fn results() -> Vec<BenchResult> {
+    run_limit_studies(&HarnessConfig {
+        budget: 120_000,
+        ..HarnessConfig::default()
+    })
+}
+
+fn by_name<'a>(results: &'a [BenchResult], name: &str) -> &'a BenchResult {
+    results.iter().find(|r| r.name == name).unwrap()
+}
+
+fn havg(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    tlr_stats::harmonic_mean(&v).unwrap()
+}
+
+#[test]
+fn headline_shapes_hold() {
+    let results = results();
+
+    // -- Figure 3: reusability is high on average, applu lowest band,
+    //    hydro2d the highest.
+    let avg_reuse = tlr_stats::arithmetic_mean(
+        &results
+            .iter()
+            .map(|r| r.limit.reusability_pct)
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    assert!(
+        (80.0..95.0).contains(&avg_reuse),
+        "avg reusability {avg_reuse}"
+    );
+    let applu = by_name(&results, "applu").limit.reusability_pct;
+    let hydro = by_name(&results, "hydro2d").limit.reusability_pct;
+    assert!(applu < 72.0, "applu reusability too high: {applu}");
+    assert!(hydro > 95.0, "hydro2d reusability too low: {hydro}");
+    for r in &results {
+        assert!(
+            r.limit.reusability_pct >= applu - 5.0,
+            "{} less reusable than applu",
+            r.name
+        );
+    }
+
+    // -- Figures 4/5 vs 6/8: TLR beats ILR on average, at every latency.
+    for lat in [1u64, 2, 3, 4] {
+        let ilr = havg(results.iter().map(|r| r.limit.ilr_speedup_win(lat)));
+        let tlr = havg(results.iter().map(|r| r.limit.tlr_speedup_win(lat)));
+        assert!(tlr > ilr, "lat {lat}: tlr {tlr} <= ilr {ilr}");
+    }
+
+    // -- Figure 4b/5b: ILR collapses at latency 4 (≈ no benefit).
+    let ilr4 = havg(results.iter().map(|r| r.limit.ilr_speedup_win(4)));
+    assert!(ilr4 < 1.25, "ILR@4 should be near 1, got {ilr4}");
+    // -- Figure 8a: TLR still clearly profitable at latency 4.
+    let tlr4 = havg(results.iter().map(|r| r.limit.tlr_speedup_win(4)));
+    assert!(tlr4 > 1.5, "TLR@4 should stay high, got {tlr4}");
+
+    // -- Figure 6: the window-bypass effect — limited-window TLR ≥
+    //    infinite-window TLR on average (the paper: 3.63 vs 3.03).
+    let tlr_inf = havg(results.iter().map(|r| r.limit.tlr_speedup_inf(1)));
+    let tlr_win = havg(results.iter().map(|r| r.limit.tlr_speedup_win(1)));
+    assert!(
+        tlr_win > tlr_inf,
+        "window TLR {tlr_win} not above infinite TLR {tlr_inf}"
+    );
+    // ...while ILR shows the opposite trend (1.43 vs 1.50 in the paper):
+    let ilr_inf = havg(results.iter().map(|r| r.limit.ilr_speedup_inf(1)));
+    let ilr_win = havg(results.iter().map(|r| r.limit.ilr_speedup_win(1)));
+    assert!(
+        (ilr_win - ilr_inf).abs() < 0.5,
+        "ILR window/infinite gap implausible: {ilr_win} vs {ilr_inf}"
+    );
+
+    // -- Figure 6a extremes: ijpeg is the TLR champion; perl gains
+    //    essentially nothing (paper: 11.57 and 1.01).
+    let ijpeg = by_name(&results, "ijpeg").limit.tlr_speedup_inf(1);
+    let perl = by_name(&results, "perl").limit.tlr_speedup_inf(1);
+    assert!(ijpeg > 6.0, "ijpeg TLR too low: {ijpeg}");
+    assert!(perl < 1.15, "perl TLR should be ~1: {perl}");
+    for r in &results {
+        assert!(
+            r.limit.tlr_speedup_inf(1) <= ijpeg + 1e-9,
+            "{} beats ijpeg in fig6a",
+            r.name
+        );
+    }
+
+    // -- Figure 4a: compress and turb3d lead ILR (multiplies on reusable
+    //    critical paths); gcc/fpppp gain ≈ nothing.
+    let compress = by_name(&results, "compress").limit.ilr_speedup_inf(1);
+    let gcc = by_name(&results, "gcc").limit.ilr_speedup_inf(1);
+    let fpppp = by_name(&results, "fpppp").limit.ilr_speedup_inf(1);
+    assert!(compress > 2.0, "compress ILR {compress}");
+    assert!(gcc < 1.1 && fpppp < 1.1, "gcc {gcc} fpppp {fpppp}");
+
+    // -- Figure 7: hydro2d has by far the largest traces; FP suite is
+    //    bimodal (applu/apsi/fpppp short).
+    // (At the full 400k budget hydro2d averages ≈165; the quick budget
+    // here dilutes it with the non-reusable first sweep.)
+    let hydro_size = by_name(&results, "hydro2d").limit.trace_stats.avg_size();
+    assert!(hydro_size > 80.0, "hydro2d traces {hydro_size}");
+    for r in &results {
+        assert!(
+            r.limit.trace_stats.avg_size() <= hydro_size + 1e-9,
+            "{} has larger traces than hydro2d",
+            r.name
+        );
+    }
+    for name in ["applu", "apsi", "fpppp"] {
+        let size = by_name(&results, name).limit.trace_stats.avg_size();
+        assert!(size < 12.0, "{name} traces too long: {size}");
+    }
+
+    // -- Figure 8b: proportional-latency speed-up decreases in K but
+    //    stays profitable at K = 1/16 (the paper: ≈ 2.7).
+    let mut prev = f64::INFINITY;
+    for k in [1.0 / 32.0, 1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0, 1.0] {
+        let s = havg(results.iter().map(|r| r.limit.tlr_speedup_k(k)));
+        assert!(s <= prev + 1e-9, "K={k}: {s} above previous {prev}");
+        prev = s;
+    }
+    let k16 = havg(results.iter().map(|r| r.limit.tlr_speedup_k(1.0 / 16.0)));
+    assert!(k16 > 1.5, "K=1/16 speed-up {k16}");
+
+    // -- §4.5: reused instructions need well under one read and one
+    //    write each.
+    let reads = tlr_stats::arithmetic_mean(
+        &results
+            .iter()
+            .map(|r| r.limit.trace_stats.reads_per_reused_instr())
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let writes = tlr_stats::arithmetic_mean(
+        &results
+            .iter()
+            .map(|r| r.limit.trace_stats.writes_per_reused_instr())
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    assert!(reads < 0.8, "reads/reused instr {reads}");
+    assert!(writes < 0.8, "writes/reused instr {writes}");
+}
+
+#[test]
+fn fig9_shapes_hold() {
+    let cfg = HarnessConfig {
+        budget: 60_000,
+        ..HarnessConfig::default()
+    };
+    let rtms = [RtmConfig::RTM_512, RtmConfig::RTM_4K, RtmConfig::RTM_32K];
+    let heuristics = [
+        Heuristic::IlrNe,
+        Heuristic::IlrExp,
+        Heuristic::FixedExp(2),
+        Heuristic::FixedExp(6),
+    ];
+    let cells = run_engine_grid(&cfg, &rtms, &heuristics);
+
+    let avg = |rtm: RtmConfig, h: Heuristic, f: &dyn Fn(&tlr_core::EngineStats) -> f64| {
+        let v: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.rtm == rtm && c.heuristic == h)
+            .map(|c| f(&c.stats))
+            .collect();
+        tlr_stats::arithmetic_mean(&v).unwrap()
+    };
+
+    // Larger RTMs reuse at least as much (Figure 9a's capacity trend).
+    for &h in &heuristics {
+        let small = avg(RtmConfig::RTM_512, h, &|s| s.pct_reused());
+        let big = avg(RtmConfig::RTM_32K, h, &|s| s.pct_reused());
+        assert!(
+            big >= small - 1.0,
+            "{}: 32K ({big}) worse than 512 ({small})",
+            h.label()
+        );
+    }
+    // Fixed-length traces grow with n (Figure 9b).
+    let s2 = avg(RtmConfig::RTM_4K, Heuristic::FixedExp(2), &|s| {
+        s.avg_reused_trace_size()
+    });
+    let s6 = avg(RtmConfig::RTM_4K, Heuristic::FixedExp(6), &|s| {
+        s.avg_reused_trace_size()
+    });
+    assert!(s6 > s2, "I6 traces ({s6}) not larger than I2 ({s2})");
+    // Expansion grows ILR traces.
+    let ne = avg(RtmConfig::RTM_4K, Heuristic::IlrNe, &|s| {
+        s.avg_reused_trace_size()
+    });
+    let exp = avg(RtmConfig::RTM_4K, Heuristic::IlrExp, &|s| {
+        s.avg_reused_trace_size()
+    });
+    assert!(exp >= ne * 0.95, "expansion shrank traces: {exp} vs {ne}");
+    // Some reuse happens everywhere at 4K+.
+    for &h in &heuristics {
+        let pct = avg(RtmConfig::RTM_4K, h, &|s| s.pct_reused());
+        assert!(pct > 3.0, "{}: almost no reuse ({pct}%)", h.label());
+    }
+}

@@ -1,0 +1,170 @@
+//! Cross-crate property tests: invariants the whole system must satisfy
+//! regardless of workload or configuration.
+
+use proptest::prelude::*;
+use tlr_core::{InstrReuseTable, IoCaps, LimitConfig, LimitStudySink, TraceAccum};
+use tlr_isa::{Alpha21164, StreamSink, UnitLatency};
+use tlr_timing::{analyze_base, TimingSim, Window};
+use tlr_workloads::synthetic::{generate, SyntheticConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// IPC is monotone in window size: a wider window never slows the
+    /// base machine down.
+    #[test]
+    fn window_monotonicity(seed in any::<u64>(), redundancy in 0.0f64..1.0) {
+        let cfg = SyntheticConfig { seed, redundancy, ..Default::default() };
+        let stream = generate(&cfg, 3_000);
+        let mut prev_cycles = u64::MAX;
+        for w in [1usize, 8, 64, 512] {
+            let res = analyze_base(&stream, Window::finite(w), &Alpha21164);
+            prop_assert!(res.cycles <= prev_cycles, "window {w} slower");
+            prev_cycles = res.cycles;
+        }
+        let inf = analyze_base(&stream, Window::infinite(), &Alpha21164);
+        prop_assert!(inf.cycles <= prev_cycles);
+    }
+
+    /// The reuse oracle never hurts: every ILR/TLR variant in the limit
+    /// study is at least as fast as its base machine.
+    #[test]
+    fn oracle_reuse_never_slower(seed in any::<u64>(), redundancy in 0.0f64..1.0) {
+        let cfg = SyntheticConfig { seed, redundancy, ..Default::default() };
+        let stream = generate(&cfg, 3_000);
+        let mut sink = LimitStudySink::new(LimitConfig::default(), &Alpha21164);
+        for d in &stream {
+            sink.observe(d);
+        }
+        sink.finish();
+        let res = sink.result();
+        for lat in [1u64, 2, 3, 4] {
+            prop_assert!(res.ilr_speedup_inf(lat) >= 1.0 - 1e-9);
+            prop_assert!(res.ilr_speedup_win(lat) >= 1.0 - 1e-9);
+            prop_assert!(res.tlr_speedup_win(lat) >= 1.0 - 1e-9);
+            prop_assert!(res.tlr_speedup_inf(lat) >= 1.0 - 1e-9);
+        }
+        for &(k, _) in &res.tlr_win_prop {
+            prop_assert!(res.tlr_speedup_k(k) >= 1.0 - 1e-9);
+        }
+    }
+
+    /// Trace-level reusable instruction count can never exceed the
+    /// instruction-level reusable count (Theorem 1's practical corollary:
+    /// the maximal-trace partition covers exactly the ILR-reusable set).
+    #[test]
+    fn trace_coverage_equals_ilr_reusability(seed in any::<u64>(), redundancy in 0.1f64..0.95) {
+        let cfg = SyntheticConfig { seed, redundancy, ..Default::default() };
+        let stream = generate(&cfg, 3_000);
+        let mut table = InstrReuseTable::new();
+        let mut reusable = 0u64;
+        for d in &stream {
+            if table.probe_insert(d) {
+                reusable += 1;
+            }
+        }
+        let mut sink = LimitStudySink::new(LimitConfig::default(), &Alpha21164);
+        for d in &stream {
+            sink.observe(d);
+        }
+        sink.finish();
+        let res = sink.result();
+        prop_assert_eq!(res.trace_stats.instrs_in_traces, reusable);
+    }
+
+    /// TLR with constant latency is monotone: smaller latency is never
+    /// slower.
+    #[test]
+    fn tlr_latency_monotone(seed in any::<u64>()) {
+        let cfg = SyntheticConfig { seed, redundancy: 0.9, ..Default::default() };
+        let stream = generate(&cfg, 3_000);
+        let mut sink = LimitStudySink::new(LimitConfig::default(), &Alpha21164);
+        for d in &stream {
+            sink.observe(d);
+        }
+        sink.finish();
+        let res = sink.result();
+        let mut prev = f64::INFINITY;
+        for lat in [1u64, 2, 3, 4] {
+            let s = res.tlr_speedup_win(lat);
+            prop_assert!(s <= prev + 1e-9, "latency {lat} faster than {}", lat - 1);
+            prev = s;
+        }
+    }
+
+    /// A trace accumulator under paper caps never exceeds them.
+    #[test]
+    fn accum_respects_caps(seed in any::<u64>()) {
+        let cfg = SyntheticConfig { seed, redundancy: 0.5, mem_fraction: 0.6, ..Default::default() };
+        let stream = generate(&cfg, 500);
+        let mut acc = TraceAccum::new(IoCaps::PAPER);
+        let mut records = Vec::new();
+        for d in &stream {
+            if !acc.try_add(d) {
+                if let Some(rec) = acc.finalize() {
+                    records.push(rec);
+                }
+                let _ = acc.try_add(d);
+            }
+        }
+        records.extend(acc.finalize());
+        for rec in &records {
+            prop_assert!(rec.reg_ins() <= IoCaps::PAPER.reg_in);
+            prop_assert!(rec.mem_ins() <= IoCaps::PAPER.mem_in);
+            prop_assert!(rec.reg_outs() <= IoCaps::PAPER.reg_out);
+            prop_assert!(rec.mem_outs() <= IoCaps::PAPER.mem_out);
+            prop_assert!(rec.len >= 1);
+        }
+        // Nothing was lost: record lengths sum to the stream length.
+        let total: u64 = records.iter().map(|r| r.len as u64).sum();
+        prop_assert_eq!(total, stream.len() as u64);
+    }
+
+    /// Unit-latency sanity: with no dependences and an infinite window,
+    /// everything completes at cycle 1.
+    #[test]
+    fn independent_stream_is_fully_parallel(n in 1usize..500) {
+        let lat = UnitLatency;
+        let mut sim = TimingSim::new(Window::infinite(), &lat);
+        for pc in 0..n as u32 {
+            let d = tlr_isa::DynInstr {
+                pc,
+                next_pc: pc + 1,
+                class: tlr_isa::OpClass::IntAlu,
+                reads: Default::default(),
+                writes: Default::default(),
+            };
+            sim.step_normal(&d);
+        }
+        prop_assert_eq!(sim.cycles(), 1);
+    }
+}
+
+/// The limit-study sink agrees with a direct reusability count on real
+/// workloads (two code paths, one definition).
+#[test]
+fn sink_reusability_matches_direct_count() {
+    for name in ["go", "turb3d"] {
+        let w = tlr_workloads::by_name(name).unwrap();
+        let prog = w.program_with(9, 4);
+        let mut vm = tlr_vm::Vm::new(&prog);
+        let mut sink = tlr_isa::CollectSink::default();
+        vm.run(15_000, &mut sink).unwrap();
+
+        let mut table = InstrReuseTable::new();
+        let mut reusable = 0u64;
+        for d in &sink.records {
+            if table.probe_insert(d) {
+                reusable += 1;
+            }
+        }
+        let mut study = LimitStudySink::new(LimitConfig::default(), &Alpha21164);
+        for d in &sink.records {
+            study.observe(d);
+        }
+        study.finish();
+        let res = study.result();
+        let expect = 100.0 * reusable as f64 / sink.records.len() as f64;
+        assert!((res.reusability_pct - expect).abs() < 1e-9, "{name}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the paper's theorems (§4.4 and the appendix).
+//!
+//! Theorem 1/3: a reusable trace implies every member (sub-trace) is
+//! reusable. The checker in `tlr-core` runs the real signature and
+//! live-set machinery, so these properties double as end-to-end tests of
+//! that machinery over adversarial random streams.
+
+use proptest::prelude::*;
+use tlr_core::theorems::{check_theorem1, check_theorem3, theorem2_counterexample};
+use tlr_workloads::synthetic::{generate, SyntheticConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1 holds on any synthetic stream, for any trace length.
+    #[test]
+    fn theorem1_over_random_streams(
+        seed in any::<u64>(),
+        redundancy in 0.0f64..1.0,
+        trace_len in 1usize..12,
+        static_instrs in 4u32..64,
+    ) {
+        let cfg = SyntheticConfig {
+            seed,
+            redundancy,
+            static_instrs,
+            ..Default::default()
+        };
+        let stream = generate(&cfg, 4_000);
+        let res = check_theorem1(&stream, trace_len);
+        prop_assert_eq!(res.violations, 0, "theorem 1 violated: {:?}", res);
+    }
+
+    /// Theorem 3 (the generalization to sub-traces) holds likewise.
+    #[test]
+    fn theorem3_over_random_streams(
+        seed in any::<u64>(),
+        redundancy in 0.3f64..1.0,
+        sub_len in 1usize..5,
+        k in 1usize..5,
+    ) {
+        let cfg = SyntheticConfig {
+            seed,
+            redundancy,
+            ..Default::default()
+        };
+        let stream = generate(&cfg, 4_000);
+        let res = check_theorem3(&stream, sub_len, k);
+        prop_assert_eq!(res.violations, 0, "theorem 3 violated: {:?}", res);
+    }
+
+    /// High-redundancy streams do contain reusable traces — the checker
+    /// is not vacuously passing.
+    #[test]
+    fn checker_is_not_vacuous(seed in any::<u64>()) {
+        let cfg = SyntheticConfig {
+            seed,
+            redundancy: 0.97,
+            static_instrs: 8,
+            tuples_per_pc: 2,
+            ..Default::default()
+        };
+        let stream = generate(&cfg, 6_000);
+        let res = check_theorem1(&stream, 2);
+        prop_assert!(res.reusable_traces > 0, "no reusable traces found: {res:?}");
+    }
+}
+
+/// Theorem 2: the converse of theorem 1 fails, by the appendix's own
+/// construction.
+#[test]
+fn theorem2_counterexample_is_valid() {
+    let (stream, trace_len) = theorem2_counterexample();
+    let res = check_theorem1(&stream, trace_len);
+    // Three instances of the trace; none reusable as a whole...
+    assert_eq!(res.traces, 3);
+    assert_eq!(res.reusable_traces, 0);
+    // ...yet both members of the final instance are individually
+    // reusable (verified inside tlr-core's unit tests as well; here we
+    // recheck through the public API).
+    let mut table = tlr_core::InstrReuseTable::new();
+    let flags: Vec<bool> = stream.iter().map(|d| table.probe_insert(d)).collect();
+    assert!(flags[stream.len() - 2] && flags[stream.len() - 1]);
+}
+
+/// Theorem 1 on real workload streams (not just synthetic ones).
+#[test]
+fn theorem1_on_real_workloads() {
+    for name in ["compress", "hydro2d", "perl"] {
+        let w = tlr_workloads::by_name(name).unwrap();
+        let prog = w.program_with(3, 3);
+        let mut vm = tlr_vm::Vm::new(&prog);
+        let mut sink = tlr_isa::CollectSink::default();
+        vm.run(20_000, &mut sink).unwrap();
+        for trace_len in [1usize, 3, 8] {
+            let res = check_theorem1(&sink.records, trace_len);
+            assert_eq!(res.violations, 0, "{name} trace_len={trace_len}: {res:?}");
+        }
+    }
+}
