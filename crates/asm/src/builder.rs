@@ -5,7 +5,7 @@
 //! assembler's semantics exactly; both produce [`Program`]s.
 
 use crate::program::Program;
-use tlr_isa::{BranchCond, CodeAddr, FpCmpOp, FpOp, FpUnOp, FReg, Instr, IntOp, Operand, Reg};
+use tlr_isa::{BranchCond, CodeAddr, FReg, FpCmpOp, FpOp, FpUnOp, Instr, IntOp, Operand, Reg};
 use tlr_util::FxHashMap;
 
 /// A forward-referencable code label created by [`ProgramBuilder::label`].
@@ -340,9 +340,9 @@ impl ProgramBuilder {
             let target = self.labels[label.0]
                 .unwrap_or_else(|| panic!("unbound label {label:?} referenced by instr {idx}"));
             match &mut self.instrs[*idx] {
-                Instr::Branch { target: t, .. } | Instr::Jump { target: t } | Instr::Jsr { target: t, .. } => {
-                    *t = target
-                }
+                Instr::Branch { target: t, .. }
+                | Instr::Jump { target: t }
+                | Instr::Jsr { target: t, .. } => *t = target,
                 other => unreachable!("fixup on non-control instruction {other:?}"),
             }
         }

@@ -165,10 +165,14 @@ fn lex_number(line: &str, start: usize) -> Result<(Token, usize), String> {
     }
     let text = &line[start..j];
     if is_float {
-        let v: f64 = text.parse().map_err(|e| format!("bad float '{text}': {e}"))?;
+        let v: f64 = text
+            .parse()
+            .map_err(|e| format!("bad float '{text}': {e}"))?;
         Ok((Token::Float(v), j))
     } else {
-        let v: i64 = text.parse().map_err(|e| format!("bad integer '{text}': {e}"))?;
+        let v: i64 = text
+            .parse()
+            .map_err(|e| format!("bad integer '{text}': {e}"))?;
         Ok((Token::Int(v), j))
     }
 }

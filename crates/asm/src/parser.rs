@@ -7,7 +7,7 @@
 use crate::lexer::{lex_line, Token};
 use crate::program::Program;
 use std::fmt;
-use tlr_isa::{BranchCond, CodeAddr, FpCmpOp, FpOp, FpUnOp, FReg, Instr, IntOp, Operand, Reg};
+use tlr_isa::{BranchCond, CodeAddr, FReg, FpCmpOp, FpOp, FpUnOp, Instr, IntOp, Operand, Reg};
 use tlr_util::FxHashMap;
 
 /// What went wrong.
@@ -63,7 +63,10 @@ impl fmt::Display for AsmErrorKind {
             AsmErrorKind::ImmOutOfRange(v) => write!(f, "immediate {v} out of range"),
             AsmErrorKind::BadEntry(l) => write!(f, ".entry names unknown label '{l}'"),
             AsmErrorKind::TargetOutOfRange { target, len } => {
-                write!(f, "branch target @{target} outside the program (length {len})")
+                write!(
+                    f,
+                    "branch target @{target} outside the program (length {len})"
+                )
             }
         }
     }
@@ -114,7 +117,10 @@ enum Opnd {
     /// `@N` absolute code address.
     CodeAddr(i64),
     /// `disp(base)` memory reference; `disp` is an int or symbol.
-    MemRef { disp: Box<Opnd>, base: Reg },
+    MemRef {
+        disp: Box<Opnd>,
+        base: Reg,
+    },
 }
 
 /// Try to interpret an identifier as a register name.
@@ -173,7 +179,11 @@ fn parse_operands(tokens: &[Token]) -> Result<Vec<Opnd>, String> {
             let base = match tokens.get(i) {
                 Some(Token::Ident(name)) => match reg_of(name) {
                     Some(Opnd::IntReg(r)) => r,
-                    _ => return Err(format!("memory base must be an integer register, got '{name}'")),
+                    _ => {
+                        return Err(format!(
+                            "memory base must be an integer register, got '{name}'"
+                        ))
+                    }
                 },
                 other => return Err(format!("expected base register, got {other:?}")),
             };
@@ -214,7 +224,10 @@ fn parse_lines(source: &str) -> Result<Vec<ParsedLine>, AsmError> {
     let mut lines = Vec::new();
     for (idx, raw) in source.lines().enumerate() {
         let line_no = idx + 1;
-        let err = |kind| AsmError { line: line_no, kind };
+        let err = |kind| AsmError {
+            line: line_no,
+            kind,
+        };
         let mut tokens = lex_line(raw).map_err(|m| err(AsmErrorKind::Lex(m)))?;
         // Peel leading `ident :` label pairs.
         let mut labels = Vec::new();
@@ -345,8 +358,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 }
                 ".word" | ".double" | ".space" => {
                     bind_data_labels(&mut pending, &mut env, data_cursor)?;
-                    layout_data(name, args, &env, &mut data, &mut data_cursor)
-                        .map_err(err)?;
+                    layout_data(name, args, &env, &mut data, &mut data_cursor).map_err(err)?;
                 }
                 ".equ" => {
                     let (sym, value) = match args.as_slice() {
@@ -392,11 +404,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     let mut instr_lines: Vec<usize> = Vec::with_capacity(instr_count as usize);
     for line in &lines {
         if let Some(Body::Instr { mnemonic, operands }) = &line.body {
-            let instr =
-                encode(mnemonic, operands, &env).map_err(|kind| AsmError {
-                    line: line.line_no,
-                    kind,
-                })?;
+            let instr = encode(mnemonic, operands, &env).map_err(|kind| AsmError {
+                line: line.line_no,
+                kind,
+            })?;
             instrs.push(instr);
             instr_lines.push(line.line_no);
         }
@@ -798,7 +809,10 @@ mod tests {
         assert_eq!(prog.len(), 9);
         assert_eq!(prog.code_label("loop"), Some(2));
         assert_eq!(prog.data_label("buf"), Some(0x100));
-        assert_eq!(prog.data, vec![(0x100, 10), (0x101, 20), (0x102, 30), (0x103, 40)]);
+        assert_eq!(
+            prog.data,
+            vec![(0x100, 10), (0x101, 20), (0x102, 30), (0x103, 40)]
+        );
         assert_eq!(
             prog.instrs[0],
             Instr::Li {

@@ -50,9 +50,9 @@ impl Program {
         let n = self.instrs.len() as u32;
         for (addr, instr) in self.instrs.iter().enumerate() {
             let bad = match instr {
-                Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Jsr { target, .. } => {
-                    (*target >= n).then_some(*target)
-                }
+                Instr::Branch { target, .. }
+                | Instr::Jump { target }
+                | Instr::Jsr { target, .. } => (*target >= n).then_some(*target),
                 _ => None,
             };
             if let Some(target) = bad {

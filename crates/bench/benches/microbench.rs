@@ -137,14 +137,15 @@ fn bench_rtm(c: &mut Criterion) {
         b.iter(|| {
             let mut hits = 0u64;
             for r in &records {
-                if rtm.lookup(r.start_pc, |loc: Loc| {
-                    r.ins
-                        .iter()
-                        .find(|(l, _)| *l == loc)
-                        .map(|(_, v)| *v)
-                        .unwrap_or(0)
-                })
-                .is_some()
+                if rtm
+                    .lookup(r.start_pc, |loc: Loc| {
+                        r.ins
+                            .iter()
+                            .find(|(l, _)| *l == loc)
+                            .map(|(_, v)| *v)
+                            .unwrap_or(0)
+                    })
+                    .is_some()
                 {
                     hits += 1;
                 }

@@ -3,8 +3,8 @@
 //! ```text
 //! reproduce [OPTIONS] [TARGETS...]
 //!
-//! TARGETS: fig3 fig4 fig5 fig6 fig7 fig8 io fig9 ablation pipeline validbit schemes all
-//!          (default: all)
+//! TARGETS: fig3 fig4 fig5 fig6 fig7 fig8 io fig9 ablation pipeline validbit schemes
+//!          warmstart all   (default: all)
 //!
 //! OPTIONS:
 //!   --budget N    dynamic instructions per benchmark   (default 400000)
@@ -66,7 +66,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const HELP: &str = "reproduce [--budget N] [--seed N] [--window N] [--threads N] [--out DIR] [--charts] \
-                    [fig3|fig4|fig5|fig6|fig7|fig8|io|fig9|ablation|pipeline|validbit|schemes|all ...]";
+                    [fig3|fig4|fig5|fig6|fig7|fig8|io|fig9|ablation|pipeline|validbit|schemes|warmstart|all ...]";
 
 fn emit(out_dir: &PathBuf, name: &str, title: &str, table: &Table) {
     println!("== {title} ==");
@@ -199,9 +199,11 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let needs_limits = ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "io", "ablation"]
-        .iter()
-        .any(|t| wants(&opts.targets, t));
+    let needs_limits = [
+        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "io", "ablation",
+    ]
+    .iter()
+    .any(|t| wants(&opts.targets, t));
     let needs_engine = wants(&opts.targets, "fig9");
 
     println!(
@@ -252,6 +254,18 @@ fn main() {
             "pipeline_ablation",
             "Pipeline ablation (Section 3 model): fetch-skip and window-bypass decomposition",
             &table,
+        );
+    }
+
+    if wants(&opts.targets, "warmstart") {
+        let start = std::time::Instant::now();
+        let cells = tlr_bench::run_warm_start(&opts.cfg, RtmConfig::RTM_4K, Heuristic::FixedExp(4));
+        eprintln!("[warm start: {:?}]", start.elapsed());
+        emit(
+            &opts.out_dir,
+            "warmstart",
+            "Warm start (ours): cold vs RTM-snapshot-seeded engine, % of instructions reused",
+            &tlr_bench::warm_start_table(&cells),
         );
     }
 

@@ -174,7 +174,10 @@ pub fn fig7(results: &[BenchResult]) -> Table {
 pub fn fig8a(results: &[BenchResult]) -> Table {
     let mut table = Table::new(vec!["reuse latency", "AVG speed-up (harmonic)"]);
     for lat in [1u64, 2, 3, 4] {
-        let values: Vec<f64> = results.iter().map(|r| r.limit.tlr_speedup_win(lat)).collect();
+        let values: Vec<f64> = results
+            .iter()
+            .map(|r| r.limit.tlr_speedup_win(lat))
+            .collect();
         table.row(vec![
             lat.to_string(),
             fmt2(harmonic_mean(&values).unwrap_or(0.0)),
@@ -210,7 +213,11 @@ pub fn io_table(results: &[BenchResult]) -> Table {
     };
     let mut table = Table::new(vec!["metric", "paper", "measured"]);
     let rows: Vec<(&str, f64, f64)> = vec![
-        ("inputs / trace", 6.5, avg(&|r| r.limit.trace_stats.avg_inputs())),
+        (
+            "inputs / trace",
+            6.5,
+            avg(&|r| r.limit.trace_stats.avg_inputs()),
+        ),
         (
             "  register inputs",
             2.7,
@@ -235,7 +242,11 @@ pub fn io_table(results: &[BenchResult]) -> Table {
                 }
             }),
         ),
-        ("outputs / trace", 5.0, avg(&|r| r.limit.trace_stats.avg_outputs())),
+        (
+            "outputs / trace",
+            5.0,
+            avg(&|r| r.limit.trace_stats.avg_outputs()),
+        ),
         (
             "  register outputs",
             3.3,
@@ -260,7 +271,11 @@ pub fn io_table(results: &[BenchResult]) -> Table {
                 }
             }),
         ),
-        ("instructions / trace", 15.0, avg(&|r| r.limit.trace_stats.avg_size())),
+        (
+            "instructions / trace",
+            15.0,
+            avg(&|r| r.limit.trace_stats.avg_size()),
+        ),
         (
             "reads / reused instr",
             0.43,
@@ -290,7 +305,10 @@ pub fn ablation_slots(results: &[BenchResult]) -> Table {
         ]);
     }
     let one: Vec<f64> = results.iter().map(|r| r.limit.tlr_speedup_win(1)).collect();
-    let zero: Vec<f64> = results.iter().map(|r| r.limit.tlr_speedup_slots0()).collect();
+    let zero: Vec<f64> = results
+        .iter()
+        .map(|r| r.limit.tlr_speedup_slots0())
+        .collect();
     table.row(vec![
         "AVERAGE".to_string(),
         fmt2(harmonic_mean(&one).unwrap_or(0.0)),
@@ -421,11 +439,7 @@ pub fn schemes_table(cfg: &crate::harness::HarnessConfig) -> Table {
             .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         let cmp = compare_schemes(sink.records.iter(), geometry);
         vals.push((cmp.sv_pct, cmp.sn_pct));
-        table.row(vec![
-            w.name.to_string(),
-            fmt1(cmp.sv_pct),
-            fmt1(cmp.sn_pct),
-        ]);
+        table.row(vec![w.name.to_string(), fmt1(cmp.sv_pct), fmt1(cmp.sn_pct)]);
     }
     let (sv, sn): (Vec<f64>, Vec<f64>) = vals.into_iter().unzip();
     table.row(vec![

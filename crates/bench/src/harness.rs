@@ -46,7 +46,7 @@ impl HarnessConfig {
         }
     }
 
-    fn effective_threads(&self, tasks: usize) -> usize {
+    pub(crate) fn effective_threads(&self, tasks: usize) -> usize {
         let hw = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
@@ -69,7 +69,7 @@ pub struct BenchResult {
 
 /// Run a queue of tasks over a worker pool, writing each task's output
 /// into its own slot.
-fn pool_run<T: Send, R: Send>(
+pub(crate) fn pool_run<T: Send, R: Send>(
     threads: usize,
     tasks: Vec<T>,
     run: impl Fn(T) -> R + Sync,
@@ -90,7 +90,10 @@ fn pool_run<T: Send, R: Send>(
         }
     });
     drop(queue); // release the &mut borrows into `slots`
-    slots.into_iter().map(|s| s.expect("worker filled slot")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled slot"))
+        .collect()
 }
 
 /// Run the combined limit study over every workload, in parallel.

@@ -23,5 +23,7 @@
 
 pub mod figures;
 pub mod harness;
+pub mod warmstart;
 
 pub use harness::{run_engine_grid, run_limit_studies, BenchResult, EngineCell, HarnessConfig};
+pub use warmstart::{run_warm_start, warm_start_table, WarmStartCell};

@@ -169,9 +169,7 @@ impl Collector {
         // maximal run; dropped for fixed-length policies, which only
         // store exact-length traces).
         match self.heuristic {
-            Heuristic::IlrNe | Heuristic::IlrExp | Heuristic::BasicBlock => {
-                self.close_accum(false)
-            }
+            Heuristic::IlrNe | Heuristic::IlrExp | Heuristic::BasicBlock => self.close_accum(false),
             Heuristic::FixedExp(_) => {
                 let _ = self.accum.finalize();
             }
@@ -379,7 +377,9 @@ mod tests {
         assert_eq!(base.next_pc, 2);
         // The engine reuses it; the next 2 executed instructions extend it.
         assert!(c.on_reuse_hit(&base).is_empty());
-        assert!(c.on_executed(&di(2, &[], &[(Loc::IntReg(3), 3)])).is_empty());
+        assert!(c
+            .on_executed(&di(2, &[], &[(Loc::IntReg(3), 3)]))
+            .is_empty());
         let out = c.on_executed(&di(3, &[], &[(Loc::IntReg(4), 4)]));
         // Two records: the 4-long expansion merge and the regular 2-long
         // trace starting at pc 2.
@@ -450,7 +450,9 @@ mod tests {
         let out = c.on_executed(&di(7, &[(R1, 42)], &[]));
         // Expansion merge (3+2=5) plus the regular collected run [a,b].
         assert_eq!(out.len(), 2);
-        assert!(out.iter().any(|t| t.len == 5 && t.start_pc == 0 && t.next_pc == 7));
+        assert!(out
+            .iter()
+            .any(|t| t.len == 5 && t.start_pc == 0 && t.next_pc == 7));
         assert!(out.iter().any(|t| t.len == 2 && t.start_pc == 5));
     }
 

@@ -18,7 +18,7 @@
 
 use crate::collect::{CollectStats, Collector, Heuristic};
 use crate::ilr::FiniteIlrBuffer;
-use crate::rtm::{ReuseBackend, ReuseTraceMemory, RtmConfig, RtmStats};
+use crate::rtm::{ReuseBackend, ReuseTraceMemory, RtmConfig, RtmSnapshot, RtmStats};
 use crate::trace::IoCaps;
 use crate::valid_bit::InvalidatingRtm;
 use tlr_asm::Program;
@@ -133,9 +133,7 @@ impl TraceReuseEngine {
     /// many entries as the RTM", §4.6).
     pub fn new(program: &Program, config: EngineConfig) -> Self {
         let ilr = match config.heuristic {
-            Heuristic::IlrNe | Heuristic::IlrExp => {
-                Some(FiniteIlrBuffer::new(config.rtm.geometry))
-            }
+            Heuristic::IlrNe | Heuristic::IlrExp => Some(FiniteIlrBuffer::new(config.rtm.geometry)),
             Heuristic::FixedExp(_) | Heuristic::BasicBlock => None,
         };
         let rtm: Box<dyn ReuseBackend> = match config.reuse_test {
@@ -154,9 +152,35 @@ impl TraceReuseEngine {
         }
     }
 
+    /// Like [`TraceReuseEngine::new`], but seed the RTM from a prior
+    /// run's [`RtmSnapshot`] so the engine starts warm instead of paying
+    /// the full cold-start trace-collection cost.
+    ///
+    /// The snapshot's geometry overrides `config.rtm`, and the backend is
+    /// always the value-comparison RTM (valid-bit state cannot be
+    /// persisted — see [`ReuseBackend::snapshot`]).
+    pub fn new_warm(program: &Program, config: EngineConfig, snapshot: &RtmSnapshot) -> Self {
+        let mut engine = Self::new(
+            program,
+            EngineConfig {
+                rtm: snapshot.config,
+                reuse_test: ReuseTest::ValueCompare,
+                ..config
+            },
+        );
+        engine.rtm = Box::new(ReuseTraceMemory::import(snapshot));
+        engine
+    }
+
     /// Access the VM (state inspection in tests).
     pub fn vm(&self) -> &Vm {
         &self.vm
+    }
+
+    /// Export the RTM's resident traces for persistence (warm-starting a
+    /// later run). `None` for the valid-bit backend.
+    pub fn export_rtm(&self) -> Option<RtmSnapshot> {
+        self.rtm.snapshot()
     }
 
     /// Access the RTM backend.
@@ -180,8 +204,7 @@ impl TraceReuseEngine {
         let vm = &self.vm;
         let state = |loc| vm.peek_loc(loc);
         if let Some(hit) = self.rtm.lookup(pc, &state) {
-            self.vm
-                .apply_trace(hit.outs.iter().copied(), hit.next_pc)?;
+            self.vm.apply_trace(hit.outs.iter().copied(), hit.next_pc)?;
             self.skipped += hit.len as u64;
             self.reuse_ops += 1;
             self.reused_sizes.record(hit.len as u64);
@@ -297,10 +320,8 @@ mod tests {
             Heuristic::FixedExp(2),
             Heuristic::FixedExp(6),
         ] {
-            let mut engine = TraceReuseEngine::new(
-                &prog,
-                EngineConfig::paper(RtmConfig::RTM_512, heuristic),
-            );
+            let mut engine =
+                TraceReuseEngine::new(&prog, EngineConfig::paper(RtmConfig::RTM_512, heuristic));
             let stats = engine.run(1_000_000).unwrap();
             assert!(stats.halted, "{heuristic:?} did not finish");
             assert_eq!(
@@ -349,17 +370,40 @@ mod tests {
         let prog = assemble(HOT_LOOP).unwrap();
         let mut results = Vec::new();
         for rtm in [RtmConfig::RTM_512, RtmConfig::RTM_4K] {
-            let stats = TraceReuseEngine::new(
-                &prog,
-                EngineConfig::paper(rtm, Heuristic::FixedExp(4)),
-            )
-            .run(1_000_000)
-            .unwrap();
+            let stats =
+                TraceReuseEngine::new(&prog, EngineConfig::paper(rtm, Heuristic::FixedExp(4)))
+                    .run(1_000_000)
+                    .unwrap();
             results.push(stats.pct_reused());
         }
         // This program's working set fits even the small RTM, so both
         // should reuse; the larger must not do worse by more than noise.
         assert!(results[1] >= results[0] - 1.0, "{results:?}");
+    }
+
+    #[test]
+    fn warm_start_never_reuses_less_and_preserves_state() {
+        let prog = assemble(HOT_LOOP).unwrap();
+        let config = EngineConfig::paper(RtmConfig::RTM_4K, Heuristic::FixedExp(4));
+        let mut cold = TraceReuseEngine::new(&prog, config);
+        let cold_stats = cold.run(1_000_000).unwrap();
+        let snapshot = cold.export_rtm().expect("value-compare RTM snapshots");
+        assert!(!snapshot.is_empty());
+
+        let mut warm = TraceReuseEngine::new_warm(&prog, config, &snapshot);
+        let warm_stats = warm.run(1_000_000).unwrap();
+        assert!(warm_stats.halted);
+        assert!(
+            warm_stats.pct_reused() >= cold_stats.pct_reused(),
+            "warm {} < cold {}",
+            warm_stats.pct_reused(),
+            cold_stats.pct_reused()
+        );
+        assert_eq!(
+            warm.vm().peek_loc(Loc::Mem(64)),
+            cold.vm().peek_loc(Loc::Mem(64)),
+            "warm start corrupted architectural state"
+        );
     }
 
     #[test]

@@ -127,7 +127,10 @@ pub(crate) struct SetAssocStore<T> {
 
 impl<T> SetAssocStore<T> {
     pub(crate) fn new(geometry: SetAssocGeometry) -> Self {
-        assert!(geometry.sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            geometry.sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         assert!(geometry.ways >= 1 && geometry.per_pc >= 1);
         Self {
             geometry,
@@ -195,6 +198,20 @@ impl<T> SetAssocStore<T> {
         group.entries.push(entry);
         self.resident += 1;
         evicted
+    }
+
+    /// Iterate all resident entries for snapshotting: groups within each
+    /// set in least-recently-touched-first order, entries within a group
+    /// in LRU→MRU order. Re-inserting entries in this order into an empty
+    /// store of the same geometry reproduces the replacement state.
+    pub(crate) fn iter_lru(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.sets.iter().flat_map(|set| {
+            let mut groups: Vec<&PcGroup<T>> = set.iter().collect();
+            groups.sort_by_key(|g| g.last_touch);
+            groups
+                .into_iter()
+                .flat_map(|g| g.entries.iter().map(move |e| (g.pc, e)))
+        })
     }
 
     /// Move the entry at `idx` of `pc`'s group to the MRU position.
@@ -325,10 +342,26 @@ mod tests {
     #[test]
     fn geometry_capacity_matches_paper_configs() {
         // §4.6: 512 / 4K / 32K / 256K entries.
-        let g512 = SetAssocGeometry { sets: 32, ways: 4, per_pc: 4 };
-        let g4k = SetAssocGeometry { sets: 128, ways: 4, per_pc: 8 };
-        let g32k = SetAssocGeometry { sets: 256, ways: 8, per_pc: 16 };
-        let g256k = SetAssocGeometry { sets: 2048, ways: 8, per_pc: 16 };
+        let g512 = SetAssocGeometry {
+            sets: 32,
+            ways: 4,
+            per_pc: 4,
+        };
+        let g4k = SetAssocGeometry {
+            sets: 128,
+            ways: 4,
+            per_pc: 8,
+        };
+        let g32k = SetAssocGeometry {
+            sets: 256,
+            ways: 8,
+            per_pc: 16,
+        };
+        let g256k = SetAssocGeometry {
+            sets: 2048,
+            ways: 8,
+            per_pc: 16,
+        };
         assert_eq!(g512.capacity(), 512);
         assert_eq!(g4k.capacity(), 4096);
         assert_eq!(g32k.capacity(), 32768);
@@ -337,7 +370,11 @@ mod tests {
 
     #[test]
     fn finite_buffer_evicts_per_pc_lru() {
-        let g = SetAssocGeometry { sets: 1, ways: 1, per_pc: 2 };
+        let g = SetAssocGeometry {
+            sets: 1,
+            ways: 1,
+            per_pc: 2,
+        };
         let mut b = FiniteIlrBuffer::new(g);
         let d1 = di(0, &[(Loc::IntReg(1), 1)]);
         let d2 = di(0, &[(Loc::IntReg(1), 2)]);
@@ -356,7 +393,11 @@ mod tests {
     #[test]
     fn finite_buffer_evicts_pc_groups() {
         // One set, one way: a second PC evicts the first PC's group.
-        let g = SetAssocGeometry { sets: 1, ways: 1, per_pc: 4 };
+        let g = SetAssocGeometry {
+            sets: 1,
+            ways: 1,
+            per_pc: 4,
+        };
         let mut b = FiniteIlrBuffer::new(g);
         let a = di(0, &[(Loc::IntReg(1), 1)]);
         let c = di(1, &[(Loc::IntReg(1), 1)]);
@@ -368,7 +409,11 @@ mod tests {
     #[test]
     fn finite_buffer_sets_isolate_pcs() {
         // Two sets: PCs 0 and 1 land in different sets and never clash.
-        let g = SetAssocGeometry { sets: 2, ways: 1, per_pc: 1 };
+        let g = SetAssocGeometry {
+            sets: 2,
+            ways: 1,
+            per_pc: 1,
+        };
         let mut b = FiniteIlrBuffer::new(g);
         let a = di(0, &[(Loc::IntReg(1), 1)]);
         let c = di(1, &[(Loc::IntReg(1), 1)]);
@@ -380,14 +425,22 @@ mod tests {
 
     #[test]
     fn finite_tracks_infinite_when_capacity_sufficient() {
-        let g = SetAssocGeometry { sets: 64, ways: 8, per_pc: 16 };
+        let g = SetAssocGeometry {
+            sets: 64,
+            ways: 8,
+            per_pc: 16,
+        };
         let mut fin = FiniteIlrBuffer::new(g);
         let mut inf = InstrReuseTable::new();
         // Working set well under capacity: identical verdicts.
         for round in 0..4u64 {
             for pc in 0..50u32 {
                 let d = di(pc, &[(Loc::IntReg(1), round % 2)]);
-                assert_eq!(fin.probe_insert(&d), inf.probe_insert(&d), "pc={pc} round={round}");
+                assert_eq!(
+                    fin.probe_insert(&d),
+                    inf.probe_insert(&d),
+                    "pc={pc} round={round}"
+                );
             }
         }
     }

@@ -40,9 +40,7 @@ impl LatencyRule {
     pub fn latency(&self, inputs: usize, outputs: usize) -> u64 {
         match self {
             LatencyRule::Constant(c) => (*c).max(1),
-            LatencyRule::ProportionalK(k) => {
-                ((k * (inputs + outputs) as f64).ceil() as u64).max(1)
-            }
+            LatencyRule::ProportionalK(k) => ((k * (inputs + outputs) as f64).ceil() as u64).max(1),
         }
     }
 }
@@ -70,14 +68,7 @@ impl Default for LimitConfig {
             window: 256,
             ilr_latencies: vec![1, 2, 3, 4],
             tlr_const_latencies: vec![1, 2, 3, 4],
-            tlr_k_values: vec![
-                1.0 / 32.0,
-                1.0 / 16.0,
-                1.0 / 8.0,
-                1.0 / 4.0,
-                1.0 / 2.0,
-                1.0,
-            ],
+            tlr_k_values: vec![1.0 / 32.0, 1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0, 1.0],
             trace_slots: 1,
         }
     }

@@ -127,6 +127,41 @@ pub trait ReuseBackend {
 
     /// Entries resident.
     fn resident(&self) -> u64;
+
+    /// Export resident traces for persistence, if this backend supports
+    /// snapshotting (only the value-comparison RTM does: valid-bit
+    /// entries are tied to invalidation state that cannot outlive the
+    /// run).
+    fn snapshot(&self) -> Option<RtmSnapshot> {
+        None
+    }
+}
+
+/// A portable snapshot of an RTM's resident traces.
+///
+/// Produced by [`ReuseTraceMemory::export`] and consumed by
+/// [`ReuseTraceMemory::import`] to warm-start a later run from a prior
+/// run's reuse state (serialized to disk by `tlr-persist`). Traces are
+/// ordered so that re-inserting them into an empty RTM of the same
+/// geometry reproduces the exporter's LRU replacement state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RtmSnapshot {
+    /// Geometry the snapshot was taken under.
+    pub config: RtmConfig,
+    /// Resident traces, LRU-first per set.
+    pub traces: Vec<TraceRecord>,
+}
+
+impl RtmSnapshot {
+    /// Number of traces captured.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// `true` when the snapshot holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
 }
 
 /// The Reuse Trace Memory.
@@ -200,6 +235,34 @@ impl ReuseTraceMemory {
         self.stats.stores += 1;
         self.stats.evictions += self.store.insert(pc, record);
     }
+
+    /// The configuration this RTM was built with.
+    pub fn config(&self) -> RtmConfig {
+        RtmConfig {
+            geometry: self.store.geometry(),
+        }
+    }
+
+    /// Capture the resident traces (and geometry) as a portable
+    /// [`RtmSnapshot`] — the warm-start state a later run can
+    /// [`import`](ReuseTraceMemory::import).
+    pub fn export(&self) -> RtmSnapshot {
+        RtmSnapshot {
+            config: self.config(),
+            traces: self.store.iter_lru().map(|(_, rec)| rec.clone()).collect(),
+        }
+    }
+
+    /// Rebuild an RTM from a snapshot. The result starts with fresh
+    /// statistics: warm-start runs measure only their own behaviour.
+    pub fn import(snapshot: &RtmSnapshot) -> Self {
+        let mut rtm = Self::new(snapshot.config);
+        for trace in &snapshot.traces {
+            rtm.insert(trace.clone());
+        }
+        rtm.stats = RtmStats::default();
+        rtm
+    }
 }
 
 impl ReuseBackend for ReuseTraceMemory {
@@ -219,6 +282,10 @@ impl ReuseBackend for ReuseTraceMemory {
 
     fn resident(&self) -> u64 {
         ReuseTraceMemory::resident(self)
+    }
+
+    fn snapshot(&self) -> Option<RtmSnapshot> {
+        Some(self.export())
     }
 }
 
@@ -256,14 +323,20 @@ mod tests {
         rtm.insert(rec(10, &[(R1, 5), (Loc::Mem(100), 7)], &[(R2, 12)], 14));
 
         let good: HashMap<Loc, u64> = [(R1, 5), (Loc::Mem(100), 7)].into();
-        let hit = rtm.lookup(10, |l| good.get(&l).copied().unwrap_or(0)).unwrap();
+        let hit = rtm
+            .lookup(10, |l| good.get(&l).copied().unwrap_or(0))
+            .unwrap();
         assert_eq!(hit.next_pc, 14);
         assert_eq!(hit.outs.as_ref(), &[(R2, 12)]);
 
         let bad: HashMap<Loc, u64> = [(R1, 5), (Loc::Mem(100), 8)].into();
-        assert!(rtm.lookup(10, |l| bad.get(&l).copied().unwrap_or(0)).is_none());
+        assert!(rtm
+            .lookup(10, |l| bad.get(&l).copied().unwrap_or(0))
+            .is_none());
         // Different PC misses regardless of state.
-        assert!(rtm.lookup(11, |l| good.get(&l).copied().unwrap_or(0)).is_none());
+        assert!(rtm
+            .lookup(11, |l| good.get(&l).copied().unwrap_or(0))
+            .is_none());
         assert_eq!(rtm.stats().hits, 1);
         assert_eq!(rtm.stats().lookups, 3);
     }
@@ -321,6 +394,41 @@ mod tests {
         // PC 0 was the LRU group: gone.
         assert!(rtm.lookup(0, |_| 1).is_none());
         assert!(rtm.lookup(4 * 32, |_| 1).is_some());
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_contents_and_lru() {
+        let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        for v in 0..4u64 {
+            rtm.insert(rec(10, &[(R1, v)], &[(R2, v * 10)], 20));
+        }
+        rtm.insert(rec(42, &[(R1, 1)], &[], 43));
+        // Touch v=0 so it is MRU; v=1 becomes the per-PC LRU.
+        assert!(rtm.lookup(10, |l| if l == R1 { 0 } else { 9 }).is_some());
+
+        let snapshot = rtm.export();
+        assert_eq!(snapshot.len(), 5);
+        assert_eq!(snapshot.config, RtmConfig::RTM_512);
+
+        let mut again = ReuseTraceMemory::import(&snapshot);
+        assert_eq!(again.resident(), 5);
+        assert_eq!(again.stats(), RtmStats::default());
+        assert_eq!(again.export(), snapshot);
+        // Replacement state carried over: a fifth trace at PC 10 must
+        // evict v=1 (the LRU), exactly as it would have in the original.
+        again.insert(rec(10, &[(R1, 99)], &[], 20));
+        assert!(again.lookup(10, |l| if l == R1 { 0 } else { 9 }).is_some());
+        assert!(again.lookup(10, |l| if l == R1 { 1 } else { 9 }).is_none());
+    }
+
+    #[test]
+    fn snapshot_via_backend_trait() {
+        let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        rtm.insert(rec(7, &[(R1, 1)], &[(R2, 2)], 9));
+        let backend: &dyn ReuseBackend = &rtm;
+        let snap = backend.snapshot().expect("value-compare RTM snapshots");
+        assert_eq!(snap.traces.len(), 1);
+        assert_eq!(snap.traces[0].start_pc, 7);
     }
 
     #[test]

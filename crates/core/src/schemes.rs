@@ -142,7 +142,10 @@ impl SnBuffer {
             .any(|(r, _)| d.writes.iter().any(|(w, _)| w == r));
         let generation = self.generation;
         for (loc, _) in d.reads.iter() {
-            self.watchers.entry(*loc).or_default().push((d.pc, generation));
+            self.watchers
+                .entry(*loc)
+                .or_default()
+                .push((d.pc, generation));
         }
         self.entries.insert(
             d.pc,
@@ -231,7 +234,7 @@ mod tests {
         let writer_same_value = di(11, &[], &[(R1, 5)]);
         sn.probe_insert(&user);
         sn.probe_insert(&writer_same_value); // rewrites r1 with 5
-        // Sv would still hit here; Sn must not.
+                                             // Sv would still hit here; Sn must not.
         assert!(!sn.probe_insert(&user), "Sn must be conservative");
         assert_eq!(sn.invalidations(), 1);
 

@@ -189,10 +189,7 @@ mod tests {
     #[test]
     fn identical_repeated_trace_is_reusable_and_clean() {
         // Trace <pc0, pc1> executed twice with identical values.
-        let t = vec![
-            mk(0, &[(R1, 1)], &[(R2, 2)]),
-            mk(1, &[(R2, 2)], &[(R1, 3)]),
-        ];
+        let t = vec![mk(0, &[(R1, 1)], &[(R2, 2)]), mk(1, &[(R2, 2)], &[(R1, 3)])];
         let mut stream = t.clone();
         stream.extend(t);
         let res = check_theorem1(&stream, 2);
@@ -208,7 +205,10 @@ mod tests {
         let mut ilr = InstrReuseTable::new();
         let flags: Vec<bool> = stream.iter().map(|d| ilr.probe_insert(d)).collect();
         let last = &flags[stream.len() - trace_len..];
-        assert!(last.iter().all(|&f| f), "members must be reusable: {flags:?}");
+        assert!(
+            last.iter().all(|&f| f),
+            "members must be reusable: {flags:?}"
+        );
         // But the trace itself is not reusable.
         let res = check_theorem1(&stream, trace_len);
         assert_eq!(res.traces, 3);
@@ -223,10 +223,7 @@ mod tests {
     fn internal_values_do_not_block_trace_reuse() {
         // The trace writes r2 then reads it: r2 is internal, so instances
         // with different *initial* r2 but equal live-ins are the same.
-        let a = vec![
-            mk(0, &[(R1, 5)], &[(R2, 6)]),
-            mk(1, &[(R2, 6)], &[(R2, 7)]),
-        ];
+        let a = vec![mk(0, &[(R1, 5)], &[(R2, 6)]), mk(1, &[(R2, 6)], &[(R2, 7)])];
         let mut stream = a.clone();
         stream.extend(a);
         let res = check_theorem1(&stream, 2);

@@ -75,11 +75,7 @@ impl InvalidatingRtm {
 
     /// Currently resident *valid* entries.
     pub fn valid_entries(&self) -> u64 {
-        self.slots
-            .iter()
-            .flatten()
-            .filter(|s| s.valid)
-            .count() as u64
+        self.slots.iter().flatten().filter(|s| s.valid).count() as u64
     }
 
     fn allocate(&mut self) -> u32 {
@@ -123,13 +119,10 @@ impl ReuseBackend for InvalidatingRtm {
         let list = self.by_pc.get(&pc)?;
         // Most recently stored first; the reuse test is just the valid
         // bit — no value comparison.
-        let hit = list
-            .iter()
-            .rev()
-            .find_map(|id| {
-                let slot = self.slots[*id as usize].as_ref()?;
-                slot.valid.then(|| slot.rec.clone())
-            });
+        let hit = list.iter().rev().find_map(|id| {
+            let slot = self.slots[*id as usize].as_ref()?;
+            slot.valid.then(|| slot.rec.clone())
+        });
         if hit.is_some() {
             self.stats.hits += 1;
         }
@@ -157,7 +150,10 @@ impl ReuseBackend for InvalidatingRtm {
             .unwrap_or(0)
             .wrapping_add(1);
         for (loc, _) in rec.ins.iter() {
-            self.watchers.entry(*loc).or_default().push((id, generation));
+            self.watchers
+                .entry(*loc)
+                .or_default()
+                .push((id, generation));
         }
         self.by_pc.entry(rec.start_pc).or_default().push(id);
         self.slots[id as usize] = Some(Slot {

@@ -62,14 +62,17 @@ impl OpClass {
                 Instr::FpOp { op: FpOp::Mul, .. } => OpClass::FpMul,
                 _ => OpClass::FpAdd,
             },
-            Instr::FpUn { op: FpUnOp::Sqrt, .. } => OpClass::FpSqrt,
+            Instr::FpUn {
+                op: FpUnOp::Sqrt, ..
+            } => OpClass::FpSqrt,
             Instr::FpUn { .. } | Instr::FpCmp { .. } => OpClass::FpAdd,
             Instr::LoadInt { .. } | Instr::LoadFp { .. } => OpClass::Load,
             Instr::StoreInt { .. } | Instr::StoreFp { .. } => OpClass::Store,
             Instr::Itof { .. } | Instr::Ftoi { .. } => OpClass::Cvt,
-            Instr::Branch { .. } | Instr::Jump { .. } | Instr::Jsr { .. } | Instr::JmpReg { .. } => {
-                OpClass::Branch
-            }
+            Instr::Branch { .. }
+            | Instr::Jump { .. }
+            | Instr::Jsr { .. }
+            | Instr::JmpReg { .. } => OpClass::Branch,
             Instr::Halt | Instr::Nop => OpClass::Nop,
         }
     }

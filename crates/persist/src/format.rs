@@ -1,0 +1,224 @@
+//! File header and format detection.
+//!
+//! Binary layout (all integers little-endian):
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0 | 4 | magic `"TLRP"` |
+//! | 4 | 2 | format version (currently 1) |
+//! | 6 | 1 | payload kind (1 = trace stream, 2 = RTM snapshot) |
+//! | 7 | 1 | reserved, must be 0 |
+//! | 8 | 8 | program/ISA fingerprint |
+//!
+//! The JSON debug format carries the same information in a `"format"`
+//! tag (`"tlr-trace-v1"` / `"tlr-rtm-v1"`) and a `"fingerprint"` field.
+
+use crate::error::{PersistError, Result};
+use crate::wire;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// File magic for the binary formats.
+pub const MAGIC: [u8; 4] = *b"TLRP";
+
+/// The format version this build writes and reads.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Payload kind: a stream of executed [`tlr_isa::DynInstr`] records.
+pub const KIND_TRACE_STREAM: u8 = 1;
+
+/// Payload kind: a full [`tlr_core::RtmSnapshot`].
+pub const KIND_RTM_SNAPSHOT: u8 = 2;
+
+/// Human-readable name of a payload kind tag.
+pub fn kind_name(kind: u8) -> &'static str {
+    match kind {
+        KIND_TRACE_STREAM => "trace stream",
+        KIND_RTM_SNAPSHOT => "RTM snapshot",
+        _ => "unknown",
+    }
+}
+
+/// Conventional extension for binary trace streams.
+pub const TRACE_EXT: &str = "tlrtrace";
+
+/// Conventional extension for binary RTM snapshots.
+pub const SNAPSHOT_EXT: &str = "tlrsnap";
+
+/// On-disk encoding, chosen by file extension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileFormat {
+    /// Length-prefixed binary with the `TLRP` header (the default).
+    Binary,
+    /// Pretty-printed JSON for debugging and diffing.
+    Json,
+}
+
+impl FileFormat {
+    /// `.json` selects [`FileFormat::Json`]; everything else (including
+    /// the conventional `.tlrtrace` / `.tlrsnap`) is binary.
+    pub fn detect(path: &Path) -> FileFormat {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some(ext) if ext.eq_ignore_ascii_case("json") => FileFormat::Json,
+            _ => FileFormat::Binary,
+        }
+    }
+}
+
+/// The checked binary header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// Format version (see [`FORMAT_VERSION`]).
+    pub version: u16,
+    /// Payload kind tag.
+    pub kind: u8,
+    /// Program/ISA fingerprint (see [`wire::program_fingerprint`]).
+    pub fingerprint: u64,
+}
+
+impl Header {
+    /// Header for a fresh file of `kind` bound to `fingerprint`.
+    pub fn new(kind: u8, fingerprint: u64) -> Self {
+        Self {
+            version: FORMAT_VERSION,
+            kind,
+            fingerprint,
+        }
+    }
+
+    /// Serialize (16 bytes).
+    pub fn write_to(&self, w: &mut impl Write) -> Result<()> {
+        let mut buf = Vec::with_capacity(16);
+        buf.extend_from_slice(&MAGIC);
+        wire::put_u16(&mut buf, self.version);
+        wire::put_u8(&mut buf, self.kind);
+        wire::put_u8(&mut buf, 0);
+        wire::put_u64(&mut buf, self.fingerprint);
+        w.write_all(&buf)?;
+        Ok(())
+    }
+
+    /// Parse and validate a header: magic and version are checked here;
+    /// kind and fingerprint are checked against the caller's expectation
+    /// with [`Header::expect`].
+    pub fn read_from(r: &mut impl Read) -> Result<Header> {
+        let magic: [u8; 4] = wire::read_exact(r)?;
+        if magic != MAGIC {
+            return Err(PersistError::BadMagic { found: magic });
+        }
+        let version = wire::get_u16(r)?;
+        if version != FORMAT_VERSION {
+            return Err(PersistError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let kind = wire::get_u8(r)?;
+        let reserved = wire::get_u8(r)?;
+        if reserved != 0 {
+            return Err(PersistError::Corrupt(format!(
+                "reserved header byte is {reserved}, expected 0"
+            )));
+        }
+        let fingerprint = wire::get_u64(r)?;
+        Ok(Header {
+            version,
+            kind,
+            fingerprint,
+        })
+    }
+
+    /// Reject a header whose kind or fingerprint does not match what the
+    /// caller is about to do with the payload. Pass `expected_fingerprint
+    /// = None` to skip the fingerprint check (inspection tools).
+    pub fn expect(&self, kind: u8, expected_fingerprint: Option<u64>) -> Result<()> {
+        if self.kind != kind {
+            return Err(PersistError::KindMismatch {
+                found: self.kind,
+                expected: kind,
+            });
+        }
+        if let Some(expected) = expected_fingerprint {
+            if self.fingerprint != expected {
+                return Err(PersistError::FingerprintMismatch {
+                    found: self.fingerprint,
+                    expected,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrips() {
+        let h = Header::new(KIND_TRACE_STREAM, 0xfeed_f00d);
+        let mut buf = Vec::new();
+        h.write_to(&mut buf).unwrap();
+        assert_eq!(buf.len(), 16);
+        assert_eq!(Header::read_from(&mut buf.as_slice()).unwrap(), h);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        Header::new(KIND_TRACE_STREAM, 1)
+            .write_to(&mut buf)
+            .unwrap();
+        buf[0] = b'X';
+        match Header::read_from(&mut buf.as_slice()) {
+            Err(PersistError::BadMagic { .. }) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut buf = Vec::new();
+        Header::new(KIND_RTM_SNAPSHOT, 1)
+            .write_to(&mut buf)
+            .unwrap();
+        buf[4] = 0xff; // version LE low byte
+        match Header::read_from(&mut buf.as_slice()) {
+            Err(PersistError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, 0xff);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kind_and_fingerprint_checked() {
+        let h = Header::new(KIND_TRACE_STREAM, 7);
+        assert!(h.expect(KIND_TRACE_STREAM, Some(7)).is_ok());
+        assert!(matches!(
+            h.expect(KIND_RTM_SNAPSHOT, Some(7)),
+            Err(PersistError::KindMismatch { .. })
+        ));
+        assert!(matches!(
+            h.expect(KIND_TRACE_STREAM, Some(8)),
+            Err(PersistError::FingerprintMismatch { .. })
+        ));
+        assert!(h.expect(KIND_TRACE_STREAM, None).is_ok());
+    }
+
+    #[test]
+    fn format_detection_by_extension() {
+        assert_eq!(
+            FileFormat::detect(Path::new("a.tlrtrace")),
+            FileFormat::Binary
+        );
+        assert_eq!(
+            FileFormat::detect(Path::new("a.tlrsnap")),
+            FileFormat::Binary
+        );
+        assert_eq!(FileFormat::detect(Path::new("a.json")), FileFormat::Json);
+        assert_eq!(FileFormat::detect(Path::new("a.JSON")), FileFormat::Json);
+        assert_eq!(FileFormat::detect(Path::new("noext")), FileFormat::Binary);
+    }
+}

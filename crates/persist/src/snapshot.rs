@@ -1,0 +1,305 @@
+//! Saving and loading full [`RtmSnapshot`]s.
+//!
+//! Binary layout after the 16-byte header (see [`crate::format`]):
+//!
+//! | field | size |
+//! |---|---|
+//! | geometry: sets, ways, per-PC | 3 × u32 |
+//! | trace count | u64 |
+//! | traces | count × length-prefixed [`tlr_core::TraceRecord`] frames |
+//! | trailer | u32 zero marker, u64 count, u64 checksum |
+
+use crate::error::{PersistError, Result};
+use crate::format::{FileFormat, Header, KIND_RTM_SNAPSHOT};
+use crate::json::{self, Json};
+use crate::stream::json_pairs;
+use crate::wire;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::hash::Hasher;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use tlr_core::{RtmConfig, RtmSnapshot, SetAssocGeometry, TraceRecord};
+use tlr_util::fxhash::FxHasher64;
+
+/// JSON format tag for RTM snapshots.
+pub const JSON_SNAPSHOT_FORMAT: &str = "tlr-rtm-v1";
+
+/// Save `snapshot` to `path`, choosing binary or JSON by extension.
+pub fn save_snapshot(path: &Path, fingerprint: u64, snapshot: &RtmSnapshot) -> Result<()> {
+    match FileFormat::detect(path) {
+        FileFormat::Binary => {
+            let mut out = BufWriter::new(File::create(path)?);
+            write_snapshot(&mut out, fingerprint, snapshot)?;
+            out.flush()?;
+            Ok(())
+        }
+        FileFormat::Json => {
+            let text = json::to_string_pretty(&snapshot_to_json(fingerprint, snapshot));
+            std::fs::write(path, text)?;
+            Ok(())
+        }
+    }
+}
+
+/// Load a snapshot from `path` (format by extension), optionally pinning
+/// the expected program fingerprint. Returns the file's fingerprint and
+/// the snapshot.
+pub fn load_snapshot(path: &Path, expected_fingerprint: Option<u64>) -> Result<(u64, RtmSnapshot)> {
+    match FileFormat::detect(path) {
+        FileFormat::Binary => {
+            read_snapshot(&mut BufReader::new(File::open(path)?), expected_fingerprint)
+        }
+        FileFormat::Json => {
+            let doc = json::parse(&std::fs::read_to_string(path)?)?;
+            snapshot_from_json(&doc, expected_fingerprint)
+        }
+    }
+}
+
+/// Serialize a snapshot to any writer (binary format).
+pub fn write_snapshot(w: &mut impl Write, fingerprint: u64, snapshot: &RtmSnapshot) -> Result<()> {
+    Header::new(KIND_RTM_SNAPSHOT, fingerprint).write_to(w)?;
+    let geometry = snapshot.config.geometry;
+    let mut prelude = Vec::with_capacity(20);
+    wire::put_u32(&mut prelude, geometry.sets);
+    wire::put_u32(&mut prelude, geometry.ways);
+    wire::put_u32(&mut prelude, geometry.per_pc);
+    wire::put_u64(&mut prelude, snapshot.traces.len() as u64);
+    w.write_all(&prelude)?;
+
+    let mut checksum = FxHasher64::new();
+    let mut scratch = Vec::with_capacity(256);
+    for trace in &snapshot.traces {
+        scratch.clear();
+        wire::put_trace_record(&mut scratch, trace)?;
+        wire::write_frame(w, &scratch, &mut checksum)?;
+    }
+    let mut trailer = Vec::with_capacity(20);
+    wire::put_u32(&mut trailer, 0);
+    wire::put_u64(&mut trailer, snapshot.traces.len() as u64);
+    wire::put_u64(&mut trailer, checksum.finish());
+    w.write_all(&trailer)?;
+    Ok(())
+}
+
+/// Deserialize a snapshot from any reader (binary format).
+pub fn read_snapshot(
+    r: &mut impl Read,
+    expected_fingerprint: Option<u64>,
+) -> Result<(u64, RtmSnapshot)> {
+    let header = Header::read_from(r)?;
+    header.expect(KIND_RTM_SNAPSHOT, expected_fingerprint)?;
+    let geometry = SetAssocGeometry {
+        sets: wire::get_u32(r)?,
+        ways: wire::get_u32(r)?,
+        per_pc: wire::get_u32(r)?,
+    };
+    validate_geometry(&geometry)?;
+    let declared = wire::get_u64(r)?;
+    let mut checksum = FxHasher64::new();
+    let mut traces = Vec::with_capacity(declared.min(1 << 20) as usize);
+    while let Some(frame) = wire::read_frame(r, &mut checksum)? {
+        let mut slice = frame.as_slice();
+        let trace = wire::get_trace_record(&mut slice)?;
+        if !slice.is_empty() {
+            return Err(PersistError::Corrupt(format!(
+                "{} stray bytes after trace {}",
+                slice.len(),
+                traces.len()
+            )));
+        }
+        traces.push(trace);
+    }
+    let count = wire::get_u64(r)?;
+    let stored_checksum = wire::get_u64(r)?;
+    if count != traces.len() as u64 || declared != count {
+        return Err(PersistError::Corrupt(format!(
+            "snapshot declared {declared} traces, trailer says {count}, file held {}",
+            traces.len()
+        )));
+    }
+    if stored_checksum != checksum.finish() {
+        return Err(PersistError::Corrupt(
+            "snapshot checksum mismatch (file is damaged)".into(),
+        ));
+    }
+    Ok((
+        header.fingerprint,
+        RtmSnapshot {
+            config: RtmConfig { geometry },
+            traces,
+        },
+    ))
+}
+
+fn validate_geometry(g: &SetAssocGeometry) -> Result<()> {
+    if !g.sets.is_power_of_two() || g.ways == 0 || g.per_pc == 0 {
+        return Err(PersistError::Corrupt(format!(
+            "invalid RTM geometry: {} sets x {} ways x {} per PC",
+            g.sets, g.ways, g.per_pc
+        )));
+    }
+    Ok(())
+}
+
+fn snapshot_to_json(fingerprint: u64, snapshot: &RtmSnapshot) -> Json {
+    let geometry = snapshot.config.geometry;
+    let mut geom = BTreeMap::new();
+    geom.insert("sets".into(), Json::Num(geometry.sets as u64));
+    geom.insert("ways".into(), Json::Num(geometry.ways as u64));
+    geom.insert("per_pc".into(), Json::Num(geometry.per_pc as u64));
+
+    let pairs = |items: &[(tlr_isa::Loc, u64)]| {
+        Json::Arr(
+            items
+                .iter()
+                .map(|(loc, val)| {
+                    let (tag, n) = wire::loc_tag(*loc);
+                    Json::Arr(vec![Json::Num(tag), Json::Num(n), Json::Num(*val)])
+                })
+                .collect(),
+        )
+    };
+    let traces = snapshot
+        .traces
+        .iter()
+        .map(|t| {
+            let mut obj = BTreeMap::new();
+            obj.insert("start_pc".into(), Json::Num(t.start_pc as u64));
+            obj.insert("next_pc".into(), Json::Num(t.next_pc as u64));
+            obj.insert("len".into(), Json::Num(t.len as u64));
+            obj.insert("ins".into(), pairs(&t.ins));
+            obj.insert("outs".into(), pairs(&t.outs));
+            Json::Obj(obj)
+        })
+        .collect();
+
+    let mut doc = BTreeMap::new();
+    doc.insert("format".into(), Json::Str(JSON_SNAPSHOT_FORMAT.into()));
+    doc.insert("fingerprint".into(), Json::Num(fingerprint));
+    doc.insert("geometry".into(), Json::Obj(geom));
+    doc.insert("traces".into(), Json::Arr(traces));
+    Json::Obj(doc)
+}
+
+fn snapshot_from_json(doc: &Json, expected_fingerprint: Option<u64>) -> Result<(u64, RtmSnapshot)> {
+    let format = doc.field("format")?.as_str("format")?;
+    if format != JSON_SNAPSHOT_FORMAT {
+        return Err(PersistError::Corrupt(format!(
+            "\"format\" is {format:?}, expected {JSON_SNAPSHOT_FORMAT:?}"
+        )));
+    }
+    let fingerprint = doc.field("fingerprint")?.as_u64("fingerprint")?;
+    if let Some(expected) = expected_fingerprint {
+        if fingerprint != expected {
+            return Err(PersistError::FingerprintMismatch {
+                found: fingerprint,
+                expected,
+            });
+        }
+    }
+    let geom = doc.field("geometry")?;
+    let geometry = SetAssocGeometry {
+        sets: geom.field("sets")?.as_u32("sets")?,
+        ways: geom.field("ways")?.as_u32("ways")?,
+        per_pc: geom.field("per_pc")?.as_u32("per_pc")?,
+    };
+    validate_geometry(&geometry)?;
+    let traces = doc
+        .field("traces")?
+        .as_arr("traces")?
+        .iter()
+        .map(|t| {
+            Ok(TraceRecord {
+                start_pc: t.field("start_pc")?.as_u32("start_pc")?,
+                next_pc: t.field("next_pc")?.as_u32("next_pc")?,
+                len: t.field("len")?.as_u32("len")?,
+                ins: json_pairs(t.field("ins")?, "ins")?.into_boxed_slice(),
+                outs: json_pairs(t.field("outs")?, "outs")?.into_boxed_slice(),
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok((
+        fingerprint,
+        RtmSnapshot {
+            config: RtmConfig { geometry },
+            traces,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlr_isa::Loc;
+
+    fn sample_snapshot() -> RtmSnapshot {
+        RtmSnapshot {
+            config: RtmConfig::RTM_512,
+            traces: (0..20)
+                .map(|i| TraceRecord {
+                    start_pc: i,
+                    next_pc: i + 4,
+                    len: 4,
+                    ins: vec![(Loc::IntReg(1), i as u64), (Loc::Mem(64 + i as u64), 7)]
+                        .into_boxed_slice(),
+                    outs: vec![(Loc::IntReg(2), i as u64 * 2)].into_boxed_slice(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let snapshot = sample_snapshot();
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, 77, &snapshot).unwrap();
+        let (fp, again) = read_snapshot(&mut buf.as_slice(), Some(77)).unwrap();
+        assert_eq!(fp, 77);
+        assert_eq!(again, snapshot);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let snapshot = sample_snapshot();
+        let doc = snapshot_to_json(5, &snapshot);
+        let text = json::to_string_pretty(&doc);
+        let (fp, again) = snapshot_from_json(&json::parse(&text).unwrap(), Some(5)).unwrap();
+        assert_eq!(fp, 5);
+        assert_eq!(again, snapshot);
+    }
+
+    #[test]
+    fn corrupt_payload_rejected() {
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, 0, &sample_snapshot()).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 1;
+        assert!(read_snapshot(&mut buf.as_slice(), None).is_err());
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let mut snapshot = sample_snapshot();
+        snapshot.config.geometry.sets = 33; // not a power of two
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, 0, &snapshot).unwrap();
+        match read_snapshot(&mut buf.as_slice(), None) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("geometry"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        // A trace-stream header is not a snapshot.
+        let mut buf = Vec::new();
+        let w = crate::stream::TraceWriter::new(&mut buf, 3).unwrap();
+        w.close().unwrap();
+        assert!(matches!(
+            read_snapshot(&mut buf.as_slice(), None),
+            Err(PersistError::KindMismatch { .. })
+        ));
+    }
+}

@@ -108,8 +108,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let rows =
-            run_ablation(&prog, RtmConfig::RTM_4K, Heuristic::FixedExp(4), 200_000).unwrap();
+        let rows = run_ablation(&prog, RtmConfig::RTM_4K, Heuristic::FixedExp(4), 200_000).unwrap();
         assert_eq!(rows.len(), 4);
         let by_label = |l: &str| {
             rows.iter()

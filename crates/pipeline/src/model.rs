@@ -332,7 +332,11 @@ mod tests {
         let stats = run_pipeline(&prog, PipeConfig::default(), 100_000).unwrap();
         assert!(stats.halted);
         assert!(stats.ipc() > 0.1);
-        assert!(stats.ipc() <= 4.0 + 1e-9, "ipc {} exceeds fetch width", stats.ipc());
+        assert!(
+            stats.ipc() <= 4.0 + 1e-9,
+            "ipc {} exceeds fetch width",
+            stats.ipc()
+        );
         assert_eq!(stats.fetched, stats.instrs);
         assert_eq!(stats.reuse_ops, 0);
     }
@@ -378,7 +382,11 @@ mod tests {
         )
         .unwrap();
         assert!(reuse.reuse_ops > 0);
-        assert!(reuse.fetch_saving() > 0.2, "saving {}", reuse.fetch_saving());
+        assert!(
+            reuse.fetch_saving() > 0.2,
+            "saving {}",
+            reuse.fetch_saving()
+        );
         assert!(
             reuse.ipc() > base.ipc(),
             "reuse ipc {} <= base ipc {}",
@@ -397,10 +405,7 @@ mod tests {
         let mut reuse = Pipeline::new(
             &prog,
             PipeConfig {
-                reuse: Some(ReuseConfig::paper(
-                    RtmConfig::RTM_512,
-                    Heuristic::IlrExp,
-                )),
+                reuse: Some(ReuseConfig::paper(RtmConfig::RTM_512, Heuristic::IlrExp)),
                 ..Default::default()
             },
         );

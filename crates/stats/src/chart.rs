@@ -48,12 +48,7 @@ impl BarChart {
         let mut out = String::new();
         out.push_str(&self.title);
         out.push('\n');
-        let label_w = self
-            .entries
-            .iter()
-            .map(|(l, _)| l.len())
-            .max()
-            .unwrap_or(0);
+        let label_w = self.entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
         let xform = |v: f64| -> f64 {
             if self.log_scale {
                 if v >= 1.0 {

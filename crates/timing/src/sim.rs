@@ -240,7 +240,12 @@ mod tests {
         let lat = Alpha21164;
         // FP divide: latency 22; with reuse latency 1 the reused copy
         // completes 21 cycles earlier.
-        let div = di(0, OpClass::FpDiv, &[(Loc::FpReg(1), 0)], &[(Loc::FpReg(2), 0)]);
+        let div = di(
+            0,
+            OpClass::FpDiv,
+            &[(Loc::FpReg(1), 0)],
+            &[(Loc::FpReg(2), 0)],
+        );
         let mut a = TimingSim::new(Window::infinite(), &lat);
         let mut b = TimingSim::new(Window::infinite(), &lat);
         let tn = a.step_normal(&div);
@@ -302,7 +307,11 @@ mod tests {
         // the reuse path (t=51).
         let (floor, t_reuse) = sim.trace_floor([&R1], 1);
         assert_eq!(t_reuse, 51);
-        let t = sim.step_trace_member(&di(50, OpClass::IntAlu, &[(R2, 0)], &[(R3, 0)]), floor, t_reuse);
+        let t = sim.step_trace_member(
+            &di(50, OpClass::IntAlu, &[(R2, 0)], &[(R3, 0)]),
+            floor,
+            t_reuse,
+        );
         assert_eq!(t, 1);
     }
 

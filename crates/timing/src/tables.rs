@@ -61,13 +61,20 @@ impl CompletionTables {
     /// Maximum completion time over a read set (0 for an empty set).
     #[inline]
     pub fn max_over_reads(&self, reads: &[(Loc, u64)]) -> u64 {
-        reads.iter().map(|(loc, _)| self.get(*loc)).max().unwrap_or(0)
+        reads
+            .iter()
+            .map(|(loc, _)| self.get(*loc))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum completion time over a list of locations.
     #[inline]
     pub fn max_over_locs<'a>(&self, locs: impl IntoIterator<Item = &'a Loc>) -> u64 {
-        locs.into_iter().map(|loc| self.get(*loc)).max().unwrap_or(0)
+        locs.into_iter()
+            .map(|loc| self.get(*loc))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of memory words tracked (footprint reporting).

@@ -98,13 +98,13 @@ mod tests {
         w.occupy(10); // instr 0: grad 10
         assert_eq!(w.issue_floor(), 0);
         w.occupy(4); // instr 1: grad stays 10
-        // Next instruction (index 2) is floored by grad of instr 0 = 10.
+                     // Next instruction (index 2) is floored by grad of instr 0 = 10.
         assert_eq!(w.issue_floor(), 10);
         w.occupy(20); // instr 2: grad 20
-        // Instr 3 floored by grad of instr 1 = 10.
+                      // Instr 3 floored by grad of instr 1 = 10.
         assert_eq!(w.issue_floor(), 10);
         w.occupy(5); // instr 3
-        // Instr 4 floored by grad of instr 2 = 20.
+                     // Instr 4 floored by grad of instr 2 = 20.
         assert_eq!(w.issue_floor(), 20);
     }
 

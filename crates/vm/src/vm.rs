@@ -441,7 +441,7 @@ mod tests {
         );
         assert!(matches!(outcome, RunOutcome::Halted { .. }));
         assert_eq!(vm.peek_loc(Loc::IntReg(1)), 15); // 5+4+3+2+1
-        // 2 setup + 5 iterations * 3 instructions
+                                                     // 2 setup + 5 iterations * 3 instructions
         assert_eq!(recs.len(), 17);
     }
 
@@ -461,9 +461,15 @@ mod tests {
         );
         assert_eq!(vm.memory().read(101), 8);
         let load = &recs[1];
-        assert!(load.reads.iter().any(|(l, v)| *l == Loc::Mem(100) && *v == 7));
+        assert!(load
+            .reads
+            .iter()
+            .any(|(l, v)| *l == Loc::Mem(100) && *v == 7));
         let store = &recs[3];
-        assert!(store.writes.iter().any(|(l, v)| *l == Loc::Mem(101) && *v == 8));
+        assert!(store
+            .writes
+            .iter()
+            .any(|(l, v)| *l == Loc::Mem(101) && *v == 8));
     }
 
     #[test]
@@ -574,7 +580,11 @@ mod tests {
         let prog = assemble("nop\nnop\nnop\nhalt\n").unwrap();
         let mut vm = Vm::new(&prog);
         vm.apply_trace(
-            [(Loc::IntReg(5), 77), (Loc::Mem(10), 88), (Loc::FpReg(2), 2.5f64.to_bits())],
+            [
+                (Loc::IntReg(5), 77),
+                (Loc::Mem(10), 88),
+                (Loc::FpReg(2), 2.5f64.to_bits()),
+            ],
             3,
         )
         .unwrap();

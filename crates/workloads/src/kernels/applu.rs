@@ -62,8 +62,8 @@ inner:  subq    r4, r1, 1           ; R: address of u[i-1]
 fn build(seed: u64, iters: u32) -> Program {
     let mut prog = assemble(&source(iters)).expect("applu kernel must assemble");
     let mut rng = Xoshiro256StarStar::new(seed ^ 0x0a11_0701); // per-kernel stream tag
-    // c1 + 2*c2 < 1 keeps the field bounded per step; c3 > 0 guarantees
-    // strict growth (no accidental fixed point, hence no accidental reuse).
+                                                               // c1 + 2*c2 < 1 keeps the field bounded per step; c3 > 0 guarantees
+                                                               // strict growth (no accidental fixed point, hence no accidental reuse).
     prog.data.push((COEFF, 0.5f64.to_bits()));
     prog.data.push((COEFF + 1, 0.2f64.to_bits()));
     prog.data.push((COEFF + 2, 0.125f64.to_bits()));

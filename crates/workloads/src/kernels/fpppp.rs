@@ -64,7 +64,7 @@ fn build(seed: u64, iters: u32) -> Program {
         b.mult(f4, f1, f2); // R (static × static)
         b.addt(f4, f4, f3); // R
         b.mult(f4, f4, f1); // R
-        // Fold into the evolving total: F, breaks the reusable run.
+                            // Fold into the evolving total: F, breaks the reusable run.
         b.addt(f_acc, f_acc, f4); // F
         b.addt(f_acc, f_acc, f_drift); // F
     }
@@ -122,11 +122,7 @@ mod tests {
         // The generated block should dwarf its loop overhead: branch
         // density well under 2%.
         let prog = build(1, 1);
-        let branches = prog
-            .instrs
-            .iter()
-            .filter(|i| i.is_control())
-            .count();
+        let branches = prog.instrs.iter().filter(|i| i.is_control()).count();
         assert!(
             (branches as f64) < 0.02 * prog.len() as f64,
             "{branches} branches in {} instrs",

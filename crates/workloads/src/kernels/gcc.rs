@@ -124,11 +124,7 @@ mod tests {
             "gcc reusability {}",
             p.pct()
         );
-        assert!(
-            p.avg_trace() < 30.0,
-            "gcc trace size {}",
-            p.avg_trace()
-        );
+        assert!(p.avg_trace() < 30.0, "gcc trace size {}", p.avg_trace());
     }
 
     #[test]

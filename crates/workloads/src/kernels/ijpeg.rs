@@ -150,11 +150,7 @@ mod tests {
     fn profile_matches_ijpeg_shape() {
         let prog = build(11, 30);
         let p = profile(&prog, 60_000);
-        assert!(
-            p.pct() > 88.0,
-            "ijpeg reusability {}",
-            p.pct()
-        );
+        assert!(p.pct() > 88.0, "ijpeg reusability {}", p.pct());
         assert!(
             (20.0..60.0).contains(&p.avg_trace()),
             "ijpeg trace size {}",

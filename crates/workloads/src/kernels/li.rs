@@ -139,7 +139,11 @@ fn gen_tree(
     if depth == 0 || rng.next_below(4) == 0 {
         cells.push((TAG_LEAF, rng.next_below(1000), 0));
     } else {
-        let tag = if rng.next_below(2) == 0 { TAG_ADD } else { TAG_MUL };
+        let tag = if rng.next_below(2) == 0 {
+            TAG_ADD
+        } else {
+            TAG_MUL
+        };
         // Reserve this cell's slot before generating children.
         let slot = cells.len();
         cells.push((tag, 0, 0));

@@ -74,7 +74,8 @@ fn build(seed: u64, iters: u32) -> Program {
     let mut rng = Xoshiro256StarStar::new(seed ^ 0x9e_4151);
     for w in 0..NWORDS {
         for c in 0..WORDLEN {
-            prog.data.push((WORDS + w * WORDLEN + c, 32 + rng.next_below(96)));
+            prog.data
+                .push((WORDS + w * WORDLEN + c, 32 + rng.next_below(96)));
         }
     }
     for i in 0..SEQLEN {

@@ -93,10 +93,8 @@ fn build(seed: u64, iters: u32) -> Program {
     }
     for m in 0..POOL_SIZE {
         for e in 0..4 {
-            prog.data.push((
-                POOL + m * 4 + e,
-                rng.next_f64_in(-1.0, 1.0).to_bits(),
-            ));
+            prog.data
+                .push((POOL + m * 4 + e, rng.next_f64_in(-1.0, 1.0).to_bits()));
         }
     }
     prog

@@ -81,14 +81,20 @@ fn build(seed: u64, iters: u32) -> Program {
     // Smoothing coefficient lives at word 0 (loaded via 0(zero)).
     prog.data.push((0, 0.75f64.to_bits()));
     let stride = 2 * rng.next_below(CELLS / 2) + 1; // odd => coprime to 96? not always
-    // 96 = 2^5 * 3: an odd stride coprime to 96 must also avoid 3.
-    let stride = if stride.is_multiple_of(3) { stride + 2 } else { stride };
+                                                    // 96 = 2^5 * 3: an odd stride coprime to 96 must also avoid 3.
+    let stride = if stride.is_multiple_of(3) {
+        stride + 2
+    } else {
+        stride
+    };
     for i in 0..CELLS {
         prog.data.push((NEXT + i, (i + stride) % CELLS));
     }
     for i in 0..CELLS {
-        prog.data.push((XS + i, rng.next_f64_in(-8.0, 8.0).to_bits()));
-        prog.data.push((YS + i, rng.next_f64_in(-8.0, 8.0).to_bits()));
+        prog.data
+            .push((XS + i, rng.next_f64_in(-8.0, 8.0).to_bits()));
+        prog.data
+            .push((YS + i, rng.next_f64_in(-8.0, 8.0).to_bits()));
     }
     prog
 }

@@ -131,7 +131,10 @@ pub fn by_name(name: &str) -> Option<Workload> {
 
 /// The integer subset.
 pub fn int_suite() -> Vec<Workload> {
-    all().into_iter().filter(|w| w.suite == Suite::Int).collect()
+    all()
+        .into_iter()
+        .filter(|w| w.suite == Suite::Int)
+        .collect()
 }
 
 /// The FP subset.
@@ -210,7 +213,11 @@ mod tests {
         for w in all() {
             let a = w.program_with(1, 2);
             let b = w.program_with(2, 2);
-            assert_eq!(a.instrs, b.instrs, "{}: code must not depend on seed", w.name);
+            assert_eq!(
+                a.instrs, b.instrs,
+                "{}: code must not depend on seed",
+                w.name
+            );
         }
     }
 }

@@ -168,7 +168,11 @@ pub fn generate(config: &SyntheticConfig, n: usize) -> Vec<DynInstr> {
         emit(
             &mut out,
             pc,
-            if is_mem { OpClass::Load } else { OpClass::IntAlu },
+            if is_mem {
+                OpClass::Load
+            } else {
+                OpClass::IntAlu
+            },
             &[(loc_a, va), (loc_b, vb)],
             &[(wloc, result)],
         );

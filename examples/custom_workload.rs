@@ -5,8 +5,8 @@
 //! cargo run --release --example custom_workload
 //! ```
 
-use trace_reuse::prelude::*;
 use tlr_isa::{FReg, Reg};
+use trace_reuse::prelude::*;
 
 /// A string-hashing kernel in assembly text.
 fn text_version() -> Program {

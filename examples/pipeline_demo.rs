@@ -5,8 +5,8 @@
 //! cargo run --release --example pipeline_demo [benchmark] [budget]
 //! ```
 
-use trace_reuse::prelude::*;
 use trace_reuse::pipeline::run_ablation;
+use trace_reuse::prelude::*;
 
 fn main() {
     let mut args = std::env::args().skip(1);

@@ -1,0 +1,89 @@
+//! Record → replay → snapshot → warm-start, end to end.
+//!
+//! ```text
+//! cargo run --example record_replay
+//! ```
+//!
+//! 1. records a full execution of a hot-loop program to a `.tlrtrace`
+//!    stream and replays it with divergence checking;
+//! 2. runs the reuse engine cold, snapshots its RTM to a `.tlrsnap`
+//!    file, and re-runs warm from the snapshot;
+//! 3. prints the cold vs warm reuse rates.
+
+use std::path::PathBuf;
+use trace_reuse::persist::{
+    load_snapshot, program_fingerprint, replay, save_snapshot, TraceReader, TraceWriter,
+};
+use trace_reuse::prelude::*;
+
+const PROGRAM: &str = r#"
+        .org 0x100
+tab:    .word 2, 4, 6, 8
+        li      r9, 50
+outer:  li      r1, tab
+        li      r2, 4
+        li      r5, 0
+inner:  ldq     r3, 0(r1)
+        addq    r5, r5, r3
+        addq    r1, r1, 1
+        subq    r2, r2, 1
+        bnez    r2, inner
+        stq     r5, 64(zero)
+        subq    r9, r9, 1
+        bnez    r9, outer
+        halt
+"#;
+
+fn main() {
+    let program = assemble(PROGRAM).expect("assembly failed");
+    let fingerprint = program_fingerprint(&program);
+    let dir = std::env::temp_dir().join("tlr-record-replay-example");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let trace_path: PathBuf = dir.join("quickstart.tlrtrace");
+    let snap_path: PathBuf = dir.join("quickstart.tlrsnap");
+
+    // --- 1. record ---------------------------------------------------
+    let mut sink = TraceWriter::create(&trace_path, fingerprint).expect("create trace");
+    let mut vm = Vm::new(&program);
+    let outcome = vm.run(1_000_000, &mut sink).expect("vm error");
+    sink.set_halted(matches!(outcome, RunOutcome::Halted { .. }));
+    let recorded = sink.close().expect("close trace");
+    println!(
+        "recorded  {recorded} instructions -> {}",
+        trace_path.display()
+    );
+
+    // --- 2. replay with divergence checking --------------------------
+    let mut reader = TraceReader::open(&trace_path, Some(fingerprint)).expect("open trace");
+    let (stats, replayed_vm) = replay(&program, &mut reader).expect("replay diverged");
+    assert_eq!(stats.replayed, recorded);
+    assert_eq!(
+        replayed_vm.peek_loc(Loc::Mem(64)),
+        vm.peek_loc(Loc::Mem(64))
+    );
+    println!("replayed  {} instructions, no divergence", stats.replayed);
+
+    // --- 3. cold run + RTM snapshot ----------------------------------
+    let config = EngineConfig::paper(RtmConfig::RTM_4K, Heuristic::FixedExp(4));
+    let mut cold = TraceReuseEngine::new(&program, config);
+    let cold_stats = cold.run(1_000_000).expect("cold engine error");
+    let snapshot = cold.export_rtm().expect("snapshot");
+    save_snapshot(&snap_path, fingerprint, &snapshot).expect("save snapshot");
+    println!(
+        "cold run  {:.1}% reused; {} traces -> {}",
+        cold_stats.pct_reused(),
+        snapshot.len(),
+        snap_path.display()
+    );
+
+    // --- 4. warm start from the snapshot -----------------------------
+    let (_, loaded) = load_snapshot(&snap_path, Some(fingerprint)).expect("load snapshot");
+    let mut warm = TraceReuseEngine::new_warm(&program, config, &loaded);
+    let warm_stats = warm.run(1_000_000).expect("warm engine error");
+    println!(
+        "warm run  {:.1}% reused ({:+.1} vs cold)",
+        warm_stats.pct_reused(),
+        warm_stats.pct_reused() - cold_stats.pct_reused()
+    );
+    assert!(warm_stats.pct_reused() >= cold_stats.pct_reused());
+}

@@ -37,8 +37,7 @@ fn main() {
     heuristics.push(tlr_core::Heuristic::BasicBlock);
     for heuristic in heuristics {
         for rtm in RtmConfig::PAPER_SWEEP {
-            let mut engine =
-                TraceReuseEngine::new(&program, EngineConfig::paper(rtm, heuristic));
+            let mut engine = TraceReuseEngine::new(&program, EngineConfig::paper(rtm, heuristic));
             let stats = engine.run(budget).expect("engine run failed");
             println!(
                 "{:10} {:>10} {:>11.1}% {:>12.2} {:>10} {:>10}",

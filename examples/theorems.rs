@@ -43,7 +43,11 @@ fn main() {
         .map(|d| {
             let r = table.probe_insert(d);
             let (loc, val) = d.reads[0];
-            println!("    pc {}: {loc} = {val:<4} -> {}", d.pc, if r { "yes" } else { "no" });
+            println!(
+                "    pc {}: {loc} = {val:<4} -> {}",
+                d.pc,
+                if r { "yes" } else { "no" }
+            );
             r
         })
         .collect();

@@ -3,24 +3,42 @@
 //!
 //! ```text
 //! tlrsim run FILE      [--budget N] [--reuse] [--rtm SIZE] [--heuristic H]
+//!                      [--warm-rtm SNAP]
 //! tlrsim disasm FILE
 //! tlrsim analyze FILE  [--budget N] [--window W]
+//! tlrsim record FILE   --out TRACE [--budget N]
+//! tlrsim replay FILE   --trace TRACE
+//! tlrsim snapshot FILE --out SNAP  [--budget N] [--rtm SIZE] [--heuristic H]
 //!
-//!   SIZE: 512 | 4k | 32k | 256k            (default 4k)
-//!   H:    i1..i8 | ilr-ne | ilr-exp | bb   (default i4)
+//!   SIZE:  512 | 4k | 32k | 256k            (default 4k)
+//!   H:     i1..i8 | ilr-ne | ilr-exp | bb   (default i4)
+//!   TRACE: *.tlrtrace (binary) or *.json (debug format)
+//!   SNAP:  *.tlrsnap  (binary) or *.json (debug format)
 //! ```
 //!
-//! `run` executes a program (optionally under the reuse engine), `disasm`
-//! prints the assembled listing, and `analyze` runs the paper's full
-//! limit study on it.
+//! `run` executes a program (optionally under the reuse engine; with
+//! `--warm-rtm` the engine starts from a saved RTM snapshot), `disasm`
+//! prints the assembled listing, `analyze` runs the paper's full limit
+//! study, `record` writes every executed instruction to a trace file,
+//! `replay` re-executes against a recording and fails on the first
+//! divergence, and `snapshot` runs the reuse engine and saves its RTM
+//! for later warm starts.
 
+use std::path::Path;
+use trace_reuse::persist::{
+    load_snapshot, load_trace, program_fingerprint, replay, save_snapshot, save_trace, FileFormat,
+    MemorySource, TraceReader, TraceWriter,
+};
 use trace_reuse::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  tlrsim run FILE     [--budget N] [--reuse] [--rtm 512|4k|32k|256k] \
-         [--heuristic i1..i8|ilr-ne|ilr-exp|bb]\n  tlrsim disasm FILE\n  tlrsim analyze FILE \
-         [--budget N] [--window W]"
+         [--heuristic i1..i8|ilr-ne|ilr-exp|bb] [--warm-rtm SNAP]\n  tlrsim disasm FILE\n  \
+         tlrsim analyze FILE [--budget N] [--window W]\n  \
+         tlrsim record FILE   --out TRACE [--budget N]\n  \
+         tlrsim replay FILE   --trace TRACE\n  \
+         tlrsim snapshot FILE --out SNAP [--budget N] [--rtm ...] [--heuristic ...]"
     );
     std::process::exit(2);
 }
@@ -31,8 +49,8 @@ fn fail(msg: &str) -> ! {
 }
 
 fn load(path: &str) -> Program {
-    let source = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let source =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
     match assemble(&source) {
         Ok(p) => p,
         Err(e) => fail(&format!("{path}: {e}")),
@@ -69,6 +87,9 @@ struct Flags {
     reuse: bool,
     rtm: RtmConfig,
     heuristic: Heuristic,
+    out: Option<String>,
+    trace: Option<String>,
+    warm_rtm: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Flags {
@@ -78,6 +99,9 @@ fn parse_flags(args: &[String]) -> Flags {
         reuse: false,
         rtm: RtmConfig::RTM_4K,
         heuristic: Heuristic::FixedExp(4),
+        out: None,
+        trace: None,
+        warm_rtm: None,
     };
     let mut i = 0;
     let value = |args: &[String], i: usize, name: &str| -> String {
@@ -111,6 +135,18 @@ fn parse_flags(args: &[String]) -> Flags {
                 flags.heuristic = parse_heuristic(&value(args, i, "--heuristic"));
                 i += 2;
             }
+            "--out" => {
+                flags.out = Some(value(args, i, "--out"));
+                i += 2;
+            }
+            "--trace" => {
+                flags.trace = Some(value(args, i, "--trace"));
+                i += 2;
+            }
+            "--warm-rtm" => {
+                flags.warm_rtm = Some(value(args, i, "--warm-rtm"));
+                i += 2;
+            }
             other => fail(&format!("unknown option '{other}'")),
         }
     }
@@ -119,7 +155,7 @@ fn parse_flags(args: &[String]) -> Flags {
 
 fn cmd_run(path: &str, flags: &Flags) {
     let program = load(path);
-    if !flags.reuse {
+    if !flags.reuse && flags.warm_rtm.is_none() {
         let mut vm = Vm::new(&program);
         let started = std::time::Instant::now();
         let outcome = vm
@@ -138,16 +174,30 @@ fn cmd_run(path: &str, flags: &Flags) {
         );
         return;
     }
-    let mut engine = TraceReuseEngine::new(
-        &program,
-        EngineConfig::paper(flags.rtm, flags.heuristic),
-    );
+    let config = EngineConfig::paper(flags.rtm, flags.heuristic);
+    let mut engine = match &flags.warm_rtm {
+        Some(snap_path) => {
+            let fingerprint = program_fingerprint(&program);
+            let (_, snapshot) = load_snapshot(Path::new(snap_path), Some(fingerprint))
+                .unwrap_or_else(|e| fail(&format!("{snap_path}: {e}")));
+            println!(
+                "warm start: {} traces imported from {snap_path}",
+                snapshot.len()
+            );
+            TraceReuseEngine::new_warm(&program, config, &snapshot)
+        }
+        None => TraceReuseEngine::new(&program, config),
+    };
     let stats = engine
         .run(flags.budget)
         .unwrap_or_else(|e| fail(&format!("engine error: {e}")));
     println!(
         "{}: {} total instructions ({} executed, {} skipped)",
-        if stats.halted { "halted" } else { "budget exhausted" },
+        if stats.halted {
+            "halted"
+        } else {
+            "budget exhausted"
+        },
         stats.total(),
         stats.executed,
         stats.skipped
@@ -166,6 +216,106 @@ fn cmd_run(path: &str, flags: &Flags) {
         stats.rtm.hits,
         stats.rtm.stores,
         stats.rtm.evictions
+    );
+}
+
+fn cmd_record(path: &str, flags: &Flags) {
+    let out = flags
+        .out
+        .as_deref()
+        .unwrap_or_else(|| fail("record needs --out TRACE"));
+    let program = load(path);
+    let fingerprint = program_fingerprint(&program);
+    let mut vm = Vm::new(&program);
+    let (outcome, count) = if FileFormat::detect(Path::new(out)) == FileFormat::Json {
+        // The JSON debug format is one-shot, not streaming: collect in
+        // memory, then write the whole document.
+        let mut sink = CollectSink::default();
+        let outcome = vm
+            .run(flags.budget, &mut sink)
+            .unwrap_or_else(|e| fail(&format!("runtime error: {e}")));
+        let halted = matches!(outcome, RunOutcome::Halted { .. });
+        save_trace(Path::new(out), fingerprint, &sink.records, halted)
+            .unwrap_or_else(|e| fail(&format!("{out}: {e}")));
+        (outcome, sink.records.len() as u64)
+    } else {
+        let mut sink = TraceWriter::create(Path::new(out), fingerprint)
+            .unwrap_or_else(|e| fail(&format!("{out}: {e}")));
+        let outcome = vm
+            .run(flags.budget, &mut sink)
+            .unwrap_or_else(|e| fail(&format!("runtime error: {e}")));
+        sink.set_halted(matches!(outcome, RunOutcome::Halted { .. }));
+        let count = sink
+            .close()
+            .unwrap_or_else(|e| fail(&format!("{out}: {e}")));
+        (outcome, count)
+    };
+    println!(
+        "{}: {count} instructions recorded to {out}",
+        match outcome {
+            RunOutcome::Halted { .. } => "halted",
+            RunOutcome::BudgetExhausted { .. } => "budget exhausted",
+        }
+    );
+}
+
+fn cmd_replay(path: &str, flags: &Flags) {
+    let trace = flags
+        .trace
+        .as_deref()
+        .unwrap_or_else(|| fail("replay needs --trace TRACE"));
+    let program = load(path);
+    let fingerprint = program_fingerprint(&program);
+    let stats = if FileFormat::detect(Path::new(trace)) == FileFormat::Json {
+        let file = load_trace(Path::new(trace), Some(fingerprint))
+            .unwrap_or_else(|e| fail(&format!("{trace}: {e}")));
+        let mut source = MemorySource::from(file);
+        replay(&program, &mut source)
+            .unwrap_or_else(|e| fail(&format!("{trace}: {e}")))
+            .0
+    } else {
+        let mut reader = TraceReader::open(Path::new(trace), Some(fingerprint))
+            .unwrap_or_else(|e| fail(&format!("{trace}: {e}")));
+        replay(&program, &mut reader)
+            .unwrap_or_else(|e| fail(&format!("{trace}: {e}")))
+            .0
+    };
+    println!(
+        "{}: {} instructions replayed, no divergence",
+        if stats.halted {
+            "halted"
+        } else {
+            "budget exhausted"
+        },
+        stats.replayed
+    );
+}
+
+fn cmd_snapshot(path: &str, flags: &Flags) {
+    let out = flags
+        .out
+        .as_deref()
+        .unwrap_or_else(|| fail("snapshot needs --out SNAP"));
+    let program = load(path);
+    let mut engine =
+        TraceReuseEngine::new(&program, EngineConfig::paper(flags.rtm, flags.heuristic));
+    let stats = engine
+        .run(flags.budget)
+        .unwrap_or_else(|e| fail(&format!("engine error: {e}")));
+    let snapshot = engine
+        .export_rtm()
+        .unwrap_or_else(|| fail("this engine backend does not snapshot"));
+    save_snapshot(Path::new(out), program_fingerprint(&program), &snapshot)
+        .unwrap_or_else(|e| fail(&format!("{out}: {e}")));
+    println!(
+        "{}: {:.1}% reused while collecting; {} traces saved to {out}",
+        if stats.halted {
+            "halted"
+        } else {
+            "budget exhausted"
+        },
+        stats.pct_reused(),
+        snapshot.len()
     );
 }
 
@@ -191,10 +341,7 @@ fn cmd_analyze(path: &str, flags: &Flags) {
         .unwrap_or_else(|e| fail(&format!("runtime error: {e}")));
     let res = sink.result();
     println!("analyzed {} dynamic instructions", res.total_instrs);
-    println!(
-        "instruction-level reusability: {:.1}%",
-        res.reusability_pct
-    );
+    println!("instruction-level reusability: {:.1}%", res.reusability_pct);
     println!(
         "base IPC: {:.2} (infinite window) / {:.2} (W={})",
         res.base_inf.ipc, res.base_win.ipc, flags.window
@@ -231,6 +378,9 @@ fn main() {
         "run" => cmd_run(&file, &flags),
         "disasm" => cmd_disasm(&file),
         "analyze" => cmd_analyze(&file, &flags),
+        "record" => cmd_record(&file, &flags),
+        "replay" => cmd_replay(&file, &flags),
+        "snapshot" => cmd_snapshot(&file, &flags),
         _ => usage(),
     }
 }

@@ -24,6 +24,7 @@
 //! | [`workloads`](tlr_workloads) | 14 SPEC95-named kernels with dialled-in reuse profiles |
 //! | [`timing`](tlr_timing) | Austin–Sohi dependence analysis; infinite & finite windows |
 //! | [`core`](tlr_core) | **the paper's contribution**: reusability tables, trace partitioning, the RTM, collection heuristics, the execution-driven engine, limit studies, theorems |
+//! | [`persist`](tlr_persist) | durable trace state: record/replay streams, RTM snapshots, warm starts |
 //! | [`pipeline`](tlr_pipeline) | cycle-level superscalar with the RTM at fetch (§3) |
 //! | [`stats`](tlr_stats) | means, tables, histograms, charts |
 //! | [`util`](tlr_util) | inline vectors, fx hashing, deterministic RNGs |
@@ -52,6 +53,7 @@
 pub use tlr_asm as asm;
 pub use tlr_core as core;
 pub use tlr_isa as isa;
+pub use tlr_persist as persist;
 pub use tlr_pipeline as pipeline;
 pub use tlr_stats as stats;
 pub use tlr_timing as timing;
@@ -62,11 +64,13 @@ pub use tlr_workloads as workloads;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use tlr_asm::{assemble, Program, ProgramBuilder};
+    pub use tlr_core::RtmSnapshot;
     pub use tlr_core::{
-        EngineConfig, EngineStats, Heuristic, InstrReuseTable, IoCaps, LimitConfig,
-        LimitStudySink, ReuseTraceMemory, RtmConfig, TraceReuseEngine,
+        EngineConfig, EngineStats, Heuristic, InstrReuseTable, IoCaps, LimitConfig, LimitStudySink,
+        ReuseTraceMemory, RtmConfig, TraceReuseEngine,
     };
     pub use tlr_isa::{Alpha21164, CollectSink, DynInstr, Loc, NullSink, StreamSink};
+    pub use tlr_persist::{PersistError, TraceReader, TraceWriter};
     pub use tlr_pipeline::{PipeConfig, Pipeline, ReuseConfig};
     pub use tlr_timing::{analyze_base, TimingSim, Window};
     pub use tlr_vm::{RunOutcome, Vm};

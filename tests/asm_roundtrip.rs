@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use tlr_asm::{assemble, Program};
-use tlr_isa::{BranchCond, CollectSink, FpOp, FpUnOp, FReg, Instr, IntOp, Operand, Reg};
+use tlr_isa::{BranchCond, CollectSink, FReg, FpOp, FpUnOp, Instr, IntOp, Operand, Reg};
 use tlr_vm::Vm;
 
 /// Strategy for a random instruction with control-flow targets bounded
@@ -52,8 +52,12 @@ fn instr_strategy(len: u32) -> impl Strategy<Value = Instr> {
         Just(BranchCond::Gez),
     ];
     prop_oneof![
-        (int_op, reg.clone(), reg.clone(), operand)
-            .prop_map(|(op, rd, ra, rb)| Instr::IntOp { op, rd, ra, rb }),
+        (int_op, reg.clone(), reg.clone(), operand).prop_map(|(op, rd, ra, rb)| Instr::IntOp {
+            op,
+            rd,
+            ra,
+            rb
+        }),
         (reg.clone(), any::<i32>()).prop_map(|(rd, imm)| Instr::Li {
             rd,
             imm: imm as i64
@@ -61,14 +65,26 @@ fn instr_strategy(len: u32) -> impl Strategy<Value = Instr> {
         (fp_op, freg.clone(), freg.clone(), freg.clone())
             .prop_map(|(op, fd, fa, fb)| Instr::FpOp { op, fd, fa, fb }),
         (fp_un, freg.clone(), freg.clone()).prop_map(|(op, fd, fa)| Instr::FpUn { op, fd, fa }),
-        (reg.clone(), reg.clone(), 0i32..64)
-            .prop_map(|(rd, base, disp)| Instr::LoadInt { rd, base, disp }),
-        (reg.clone(), reg.clone(), 0i32..64)
-            .prop_map(|(rs, base, disp)| Instr::StoreInt { rs, base, disp }),
-        (freg.clone(), reg.clone(), 0i32..64)
-            .prop_map(|(fd, base, disp)| Instr::LoadFp { fd, base, disp }),
-        (freg.clone(), reg.clone(), 0i32..64)
-            .prop_map(|(fs, base, disp)| Instr::StoreFp { fs, base, disp }),
+        (reg.clone(), reg.clone(), 0i32..64).prop_map(|(rd, base, disp)| Instr::LoadInt {
+            rd,
+            base,
+            disp
+        }),
+        (reg.clone(), reg.clone(), 0i32..64).prop_map(|(rs, base, disp)| Instr::StoreInt {
+            rs,
+            base,
+            disp
+        }),
+        (freg.clone(), reg.clone(), 0i32..64).prop_map(|(fd, base, disp)| Instr::LoadFp {
+            fd,
+            base,
+            disp
+        }),
+        (freg.clone(), reg.clone(), 0i32..64).prop_map(|(fs, base, disp)| Instr::StoreFp {
+            fs,
+            base,
+            disp
+        }),
         (freg.clone(), reg.clone()).prop_map(|(fd, ra)| Instr::Itof { fd, ra }),
         (reg.clone(), freg).prop_map(|(rd, fa)| Instr::Ftoi { rd, fa }),
         (cond, reg, 0u32..len).prop_map(|(cond, ra, target)| Instr::Branch { cond, ra, target }),

@@ -78,10 +78,8 @@ fn larger_rtms_also_preserve_state() {
         plain.run(10_000_000, &mut NullSink).unwrap();
         let expect = fingerprint(&plain);
         for rtm in [RtmConfig::RTM_4K, RtmConfig::RTM_32K] {
-            let mut engine = TraceReuseEngine::new(
-                &prog,
-                EngineConfig::paper(rtm, Heuristic::FixedExp(6)),
-            );
+            let mut engine =
+                TraceReuseEngine::new(&prog, EngineConfig::paper(rtm, Heuristic::FixedExp(6)));
             let stats = engine.run(20_000_000).unwrap();
             assert!(stats.halted);
             assert_eq!(fingerprint(engine.vm()), expect, "{name}/{}", rtm.label());

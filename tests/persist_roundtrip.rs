@@ -1,0 +1,210 @@
+//! Persistence properties: serialize → deserialize is the identity for
+//! `DynInstr` streams and RTM snapshots, in both the binary and the JSON
+//! debug format; damaged or incompatible files are rejected.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use tlr_core::{RtmConfig, RtmSnapshot, TraceRecord};
+use tlr_isa::{DynInstr, Loc, OpClass};
+use tlr_persist::snapshot::{read_snapshot, write_snapshot};
+use tlr_persist::{
+    load_snapshot, load_trace, save_snapshot, save_trace, PersistError, TraceReader, TraceWriter,
+};
+
+fn loc_strategy() -> impl Strategy<Value = Loc> {
+    prop_oneof![
+        (0u8..31).prop_map(Loc::IntReg),
+        (0u8..31).prop_map(Loc::FpReg),
+        (0u64..1 << 40).prop_map(Loc::Mem),
+    ]
+}
+
+fn dyn_instr_strategy() -> impl Strategy<Value = DynInstr> {
+    (
+        0u32..10_000,
+        0u32..10_000,
+        0usize..OpClass::ALL.len(),
+        proptest::collection::vec((loc_strategy(), any::<u64>()), 0..4),
+        proptest::collection::vec((loc_strategy(), any::<u64>()), 0..2),
+    )
+        .prop_map(|(pc, next_pc, class, reads, writes)| DynInstr {
+            pc,
+            next_pc,
+            class: OpClass::ALL[class],
+            reads: reads.into_iter().collect(),
+            writes: writes.into_iter().collect(),
+        })
+}
+
+fn trace_record_strategy() -> impl Strategy<Value = TraceRecord> {
+    (
+        0u32..10_000,
+        0u32..10_000,
+        1u32..4096,
+        proptest::collection::vec((loc_strategy(), any::<u64>()), 0..12),
+        proptest::collection::vec((loc_strategy(), any::<u64>()), 0..12),
+    )
+        .prop_map(|(start_pc, next_pc, len, ins, outs)| TraceRecord {
+            start_pc,
+            next_pc,
+            len,
+            ins: ins.into_boxed_slice(),
+            outs: outs.into_boxed_slice(),
+        })
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("tlr-persist-roundtrip");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Binary stream round-trip: every record and the halt flag survive.
+    #[test]
+    fn stream_binary_roundtrip(
+        records in proptest::collection::vec(dyn_instr_strategy(), 0..64),
+        fingerprint in any::<u64>(),
+        halted in any::<u64>(),
+    ) {
+        let halted = halted & 1 == 1;
+        let path = temp_path("stream.tlrtrace");
+        save_trace(&path, fingerprint, &records, halted).unwrap();
+        let loaded = load_trace(&path, Some(fingerprint)).unwrap();
+        prop_assert_eq!(&loaded.records, &records);
+        prop_assert_eq!(loaded.halted, halted);
+        prop_assert_eq!(loaded.fingerprint, fingerprint);
+    }
+
+    /// JSON stream round-trip.
+    #[test]
+    fn stream_json_roundtrip(
+        records in proptest::collection::vec(dyn_instr_strategy(), 0..32),
+        fingerprint in any::<u64>(),
+    ) {
+        let path = temp_path("stream.json");
+        save_trace(&path, fingerprint, &records, true).unwrap();
+        let loaded = load_trace(&path, Some(fingerprint)).unwrap();
+        prop_assert_eq!(&loaded.records, &records);
+        prop_assert!(loaded.halted);
+    }
+
+    /// RTM snapshot round-trip, binary and JSON.
+    #[test]
+    fn snapshot_roundtrip_both_formats(
+        traces in proptest::collection::vec(trace_record_strategy(), 0..32),
+        fingerprint in any::<u64>(),
+    ) {
+        let snapshot = RtmSnapshot { config: RtmConfig::RTM_4K, traces };
+
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, fingerprint, &snapshot).unwrap();
+        let (fp, loaded) = read_snapshot(&mut buf.as_slice(), Some(fingerprint)).unwrap();
+        prop_assert_eq!(fp, fingerprint);
+        prop_assert_eq!(&loaded, &snapshot);
+
+        let path = temp_path("snap.json");
+        save_snapshot(&path, fingerprint, &snapshot).unwrap();
+        let (fp, loaded) = load_snapshot(&path, Some(fingerprint)).unwrap();
+        prop_assert_eq!(fp, fingerprint);
+        prop_assert_eq!(&loaded, &snapshot);
+    }
+}
+
+fn sample_stream_bytes(fingerprint: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut writer = TraceWriter::new(&mut buf, fingerprint).unwrap();
+    use tlr_isa::StreamSink;
+    writer.observe(&DynInstr {
+        pc: 1,
+        next_pc: 2,
+        class: OpClass::IntAlu,
+        reads: [(Loc::IntReg(1), 5)].into_iter().collect(),
+        writes: [(Loc::IntReg(2), 6)].into_iter().collect(),
+    });
+    writer.close().unwrap();
+    buf
+}
+
+#[test]
+fn corrupt_magic_rejected() {
+    let mut buf = sample_stream_bytes(9);
+    buf[0] = b'Z';
+    match TraceReader::new(buf.as_slice(), None) {
+        Err(PersistError::BadMagic { .. }) => {}
+        other => panic!(
+            "expected BadMagic, got {:?}",
+            other.err().map(|e| e.to_string())
+        ),
+    }
+}
+
+#[test]
+fn version_mismatch_rejected() {
+    let mut buf = sample_stream_bytes(9);
+    buf[4] = 0x7f; // future version
+    match TraceReader::new(buf.as_slice(), None) {
+        Err(PersistError::UnsupportedVersion { found, .. }) => assert_eq!(found, 0x7f),
+        other => panic!(
+            "expected UnsupportedVersion, got {:?}",
+            other.err().map(|e| e.to_string())
+        ),
+    }
+}
+
+#[test]
+fn fingerprint_mismatch_rejected_across_formats() {
+    let buf = sample_stream_bytes(9);
+    assert!(matches!(
+        TraceReader::new(buf.as_slice(), Some(10)),
+        Err(PersistError::FingerprintMismatch {
+            found: 9,
+            expected: 10
+        })
+    ));
+
+    let path = temp_path("fp.json");
+    save_trace(&path, 9, &[], false).unwrap();
+    assert!(matches!(
+        load_trace(&path, Some(10)),
+        Err(PersistError::FingerprintMismatch { .. })
+    ));
+}
+
+#[test]
+fn kind_mismatch_rejected() {
+    // Open a trace stream as a snapshot and vice versa.
+    let stream = sample_stream_bytes(0);
+    assert!(matches!(
+        read_snapshot(&mut stream.as_slice(), None),
+        Err(PersistError::KindMismatch { .. })
+    ));
+
+    let snapshot = RtmSnapshot {
+        config: RtmConfig::RTM_512,
+        traces: Vec::new(),
+    };
+    let mut buf = Vec::new();
+    write_snapshot(&mut buf, 0, &snapshot).unwrap();
+    assert!(matches!(
+        TraceReader::new(buf.as_slice(), None),
+        Err(PersistError::KindMismatch { .. })
+    ));
+}
+
+#[test]
+fn truncated_stream_rejected() {
+    let mut buf = sample_stream_bytes(0);
+    buf.truncate(buf.len() - 5);
+    let mut reader = TraceReader::new(buf.as_slice(), None).unwrap();
+    let err = loop {
+        match reader.next_record() {
+            Ok(Some(_)) => continue,
+            Ok(None) => panic!("truncated stream accepted"),
+            Err(e) => break e,
+        }
+    };
+    assert!(err.to_string().contains("truncated"), "{err}");
+}

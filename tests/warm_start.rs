@@ -1,0 +1,97 @@
+//! Warm-start integration: an engine seeded from an exported RTM
+//! snapshot never reuses less than the cold run on the same looping
+//! workload, and the record → replay loop is deterministic end to end.
+
+use std::path::PathBuf;
+use trace_reuse::persist::{
+    load_snapshot, program_fingerprint, replay, save_snapshot, TraceReader, TraceWriter,
+};
+use trace_reuse::prelude::*;
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("tlr-warm-start-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn warm_start_beats_or_matches_cold_on_looping_workloads() {
+    // Looping kernels with stable working sets — the warm-start sweet
+    // spot the paper's cold engine cannot exploit.
+    for name in ["compress", "ijpeg", "tomcatv"] {
+        let program = tlr_workloads::by_name(name).unwrap().program(7);
+        let config = EngineConfig::paper(RtmConfig::RTM_4K, Heuristic::FixedExp(4));
+
+        let mut cold_engine = TraceReuseEngine::new(&program, config);
+        let cold = cold_engine.run(60_000).unwrap();
+        let snapshot = cold_engine.export_rtm().unwrap();
+        assert!(!snapshot.is_empty(), "{name}: cold run collected nothing");
+
+        // Through disk, exactly as `tlrsim snapshot` + `run --warm-rtm` do.
+        let path = temp_path(&format!("{name}.tlrsnap"));
+        let fingerprint = program_fingerprint(&program);
+        save_snapshot(&path, fingerprint, &snapshot).unwrap();
+        let (_, loaded) = load_snapshot(&path, Some(fingerprint)).unwrap();
+        assert_eq!(loaded, snapshot);
+
+        let warm = TraceReuseEngine::new_warm(&program, config, &loaded)
+            .run(60_000)
+            .unwrap();
+        assert!(
+            warm.pct_reused() >= cold.pct_reused() - 1e-9,
+            "{name}: warm {} < cold {}",
+            warm.pct_reused(),
+            cold.pct_reused()
+        );
+    }
+}
+
+#[test]
+fn record_then_replay_is_deterministic() {
+    let program = tlr_workloads::by_name("li").unwrap().program_with(3, 4);
+    let fingerprint = program_fingerprint(&program);
+    let path = temp_path("li.tlrtrace");
+
+    let mut sink = TraceWriter::create(&path, fingerprint).unwrap();
+    let mut vm = Vm::new(&program);
+    let outcome = vm.run(50_000, &mut sink).unwrap();
+    sink.set_halted(matches!(outcome, RunOutcome::Halted { .. }));
+    let recorded = sink.close().unwrap();
+    assert_eq!(recorded, outcome.executed());
+
+    let mut reader = TraceReader::open(&path, Some(fingerprint)).unwrap();
+    let (stats, replayed_vm) = replay(&program, &mut reader).unwrap();
+    // Identical final stats: same instruction count, same termination,
+    // same architectural state.
+    assert_eq!(stats.replayed, recorded);
+    assert_eq!(stats.halted, matches!(outcome, RunOutcome::Halted { .. }));
+    for r in 0..32 {
+        assert_eq!(
+            replayed_vm.peek_loc(Loc::IntReg(r)),
+            vm.peek_loc(Loc::IntReg(r)),
+            "r{r} differs after replay"
+        );
+    }
+}
+
+#[test]
+fn replay_rejects_recording_of_different_program() {
+    let a = tlr_workloads::by_name("go").unwrap().program(1);
+    let b = tlr_workloads::by_name("go").unwrap().program(2);
+    let path = temp_path("go.tlrtrace");
+
+    let mut sink = TraceWriter::create(&path, program_fingerprint(&a)).unwrap();
+    Vm::new(&a).run(5_000, &mut sink).unwrap();
+    sink.close().unwrap();
+
+    // The fingerprint check rejects the file outright…
+    assert!(TraceReader::open(&path, Some(program_fingerprint(&b))).is_err());
+
+    // …and even with the check bypassed, divergence detection fires.
+    let mut reader = TraceReader::open(&path, None).unwrap();
+    match replay(&b, &mut reader) {
+        Err(PersistError::Divergence { .. }) => {}
+        Err(other) => panic!("expected divergence, got {other}"),
+        Ok(_) => panic!("replay of the wrong program succeeded"),
+    }
+}

@@ -1,0 +1,233 @@
+//! A minimal, dependency-free, **offline** shim of the [criterion] API
+//! subset this workspace's benches use.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! crate cannot be fetched. This shim keeps `cargo bench` (and the bench
+//! targets under `cargo test`) compiling and running: every benchmark
+//! runs a short fixed number of iterations and prints mean wall-clock
+//! time plus throughput. It performs no statistical analysis, outlier
+//! rejection, or HTML reporting — treat the numbers as smoke-level
+//! indicators and use `hyperfine`/`perf` for real measurements.
+//!
+//! [criterion]: https://crates.io/crates/criterion
+
+use std::time::{Duration, Instant};
+
+/// How measured iterations relate to batch setup (accepted, ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Units for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; drives the measured iterations.
+pub struct Bencher {
+    iters: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` over the shim's fixed iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measure `routine` with per-batch `setup` excluded from timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs bench targets too (tier-1 must stay fast);
+        // a single iteration per bench keeps that cheap while still
+        // exercising every bench body end-to-end.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Self {
+            iters: if bench_mode { 5 } else { 1 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim ignores it.
+    pub fn measurement_time(self, _t: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores it.
+    pub fn warm_up_time(self, _t: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores it.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self.iters, name, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Report per-iteration throughput in these units.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(self.criterion.iters, &full, self.throughput, f);
+        self
+    }
+
+    /// End the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    iters: u32,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!(" ({:.1} Melem/s)", n as f64 / per_iter / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!(" ({:.1} MB/s)", n as f64 / per_iter / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {name:<40} {:>10.3} ms/iter{rate}  [shim: {} iters]",
+        per_iter * 1e3,
+        b.iters
+    );
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Opaque value barrier, re-exported for API compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("iter", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("iter_batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 100],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        c.bench_function("top-level", |b| b.iter(|| 1 + 1));
+    }
+}
