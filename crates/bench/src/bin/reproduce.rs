@@ -4,7 +4,7 @@
 //! reproduce [OPTIONS] [TARGETS...]
 //!
 //! TARGETS: fig3 fig4 fig5 fig6 fig7 fig8 io fig9 ablation pipeline validbit schemes
-//!          warmstart all   (default: all)
+//!          warmstart fleet all   (default: all)
 //!
 //! OPTIONS:
 //!   --budget N    dynamic instructions per benchmark   (default 400000)
@@ -13,6 +13,7 @@
 //!   --threads N   worker threads                       (default: all cores)
 //!   --out DIR     write CSVs here                      (default results/)
 //!   --charts      also print ASCII bar charts
+//!   --check       exit nonzero on a reuse-rate regression (warmstart, fleet)
 //! ```
 
 use std::path::PathBuf;
@@ -26,6 +27,7 @@ struct Options {
     targets: Vec<String>,
     out_dir: PathBuf,
     charts: bool,
+    check: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -33,6 +35,7 @@ fn parse_args() -> Result<Options, String> {
     let mut targets = Vec::new();
     let mut out_dir = PathBuf::from("results");
     let mut charts = false;
+    let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -46,6 +49,7 @@ fn parse_args() -> Result<Options, String> {
             "--threads" => cfg.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?,
             "--out" => out_dir = PathBuf::from(value("--out")?),
             "--charts" => charts = true,
+            "--check" => check = true,
             "--help" | "-h" => {
                 println!("{}", HELP);
                 std::process::exit(0);
@@ -62,11 +66,12 @@ fn parse_args() -> Result<Options, String> {
         targets,
         out_dir,
         charts,
+        check,
     })
 }
 
-const HELP: &str = "reproduce [--budget N] [--seed N] [--window N] [--threads N] [--out DIR] [--charts] \
-                    [fig3|fig4|fig5|fig6|fig7|fig8|io|fig9|ablation|pipeline|validbit|schemes|warmstart|all ...]";
+const HELP: &str = "reproduce [--budget N] [--seed N] [--window N] [--threads N] [--out DIR] [--charts] [--check] \
+                    [fig3|fig4|fig5|fig6|fig7|fig8|io|fig9|ablation|pipeline|validbit|schemes|warmstart|fleet|all ...]";
 
 fn emit(out_dir: &PathBuf, name: &str, title: &str, table: &Table) {
     println!("== {title} ==");
@@ -267,6 +272,32 @@ fn main() {
             "Warm start (ours): cold vs RTM-snapshot-seeded engine, % of instructions reused",
             &tlr_bench::warm_start_table(&cells),
         );
+        if opts.check {
+            if let Err(msg) = tlr_bench::check_warm_start(&cells) {
+                eprintln!("error: warm-start regression: {msg}");
+                std::process::exit(1);
+            }
+            println!("warmstart check: ok");
+        }
+    }
+
+    if wants(&opts.targets, "fleet") {
+        let start = std::time::Instant::now();
+        let cells = tlr_bench::run_fleet(&opts.cfg, RtmConfig::RTM_32K);
+        eprintln!("[fleet: {:?}]", start.elapsed());
+        emit(
+            &opts.out_dir,
+            "fleet",
+            "Fleet pooling (ours): solo-warm vs merged-warm engine, % of instructions reused",
+            &tlr_bench::fleet_table(&cells),
+        );
+        if opts.check {
+            if let Err(msg) = tlr_bench::check_fleet(&cells) {
+                eprintln!("error: fleet regression: {msg}");
+                std::process::exit(1);
+            }
+            println!("fleet check: ok");
+        }
     }
 
     if needs_engine {

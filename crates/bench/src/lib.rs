@@ -17,13 +17,22 @@
 //! | `reproduce io` | §4.5 text — per-trace I/O counts and bandwidth per reused instruction |
 //! | `reproduce fig9` | Figure 9 — finite RTM × collection heuristic (% reused, trace size) |
 //! | `reproduce ablation` | ours — window slots per reused trace (0 vs 1), fetch-skip decomposition |
+//! | `reproduce warmstart` | ours — cold vs RTM-snapshot-seeded engine |
+//! | `reproduce fleet` | ours — solo-warm vs merged-warm reuse (snapshot pooling for a serving fleet) |
+//!
+//! With `--check`, the `warmstart` and `fleet` targets additionally act
+//! as regression gates: the process exits nonzero when a warm start
+//! reuses less than its cold run or a merged warm start reuses less
+//! than the better solo warm start.
 //!
 //! All figure functions are library code so the integration tests can run
 //! them at reduced budgets.
 
 pub mod figures;
+pub mod fleet;
 pub mod harness;
 pub mod warmstart;
 
+pub use fleet::{check_fleet, fleet_table, run_fleet, FleetCell};
 pub use harness::{run_engine_grid, run_limit_studies, BenchResult, EngineCell, HarnessConfig};
-pub use warmstart::{run_warm_start, warm_start_table, WarmStartCell};
+pub use warmstart::{check_warm_start, run_warm_start, warm_start_table, WarmStartCell};

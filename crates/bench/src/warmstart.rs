@@ -114,6 +114,28 @@ pub fn warm_start_table(cells: &[WarmStartCell]) -> Table {
     table
 }
 
+/// Regression gate for CI: a warm start must never reuse less than the
+/// cold run it was seeded from (within float noise), and every snapshot
+/// must carry traces.
+pub fn check_warm_start(cells: &[WarmStartCell]) -> Result<(), String> {
+    for cell in cells {
+        let (cold, warm) = (cell.cold.pct_reused(), cell.warm.pct_reused());
+        if warm < cold - 1e-9 {
+            return Err(format!(
+                "{}: warm reuse {warm:.3}% below cold {cold:.3}%",
+                cell.name
+            ));
+        }
+        if cell.snapshot_traces == 0 {
+            return Err(format!(
+                "{}: cold run exported an empty snapshot",
+                cell.name
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

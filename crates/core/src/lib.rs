@@ -70,7 +70,9 @@ pub use collect::{CollectStats, Collector, Heuristic};
 pub use engine::{run_engine, EngineConfig, EngineStats, ReuseTest, TraceReuseEngine};
 pub use ilr::{FiniteIlrBuffer, InstrReuseTable, SetAssocGeometry};
 pub use limits::{LatencyRule, LimitConfig, LimitResult, LimitStudySink, TraceIoStats};
-pub use rtm::{ReuseBackend, ReuseTraceMemory, RtmConfig, RtmSnapshot, RtmStats};
+pub use rtm::{
+    MergeError, MergeOutcome, ReuseBackend, ReuseTraceMemory, RtmConfig, RtmSnapshot, RtmStats,
+};
 pub use schemes::{compare_schemes, SchemeComparison, SnBuffer, SvBuffer};
 pub use theorems::{check_theorem1, check_theorem3, theorem2_counterexample, TheoremCheck};
 pub use trace::{IoCaps, TraceAccum, TraceRecord};

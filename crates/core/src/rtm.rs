@@ -101,6 +101,12 @@ pub struct RtmStats {
     pub stores: u64,
     /// Traces rejected as duplicates of a resident entry.
     pub duplicate_stores: u64,
+    /// Stores whose reuse key (start PC, live-ins, length) matched a
+    /// resident entry but whose outputs or next PC disagreed. Impossible
+    /// under deterministic execution of a single program; observed when
+    /// snapshots from different program versions (or a buggy producer)
+    /// are merged. The resident entry is replaced by the newer record.
+    pub conflicting_stores: u64,
     /// Entries evicted (LRU, either level).
     pub evictions: u64,
 }
@@ -162,6 +168,146 @@ impl RtmSnapshot {
     pub fn is_empty(&self) -> bool {
         self.traces.is_empty()
     }
+
+    /// Union several runs' snapshots into one (the substrate of a
+    /// serving fleet pooling reuse state).
+    ///
+    /// All inputs must share one geometry; the merge replays the
+    /// inputs' traces **interleaved round-robin from their LRU ends**
+    /// (each input is ordered LRU-first) into an empty RTM of that
+    /// geometry. Capacity is enforced by the RTM's own two-level LRU
+    /// replacement, and recency priority falls out of the replay order:
+    /// a trace present in several inputs is refreshed to MRU on each
+    /// re-encounter and outlives single-input traces under capacity
+    /// pressure; within a round, later inputs rank ahead, so list the
+    /// freshest run last; and an input with more traces keeps
+    /// contributing after shorter inputs are exhausted, so under
+    /// contention the largest input's hot tail ends up MRU-most —
+    /// unlike a sequential replay, though, no input can wholesale-evict
+    /// the others' PC groups with its *cold* end, because every input's
+    /// early (LRU) traces land early. Conflicting records (same
+    /// live-ins and length, different
+    /// outputs — different program versions or a buggy producer) are
+    /// resolved newest-wins and counted, see
+    /// [`RtmStats::conflicting_stores`].
+    ///
+    /// Traces **every** input kept — the pooled fleet's unanimous, and
+    /// so hottest, reuse state — are re-asserted in a final pass, which
+    /// makes them MRU-most and guarantees capacity contention never
+    /// drops one: per set, unanimous PC groups number at most `ways`
+    /// (each input held them simultaneously) and unanimous traces per
+    /// group at most `per_pc`, so the pass only ever evicts
+    /// non-unanimous state.
+    pub fn merge(snapshots: &[RtmSnapshot]) -> Result<RtmSnapshot, MergeError> {
+        Ok(Self::merge_detailed(snapshots)?.snapshot)
+    }
+
+    /// [`merge`](RtmSnapshot::merge), also reporting what the union did:
+    /// input trace count, duplicates coalesced, conflicts resolved, and
+    /// entries lost to capacity.
+    pub fn merge_detailed(snapshots: &[RtmSnapshot]) -> Result<MergeOutcome, MergeError> {
+        let first = snapshots.first().ok_or(MergeError::Empty)?;
+        for s in &snapshots[1..] {
+            if s.config != first.config {
+                return Err(MergeError::GeometryMismatch {
+                    first: first.config,
+                    other: s.config,
+                });
+            }
+        }
+        let mut rtm = ReuseTraceMemory::new(first.config);
+        let input_traces: usize = snapshots.iter().map(|s| s.traces.len()).sum();
+        let mut iters: Vec<_> = snapshots.iter().map(|s| s.traces.iter()).collect();
+        loop {
+            let mut exhausted = true;
+            for it in iters.iter_mut() {
+                if let Some(trace) = it.next() {
+                    rtm.insert(trace.clone());
+                    exhausted = false;
+                }
+            }
+            if exhausted {
+                break;
+            }
+        }
+        // Duplicate/conflict counts describe the union itself; take them
+        // before the unanimity pass re-encounters records a second time.
+        let union_stats = rtm.stats();
+        if snapshots.len() > 1 {
+            // Count per input (an input's export never repeats a record,
+            // but hand-built snapshots might — count each input once).
+            let mut seen: tlr_util::FxHashMap<&TraceRecord, (usize, usize)> =
+                tlr_util::FxHashMap::default();
+            for (input, snap) in snapshots.iter().enumerate() {
+                for trace in &snap.traces {
+                    let entry = seen.entry(trace).or_insert((0, usize::MAX));
+                    if entry.1 != input {
+                        *entry = (entry.0 + 1, input);
+                    }
+                }
+            }
+            // Every unanimous trace appears in the first input; re-assert
+            // in its order so relative recency among them is stable.
+            for trace in &first.traces {
+                if seen.get(trace).is_some_and(|(n, _)| *n == snapshots.len()) {
+                    rtm.insert(trace.clone());
+                }
+            }
+        }
+        Ok(MergeOutcome {
+            snapshot: rtm.export(),
+            input_traces,
+            duplicates: union_stats.duplicate_stores,
+            conflicts: union_stats.conflicting_stores,
+            evictions: rtm.stats().evictions,
+        })
+    }
+}
+
+/// Why a set of snapshots cannot be merged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeError {
+    /// No snapshots were given.
+    Empty,
+    /// The inputs disagree on RTM geometry. Merging across geometries
+    /// would silently re-shape one run's replacement state; re-export
+    /// under a common geometry instead.
+    GeometryMismatch {
+        /// Geometry of the first input.
+        first: RtmConfig,
+        /// The first disagreeing geometry.
+        other: RtmConfig,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Empty => write!(f, "cannot merge zero snapshots"),
+            MergeError::GeometryMismatch { first, other } => write!(
+                f,
+                "snapshot geometries differ: {:?} vs {:?}; merge inputs must share one RTM geometry",
+                first.geometry, other.geometry
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// What [`RtmSnapshot::merge_detailed`] produced.
+#[derive(Clone, Debug)]
+pub struct MergeOutcome {
+    /// The merged snapshot.
+    pub snapshot: RtmSnapshot,
+    /// Total traces across all inputs.
+    pub input_traces: usize,
+    /// Input traces coalesced as exact duplicates of an earlier one.
+    pub duplicates: u64,
+    /// Conflicting records resolved newest-wins.
+    pub conflicts: u64,
+    /// Entries lost to capacity (LRU, either level).
+    pub evictions: u64,
 }
 
 /// The Reuse Trace Memory.
@@ -216,10 +362,15 @@ impl ReuseTraceMemory {
         }
     }
 
-    /// Store a collected trace. A trace identical in inputs to a resident
-    /// entry for the same PC is dropped (equal inputs imply equal
-    /// outputs, so it adds no coverage) — its entry is refreshed to MRU
-    /// instead.
+    /// Store a collected trace. A trace **fully identical** to a resident
+    /// entry for the same PC is dropped (it adds no coverage) — its entry
+    /// is refreshed to MRU instead. A trace whose reuse key (live-ins and
+    /// length) matches a resident entry but whose outputs or next PC
+    /// differ is a *conflict*: deterministic execution of one program
+    /// cannot produce it, so one of the two records is wrong. The newer
+    /// record wins — it replaces the resident entry in place — and the
+    /// event is counted in [`RtmStats::conflicting_stores`] rather than
+    /// silently refreshing the stale entry.
     pub fn insert(&mut self, record: TraceRecord) {
         let pc = record.start_pc;
         if let Some(entries) = self.store.group_mut(pc) {
@@ -227,8 +378,14 @@ impl ReuseTraceMemory {
                 .iter()
                 .position(|e| e.ins == record.ins && e.len == record.len)
             {
-                self.store.touch(pc, idx);
-                self.stats.duplicate_stores += 1;
+                if entries[idx] == record {
+                    self.store.touch(pc, idx);
+                    self.stats.duplicate_stores += 1;
+                } else {
+                    entries[idx] = record;
+                    self.store.touch(pc, idx);
+                    self.stats.conflicting_stores += 1;
+                }
                 return;
             }
         }
@@ -380,6 +537,106 @@ mod tests {
         assert_eq!(rtm.resident(), 1);
         assert_eq!(rtm.stats().stores, 1);
         assert_eq!(rtm.stats().duplicate_stores, 1);
+    }
+
+    #[test]
+    fn conflicting_store_replaces_stale_entry() {
+        // Same PC, same live-ins, same length — but different outputs:
+        // a stale record from another program version. The new record
+        // must win and the event must be visible in the stats.
+        let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        rtm.insert(rec(10, &[(R1, 5)], &[(R2, 6)], 12));
+        rtm.insert(rec(10, &[(R1, 5)], &[(R2, 99)], 12));
+        assert_eq!(rtm.resident(), 1);
+        assert_eq!(rtm.stats().stores, 1);
+        assert_eq!(rtm.stats().duplicate_stores, 0);
+        assert_eq!(rtm.stats().conflicting_stores, 1);
+        let hit = rtm.lookup(10, |l| if l == R1 { 5 } else { 0 }).unwrap();
+        assert_eq!(hit.outs.as_ref(), &[(R2, 99)], "stale outputs survived");
+
+        // Different next_pc with equal outs is a conflict too.
+        rtm.insert(rec(10, &[(R1, 5)], &[(R2, 99)], 13));
+        assert_eq!(rtm.stats().conflicting_stores, 2);
+        let hit = rtm.lookup(10, |l| if l == R1 { 5 } else { 0 }).unwrap();
+        assert_eq!(hit.next_pc, 13);
+    }
+
+    #[test]
+    fn same_inputs_different_length_coexist() {
+        // Equal live-ins but different trace lengths are both valid
+        // (different collection heuristics), not conflicting.
+        let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        let mut short = rec(10, &[(R1, 5)], &[(R2, 6)], 12);
+        short.len = 2;
+        let mut long = rec(10, &[(R1, 5)], &[(R2, 6), (Loc::Mem(8), 1)], 20);
+        long.len = 7;
+        rtm.insert(short);
+        rtm.insert(long);
+        assert_eq!(rtm.resident(), 2);
+        assert_eq!(rtm.stats().conflicting_stores, 0);
+    }
+
+    #[test]
+    fn merge_unions_disjoint_snapshots() {
+        let mut a = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        a.insert(rec(10, &[(R1, 1)], &[(R2, 2)], 13));
+        let mut b = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        b.insert(rec(42, &[(R1, 9)], &[(R2, 8)], 45));
+        let merged = RtmSnapshot::merge(&[a.export(), b.export()]).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.config, RtmConfig::RTM_512);
+        let mut rtm = ReuseTraceMemory::import(&merged);
+        assert!(rtm.lookup(10, |l| if l == R1 { 1 } else { 0 }).is_some());
+        assert!(rtm.lookup(42, |l| if l == R1 { 9 } else { 0 }).is_some());
+    }
+
+    #[test]
+    fn merge_gives_shared_traces_mru_priority() {
+        // per_pc = 4. A and B share one trace; B brings three more. The
+        // shared trace is refreshed on B's replay, so a capacity-pushed
+        // fifth insert evicts a B-only trace, never the shared one.
+        let shared = rec(10, &[(R1, 0)], &[(R2, 0)], 20);
+        let mut a = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        a.insert(shared.clone());
+        let mut b = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        for v in 1..4u64 {
+            b.insert(rec(10, &[(R1, v)], &[(R2, v)], 20));
+        }
+        b.insert(shared.clone());
+        let outcome = RtmSnapshot::merge_detailed(&[a.export(), b.export()]).unwrap();
+        assert_eq!(outcome.input_traces, 5);
+        assert_eq!(outcome.duplicates, 1);
+        assert_eq!(outcome.conflicts, 0);
+        assert_eq!(outcome.snapshot.len(), 4);
+        let mut rtm = ReuseTraceMemory::import(&outcome.snapshot);
+        rtm.insert(rec(10, &[(R1, 99)], &[], 20)); // group full: evicts LRU
+        assert!(
+            rtm.lookup(10, |l| if l == R1 { 0 } else { 9 }).is_some(),
+            "shared trace lost under capacity pressure"
+        );
+    }
+
+    #[test]
+    fn merge_counts_conflicts_newest_wins() {
+        let mut a = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        a.insert(rec(10, &[(R1, 5)], &[(R2, 6)], 12));
+        let mut b = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        b.insert(rec(10, &[(R1, 5)], &[(R2, 77)], 12));
+        let outcome = RtmSnapshot::merge_detailed(&[a.export(), b.export()]).unwrap();
+        assert_eq!(outcome.conflicts, 1);
+        assert_eq!(outcome.snapshot.len(), 1);
+        assert_eq!(outcome.snapshot.traces[0].outs.as_ref(), &[(R2, 77)]);
+    }
+
+    #[test]
+    fn merge_rejects_geometry_mismatch_and_empty() {
+        assert_eq!(RtmSnapshot::merge(&[]), Err(MergeError::Empty));
+        let a = ReuseTraceMemory::new(RtmConfig::RTM_512).export();
+        let b = ReuseTraceMemory::new(RtmConfig::RTM_4K).export();
+        assert!(matches!(
+            RtmSnapshot::merge(&[a, b]),
+            Err(MergeError::GeometryMismatch { .. })
+        ));
     }
 
     #[test]

@@ -47,7 +47,7 @@ impl IoCaps {
 }
 
 /// A finished trace: the RTM entry payload (Figure 1 of the paper).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TraceRecord {
     /// Starting PC ("initial PC" field).
     pub start_pc: u32,
@@ -127,7 +127,10 @@ impl TraceRecord {
         record.within_caps(caps).then_some(record)
     }
 
-    fn within_caps(&self, caps: &IoCaps) -> bool {
+    /// Whether the record's live-in/live-out sets fit within `caps`.
+    /// Collection guarantees this by construction; deserialization paths
+    /// re-check it on untrusted input.
+    pub fn within_caps(&self, caps: &IoCaps) -> bool {
         self.reg_ins() <= caps.reg_in
             && self.mem_ins() <= caps.mem_in
             && self.reg_outs() <= caps.reg_out

@@ -40,6 +40,9 @@ pub enum PersistError {
     },
     /// Structurally invalid or truncated content.
     Corrupt(String),
+    /// Several snapshots could not be merged (empty input set or
+    /// disagreeing RTM geometries).
+    Merge(tlr_core::MergeError),
     /// Replay diverged from the recorded execution.
     Divergence {
         /// Zero-based index of the diverging record.
@@ -79,6 +82,7 @@ impl fmt::Display for PersistError {
                  state is not valid for this program"
             ),
             PersistError::Corrupt(what) => write!(f, "corrupt file: {what}"),
+            PersistError::Merge(e) => write!(f, "cannot merge snapshots: {e}"),
             PersistError::Divergence {
                 index,
                 expected,
@@ -95,6 +99,7 @@ impl std::error::Error for PersistError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PersistError::Io(e) => Some(e),
+            PersistError::Merge(e) => Some(e),
             _ => None,
         }
     }
@@ -103,6 +108,12 @@ impl std::error::Error for PersistError {
 impl From<io::Error> for PersistError {
     fn from(e: io::Error) -> Self {
         PersistError::Io(e)
+    }
+}
+
+impl From<tlr_core::MergeError> for PersistError {
+    fn from(e: tlr_core::MergeError) -> Self {
+        PersistError::Merge(e)
     }
 }
 

@@ -22,7 +22,12 @@ use std::path::Path;
 pub const MAGIC: [u8; 4] = *b"TLRP";
 
 /// The format version this build writes and reads.
-pub const FORMAT_VERSION: u16 = 1;
+///
+/// History: v1 checksummed trace frames only; v2 extended the snapshot
+/// checksum to cover the geometry prelude, so v1 snapshots would fail
+/// the trailer comparison — the bump makes them fail with a version
+/// error instead of a misleading "damaged file" one.
+pub const FORMAT_VERSION: u16 = 2;
 
 /// Payload kind: a stream of executed [`tlr_isa::DynInstr`] records.
 pub const KIND_TRACE_STREAM: u8 = 1;

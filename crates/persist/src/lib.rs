@@ -81,6 +81,8 @@ pub use format::{
     TRACE_EXT,
 };
 pub use replay::{replay, MemorySource, RecordSource, ReplayStats};
-pub use snapshot::{load_snapshot, save_snapshot};
+pub use snapshot::{
+    load_merged_snapshots, load_snapshot, peek_snapshot_fingerprint, save_snapshot,
+};
 pub use stream::{load_trace, save_trace, TraceFile, TraceReader, TraceWriter};
 pub use wire::program_fingerprint;

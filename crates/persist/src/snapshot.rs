@@ -19,11 +19,35 @@ use std::fs::File;
 use std::hash::Hasher;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
-use tlr_core::{RtmConfig, RtmSnapshot, SetAssocGeometry, TraceRecord};
+use tlr_core::{IoCaps, RtmConfig, RtmSnapshot, SetAssocGeometry, TraceRecord};
 use tlr_util::fxhash::FxHasher64;
 
 /// JSON format tag for RTM snapshots.
 pub const JSON_SNAPSHOT_FORMAT: &str = "tlr-rtm-v1";
+
+/// Largest RTM geometry a snapshot may declare, per dimension. A factor
+/// above the paper's biggest configuration (`RTM_256K`: 2048 × 8 × 16)
+/// to leave headroom for experiments, but small enough that a corrupt or
+/// hostile header can never trigger a huge allocation on import.
+pub const MAX_GEOMETRY_SETS: u32 = 1 << 12;
+/// Cap on the `ways` dimension (see [`MAX_GEOMETRY_SETS`]).
+pub const MAX_GEOMETRY_WAYS: u32 = 64;
+/// Cap on the `per_pc` dimension (see [`MAX_GEOMETRY_SETS`]).
+pub const MAX_GEOMETRY_PER_PC: u32 = 64;
+/// Cap on total declared trace capacity (4× `RTM_256K`).
+pub const MAX_GEOMETRY_CAPACITY: u64 = 1 << 20;
+
+/// Per-side I/O bounds a loaded trace record must satisfy. Generous
+/// relative to collection (the paper caps at 8 registers + 4 memory
+/// values a side; the register files only hold 64 locations total) but
+/// bounded, so cap-busting records are rejected instead of corrupting
+/// RTM accounting downstream.
+pub const SNAPSHOT_IO_CAPS: IoCaps = IoCaps {
+    reg_in: 64,
+    mem_in: 1024,
+    reg_out: 64,
+    mem_out: 1024,
+};
 
 /// Save `snapshot` to `path`, choosing binary or JSON by extension.
 pub fn save_snapshot(path: &Path, fingerprint: u64, snapshot: &RtmSnapshot) -> Result<()> {
@@ -57,6 +81,57 @@ pub fn load_snapshot(path: &Path, expected_fingerprint: Option<u64>) -> Result<(
     }
 }
 
+/// Load several snapshot files of the **same program** and merge them
+/// into one pooled snapshot ([`RtmSnapshot::merge`] semantics: shared
+/// geometry required, MRU priority follows file order, so list the
+/// freshest run last).
+///
+/// Every file's fingerprint must agree — with `expected_fingerprint`
+/// when given, otherwise with the first file's. Returns that fingerprint
+/// and the merged snapshot.
+pub fn load_merged_snapshots(
+    paths: &[impl AsRef<Path>],
+    expected_fingerprint: Option<u64>,
+) -> Result<(u64, RtmSnapshot)> {
+    if paths.is_empty() {
+        return Err(PersistError::Merge(tlr_core::MergeError::Empty));
+    }
+    let mut pinned = expected_fingerprint;
+    let mut snapshots = Vec::with_capacity(paths.len());
+    for path in paths {
+        let (fp, snapshot) = load_snapshot(path.as_ref(), pinned)?;
+        pinned = Some(fp);
+        snapshots.push(snapshot);
+    }
+    let merged = RtmSnapshot::merge(&snapshots)?;
+    Ok((pinned.expect("at least one file loaded"), merged))
+}
+
+/// Read only a snapshot file's program fingerprint, without
+/// deserializing any traces. A registry indexing a directory of
+/// snapshots uses this to map fingerprint → path cheaply; binary files
+/// cost one 16-byte header read, JSON files one parse.
+pub fn peek_snapshot_fingerprint(path: &Path) -> Result<u64> {
+    match FileFormat::detect(path) {
+        FileFormat::Binary => {
+            let mut r = BufReader::new(File::open(path)?);
+            let header = Header::read_from(&mut r)?;
+            header.expect(KIND_RTM_SNAPSHOT, None)?;
+            Ok(header.fingerprint)
+        }
+        FileFormat::Json => {
+            let doc = json::parse(&std::fs::read_to_string(path)?)?;
+            let format = doc.field("format")?.as_str("format")?;
+            if format != JSON_SNAPSHOT_FORMAT {
+                return Err(PersistError::Corrupt(format!(
+                    "\"format\" is {format:?}, expected {JSON_SNAPSHOT_FORMAT:?}"
+                )));
+            }
+            doc.field("fingerprint")?.as_u64("fingerprint")
+        }
+    }
+}
+
 /// Serialize a snapshot to any writer (binary format).
 pub fn write_snapshot(w: &mut impl Write, fingerprint: u64, snapshot: &RtmSnapshot) -> Result<()> {
     Header::new(KIND_RTM_SNAPSHOT, fingerprint).write_to(w)?;
@@ -68,7 +143,11 @@ pub fn write_snapshot(w: &mut impl Write, fingerprint: u64, snapshot: &RtmSnapsh
     wire::put_u64(&mut prelude, snapshot.traces.len() as u64);
     w.write_all(&prelude)?;
 
+    // The checksum covers the geometry prelude too: a bit flip in
+    // `ways` would otherwise still parse as a (different) valid
+    // geometry and silently re-shape the import.
     let mut checksum = FxHasher64::new();
+    checksum.write(&prelude);
     let mut scratch = Vec::with_capacity(256);
     for trace in &snapshot.traces {
         scratch.clear();
@@ -90,14 +169,17 @@ pub fn read_snapshot(
 ) -> Result<(u64, RtmSnapshot)> {
     let header = Header::read_from(r)?;
     header.expect(KIND_RTM_SNAPSHOT, expected_fingerprint)?;
+    let prelude: [u8; 20] = wire::read_exact(r)?;
+    let mut cursor = prelude.as_slice();
     let geometry = SetAssocGeometry {
-        sets: wire::get_u32(r)?,
-        ways: wire::get_u32(r)?,
-        per_pc: wire::get_u32(r)?,
+        sets: wire::get_u32(&mut cursor)?,
+        ways: wire::get_u32(&mut cursor)?,
+        per_pc: wire::get_u32(&mut cursor)?,
     };
     validate_geometry(&geometry)?;
-    let declared = wire::get_u64(r)?;
+    let declared = wire::get_u64(&mut cursor)?;
     let mut checksum = FxHasher64::new();
+    checksum.write(&prelude);
     let mut traces = Vec::with_capacity(declared.min(1 << 20) as usize);
     while let Some(frame) = wire::read_frame(r, &mut checksum)? {
         let mut slice = frame.as_slice();
@@ -109,6 +191,7 @@ pub fn read_snapshot(
                 traces.len()
             )));
         }
+        validate_record(traces.len(), &trace)?;
         traces.push(trace);
     }
     let count = wire::get_u64(r)?;
@@ -138,6 +221,50 @@ fn validate_geometry(g: &SetAssocGeometry) -> Result<()> {
         return Err(PersistError::Corrupt(format!(
             "invalid RTM geometry: {} sets x {} ways x {} per PC",
             g.sets, g.ways, g.per_pc
+        )));
+    }
+    // Bound every dimension: a corrupt or hostile snapshot declaring e.g.
+    // sets = 2^30 would otherwise pass the power-of-two check and trigger
+    // a multi-GiB allocation in the RTM constructor on import.
+    if g.sets > MAX_GEOMETRY_SETS
+        || g.ways > MAX_GEOMETRY_WAYS
+        || g.per_pc > MAX_GEOMETRY_PER_PC
+        || g.capacity() > MAX_GEOMETRY_CAPACITY
+    {
+        return Err(PersistError::Corrupt(format!(
+            "oversized RTM geometry: {} sets x {} ways x {} per PC \
+             (limits: {MAX_GEOMETRY_SETS} x {MAX_GEOMETRY_WAYS} x {MAX_GEOMETRY_PER_PC}, \
+             {MAX_GEOMETRY_CAPACITY} traces total)",
+            g.sets, g.ways, g.per_pc
+        )));
+    }
+    Ok(())
+}
+
+/// Re-check the invariants collection guarantees: at least one covered
+/// instruction and live-in/live-out sets within [`SNAPSHOT_IO_CAPS`].
+/// Without this a `len = 0` or cap-busting record from a damaged file
+/// would enter the RTM and corrupt `pct_reused()` /
+/// `avg_reused_trace_size()` accounting.
+fn validate_record(index: usize, rec: &TraceRecord) -> Result<()> {
+    if rec.len == 0 {
+        return Err(PersistError::Corrupt(format!(
+            "trace {index} (pc={:#x}) covers zero instructions",
+            rec.start_pc
+        )));
+    }
+    if !rec.within_caps(&SNAPSHOT_IO_CAPS) {
+        return Err(PersistError::Corrupt(format!(
+            "trace {index} (pc={:#x}) declares {} reg / {} mem live-ins and \
+             {} reg / {} mem live-outs, over the load caps \
+             ({} reg / {} mem per side)",
+            rec.start_pc,
+            rec.reg_ins(),
+            rec.mem_ins(),
+            rec.reg_outs(),
+            rec.mem_outs(),
+            SNAPSHOT_IO_CAPS.reg_in,
+            SNAPSHOT_IO_CAPS.mem_in,
         )));
     }
     Ok(())
@@ -210,14 +337,17 @@ fn snapshot_from_json(doc: &Json, expected_fingerprint: Option<u64>) -> Result<(
         .field("traces")?
         .as_arr("traces")?
         .iter()
-        .map(|t| {
-            Ok(TraceRecord {
+        .enumerate()
+        .map(|(index, t)| {
+            let trace = TraceRecord {
                 start_pc: t.field("start_pc")?.as_u32("start_pc")?,
                 next_pc: t.field("next_pc")?.as_u32("next_pc")?,
                 len: t.field("len")?.as_u32("len")?,
                 ins: json_pairs(t.field("ins")?, "ins")?.into_boxed_slice(),
                 outs: json_pairs(t.field("outs")?, "outs")?.into_boxed_slice(),
-            })
+            };
+            validate_record(index, &trace)?;
+            Ok(trace)
         })
         .collect::<Result<Vec<_>>>()?;
     Ok((
@@ -289,6 +419,113 @@ mod tests {
             Err(PersistError::Corrupt(msg)) => assert!(msg.contains("geometry"), "{msg}"),
             other => panic!("expected Corrupt, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn oversized_geometry_rejected_both_formats() {
+        // 2^30 sets is a power of two, so it passed the old validation
+        // and would allocate gigabytes in the RTM constructor on import.
+        let mut snapshot = sample_snapshot();
+        snapshot.config.geometry.sets = 1 << 30;
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, 0, &snapshot).unwrap();
+        match read_snapshot(&mut buf.as_slice(), None) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("oversized"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let doc = snapshot_to_json(0, &snapshot);
+        match snapshot_from_json(&json::parse(&json::to_string_pretty(&doc)).unwrap(), None) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("oversized"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_length_trace_rejected_both_formats() {
+        let mut snapshot = sample_snapshot();
+        snapshot.traces[3].len = 0;
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, 0, &snapshot).unwrap();
+        match read_snapshot(&mut buf.as_slice(), None) {
+            Err(PersistError::Corrupt(msg)) => {
+                assert!(msg.contains("zero instructions"), "{msg}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let doc = snapshot_to_json(0, &snapshot);
+        match snapshot_from_json(&json::parse(&json::to_string_pretty(&doc)).unwrap(), None) {
+            Err(PersistError::Corrupt(msg)) => {
+                assert!(msg.contains("zero instructions"), "{msg}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cap_busting_io_lists_rejected_both_formats() {
+        let mut snapshot = sample_snapshot();
+        snapshot.traces[0].ins = (0..SNAPSHOT_IO_CAPS.mem_in as u64 + 1)
+            .map(|i| (Loc::Mem(i * 8), i))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, 0, &snapshot).unwrap();
+        match read_snapshot(&mut buf.as_slice(), None) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("load caps"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let doc = snapshot_to_json(0, &snapshot);
+        match snapshot_from_json(&json::parse(&json::to_string_pretty(&doc)).unwrap(), None) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("load caps"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peek_reads_fingerprint_without_loading() {
+        let dir = std::env::temp_dir().join("tlr-snapshot-peek-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bin = dir.join("peek.tlrsnap");
+        save_snapshot(&bin, 0xfeed, &sample_snapshot()).unwrap();
+        assert_eq!(peek_snapshot_fingerprint(&bin).unwrap(), 0xfeed);
+        let jsn = dir.join("peek.json");
+        save_snapshot(&jsn, 0xbeef, &sample_snapshot()).unwrap();
+        assert_eq!(peek_snapshot_fingerprint(&jsn).unwrap(), 0xbeef);
+    }
+
+    #[test]
+    fn merged_load_pools_files_and_pins_fingerprint() {
+        let dir = std::env::temp_dir().join("tlr-snapshot-merge-load-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.tlrsnap");
+        let b = dir.join("b.tlrsnap");
+        let mut snap_b = sample_snapshot();
+        for t in snap_b.traces.iter_mut() {
+            t.start_pc += 1000; // disjoint PCs: clean union
+            t.next_pc += 1000;
+        }
+        save_snapshot(&a, 7, &sample_snapshot()).unwrap();
+        save_snapshot(&b, 7, &snap_b).unwrap();
+
+        let (fp, merged) = load_merged_snapshots(&[&a, &b], Some(7)).unwrap();
+        assert_eq!(fp, 7);
+        assert_eq!(merged.len(), 40);
+
+        // A file from a different program is rejected even when the
+        // caller did not pin a fingerprint: the first file pins it.
+        save_snapshot(&b, 8, &snap_b).unwrap();
+        assert!(matches!(
+            load_merged_snapshots(&[&a, &b], None),
+            Err(PersistError::FingerprintMismatch {
+                found: 8,
+                expected: 7
+            })
+        ));
+        let empty: &[&Path] = &[];
+        assert!(matches!(
+            load_merged_snapshots(empty, None),
+            Err(PersistError::Merge(tlr_core::MergeError::Empty))
+        ));
     }
 
     #[test]

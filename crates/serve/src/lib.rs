@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! # tlr-serve — a sharded registry of warm RTMs
+//!
+//! The paper's Reuse Trace Memory is per-run state; `tlr-persist` made
+//! it durable. This crate makes it **servable**: a long-lived process
+//! hosting many programs' reuse state at once keeps a
+//! [`SnapshotRegistry`] — an in-process cache mapping *program
+//! fingerprint → resident [`tlr_core::ReuseTraceMemory`]*, sharded
+//! across worker threads by fingerprint so concurrent fetches for
+//! different programs do not contend on one lock.
+//!
+//! Capabilities:
+//!
+//! * **get-or-warm-load** — [`SnapshotRegistry::get`] returns the
+//!   resident reuse state for a fingerprint, loading (and pooling — see
+//!   below) the snapshot files of that program from the registry's
+//!   snapshot directory on first touch;
+//! * **snapshot merging** — a directory may hold *several* runs'
+//!   snapshots of the same program; the registry merges them on load
+//!   ([`tlr_core::RtmSnapshot::merge`]), so a fleet of runs pools its
+//!   reuse state instead of each run warming alone;
+//! * **publish-back** — a finished run contributes its RTM export back
+//!   via [`SnapshotRegistry::publish`], refreshing the resident entry
+//!   in place for the next run of that program;
+//! * **LRU bounding** — each shard keeps at most a configured number of
+//!   resident RTMs, evicting the least recently fetched entry, so a
+//!   registry serving thousands of programs stays within memory budget;
+//! * **per-entry stats** — hits, misses, and refreshes per fingerprint
+//!   ([`EntryStats`]), plus registry-wide aggregates
+//!   ([`RegistryStats`]).
+//!
+//! The `tlrsim serve --snapshots DIR` subcommand drives a registry over
+//! every built-in workload in parallel; `reproduce fleet` measures the
+//! solo-warm vs merged-warm reuse gap the pooling buys.
+
+pub mod registry;
+
+pub use registry::{
+    EntryStats, RegistryConfig, RegistryStats, ServeError, SnapshotRegistry, SNAPSHOT_FILE_EXT,
+};

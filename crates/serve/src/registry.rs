@@ -1,0 +1,521 @@
+//! The sharded snapshot registry.
+//!
+//! Concurrency model: the fingerprint → path index is built once at
+//! [`SnapshotRegistry::open`] and immutable afterwards, so it is read
+//! lock-free. Resident state lives in `N` shards, each a `Mutex` over
+//! its own map; a fingerprint is pinned to one shard by a remix of its
+//! bits, so fetches for different programs contend only when they land
+//! on the same shard (1/N of the time). Snapshot files are loaded and
+//! merged *outside* the shard lock — a slow disk never stalls other
+//! programs on the shard — with a double-check on insert so a racing
+//! loader's result is reused instead of clobbered.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tlr_core::{ReuseTraceMemory, RtmSnapshot};
+use tlr_persist::{load_merged_snapshots, peek_snapshot_fingerprint, PersistError};
+use tlr_util::FxHashMap;
+
+/// File extension the directory scan considers ([`SnapshotRegistry::open`]):
+/// binary RTM snapshots only; JSON debug dumps are ignored.
+pub const SNAPSHOT_FILE_EXT: &str = "tlrsnap";
+
+/// Registry sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct RegistryConfig {
+    /// Number of shards (one lock each). Use at least the expected
+    /// number of concurrently serving threads.
+    pub shards: usize,
+    /// Resident RTMs a shard may hold before evicting its least
+    /// recently fetched entry.
+    pub max_resident_per_shard: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            max_resident_per_shard: 64,
+        }
+    }
+}
+
+/// Per-entry behaviour counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EntryStats {
+    /// Fetches answered from the resident entry.
+    pub hits: u64,
+    /// Fetches that had to load from the snapshot directory.
+    pub misses: u64,
+    /// Publish-back merges applied to the resident entry.
+    pub refreshes: u64,
+}
+
+/// Registry-wide aggregates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// RTMs currently resident across all shards.
+    pub resident: u64,
+    /// Sum of per-entry hits (evicted entries included).
+    pub hits: u64,
+    /// Sum of per-entry misses (evicted entries included).
+    pub misses: u64,
+    /// Sum of per-entry refreshes (evicted entries included).
+    pub refreshes: u64,
+    /// Resident entries evicted by the LRU bound.
+    pub evicted: u64,
+    /// Fetches for fingerprints with no snapshot on disk.
+    pub unknown: u64,
+}
+
+/// Why the registry could not serve.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A snapshot file failed to load, validate, or merge.
+    Persist(PersistError),
+    /// A published snapshot's geometry disagrees with the resident
+    /// entry's.
+    Merge(tlr_core::MergeError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Persist(e) => write!(f, "{e}"),
+            ServeError::Merge(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Persist(e) => Some(e),
+            ServeError::Merge(e) => Some(e),
+        }
+    }
+}
+
+impl From<PersistError> for ServeError {
+    fn from(e: PersistError) -> Self {
+        ServeError::Persist(e)
+    }
+}
+
+impl From<tlr_core::MergeError> for ServeError {
+    fn from(e: tlr_core::MergeError) -> Self {
+        ServeError::Merge(e)
+    }
+}
+
+/// One resident program: its warm RTM, the export handed to engines,
+/// and behaviour counters.
+struct Entry {
+    /// Canonical resident reuse state; publish-back merges into it.
+    rtm: ReuseTraceMemory,
+    /// Cached export of `rtm`, shared with engines cheaply. Rebuilt on
+    /// refresh.
+    snap: Arc<RtmSnapshot>,
+    stats: EntryStats,
+    /// Fetch-recency stamp for the shard's LRU bound.
+    last_touch: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: FxHashMap<u64, Entry>,
+    tick: u64,
+    /// Stats of entries that were evicted, so aggregates never go
+    /// backwards.
+    retired: EntryStats,
+}
+
+impl Shard {
+    fn touch(&mut self, fingerprint: u64) -> Option<&mut Entry> {
+        self.tick += 1;
+        let entry = self.entries.get_mut(&fingerprint)?;
+        entry.last_touch = self.tick;
+        Some(entry)
+    }
+
+    /// Enforce the LRU bound after an insert. Returns entries evicted.
+    fn enforce_bound(&mut self, max_resident: usize) -> u64 {
+        let mut evicted = 0;
+        while self.entries.len() > max_resident.max(1) {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_touch)
+                .map(|(fp, _)| *fp)
+                .expect("len > 1, so a victim exists");
+            if let Some(e) = self.entries.remove(&victim) {
+                self.retired.hits += e.stats.hits;
+                self.retired.misses += e.stats.misses;
+                self.retired.refreshes += e.stats.refreshes;
+            }
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// A concurrent, sharded cache of warm RTMs keyed by program
+/// fingerprint, backed by a directory of `.tlrsnap` files. See the
+/// crate docs for the full model.
+pub struct SnapshotRegistry {
+    config: RegistryConfig,
+    /// fingerprint → snapshot files of that program, in deterministic
+    /// (sorted-path) order so merge MRU priority is stable.
+    index: FxHashMap<u64, Vec<PathBuf>>,
+    shards: Vec<Mutex<Shard>>,
+    evicted: AtomicU64,
+    unknown: AtomicU64,
+}
+
+impl SnapshotRegistry {
+    /// Build a registry over `dir`: every `*.tlrsnap` file is indexed
+    /// by the fingerprint in its header (a 16-byte read per file; no
+    /// traces are deserialized until a program is actually fetched).
+    /// Several files may carry the same fingerprint — they are merged
+    /// at first fetch. Non-snapshot extensions are ignored; a file with
+    /// the snapshot extension but an invalid header is a hard error.
+    pub fn open(dir: &Path, config: RegistryConfig) -> Result<Self, ServeError> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(PersistError::from)?
+            .collect::<std::io::Result<Vec<_>>>()
+            .map_err(PersistError::from)?
+            .into_iter()
+            .map(|entry| entry.path())
+            .filter(|p| {
+                p.is_file()
+                    && p.extension()
+                        .and_then(|e| e.to_str())
+                        .is_some_and(|e| e.eq_ignore_ascii_case(SNAPSHOT_FILE_EXT))
+            })
+            .collect();
+        paths.sort();
+        let mut index: FxHashMap<u64, Vec<PathBuf>> = FxHashMap::default();
+        for path in paths {
+            let fingerprint = peek_snapshot_fingerprint(&path)?;
+            index.entry(fingerprint).or_default().push(path);
+        }
+        Ok(Self {
+            shards: (0..config.shards.max(1))
+                .map(|_| Mutex::default())
+                .collect(),
+            config,
+            index,
+            evicted: AtomicU64::new(0),
+            unknown: AtomicU64::new(0),
+        })
+    }
+
+    /// Fingerprints the snapshot directory holds state for (sorted).
+    pub fn fingerprints(&self) -> Vec<u64> {
+        let mut fps: Vec<u64> = self.index.keys().copied().collect();
+        fps.sort_unstable();
+        fps
+    }
+
+    /// Snapshot files indexed for `fingerprint`.
+    pub fn paths(&self, fingerprint: u64) -> &[PathBuf] {
+        self.index.get(&fingerprint).map_or(&[], Vec::as_slice)
+    }
+
+    fn shard_of(&self, fingerprint: u64) -> &Mutex<Shard> {
+        // The fingerprint is already a hash; remix so shard choice does
+        // not depend on its low bits alone.
+        let mixed = (fingerprint ^ (fingerprint >> 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(mixed >> 32) as usize % self.shards.len()]
+    }
+
+    /// The warm reuse state for `fingerprint`: the resident entry on a
+    /// hit — whether it became resident via a disk load or via
+    /// [`publish`](SnapshotRegistry::publish) — otherwise loaded (and,
+    /// when several files exist, merged) from the snapshot directory.
+    /// `Ok(None)` when the program is neither resident nor on disk —
+    /// the caller runs cold.
+    ///
+    /// The returned [`RtmSnapshot`] is shared (`Arc`) and immutable;
+    /// feed it to [`tlr_core::TraceReuseEngine::new_warm`].
+    pub fn get(&self, fingerprint: u64) -> Result<Option<Arc<RtmSnapshot>>, ServeError> {
+        // Resident state first: a program that only ever arrived via
+        // publish-back has no snapshot file but must still be served.
+        {
+            let mut shard = self.shard_of(fingerprint).lock().unwrap();
+            if let Some(entry) = shard.touch(fingerprint) {
+                entry.stats.hits += 1;
+                return Ok(Some(Arc::clone(&entry.snap)));
+            }
+        }
+        let Some(paths) = self.index.get(&fingerprint) else {
+            self.unknown.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        };
+        // Miss: load and merge outside the lock.
+        let (_, merged) = load_merged_snapshots(paths, Some(fingerprint))?;
+        let loaded = Entry {
+            rtm: ReuseTraceMemory::import(&merged),
+            snap: Arc::new(merged),
+            stats: EntryStats {
+                misses: 1,
+                ..EntryStats::default()
+            },
+            last_touch: 0,
+        };
+        let mut shard = self.shard_of(fingerprint).lock().unwrap();
+        if let Some(entry) = shard.touch(fingerprint) {
+            // A racing fetch resolved the miss first; use its entry.
+            entry.stats.hits += 1;
+            return Ok(Some(Arc::clone(&entry.snap)));
+        }
+        shard.tick += 1;
+        let tick = shard.tick;
+        let snap = Arc::clone(&loaded.snap);
+        shard.entries.insert(
+            fingerprint,
+            Entry {
+                last_touch: tick,
+                ..loaded
+            },
+        );
+        let evicted = shard.enforce_bound(self.config.max_resident_per_shard);
+        drop(shard);
+        if evicted > 0 {
+            self.evicted.fetch_add(evicted, Ordering::Relaxed);
+        }
+        Ok(Some(snap))
+    }
+
+    /// Contribute a finished run's RTM export back to the registry:
+    /// merged into the resident entry (creating one if the program is
+    /// not resident), so the *next* fetch serves the pooled state of
+    /// every run so far. In-memory only — writing refreshed snapshots
+    /// back to the directory is a planned follow-up.
+    pub fn publish(&self, fingerprint: u64, snapshot: &RtmSnapshot) -> Result<(), ServeError> {
+        let mut shard = self.shard_of(fingerprint).lock().unwrap();
+        if let Some(entry) = shard.touch(fingerprint) {
+            if entry.rtm.config() != snapshot.config {
+                return Err(tlr_core::MergeError::GeometryMismatch {
+                    first: entry.rtm.config(),
+                    other: snapshot.config,
+                }
+                .into());
+            }
+            // The proper interleaved union, not a sequential replay: a
+            // near-capacity publish must not wholesale-evict the pooled
+            // hot state of every prior run.
+            let merged = RtmSnapshot::merge(&[entry.rtm.export(), snapshot.clone()])?;
+            entry.rtm = ReuseTraceMemory::import(&merged);
+            entry.snap = Arc::new(merged);
+            entry.stats.refreshes += 1;
+            return Ok(());
+        }
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.entries.insert(
+            fingerprint,
+            Entry {
+                rtm: ReuseTraceMemory::import(snapshot),
+                snap: Arc::new(snapshot.clone()),
+                stats: EntryStats {
+                    refreshes: 1,
+                    ..EntryStats::default()
+                },
+                last_touch: tick,
+            },
+        );
+        let evicted = shard.enforce_bound(self.config.max_resident_per_shard);
+        drop(shard);
+        if evicted > 0 {
+            self.evicted.fetch_add(evicted, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Behaviour counters for one resident program, `None` if it is not
+    /// (or no longer) resident.
+    pub fn entry_stats(&self, fingerprint: u64) -> Option<EntryStats> {
+        let shard = self.shard_of(fingerprint).lock().unwrap();
+        shard.entries.get(&fingerprint).map(|e| e.stats)
+    }
+
+    /// Registry-wide aggregates. Counters of evicted entries are folded
+    /// in, so hits/misses/refreshes are lifetime totals.
+    pub fn stats(&self) -> RegistryStats {
+        let mut stats = RegistryStats {
+            evicted: self.evicted.load(Ordering::Relaxed),
+            unknown: self.unknown.load(Ordering::Relaxed),
+            ..RegistryStats::default()
+        };
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap();
+            stats.resident += shard.entries.len() as u64;
+            stats.hits += shard.retired.hits;
+            stats.misses += shard.retired.misses;
+            stats.refreshes += shard.retired.refreshes;
+            for entry in shard.entries.values() {
+                stats.hits += entry.stats.hits;
+                stats.misses += entry.stats.misses;
+                stats.refreshes += entry.stats.refreshes;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlr_core::{RtmConfig, TraceRecord};
+    use tlr_isa::Loc;
+    use tlr_persist::save_snapshot;
+
+    fn rec(pc: u32, v: u64) -> TraceRecord {
+        TraceRecord {
+            start_pc: pc,
+            next_pc: pc + 2,
+            len: 2,
+            ins: vec![(Loc::IntReg(1), v)].into_boxed_slice(),
+            outs: vec![(Loc::IntReg(2), v * 3)].into_boxed_slice(),
+        }
+    }
+
+    fn snapshot_of(records: &[TraceRecord]) -> RtmSnapshot {
+        let mut rtm = tlr_core::ReuseTraceMemory::new(RtmConfig::RTM_512);
+        for r in records {
+            rtm.insert(r.clone());
+        }
+        rtm.export()
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("tlr-serve-registry-unit")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn get_warm_loads_and_caches() {
+        let dir = temp_dir("warm-load");
+        save_snapshot(&dir.join("p1.tlrsnap"), 1, &snapshot_of(&[rec(8, 5)])).unwrap();
+        let registry = SnapshotRegistry::open(&dir, RegistryConfig::default()).unwrap();
+        assert_eq!(registry.fingerprints(), vec![1]);
+
+        let first = registry.get(1).unwrap().expect("snapshot on disk");
+        assert_eq!(first.len(), 1);
+        let second = registry.get(1).unwrap().unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second fetch not served resident"
+        );
+        let stats = registry.entry_stats(1).unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        assert!(registry.get(999).unwrap().is_none());
+        assert_eq!(registry.stats().unknown, 1);
+    }
+
+    #[test]
+    fn multiple_files_for_one_fingerprint_merge_on_load() {
+        let dir = temp_dir("pooled");
+        save_snapshot(&dir.join("run-a.tlrsnap"), 7, &snapshot_of(&[rec(8, 1)])).unwrap();
+        save_snapshot(
+            &dir.join("run-b.tlrsnap"),
+            7,
+            &snapshot_of(&[rec(8, 2), rec(40, 3)]),
+        )
+        .unwrap();
+        let registry = SnapshotRegistry::open(&dir, RegistryConfig::default()).unwrap();
+        assert_eq!(registry.paths(7).len(), 2);
+        let snap = registry.get(7).unwrap().unwrap();
+        assert_eq!(snap.len(), 3, "union of both runs");
+    }
+
+    #[test]
+    fn publish_refreshes_resident_state() {
+        let dir = temp_dir("publish");
+        save_snapshot(&dir.join("p.tlrsnap"), 3, &snapshot_of(&[rec(8, 1)])).unwrap();
+        let registry = SnapshotRegistry::open(&dir, RegistryConfig::default()).unwrap();
+        assert_eq!(registry.get(3).unwrap().unwrap().len(), 1);
+
+        registry
+            .publish(3, &snapshot_of(&[rec(8, 1), rec(8, 9)]))
+            .unwrap();
+        assert_eq!(registry.get(3).unwrap().unwrap().len(), 2);
+        let stats = registry.entry_stats(3).unwrap();
+        assert_eq!(stats.refreshes, 1);
+
+        // Geometry disagreement is rejected loudly.
+        let other = tlr_core::ReuseTraceMemory::new(RtmConfig::RTM_4K).export();
+        assert!(matches!(
+            registry.publish(3, &other),
+            Err(ServeError::Merge(
+                tlr_core::MergeError::GeometryMismatch { .. }
+            ))
+        ));
+
+        // Publishing an unknown program makes it resident, and `get`
+        // serves it even though no snapshot file exists for it.
+        registry.publish(77, &snapshot_of(&[rec(4, 4)])).unwrap();
+        assert_eq!(registry.entry_stats(77).unwrap().refreshes, 1);
+        let unknown_before = registry.stats().unknown;
+        let served = registry
+            .get(77)
+            .unwrap()
+            .expect("published entry not served");
+        assert_eq!(served.len(), 1);
+        assert_eq!(registry.entry_stats(77).unwrap().hits, 1);
+        assert_eq!(registry.stats().unknown, unknown_before);
+    }
+
+    #[test]
+    fn lru_bound_evicts_least_recently_fetched() {
+        let dir = temp_dir("lru");
+        for fp in 1..=3u64 {
+            save_snapshot(
+                &dir.join(format!("p{fp}.tlrsnap")),
+                fp,
+                &snapshot_of(&[rec(8, fp)]),
+            )
+            .unwrap();
+        }
+        let registry = SnapshotRegistry::open(
+            &dir,
+            RegistryConfig {
+                shards: 1,
+                max_resident_per_shard: 2,
+            },
+        )
+        .unwrap();
+        registry.get(1).unwrap();
+        registry.get(2).unwrap();
+        registry.get(1).unwrap(); // 2 is now LRU
+        registry.get(3).unwrap(); // evicts 2
+        let stats = registry.stats();
+        assert_eq!(stats.resident, 2);
+        assert_eq!(stats.evicted, 1);
+        assert!(registry.entry_stats(2).is_none());
+        assert!(registry.entry_stats(1).is_some());
+        // Lifetime hit/miss totals include the evicted entry's.
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 1);
+        // Refetching 2 reloads from disk.
+        assert!(registry.get(2).unwrap().is_some());
+        assert_eq!(registry.stats().misses, 4);
+    }
+
+    #[test]
+    fn corrupt_snapshot_file_fails_open() {
+        let dir = temp_dir("corrupt");
+        std::fs::write(dir.join("bad.tlrsnap"), b"not a snapshot").unwrap();
+        assert!(matches!(
+            SnapshotRegistry::open(&dir, RegistryConfig::default()),
+            Err(ServeError::Persist(PersistError::BadMagic { .. }))
+        ));
+    }
+}

@@ -9,6 +9,9 @@
 //! tlrsim record FILE   --out TRACE [--budget N]
 //! tlrsim replay FILE   --trace TRACE
 //! tlrsim snapshot FILE --out SNAP  [--budget N] [--rtm SIZE] [--heuristic H]
+//! tlrsim merge SNAP SNAP [SNAP...] --out SNAP
+//! tlrsim serve --snapshots DIR [--budget N] [--rtm SIZE] [--heuristic H]
+//!                              [--threads N] [--seed N] [--save]
 //!
 //!   SIZE:  512 | 4k | 32k | 256k            (default 4k)
 //!   H:     i1..i8 | ilr-ne | ilr-exp | bb   (default i4)
@@ -21,13 +24,18 @@
 //! prints the assembled listing, `analyze` runs the paper's full limit
 //! study, `record` writes every executed instruction to a trace file,
 //! `replay` re-executes against a recording and fails on the first
-//! divergence, and `snapshot` runs the reuse engine and saves its RTM
-//! for later warm starts.
+//! divergence, `snapshot` runs the reuse engine and saves its RTM for
+//! later warm starts, `merge` pools several runs' snapshots of one
+//! program into a single snapshot (MRU-priority union; list the
+//! freshest run last), and `serve` hosts a sharded snapshot registry
+//! over a directory and drives every built-in workload through it in
+//! parallel — warm where the directory has state, cold otherwise —
+//! publishing each run's RTM back to the registry.
 
 use std::path::Path;
 use trace_reuse::persist::{
-    load_snapshot, load_trace, program_fingerprint, replay, save_snapshot, save_trace, FileFormat,
-    MemorySource, TraceReader, TraceWriter,
+    load_snapshot, load_trace, peek_snapshot_fingerprint, program_fingerprint, replay,
+    save_snapshot, save_trace, FileFormat, MemorySource, TraceReader, TraceWriter,
 };
 use trace_reuse::prelude::*;
 
@@ -38,7 +46,10 @@ fn usage() -> ! {
          tlrsim analyze FILE [--budget N] [--window W]\n  \
          tlrsim record FILE   --out TRACE [--budget N]\n  \
          tlrsim replay FILE   --trace TRACE\n  \
-         tlrsim snapshot FILE --out SNAP [--budget N] [--rtm ...] [--heuristic ...]"
+         tlrsim snapshot FILE --out SNAP [--budget N] [--rtm ...] [--heuristic ...]\n  \
+         tlrsim merge SNAP SNAP [SNAP...] --out SNAP\n  \
+         tlrsim serve --snapshots DIR [--budget N] [--rtm ...] [--heuristic ...] \
+         [--threads N] [--seed N] [--save]"
     );
     std::process::exit(2);
 }
@@ -90,6 +101,10 @@ struct Flags {
     out: Option<String>,
     trace: Option<String>,
     warm_rtm: Option<String>,
+    snapshots: Option<String>,
+    threads: usize,
+    seed: u64,
+    save: bool,
 }
 
 fn parse_flags(args: &[String]) -> Flags {
@@ -102,6 +117,10 @@ fn parse_flags(args: &[String]) -> Flags {
         out: None,
         trace: None,
         warm_rtm: None,
+        snapshots: None,
+        threads: 0,
+        seed: 20260611,
+        save: false,
     };
     let mut i = 0;
     let value = |args: &[String], i: usize, name: &str| -> String {
@@ -146,6 +165,26 @@ fn parse_flags(args: &[String]) -> Flags {
             "--warm-rtm" => {
                 flags.warm_rtm = Some(value(args, i, "--warm-rtm"));
                 i += 2;
+            }
+            "--snapshots" => {
+                flags.snapshots = Some(value(args, i, "--snapshots"));
+                i += 2;
+            }
+            "--threads" => {
+                flags.threads = value(args, i, "--threads")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("--threads: {e}")));
+                i += 2;
+            }
+            "--seed" => {
+                flags.seed = value(args, i, "--seed")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("--seed: {e}")));
+                i += 2;
+            }
+            "--save" => {
+                flags.save = true;
+                i += 1;
             }
             other => fail(&format!("unknown option '{other}'")),
         }
@@ -319,6 +358,131 @@ fn cmd_snapshot(path: &str, flags: &Flags) {
     );
 }
 
+fn cmd_merge(inputs: &[String], flags: &Flags) {
+    let out = flags
+        .out
+        .as_deref()
+        .unwrap_or_else(|| fail("merge needs --out SNAP"));
+    if inputs.len() < 2 {
+        fail("merge needs at least two input snapshots");
+    }
+    // The first file pins the program fingerprint; every later file
+    // must agree — pooling reuse state across *different* programs is
+    // never valid.
+    let fingerprint = peek_snapshot_fingerprint(Path::new(&inputs[0]))
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", inputs[0])));
+    let snapshots: Vec<RtmSnapshot> = inputs
+        .iter()
+        .map(|p| {
+            load_snapshot(Path::new(p), Some(fingerprint))
+                .unwrap_or_else(|e| fail(&format!("{p}: {e}")))
+                .1
+        })
+        .collect();
+    let outcome =
+        RtmSnapshot::merge_detailed(&snapshots).unwrap_or_else(|e| fail(&format!("merge: {e}")));
+    save_snapshot(Path::new(out), fingerprint, &outcome.snapshot)
+        .unwrap_or_else(|e| fail(&format!("{out}: {e}")));
+    println!(
+        "merged {} snapshots ({} traces) into {out}: {} traces, \
+         {} duplicates coalesced, {} conflicts resolved, {} evicted",
+        inputs.len(),
+        outcome.input_traces,
+        outcome.snapshot.len(),
+        outcome.duplicates,
+        outcome.conflicts,
+        outcome.evictions
+    );
+    if outcome.conflicts > 0 {
+        eprintln!(
+            "warning: {} conflicting records (same PC, live-ins and length; different \
+             outputs) — the inputs disagree about this program's execution; \
+             newest input won",
+            outcome.conflicts
+        );
+    }
+}
+
+fn cmd_serve(flags: &Flags) {
+    let dir = flags
+        .snapshots
+        .as_deref()
+        .unwrap_or_else(|| fail("serve needs --snapshots DIR"));
+    let registry = SnapshotRegistry::open(Path::new(dir), RegistryConfig::default())
+        .unwrap_or_else(|e| fail(&format!("{dir}: {e}")));
+    println!(
+        "registry over {dir}: snapshots for {} programs",
+        registry.fingerprints().len()
+    );
+    let config = EngineConfig::paper(flags.rtm, flags.heuristic);
+    let workloads = tlr_workloads::all();
+    let threads = if flags.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(workloads.len())
+    } else {
+        flags.threads.min(workloads.len())
+    }
+    .max(1);
+
+    let work = std::sync::Mutex::new(workloads);
+    let registry_ref = &registry;
+    let lines = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let Some(w) = work.lock().unwrap().pop() else {
+                    break;
+                };
+                let program = w.program(flags.seed);
+                let fingerprint = program_fingerprint(&program);
+                let warm = registry_ref
+                    .get(fingerprint)
+                    .unwrap_or_else(|e| fail(&format!("{}: {e}", w.name)));
+                let mut engine = match &warm {
+                    Some(snapshot) => TraceReuseEngine::new_warm(&program, config, snapshot),
+                    None => TraceReuseEngine::new(&program, config),
+                };
+                let stats = engine
+                    .run(flags.budget)
+                    .unwrap_or_else(|e| fail(&format!("{}: engine error: {e}", w.name)));
+                if let Some(snapshot) = engine.export_rtm() {
+                    registry_ref
+                        .publish(fingerprint, &snapshot)
+                        .unwrap_or_else(|e| fail(&format!("{}: publish: {e}", w.name)));
+                    if flags.save {
+                        // The export already pools the warm-start state
+                        // this run imported with everything it collected,
+                        // so overwriting is an incremental refresh.
+                        let path = Path::new(dir).join(format!("{}.tlrsnap", w.name));
+                        save_snapshot(&path, fingerprint, &snapshot)
+                            .unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+                    }
+                }
+                lines.lock().unwrap().push(format!(
+                    "{:10} {:16x} {}: {:5.1}% reused ({} reuse ops)",
+                    w.name,
+                    fingerprint,
+                    if warm.is_some() { "warm" } else { "cold" },
+                    stats.pct_reused(),
+                    stats.reuse_ops
+                ));
+            });
+        }
+    });
+    let mut lines = lines.into_inner().unwrap();
+    lines.sort();
+    for line in lines {
+        println!("{line}");
+    }
+    let stats = registry_ref.stats();
+    println!(
+        "registry: {} resident, {} hits, {} misses, {} refreshes, {} evicted, {} unknown",
+        stats.resident, stats.hits, stats.misses, stats.refreshes, stats.evicted, stats.unknown
+    );
+}
+
 fn cmd_disasm(path: &str) {
     let program = load(path);
     print!("{}", program.disassemble());
@@ -366,21 +530,25 @@ fn cmd_analyze(path: &str, flags: &Flags) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cmd, file, rest) = match args.split_first() {
-        Some((cmd, rest)) => match rest.split_first() {
-            Some((file, rest)) if !file.starts_with('-') => (cmd.as_str(), file.clone(), rest),
-            _ => usage(),
-        },
-        None => usage(),
+    let Some((cmd, rest)) = args.split_first() else {
+        usage()
     };
-    let flags = parse_flags(rest);
-    match cmd {
-        "run" => cmd_run(&file, &flags),
-        "disasm" => cmd_disasm(&file),
-        "analyze" => cmd_analyze(&file, &flags),
-        "record" => cmd_record(&file, &flags),
-        "replay" => cmd_replay(&file, &flags),
-        "snapshot" => cmd_snapshot(&file, &flags),
+    // Leading positional arguments (program / snapshot files), then flags.
+    let positional: Vec<String> = rest
+        .iter()
+        .take_while(|a| !a.starts_with('-'))
+        .cloned()
+        .collect();
+    let flags = parse_flags(&rest[positional.len()..]);
+    match (cmd.as_str(), positional.as_slice()) {
+        ("run", [file]) => cmd_run(file, &flags),
+        ("disasm", [file]) => cmd_disasm(file),
+        ("analyze", [file]) => cmd_analyze(file, &flags),
+        ("record", [file]) => cmd_record(file, &flags),
+        ("replay", [file]) => cmd_replay(file, &flags),
+        ("snapshot", [file]) => cmd_snapshot(file, &flags),
+        ("merge", inputs) if !inputs.is_empty() => cmd_merge(inputs, &flags),
+        ("serve", []) => cmd_serve(&flags),
         _ => usage(),
     }
 }

@@ -25,6 +25,7 @@
 //! | [`timing`](tlr_timing) | Austin–Sohi dependence analysis; infinite & finite windows |
 //! | [`core`](tlr_core) | **the paper's contribution**: reusability tables, trace partitioning, the RTM, collection heuristics, the execution-driven engine, limit studies, theorems |
 //! | [`persist`](tlr_persist) | durable trace state: record/replay streams, RTM snapshots, warm starts |
+//! | [`serve`](tlr_serve) | sharded registry of warm RTMs keyed by program fingerprint, with snapshot merging |
 //! | [`pipeline`](tlr_pipeline) | cycle-level superscalar with the RTM at fetch (§3) |
 //! | [`stats`](tlr_stats) | means, tables, histograms, charts |
 //! | [`util`](tlr_util) | inline vectors, fx hashing, deterministic RNGs |
@@ -55,6 +56,7 @@ pub use tlr_core as core;
 pub use tlr_isa as isa;
 pub use tlr_persist as persist;
 pub use tlr_pipeline as pipeline;
+pub use tlr_serve as serve;
 pub use tlr_stats as stats;
 pub use tlr_timing as timing;
 pub use tlr_util as util;
@@ -72,6 +74,7 @@ pub mod prelude {
     pub use tlr_isa::{Alpha21164, CollectSink, DynInstr, Loc, NullSink, StreamSink};
     pub use tlr_persist::{PersistError, TraceReader, TraceWriter};
     pub use tlr_pipeline::{PipeConfig, Pipeline, ReuseConfig};
+    pub use tlr_serve::{RegistryConfig, SnapshotRegistry};
     pub use tlr_timing::{analyze_base, TimingSim, Window};
     pub use tlr_vm::{RunOutcome, Vm};
 }
