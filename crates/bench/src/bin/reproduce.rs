@@ -4,7 +4,7 @@
 //! reproduce [OPTIONS] [TARGETS...]
 //!
 //! TARGETS: fig3 fig4 fig5 fig6 fig7 fig8 io fig9 ablation pipeline validbit schemes
-//!          warmstart fleet all   (default: all)
+//!          warmstart fleet policy all   (default: all)
 //!
 //! OPTIONS:
 //!   --budget N    dynamic instructions per benchmark   (default 400000)
@@ -12,20 +12,25 @@
 //!   --window N    finite window size                   (default 256)
 //!   --threads N   worker threads                       (default: all cores)
 //!   --out DIR     write CSVs here                      (default results/)
+//!   --json OUT    also write every produced table to OUT as one
+//!                 machine-readable JSON document (config + targets)
 //!   --charts      also print ASCII bar charts
-//!   --check       exit nonzero on a reuse-rate regression (warmstart, fleet)
+//!   --check       exit nonzero on a regression (warmstart, fleet, policy)
 //! ```
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use tlr_bench::figures;
 use tlr_bench::{run_engine_grid, run_limit_studies, BenchResult, HarnessConfig};
 use tlr_core::{Heuristic, RtmConfig};
+use tlr_persist::json::{self, Json};
 use tlr_stats::Table;
 
 struct Options {
     cfg: HarnessConfig,
     targets: Vec<String>,
     out_dir: PathBuf,
+    json_out: Option<PathBuf>,
     charts: bool,
     check: bool,
 }
@@ -34,6 +39,7 @@ fn parse_args() -> Result<Options, String> {
     let mut cfg = HarnessConfig::default();
     let mut targets = Vec::new();
     let mut out_dir = PathBuf::from("results");
+    let mut json_out = None;
     let mut charts = false;
     let mut check = false;
     let mut args = std::env::args().skip(1);
@@ -48,6 +54,7 @@ fn parse_args() -> Result<Options, String> {
             "--window" => cfg.window = value("--window")?.parse().map_err(|e| format!("{e}"))?,
             "--threads" => cfg.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?,
             "--out" => out_dir = PathBuf::from(value("--out")?),
+            "--json" => json_out = Some(PathBuf::from(value("--json")?)),
             "--charts" => charts = true,
             "--check" => check = true,
             "--help" | "-h" => {
@@ -65,17 +72,73 @@ fn parse_args() -> Result<Options, String> {
         cfg,
         targets,
         out_dir,
+        json_out,
         charts,
         check,
     })
 }
 
-const HELP: &str = "reproduce [--budget N] [--seed N] [--window N] [--threads N] [--out DIR] [--charts] [--check] \
-                    [fig3|fig4|fig5|fig6|fig7|fig8|io|fig9|ablation|pipeline|validbit|schemes|warmstart|fleet|all ...]";
+const HELP: &str = "reproduce [--budget N] [--seed N] [--window N] [--threads N] [--out DIR] [--json OUT] [--charts] [--check] \
+                    [fig3|fig4|fig5|fig6|fig7|fig8|io|fig9|ablation|pipeline|validbit|schemes|warmstart|fleet|policy|all ...]";
 
-fn emit(out_dir: &PathBuf, name: &str, title: &str, table: &Table) {
+/// JSON schema tag of the `--json` results document.
+const RESULTS_FORMAT: &str = "tlr-bench-v1";
+
+/// Tables produced during this invocation, for `--json` emission.
+#[derive(Default)]
+struct Results {
+    tables: Vec<(String, String, Table)>,
+}
+
+impl Results {
+    /// The machine-readable results document: run configuration plus
+    /// every produced table's headers and rows, keyed by target name.
+    fn to_json(&self, cfg: &HarnessConfig) -> Json {
+        let mut targets = BTreeMap::new();
+        for (name, title, table) in &self.tables {
+            let mut obj = BTreeMap::new();
+            obj.insert("title".into(), Json::Str(title.clone()));
+            obj.insert(
+                "headers".into(),
+                Json::Arr(
+                    table
+                        .headers()
+                        .iter()
+                        .map(|h| Json::Str(h.clone()))
+                        .collect(),
+                ),
+            );
+            obj.insert(
+                "rows".into(),
+                Json::Arr(
+                    table
+                        .rows()
+                        .iter()
+                        .map(|row| {
+                            Json::Arr(row.iter().map(|cell| Json::Str(cell.clone())).collect())
+                        })
+                        .collect(),
+                ),
+            );
+            targets.insert(name.clone(), Json::Obj(obj));
+        }
+        let mut config = BTreeMap::new();
+        config.insert("budget".into(), Json::Num(cfg.budget));
+        config.insert("seed".into(), Json::Num(cfg.seed));
+        config.insert("window".into(), Json::Num(cfg.window as u64));
+        let mut doc = BTreeMap::new();
+        doc.insert("format".into(), Json::Str(RESULTS_FORMAT.into()));
+        doc.insert("config".into(), Json::Obj(config));
+        doc.insert("targets".into(), Json::Obj(targets));
+        Json::Obj(doc)
+    }
+}
+
+fn emit(out_dir: &PathBuf, doc: &mut Results, name: &str, title: &str, table: &Table) {
     println!("== {title} ==");
     println!("{}", table.to_text());
+    doc.tables
+        .push((name.to_string(), title.to_string(), table.clone()));
     if let Err(e) = std::fs::create_dir_all(out_dir) {
         eprintln!("warning: cannot create {}: {e}", out_dir.display());
         return;
@@ -90,11 +153,12 @@ fn wants(targets: &[String], t: &str) -> bool {
     targets.iter().any(|x| x == t || x == "all")
 }
 
-fn limit_figures(opts: &Options, results: &[BenchResult]) {
+fn limit_figures(opts: &Options, doc: &mut Results, results: &[BenchResult]) {
     let t = &opts.targets;
     if wants(t, "fig3") {
         emit(
             &opts.out_dir,
+            doc,
             "fig3",
             "Figure 3: instruction-level reusability (perfect engine, % of dynamic instructions)",
             &figures::fig3(results),
@@ -109,12 +173,14 @@ fn limit_figures(opts: &Options, results: &[BenchResult]) {
     if wants(t, "fig4") {
         emit(
             &opts.out_dir,
+            doc,
             "fig4a",
             "Figure 4a: ILR speed-up, infinite window, 1-cycle reuse latency",
             &figures::fig4a(results),
         );
         emit(
             &opts.out_dir,
+            doc,
             "fig4b",
             "Figure 4b: ILR speed-up vs reuse latency (infinite window, averages)",
             &figures::fig4b(results),
@@ -123,12 +189,14 @@ fn limit_figures(opts: &Options, results: &[BenchResult]) {
     if wants(t, "fig5") {
         emit(
             &opts.out_dir,
+            doc,
             "fig5a",
             "Figure 5a: ILR speed-up, 256-entry window, 1-cycle reuse latency",
             &figures::fig5a(results),
         );
         emit(
             &opts.out_dir,
+            doc,
             "fig5b",
             "Figure 5b: ILR speed-up vs reuse latency (256-entry window, averages)",
             &figures::fig5b(results),
@@ -137,12 +205,14 @@ fn limit_figures(opts: &Options, results: &[BenchResult]) {
     if wants(t, "fig6") {
         emit(
             &opts.out_dir,
+            doc,
             "fig6a",
             "Figure 6a: TLR speed-up, infinite window, 1-cycle reuse latency",
             &figures::fig6a(results),
         );
         emit(
             &opts.out_dir,
+            doc,
             "fig6b",
             "Figure 6b: TLR speed-up, 256-entry window, 1-cycle reuse latency",
             &figures::fig6b(results),
@@ -159,6 +229,7 @@ fn limit_figures(opts: &Options, results: &[BenchResult]) {
     if wants(t, "fig7") {
         emit(
             &opts.out_dir,
+            doc,
             "fig7",
             "Figure 7: average trace size (maximal reusable traces)",
             &figures::fig7(results),
@@ -167,12 +238,14 @@ fn limit_figures(opts: &Options, results: &[BenchResult]) {
     if wants(t, "fig8") {
         emit(
             &opts.out_dir,
+            doc,
             "fig8a",
             "Figure 8a: TLR speed-up vs constant reuse latency (W=256, averages)",
             &figures::fig8a(results),
         );
         emit(
             &opts.out_dir,
+            doc,
             "fig8b",
             "Figure 8b: TLR speed-up vs proportional latency K x (inputs+outputs) (W=256)",
             &figures::fig8b(results),
@@ -181,6 +254,7 @@ fn limit_figures(opts: &Options, results: &[BenchResult]) {
     if wants(t, "io") {
         emit(
             &opts.out_dir,
+            doc,
             "io",
             "Section 4.5: per-trace I/O and bandwidth per reused instruction",
             &figures::io_table(results),
@@ -189,6 +263,7 @@ fn limit_figures(opts: &Options, results: &[BenchResult]) {
     if wants(t, "ablation") {
         emit(
             &opts.out_dir,
+            doc,
             "ablation_slots",
             "Ablation: window slots per reused trace (TLR, W=256, 1-cycle latency)",
             &figures::ablation_slots(results),
@@ -210,6 +285,8 @@ fn main() {
     .iter()
     .any(|t| wants(&opts.targets, t));
     let needs_engine = wants(&opts.targets, "fig9");
+    let mut results_doc = Results::default();
+    let doc = &mut results_doc;
 
     println!(
         "trace-level reuse reproduction | budget {} instrs/benchmark, seed {}, window {}",
@@ -223,7 +300,7 @@ fn main() {
         let start = std::time::Instant::now();
         let results = run_limit_studies(&opts.cfg);
         eprintln!("[limit studies: {:?}]", start.elapsed());
-        limit_figures(&opts, &results);
+        limit_figures(&opts, doc, &results);
     }
 
     if wants(&opts.targets, "validbit") {
@@ -232,6 +309,7 @@ fn main() {
         eprintln!("[valid-bit comparison: {:?}]", start.elapsed());
         emit(
             &opts.out_dir,
+            doc,
             "validbit",
             "Reuse-test comparison (Section 3.3): value comparison vs valid bit + invalidation",
             &table,
@@ -244,6 +322,7 @@ fn main() {
         eprintln!("[scheme comparison: {:?}]", start.elapsed());
         emit(
             &opts.out_dir,
+            doc,
             "schemes",
             "Instruction-reuse schemes (Section 2, Sodani & Sohi): Sv values vs Sn names",
             &table,
@@ -256,6 +335,7 @@ fn main() {
         eprintln!("[pipeline ablation: {:?}]", start.elapsed());
         emit(
             &opts.out_dir,
+            doc,
             "pipeline_ablation",
             "Pipeline ablation (Section 3 model): fetch-skip and window-bypass decomposition",
             &table,
@@ -268,6 +348,7 @@ fn main() {
         eprintln!("[warm start: {:?}]", start.elapsed());
         emit(
             &opts.out_dir,
+            doc,
             "warmstart",
             "Warm start (ours): cold vs RTM-snapshot-seeded engine, % of instructions reused",
             &tlr_bench::warm_start_table(&cells),
@@ -287,6 +368,7 @@ fn main() {
         eprintln!("[fleet: {:?}]", start.elapsed());
         emit(
             &opts.out_dir,
+            doc,
             "fleet",
             "Fleet pooling (ours): solo-warm vs merged-warm engine, % of instructions reused",
             &tlr_bench::fleet_table(&cells),
@@ -300,6 +382,26 @@ fn main() {
         }
     }
 
+    if wants(&opts.targets, "policy") {
+        let start = std::time::Instant::now();
+        let cells = tlr_bench::run_policy_sweep(&opts.cfg, RtmConfig::RTM_32K);
+        eprintln!("[policy sweep: {:?}]", start.elapsed());
+        emit(
+            &opts.out_dir,
+            doc,
+            "policy",
+            "Replacement-policy sweep (ours): LRU vs LFU vs cost/benefit, cold and merged-warm at RTM 32K",
+            &tlr_bench::policy_table(&cells),
+        );
+        if opts.check {
+            if let Err(msg) = tlr_bench::check_policy(&cells) {
+                eprintln!("error: policy regression: {msg}");
+                std::process::exit(1);
+            }
+            println!("policy check: ok");
+        }
+    }
+
     if needs_engine {
         let start = std::time::Instant::now();
         let rtms = RtmConfig::PAPER_SWEEP;
@@ -308,15 +410,32 @@ fn main() {
         eprintln!("[engine grid: {:?}]", start.elapsed());
         emit(
             &opts.out_dir,
+            doc,
             "fig9a",
             "Figure 9a: % of dynamic instructions reused (finite RTM, average of 14 benchmarks)",
             &figures::fig9a(&cells, &rtms, &heuristics),
         );
         emit(
             &opts.out_dir,
+            doc,
             "fig9b",
             "Figure 9b: average reused-trace size (finite RTM, average of 14 benchmarks)",
             &figures::fig9b(&cells, &rtms, &heuristics),
         );
+    }
+
+    if let Some(path) = &opts.json_out {
+        let text = json::to_string_pretty(&results_doc.to_json(&opts.cfg));
+        match std::fs::write(path, text) {
+            Ok(()) => println!(
+                "wrote {} target table(s) to {}",
+                results_doc.tables.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
 }

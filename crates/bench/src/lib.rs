@@ -19,11 +19,18 @@
 //! | `reproduce ablation` | ours — window slots per reused trace (0 vs 1), fetch-skip decomposition |
 //! | `reproduce warmstart` | ours — cold vs RTM-snapshot-seeded engine |
 //! | `reproduce fleet` | ours — solo-warm vs merged-warm reuse (snapshot pooling for a serving fleet) |
+//! | `reproduce policy` | ours — RTM replacement-policy sweep (LRU vs LFU vs cost/benefit, cold and merged-warm) |
 //!
-//! With `--check`, the `warmstart` and `fleet` targets additionally act
-//! as regression gates: the process exits nonzero when a warm start
-//! reuses less than its cold run or a merged warm start reuses less
-//! than the better solo warm start.
+//! With `--check`, the `warmstart`, `fleet`, and `policy` targets
+//! additionally act as regression gates: the process exits nonzero when
+//! a warm start reuses less than its cold run, a merged warm start
+//! reuses less than the better solo warm start, or any policy
+//! configuration fails architectural-state equality.
+//!
+//! With `--json OUT`, every table produced by the invocation is also
+//! written to `OUT` as one machine-readable JSON document (config +
+//! per-target headers and rows), so bench trajectories can accumulate
+//! across commits.
 //!
 //! All figure functions are library code so the integration tests can run
 //! them at reduced budgets.
@@ -31,8 +38,10 @@
 pub mod figures;
 pub mod fleet;
 pub mod harness;
+pub mod policy;
 pub mod warmstart;
 
 pub use fleet::{check_fleet, fleet_table, run_fleet, FleetCell};
 pub use harness::{run_engine_grid, run_limit_studies, BenchResult, EngineCell, HarnessConfig};
+pub use policy::{check_policy, policy_table, run_policy_sweep, state_digest, PolicyCell};
 pub use warmstart::{check_warm_start, run_warm_start, warm_start_table, WarmStartCell};

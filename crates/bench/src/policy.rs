@@ -1,0 +1,227 @@
+//! The replacement-policy sweep (ours, enabled by `tlr-core::policy`).
+//!
+//! The paper hard-wires LRU into the RTM; the pluggable
+//! [`ReplacementPolicy`] makes the ROADMAP's "could a frequency-weighted
+//! policy beat recency under merge contention?" an empirical question.
+//! This experiment answers it per workload at `RTM_32K`: for each of the
+//! three policies, a **cold** run (the policy governs live collection
+//! eviction) and a **merged-warm** run (two diverse cold producers'
+//! snapshots are pooled with [`RtmSnapshot::merge_with`] under the
+//! policy, then a warm run serves from the pool).
+//!
+//! Replacement never touches the reuse *test*, so every configuration
+//! must leave the architecture exactly where plain execution leaves it.
+//! Each engine run is checked against a fresh plain-VM run of the same
+//! dynamic instruction count ([`PolicyCell::state_ok`]); `--check` turns
+//! any mismatch into a nonzero exit.
+
+use crate::fleet::{FLEET_COLD_A, FLEET_COLD_B, FLEET_WARM};
+use crate::harness::{pool_run, HarnessConfig};
+use std::hash::Hasher;
+use tlr_core::{
+    EngineConfig, EngineStats, Heuristic, ReplacementPolicy, RtmConfig, RtmSnapshot,
+    TraceReuseEngine,
+};
+use tlr_isa::{Loc, NullSink};
+use tlr_stats::Table;
+use tlr_util::fxhash::FxHasher64;
+use tlr_vm::Vm;
+
+/// Full-architectural-state digest: every register (integer and FP) and
+/// every initialized memory word, in a canonical order.
+pub fn state_digest(vm: &Vm) -> u64 {
+    let mut h = FxHasher64::new();
+    for r in 0..32u8 {
+        h.write_u64(vm.peek_loc(Loc::IntReg(r)));
+    }
+    for r in 0..32u8 {
+        h.write_u64(vm.peek_loc(Loc::FpReg(r)));
+    }
+    let mut words: Vec<(u64, u64)> = vm.memory().iter_words().collect();
+    words.sort_unstable();
+    for (addr, value) in words {
+        h.write_u64(addr);
+        h.write_u64(value);
+    }
+    h.finish()
+}
+
+/// One workload × policy outcome.
+pub struct PolicyCell {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Replacement policy under test.
+    pub policy: ReplacementPolicy,
+    /// Cold run (empty RTM, the policy governs collection eviction).
+    pub cold: EngineStats,
+    /// Warm run seeded from the policy-merged producer pool.
+    pub merged_warm: EngineStats,
+    /// Traces in the merged snapshot.
+    pub merged_traces: usize,
+    /// Hit-weighted residency of the merged snapshot (sum of persisted
+    /// per-trace hit counts).
+    pub merged_hits: u64,
+    /// Architectural-state equality: both runs ended in exactly the
+    /// state plain execution of the same dynamic instruction count
+    /// produces.
+    pub state_ok: bool,
+}
+
+/// Plain-VM digest after exactly `total` dynamic instructions.
+fn baseline_digest(prog: &tlr_asm::Program, total: u64) -> u64 {
+    let mut vm = Vm::new(prog);
+    vm.run(total, &mut NullSink)
+        .unwrap_or_else(|e| panic!("baseline vm error: {e}"));
+    state_digest(&vm)
+}
+
+/// Run the policy sweep over every workload × policy, in parallel.
+pub fn run_policy_sweep(cfg: &HarnessConfig, rtm: RtmConfig) -> Vec<PolicyCell> {
+    let mut tasks = Vec::new();
+    for w in tlr_workloads::all() {
+        for policy in ReplacementPolicy::ALL {
+            tasks.push((w, policy));
+        }
+    }
+    let threads = cfg.effective_threads(tasks.len());
+    pool_run(threads, tasks, |(w, policy)| {
+        let prog = w.program(cfg.seed);
+        let run = |config: EngineConfig, warm: Option<&RtmSnapshot>| -> (EngineStats, bool) {
+            let mut engine = match warm {
+                Some(snapshot) => TraceReuseEngine::new_warm(&prog, config, snapshot),
+                None => TraceReuseEngine::new(&prog, config),
+            };
+            let stats = engine
+                .run(cfg.budget)
+                .unwrap_or_else(|e| panic!("{} [{policy}]: engine error: {e}", w.name));
+            // The engine made `total()` instructions of progress; plain
+            // execution of the same count must land in the same state.
+            let ok = state_digest(engine.vm()) == baseline_digest(&prog, stats.total());
+            (stats, ok)
+        };
+
+        let cold_config = EngineConfig::paper(rtm, FLEET_WARM).with_policy(policy);
+        let (cold, cold_ok) = run(cold_config, None);
+
+        let producer = |heuristic: Heuristic| -> RtmSnapshot {
+            let config = EngineConfig::paper(rtm, heuristic).with_policy(policy);
+            let mut engine = TraceReuseEngine::new(&prog, config);
+            engine
+                .run(cfg.budget)
+                .unwrap_or_else(|e| panic!("{} [{policy}]: producer error: {e}", w.name));
+            engine
+                .export_rtm()
+                .expect("value-comparison backend snapshots")
+        };
+        let merged =
+            RtmSnapshot::merge_with(&[producer(FLEET_COLD_A), producer(FLEET_COLD_B)], policy)
+                .unwrap_or_else(|e| panic!("{} [{policy}]: merge error: {e}", w.name));
+        let (merged_warm, warm_ok) = run(cold_config, Some(&merged));
+
+        PolicyCell {
+            name: w.name,
+            policy,
+            cold,
+            merged_warm,
+            merged_traces: merged.len(),
+            merged_hits: merged.total_hits(),
+            state_ok: cold_ok && warm_ok,
+        }
+    })
+}
+
+/// Table: per benchmark × policy, cold vs merged-warm `pct_reused()`
+/// and the pool's size/heat, with per-policy means on the last rows.
+pub fn policy_table(cells: &[PolicyCell]) -> Table {
+    let mut table = Table::new(vec![
+        "benchmark",
+        "policy",
+        "cold %",
+        "merged-warm %",
+        "delta",
+        "merged traces",
+        "merged hits",
+        "state",
+    ]);
+    for cell in cells {
+        let cold = cell.cold.pct_reused();
+        let warm = cell.merged_warm.pct_reused();
+        table.row(vec![
+            cell.name.to_string(),
+            cell.policy.label().to_string(),
+            format!("{cold:.1}"),
+            format!("{warm:.1}"),
+            format!("{:+.1}", warm - cold),
+            cell.merged_traces.to_string(),
+            cell.merged_hits.to_string(),
+            if cell.state_ok { "ok" } else { "MISMATCH" }.to_string(),
+        ]);
+    }
+    for policy in ReplacementPolicy::ALL {
+        let subset: Vec<&PolicyCell> = cells.iter().filter(|c| c.policy == policy).collect();
+        if subset.is_empty() {
+            continue;
+        }
+        let n = subset.len() as f64;
+        let cold: f64 = subset.iter().map(|c| c.cold.pct_reused()).sum::<f64>() / n;
+        let warm: f64 = subset
+            .iter()
+            .map(|c| c.merged_warm.pct_reused())
+            .sum::<f64>()
+            / n;
+        table.row(vec![
+            "mean".to_string(),
+            policy.label().to_string(),
+            format!("{cold:.1}"),
+            format!("{warm:.1}"),
+            format!("{:+.1}", warm - cold),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    table
+}
+
+/// Regression gate for CI: every configuration must preserve
+/// architectural state exactly, and every merge must carry traces.
+/// Reuse-rate *ranking* between policies is the experiment's output,
+/// not a gated invariant.
+pub fn check_policy(cells: &[PolicyCell]) -> Result<(), String> {
+    for cell in cells {
+        if !cell.state_ok {
+            return Err(format!(
+                "{} [{}]: architectural state diverged from plain execution",
+                cell.name, cell.policy
+            ));
+        }
+        if cell.merged_traces == 0 {
+            return Err(format!(
+                "{} [{}]: policy merge produced an empty pool",
+                cell.name, cell.policy
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_sweep_preserves_state_on_all_policies() {
+        let cfg = HarnessConfig {
+            budget: 20_000,
+            ..HarnessConfig::quick()
+        };
+        let cells = run_policy_sweep(&cfg, RtmConfig::RTM_32K);
+        assert_eq!(
+            cells.len(),
+            tlr_workloads::all().len() * ReplacementPolicy::ALL.len()
+        );
+        check_policy(&cells).unwrap();
+        let table = policy_table(&cells);
+        assert_eq!(table.len(), cells.len() + ReplacementPolicy::ALL.len());
+    }
+}

@@ -18,6 +18,7 @@
 
 use crate::collect::{CollectStats, Collector, Heuristic};
 use crate::ilr::FiniteIlrBuffer;
+use crate::policy::ReplacementPolicy;
 use crate::rtm::{ReuseBackend, ReuseTraceMemory, RtmConfig, RtmSnapshot, RtmStats};
 use crate::trace::IoCaps;
 use crate::valid_bit::InvalidatingRtm;
@@ -48,17 +49,22 @@ pub struct EngineConfig {
     pub caps: IoCaps,
     /// Reuse-test mechanism.
     pub reuse_test: ReuseTest,
+    /// RTM replacement policy (the paper hard-wires
+    /// [`ReplacementPolicy::Lru`]). Ignored by the valid-bit backend,
+    /// which has its own invalid-first reclamation.
+    pub policy: ReplacementPolicy,
 }
 
 impl EngineConfig {
-    /// Figure 9's default: paper caps, value-comparison reuse test,
-    /// caller-chosen RTM and heuristic.
+    /// Figure 9's default: paper caps, value-comparison reuse test, LRU
+    /// replacement, caller-chosen RTM and heuristic.
     pub fn paper(rtm: RtmConfig, heuristic: Heuristic) -> Self {
         Self {
             rtm,
             heuristic,
             caps: IoCaps::PAPER,
             reuse_test: ReuseTest::ValueCompare,
+            policy: ReplacementPolicy::Lru,
         }
     }
 
@@ -66,6 +72,67 @@ impl EngineConfig {
     pub fn with_valid_bit(mut self) -> Self {
         self.reuse_test = ReuseTest::ValidBit;
         self
+    }
+
+    /// Same configuration under a different RTM replacement policy.
+    pub fn with_policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// One engine-level reuse decision, as recorded by the engine tap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReuseEvent {
+    /// The RTM answered the fetch at `pc`: `len` instructions were
+    /// skipped and control moved to `next_pc`.
+    Hit {
+        /// Fetch PC the reuse test answered.
+        pc: u32,
+        /// Dynamic instructions the reused trace covered.
+        len: u32,
+        /// Where control resumed.
+        next_pc: u32,
+    },
+    /// The reuse test missed at `pc` and one instruction executed.
+    Exec {
+        /// Fetch PC that executed normally.
+        pc: u32,
+    },
+}
+
+/// The engine-level tap: an ordered record of every reuse decision the
+/// engine took. Where `tlr-persist`'s record mode taps the functional
+/// VM (validating *what* executed), this validates the *engine*: two
+/// runs under the same configuration must take identical decisions, and
+/// a warm start must change them only by hitting earlier.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DecisionLog {
+    /// Every decision, in fetch order.
+    pub events: Vec<ReuseEvent>,
+}
+
+impl DecisionLog {
+    /// Number of decisions recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Order-sensitive digest of the decision stream — cheap equality
+    /// for replay validation without retaining two full logs.
+    pub fn digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = tlr_util::fxhash::FxHasher64::new();
+        self.events.len().hash(&mut h);
+        for event in &self.events {
+            event.hash(&mut h);
+        }
+        h.finish()
     }
 }
 
@@ -125,6 +192,8 @@ pub struct TraceReuseEngine {
     reuse_ops: u64,
     halted: bool,
     reused_sizes: Histogram,
+    /// Engine-level decision tap, recording when enabled.
+    tap: Option<DecisionLog>,
 }
 
 impl TraceReuseEngine {
@@ -137,7 +206,9 @@ impl TraceReuseEngine {
             Heuristic::FixedExp(_) | Heuristic::BasicBlock => None,
         };
         let rtm: Box<dyn ReuseBackend> = match config.reuse_test {
-            ReuseTest::ValueCompare => Box::new(ReuseTraceMemory::new(config.rtm)),
+            ReuseTest::ValueCompare => {
+                Box::new(ReuseTraceMemory::new_with(config.rtm, config.policy))
+            }
             ReuseTest::ValidBit => Box::new(InvalidatingRtm::new(config.rtm.geometry)),
         };
         Self {
@@ -149,6 +220,7 @@ impl TraceReuseEngine {
             reuse_ops: 0,
             halted: false,
             reused_sizes: Histogram::new(),
+            tap: None,
         }
     }
 
@@ -168,13 +240,37 @@ impl TraceReuseEngine {
                 ..config
             },
         );
-        engine.rtm = Box::new(ReuseTraceMemory::import(snapshot));
+        engine.rtm = Box::new(ReuseTraceMemory::import_with(snapshot, config.policy));
         engine
     }
 
     /// Access the VM (state inspection in tests).
     pub fn vm(&self) -> &Vm {
         &self.vm
+    }
+
+    /// Start recording every reuse decision into a [`DecisionLog`]
+    /// (replaces any previous log). Costs one event per engine step, so
+    /// enable it for validation runs, not for long sweeps.
+    pub fn enable_tap(&mut self) {
+        self.tap = Some(DecisionLog::default());
+    }
+
+    /// The decision log so far, if the tap is enabled.
+    pub fn tap(&self) -> Option<&DecisionLog> {
+        self.tap.as_ref()
+    }
+
+    /// Detach and return the decision log, disabling the tap.
+    pub fn take_tap(&mut self) -> Option<DecisionLog> {
+        self.tap.take()
+    }
+
+    /// Stamp `run` into the provenance of traces collected from here on
+    /// ([`crate::policy::TraceMeta::source_run`]). No-op for the
+    /// valid-bit backend.
+    pub fn set_source_run(&mut self, run: u64) {
+        self.rtm.set_source_run(run);
     }
 
     /// Export the RTM's resident traces for persistence (warm-starting a
@@ -208,6 +304,13 @@ impl TraceReuseEngine {
             self.skipped += hit.len as u64;
             self.reuse_ops += 1;
             self.reused_sizes.record(hit.len as u64);
+            if let Some(tap) = self.tap.as_mut() {
+                tap.events.push(ReuseEvent::Hit {
+                    pc,
+                    len: hit.len,
+                    next_pc: hit.next_pc,
+                });
+            }
             // The trace's outputs are architectural writes: valid-bit
             // backends must see them.
             for (loc, _) in hit.outs.iter() {
@@ -224,6 +327,9 @@ impl TraceReuseEngine {
         match self.vm.step()? {
             StepResult::Executed(d) => {
                 self.executed += 1;
+                if let Some(tap) = self.tap.as_mut() {
+                    tap.events.push(ReuseEvent::Exec { pc });
+                }
                 for (loc, _) in d.writes.iter() {
                     self.rtm.on_write(*loc);
                 }
@@ -404,6 +510,78 @@ mod tests {
             cold.vm().peek_loc(Loc::Mem(64)),
             "warm start corrupted architectural state"
         );
+    }
+
+    #[test]
+    fn tap_records_identical_decisions_across_identical_runs() {
+        let prog = assemble(HOT_LOOP).unwrap();
+        let config = EngineConfig::paper(RtmConfig::RTM_4K, Heuristic::FixedExp(4));
+        let run = || {
+            let mut engine = TraceReuseEngine::new(&prog, config);
+            engine.enable_tap();
+            engine.run(100_000).unwrap();
+            engine.take_tap().expect("tap enabled")
+        };
+        let (first, second) = (run(), run());
+        assert!(!first.is_empty());
+        assert_eq!(first.digest(), second.digest());
+        assert_eq!(first, second, "engine decisions are not deterministic");
+        // The log accounts for every step: hits carry trace lengths,
+        // execs one instruction each.
+        let (mut skipped, mut executed) = (0u64, 0u64);
+        for event in &first.events {
+            match event {
+                ReuseEvent::Hit { len, .. } => skipped += *len as u64,
+                ReuseEvent::Exec { .. } => executed += 1,
+            }
+        }
+        let stats = TraceReuseEngine::new(&prog, config).run(100_000).unwrap();
+        assert_eq!(skipped, stats.skipped);
+        assert_eq!(executed, stats.executed);
+    }
+
+    #[test]
+    fn tap_distinguishes_warm_from_cold_runs() {
+        let prog = assemble(HOT_LOOP).unwrap();
+        let config = EngineConfig::paper(RtmConfig::RTM_4K, Heuristic::FixedExp(4));
+        let mut cold = TraceReuseEngine::new(&prog, config);
+        cold.enable_tap();
+        cold.run(1_000_000).unwrap();
+        let cold_log = cold.take_tap().unwrap();
+        let snapshot = cold.export_rtm().unwrap();
+
+        let mut warm = TraceReuseEngine::new_warm(&prog, config, &snapshot);
+        warm.enable_tap();
+        warm.run(1_000_000).unwrap();
+        let warm_log = warm.take_tap().unwrap();
+        assert_ne!(
+            cold_log.digest(),
+            warm_log.digest(),
+            "a warm start must hit earlier than its cold run"
+        );
+    }
+
+    #[test]
+    fn every_policy_preserves_architectural_state() {
+        let prog = assemble(HOT_LOOP).unwrap();
+        let mut plain = tlr_vm::Vm::new(&prog);
+        plain.run(1_000_000, &mut NullSink).unwrap();
+        let expect = plain.peek_loc(Loc::Mem(64));
+
+        for policy in crate::policy::ReplacementPolicy::ALL {
+            let config =
+                EngineConfig::paper(RtmConfig::RTM_512, Heuristic::FixedExp(4)).with_policy(policy);
+            let mut engine = TraceReuseEngine::new(&prog, config);
+            let stats = engine.run(1_000_000).unwrap();
+            assert!(stats.halted, "{policy}: did not finish");
+            assert!(stats.reuse_ops > 0, "{policy}: no reuse at all");
+            assert_eq!(
+                engine.vm().peek_loc(Loc::Mem(64)),
+                expect,
+                "{policy} corrupted state"
+            );
+            assert_eq!(stats.total(), plain.executed(), "{policy}");
+        }
     }
 
     #[test]

@@ -107,12 +107,12 @@ impl SetAssocGeometry {
 }
 
 /// One PC group: LRU-ordered entries (most recent last).
-struct PcGroup<T> {
-    pc: u32,
+pub(crate) struct PcGroup<T> {
+    pub(crate) pc: u32,
     /// Entries, LRU-ordered: index 0 = least recently used.
-    entries: Vec<T>,
+    pub(crate) entries: Vec<T>,
     /// Tick of last touch, for group-level LRU.
-    last_touch: u64,
+    pub(crate) last_touch: u64,
 }
 
 /// A two-level LRU set-associative store, generic over the entry payload.
@@ -156,10 +156,26 @@ impl<T> SetAssocStore<T> {
         })
     }
 
-    /// Insert `entry` into `pc`'s group, creating the group (evicting the
-    /// LRU group of the set if full) and evicting the group's LRU entry
-    /// if the group is full. Returns the number of entries evicted.
+    /// Insert `entry` into `pc`'s group under pure LRU replacement at
+    /// both levels — the paper's hard-wired behaviour. Returns the
+    /// number of entries evicted.
     pub(crate) fn insert(&mut self, pc: u32, entry: T) -> u64 {
+        self.insert_with(pc, entry, &mut |_| 0, &mut lru_group_victim)
+    }
+
+    /// Insert `entry` into `pc`'s group, creating the group if absent and
+    /// delegating victim choice to the callers' policy: when the group is
+    /// full, `entry_victim` picks the entry index to evict (entries are
+    /// in LRU→MRU order, so `0` is pure LRU); when the set is full of
+    /// other PCs' groups, `group_victim` picks the group to evict.
+    /// Returns the number of entries evicted.
+    pub(crate) fn insert_with(
+        &mut self,
+        pc: u32,
+        entry: T,
+        entry_victim: &mut dyn FnMut(&[T]) -> usize,
+        group_victim: &mut dyn FnMut(&[PcGroup<T>]) -> usize,
+    ) -> u64 {
         self.tick += 1;
         let per_pc = self.geometry.per_pc as usize;
         let ways = self.geometry.ways as usize;
@@ -169,16 +185,10 @@ impl<T> SetAssocStore<T> {
             Some(i) => &mut set[i],
             None => {
                 if set.len() == ways {
-                    // Evict the least recently touched PC group.
-                    let lru = set
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, g)| g.last_touch)
-                        .map(|(i, _)| i)
-                        .unwrap();
-                    evicted += set[lru].entries.len() as u64;
-                    self.resident -= set[lru].entries.len() as u64;
-                    set.swap_remove(lru);
+                    let victim = group_victim(set).min(set.len() - 1);
+                    evicted += set[victim].entries.len() as u64;
+                    self.resident -= set[victim].entries.len() as u64;
+                    set.swap_remove(victim);
                 }
                 set.push(PcGroup {
                     pc,
@@ -191,7 +201,8 @@ impl<T> SetAssocStore<T> {
         };
         group.last_touch = self.tick;
         if group.entries.len() == per_pc {
-            group.entries.remove(0); // LRU entry
+            let victim = entry_victim(&group.entries).min(group.entries.len() - 1);
+            group.entries.remove(victim);
             evicted += 1;
             self.resident -= 1;
         }
@@ -214,6 +225,12 @@ impl<T> SetAssocStore<T> {
         })
     }
 
+    /// Iterate the groups of every set (store order, no recency
+    /// sorting) — provenance aggregation over resident entries.
+    pub(crate) fn iter_groups(&self) -> impl Iterator<Item = &PcGroup<T>> {
+        self.sets.iter().flatten()
+    }
+
     /// Move the entry at `idx` of `pc`'s group to the MRU position.
     pub(crate) fn touch(&mut self, pc: u32, idx: usize) {
         self.tick += 1;
@@ -225,6 +242,16 @@ impl<T> SetAssocStore<T> {
             g.entries.push(entry);
         }
     }
+}
+
+/// The default group-level victim rule: least recently touched.
+pub(crate) fn lru_group_victim<T>(groups: &[PcGroup<T>]) -> usize {
+    groups
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, g)| g.last_touch)
+        .map(|(i, _)| i)
+        .expect("victim requested for a non-empty set")
 }
 
 /// Finite instruction-level reuse buffer for the `ILR NE` / `ILR EXP`

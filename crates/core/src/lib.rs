@@ -12,7 +12,8 @@
 //! |---|---|---|
 //! | [`ilr`] | §2, §4.2 | instruction-level reusability: infinite table and finite set-associative buffer |
 //! | [`trace`] | §3.1 | live-in / live-out computation, I/O caps, trace records, merging (expansion) |
-//! | [`rtm`] | §3.1, §4.6 | the Reuse Trace Memory: PC-indexed, set-associative, LRU |
+//! | [`rtm`] | §3.1, §4.6 | the Reuse Trace Memory: PC-indexed, set-associative |
+//! | [`policy`] | ours | pluggable RTM replacement policies + per-trace provenance |
 //! | [`collect`] | §3.2, §4.6 | dynamic trace collection heuristics: `ILR NE`, `ILR EXP`, `I(n) EXP` |
 //! | [`engine`] | §3.3, §4.6 | the execution-driven reuse engine behind Figure 9 |
 //! | [`valid_bit`] | §3.3 | the valid-bit + invalidation reuse test (the paper's "simpler" alternative) |
@@ -60,6 +61,7 @@ pub mod collect;
 pub mod engine;
 pub mod ilr;
 pub mod limits;
+pub mod policy;
 pub mod rtm;
 pub mod schemes;
 pub mod theorems;
@@ -67,9 +69,12 @@ pub mod trace;
 pub mod valid_bit;
 
 pub use collect::{CollectStats, Collector, Heuristic};
-pub use engine::{run_engine, EngineConfig, EngineStats, ReuseTest, TraceReuseEngine};
+pub use engine::{
+    run_engine, DecisionLog, EngineConfig, EngineStats, ReuseEvent, ReuseTest, TraceReuseEngine,
+};
 pub use ilr::{FiniteIlrBuffer, InstrReuseTable, SetAssocGeometry};
 pub use limits::{LatencyRule, LimitConfig, LimitResult, LimitStudySink, TraceIoStats};
+pub use policy::{ReplacementPolicy, TraceMeta};
 pub use rtm::{
     MergeError, MergeOutcome, ReuseBackend, ReuseTraceMemory, RtmConfig, RtmSnapshot, RtmStats,
 };

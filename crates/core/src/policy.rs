@@ -1,0 +1,165 @@
+//! Pluggable RTM replacement policies and per-trace provenance.
+//!
+//! The paper's RTM replaces strictly by recency (two-level LRU, §4.6).
+//! Under snapshot merging and fleet pooling that is not obviously the
+//! right choice: Coppieters et al.'s per-trace contribution analysis
+//! (PAPERS.md) shows a small fraction of traces carries most of the
+//! reuse, which suggests keeping the *most-hit* (or most
+//! instructions-saved) traces rather than the most recent ones. This
+//! module makes that an explicit, measurable knob:
+//!
+//! * [`ReplacementPolicy`] selects the victim-choice rule the RTM (and
+//!   snapshot merging, and the serving registry) uses under capacity
+//!   pressure;
+//! * [`TraceMeta`] is the per-entry provenance that the non-recency
+//!   policies rank by — hit count, last-use tick, and the id of the run
+//!   that first contributed the trace. It is carried through snapshot
+//!   export/import (format v3) so pooled state keeps its history.
+//!
+//! The reuse *test* is untouched: policies only decide what to evict,
+//! never what may be reused, so every policy preserves architectural
+//! equivalence (the `reproduce policy` sweep asserts this).
+
+/// How the RTM picks victims under capacity pressure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used, at both the PC-group and entry level — the
+    /// paper's hard-wired behaviour and the default.
+    #[default]
+    Lru,
+    /// Frequency-weighted: evict the entry with the fewest recorded
+    /// hits (ties broken by recency). Groups are ranked by their total
+    /// hit count.
+    Lfu,
+    /// Cost/benefit: evict the entry with the least *instructions
+    /// saved* potential — `(hits + 1) × trace length` — so a long trace
+    /// that skips many instructions per reuse outranks a short one with
+    /// the same hit count. Groups are ranked by the same score summed.
+    CostBenefit,
+}
+
+impl ReplacementPolicy {
+    /// Every policy, in sweep order.
+    pub const ALL: [ReplacementPolicy; 3] = [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Lfu,
+        ReplacementPolicy::CostBenefit,
+    ];
+
+    /// Stable human-readable name (also the CLI spelling).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReplacementPolicy::Lru => "lru",
+            ReplacementPolicy::Lfu => "lfu",
+            ReplacementPolicy::CostBenefit => "cost-benefit",
+        }
+    }
+
+    /// Parse a CLI spelling (`lru` | `lfu` | `cost-benefit` | `cb`),
+    /// case-insensitively. `None` for anything else.
+    pub fn parse(s: &str) -> Option<ReplacementPolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "lru" => Some(ReplacementPolicy::Lru),
+            "lfu" => Some(ReplacementPolicy::Lfu),
+            "cost-benefit" | "cb" => Some(ReplacementPolicy::CostBenefit),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-trace provenance: the replacement-relevant history of one RTM
+/// entry. Persisted alongside the trace in snapshot format v3 (older
+/// snapshots load as all-zero provenance).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TraceMeta {
+    /// Successful reuse tests this trace has answered.
+    pub hits: u64,
+    /// RTM tick of the last touch (hit or store refresh). Ticks are
+    /// per-RTM, so values from different runs are comparable only as a
+    /// tie-breaking heuristic — which is exactly how the policies use
+    /// them.
+    pub last_use: u64,
+    /// Identifier of the run that first contributed the trace
+    /// (0 when the producer did not stamp one).
+    pub source_run: u64,
+}
+
+impl TraceMeta {
+    /// Fold another sighting of the *same* trace into this provenance:
+    /// hit counts add (both runs' reuse really happened), the later
+    /// last-use wins, and the original contributor is kept.
+    pub fn absorb(&mut self, other: &TraceMeta) {
+        self.hits = self.hits.saturating_add(other.hits);
+        self.last_use = self.last_use.max(other.last_use);
+    }
+
+    /// The cost/benefit score: instructions a future hit would save,
+    /// weighted by how often the trace has hit so far.
+    pub fn benefit(&self, trace_len: u32) -> u128 {
+        (self.hits as u128 + 1) * trace_len as u128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_labels() {
+        for policy in ReplacementPolicy::ALL {
+            assert_eq!(ReplacementPolicy::parse(policy.label()), Some(policy));
+            assert_eq!(
+                ReplacementPolicy::parse(&policy.label().to_uppercase()),
+                Some(policy)
+            );
+        }
+        assert_eq!(
+            ReplacementPolicy::parse("cb"),
+            Some(ReplacementPolicy::CostBenefit)
+        );
+        assert_eq!(ReplacementPolicy::parse("mru"), None);
+        assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::Lru);
+    }
+
+    #[test]
+    fn absorb_sums_hits_keeps_origin() {
+        let mut a = TraceMeta {
+            hits: 3,
+            last_use: 10,
+            source_run: 7,
+        };
+        a.absorb(&TraceMeta {
+            hits: 2,
+            last_use: 99,
+            source_run: 8,
+        });
+        assert_eq!(a.hits, 5);
+        assert_eq!(a.last_use, 99);
+        assert_eq!(a.source_run, 7, "origin run must survive an absorb");
+        a.absorb(&TraceMeta {
+            hits: u64::MAX,
+            last_use: 0,
+            source_run: 9,
+        });
+        assert_eq!(a.hits, u64::MAX, "hit counts saturate, never wrap");
+    }
+
+    #[test]
+    fn benefit_weights_length_and_hits() {
+        let cold = TraceMeta::default();
+        let hot = TraceMeta {
+            hits: 9,
+            ..TraceMeta::default()
+        };
+        // A never-hit long trace can outrank a hot short one …
+        assert!(cold.benefit(30) > hot.benefit(2));
+        // … but frequency dominates at equal length.
+        assert!(hot.benefit(4) > cold.benefit(4));
+    }
+}

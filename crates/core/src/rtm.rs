@@ -14,9 +14,11 @@
 //! invalidation traffic; Figure 8b models its cost as reuse latency
 //! proportional to the trace I/O count, which `tlr-core::limits` covers.)
 
-use crate::ilr::{SetAssocGeometry, SetAssocStore};
+use crate::ilr::{lru_group_victim, PcGroup, SetAssocGeometry, SetAssocStore};
+use crate::policy::{ReplacementPolicy, TraceMeta};
 use crate::trace::TraceRecord;
 use tlr_isa::Loc;
+use tlr_util::FxHashSet;
 
 /// RTM configuration: geometry is the paper's, I/O caps are enforced at
 /// collection time (see [`crate::trace::IoCaps`]).
@@ -107,8 +109,16 @@ pub struct RtmStats {
     /// snapshots from different program versions (or a buggy producer)
     /// are merged. The resident entry is replaced by the newer record.
     pub conflicting_stores: u64,
-    /// Entries evicted (LRU, either level).
+    /// Entries evicted (either level, victim chosen by the configured
+    /// [`ReplacementPolicy`]).
     pub evictions: u64,
+}
+
+/// One resident RTM entry: the trace plus its provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct RtmEntry {
+    pub(crate) rec: TraceRecord,
+    pub(crate) meta: TraceMeta,
 }
 
 /// A reuse-test mechanism behind the engine: either the full
@@ -127,6 +137,10 @@ pub trait ReuseBackend {
     /// Notify an architectural write (valid-bit backends invalidate
     /// matching entries; the value-comparison backend does nothing).
     fn on_write(&mut self, loc: Loc);
+
+    /// Stamp a run id into the provenance of subsequently collected
+    /// traces. Backends without provenance ignore it.
+    fn set_source_run(&mut self, _run: u64) {}
 
     /// Behaviour counters.
     fn stats(&self) -> RtmStats;
@@ -156,9 +170,25 @@ pub struct RtmSnapshot {
     pub config: RtmConfig,
     /// Resident traces, LRU-first per set.
     pub traces: Vec<TraceRecord>,
+    /// Per-trace provenance, parallel to `traces`. Snapshots from
+    /// format-v2 files (or hand-built without history) carry all-zero
+    /// provenance; [`RtmSnapshot::from_traces`] fills that in.
+    pub meta: Vec<TraceMeta>,
 }
 
 impl RtmSnapshot {
+    /// A snapshot over `traces` with zero provenance (no recorded hits,
+    /// no source run) — what loading a pre-provenance (v2) snapshot
+    /// produces.
+    pub fn from_traces(config: RtmConfig, traces: Vec<TraceRecord>) -> Self {
+        let meta = vec![TraceMeta::default(); traces.len()];
+        Self {
+            config,
+            traces,
+            meta,
+        }
+    }
+
     /// Number of traces captured.
     pub fn len(&self) -> usize {
         self.traces.len()
@@ -167,6 +197,24 @@ impl RtmSnapshot {
     /// `true` when the snapshot holds no traces.
     pub fn is_empty(&self) -> bool {
         self.traces.is_empty()
+    }
+
+    /// Traces zipped with their provenance. Hand-built snapshots whose
+    /// `meta` is shorter than `traces` yield zero provenance for the
+    /// tail rather than truncating.
+    pub fn entries(&self) -> impl Iterator<Item = (&TraceRecord, TraceMeta)> {
+        self.traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t, self.meta.get(i).copied().unwrap_or_default()))
+    }
+
+    /// Sum of recorded per-trace hit counts — the snapshot's
+    /// hit-weighted residency.
+    pub fn total_hits(&self) -> u64 {
+        self.meta
+            .iter()
+            .fold(0, |acc, m| acc.saturating_add(m.hits))
     }
 
     /// Union several runs' snapshots into one (the substrate of a
@@ -202,10 +250,45 @@ impl RtmSnapshot {
         Ok(Self::merge_detailed(snapshots)?.snapshot)
     }
 
+    /// [`merge`](RtmSnapshot::merge) under an explicit replacement
+    /// policy (see [`merge_detailed_with`](RtmSnapshot::merge_detailed_with)).
+    pub fn merge_with(
+        snapshots: &[RtmSnapshot],
+        policy: ReplacementPolicy,
+    ) -> Result<RtmSnapshot, MergeError> {
+        Ok(Self::merge_detailed_with(snapshots, policy)?.snapshot)
+    }
+
     /// [`merge`](RtmSnapshot::merge), also reporting what the union did:
     /// input trace count, duplicates coalesced, conflicts resolved, and
     /// entries lost to capacity.
     pub fn merge_detailed(snapshots: &[RtmSnapshot]) -> Result<MergeOutcome, MergeError> {
+        Self::merge_detailed_with(snapshots, ReplacementPolicy::Lru)
+    }
+
+    /// [`merge_detailed`](RtmSnapshot::merge_detailed) under an explicit
+    /// replacement policy — the provenance-aware merge.
+    ///
+    /// The replay order is the same interleaved LRU→MRU round-robin for
+    /// every policy; what changes is the *victim rule* under capacity
+    /// contention, and what a re-encounter does: a trace present in
+    /// several inputs **absorbs** each sighting's provenance (hit counts
+    /// add, the freshest last-use wins, the first contributor's
+    /// source-run id is kept), so under [`ReplacementPolicy::Lfu`] /
+    /// [`ReplacementPolicy::CostBenefit`] the fleet-wide hottest traces
+    /// outrank single-run state by their *combined* history rather than
+    /// by replay recency alone.
+    ///
+    /// The unanimity guarantee holds under every policy: traces that
+    /// **all** inputs kept are re-asserted in a final pass whose victim
+    /// selection is forbidden from evicting unanimous state. The
+    /// counting argument of [`merge`](RtmSnapshot::merge) shows a
+    /// non-unanimous victim always exists when that pass needs one, so
+    /// the restriction never wedges.
+    pub fn merge_detailed_with(
+        snapshots: &[RtmSnapshot],
+        policy: ReplacementPolicy,
+    ) -> Result<MergeOutcome, MergeError> {
         let first = snapshots.first().ok_or(MergeError::Empty)?;
         for s in &snapshots[1..] {
             if s.config != first.config {
@@ -215,14 +298,14 @@ impl RtmSnapshot {
                 });
             }
         }
-        let mut rtm = ReuseTraceMemory::new(first.config);
+        let mut rtm = ReuseTraceMemory::new_with(first.config, policy);
         let input_traces: usize = snapshots.iter().map(|s| s.traces.len()).sum();
-        let mut iters: Vec<_> = snapshots.iter().map(|s| s.traces.iter()).collect();
+        let mut iters: Vec<_> = snapshots.iter().map(|s| s.entries()).collect();
         loop {
             let mut exhausted = true;
             for it in iters.iter_mut() {
-                if let Some(trace) = it.next() {
-                    rtm.insert(trace.clone());
+                if let Some((trace, meta)) = it.next() {
+                    rtm.insert_seeded(trace.clone(), meta);
                     exhausted = false;
                 }
             }
@@ -246,11 +329,40 @@ impl RtmSnapshot {
                     }
                 }
             }
+            let unanimous: FxHashSet<TraceRecord> = first
+                .traces
+                .iter()
+                .filter(|t| seen.get(*t).is_some_and(|(n, _)| *n == snapshots.len()))
+                .cloned()
+                .collect();
+            // Combined provenance of each unanimous trace across every
+            // input, in case the union replay evicted it and the
+            // re-assert has to insert it from scratch.
+            let mut combined: tlr_util::FxHashMap<&TraceRecord, TraceMeta> =
+                tlr_util::FxHashMap::default();
+            for snap in snapshots {
+                for (trace, meta) in snap.entries() {
+                    if !unanimous.contains(trace) {
+                        continue;
+                    }
+                    match combined.entry(trace) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            e.get_mut().absorb(&meta)
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            v.insert(meta);
+                        }
+                    }
+                }
+            }
             // Every unanimous trace appears in the first input; re-assert
-            // in its order so relative recency among them is stable.
+            // in its order so relative recency among them is stable. The
+            // pass refreshes recency only — resident provenance was
+            // already absorbed during the union replay.
             for trace in &first.traces {
-                if seen.get(trace).is_some_and(|(n, _)| *n == snapshots.len()) {
-                    rtm.insert(trace.clone());
+                if unanimous.contains(trace) {
+                    let meta = combined.get(trace).copied().unwrap_or_default();
+                    rtm.insert_pinned(trace.clone(), meta, &unanimous);
                 }
             }
         }
@@ -312,17 +424,96 @@ pub struct MergeOutcome {
 
 /// The Reuse Trace Memory.
 pub struct ReuseTraceMemory {
-    store: SetAssocStore<TraceRecord>,
+    store: SetAssocStore<RtmEntry>,
     stats: RtmStats,
+    policy: ReplacementPolicy,
+    /// Monotonic use counter stamped into per-entry provenance
+    /// ([`TraceMeta::last_use`]).
+    tick: u64,
+    /// Run id stamped into fresh inserts' provenance.
+    source_run: u64,
+}
+
+/// Pick the entry to evict from a full PC group (entries in LRU→MRU
+/// order), honouring `policy` and never choosing a `pinned` record when
+/// an unpinned candidate exists.
+fn entry_victim(
+    policy: ReplacementPolicy,
+    entries: &[RtmEntry],
+    pinned: Option<&FxHashSet<TraceRecord>>,
+) -> usize {
+    let mut candidates = entries
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| pinned.is_none_or(|p| !p.contains(&e.rec)));
+    match policy {
+        // First candidate in LRU→MRU order is the least recently used.
+        ReplacementPolicy::Lru => candidates.next().map(|(i, _)| i),
+        ReplacementPolicy::Lfu => candidates
+            .min_by_key(|(i, e)| (e.meta.hits, e.meta.last_use, *i))
+            .map(|(i, _)| i),
+        ReplacementPolicy::CostBenefit => candidates
+            .min_by_key(|(i, e)| (e.meta.benefit(e.rec.len), e.meta.last_use, *i))
+            .map(|(i, _)| i),
+    }
+    .unwrap_or(0)
+}
+
+/// Pick the PC group to evict from a full set, honouring `policy` and
+/// never choosing a group holding a `pinned` record when an unpinned
+/// candidate exists.
+fn group_victim(
+    policy: ReplacementPolicy,
+    groups: &[PcGroup<RtmEntry>],
+    pinned: Option<&FxHashSet<TraceRecord>>,
+) -> usize {
+    let candidates = groups
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| pinned.is_none_or(|p| !g.entries.iter().any(|e| p.contains(&e.rec))));
+    match policy {
+        ReplacementPolicy::Lru => candidates.min_by_key(|(_, g)| g.last_touch),
+        ReplacementPolicy::Lfu => candidates.min_by_key(|(_, g)| {
+            let hits: u64 = g.entries.iter().map(|e| e.meta.hits).sum();
+            (hits, g.last_touch)
+        }),
+        ReplacementPolicy::CostBenefit => candidates.min_by_key(|(_, g)| {
+            let benefit: u128 = g.entries.iter().map(|e| e.meta.benefit(e.rec.len)).sum();
+            (benefit, g.last_touch)
+        }),
+    }
+    .map(|(i, _)| i)
+    .unwrap_or_else(|| lru_group_victim(groups))
 }
 
 impl ReuseTraceMemory {
-    /// Empty RTM with the given configuration.
+    /// Empty RTM with the given configuration and the paper's LRU
+    /// replacement.
     pub fn new(config: RtmConfig) -> Self {
+        Self::new_with(config, ReplacementPolicy::Lru)
+    }
+
+    /// Empty RTM replacing under an explicit [`ReplacementPolicy`].
+    pub fn new_with(config: RtmConfig, policy: ReplacementPolicy) -> Self {
         Self {
             store: SetAssocStore::new(config.geometry),
             stats: RtmStats::default(),
+            policy,
+            tick: 0,
+            source_run: 0,
         }
+    }
+
+    /// The replacement policy this RTM evicts under.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// Stamp `run` into the provenance of every *subsequent* fresh
+    /// insert ([`TraceMeta::source_run`]); seeded/imported entries keep
+    /// their original contributor.
+    pub fn set_source_run(&mut self, run: u64) {
+        self.source_run = run;
     }
 
     /// Behaviour counters so far.
@@ -338,22 +529,28 @@ impl ReuseTraceMemory {
     /// The reuse test: find a resident trace starting at `pc` whose
     /// recorded live-in values all equal the current architectural values
     /// (`state(loc)`); most recently used candidates are preferred. On a
-    /// hit the entry is touched (MRU) and cloned out.
+    /// hit the entry is touched (MRU), its provenance hit count bumped,
+    /// and the record cloned out.
     ///
     /// The state closure is the processor's register file / memory read
     /// port; `tlr_vm::Vm::peek_loc` is the canonical implementation.
     pub fn lookup(&mut self, pc: u32, state: impl Fn(Loc) -> u64) -> Option<TraceRecord> {
         self.stats.lookups += 1;
+        self.tick += 1;
+        let tick = self.tick;
         let entries = self.store.group_mut(pc)?;
         // MRU-first: highest index is most recently used.
         let found = entries
             .iter()
             .enumerate()
             .rev()
-            .find(|(_, rec)| rec.ins.iter().all(|(loc, val)| state(*loc) == *val))
-            .map(|(i, rec)| (i, rec.clone()));
+            .find(|(_, e)| e.rec.ins.iter().all(|(loc, val)| state(*loc) == *val))
+            .map(|(i, _)| i);
         match found {
-            Some((idx, rec)) => {
+            Some(idx) => {
+                entries[idx].meta.hits = entries[idx].meta.hits.saturating_add(1);
+                entries[idx].meta.last_use = tick;
+                let rec = entries[idx].rec.clone();
                 self.store.touch(pc, idx);
                 self.stats.hits += 1;
                 Some(rec)
@@ -372,17 +569,60 @@ impl ReuseTraceMemory {
     /// event is counted in [`RtmStats::conflicting_stores`] rather than
     /// silently refreshing the stale entry.
     pub fn insert(&mut self, record: TraceRecord) {
+        self.tick += 1;
+        let meta = TraceMeta {
+            hits: 0,
+            last_use: self.tick,
+            source_run: self.source_run,
+        };
+        self.insert_impl(record, meta, true, None);
+    }
+
+    /// Store a trace carrying provenance from an earlier life (snapshot
+    /// import, merge replay). A re-encounter of an identical resident
+    /// record **absorbs** the incoming provenance
+    /// ([`TraceMeta::absorb`]).
+    pub fn insert_seeded(&mut self, record: TraceRecord, meta: TraceMeta) {
+        self.tick += 1;
+        self.insert_impl(record, meta, true, None);
+    }
+
+    /// The merge unanimity pass: re-assert `record` for recency without
+    /// re-absorbing provenance, with victim selection forbidden from
+    /// evicting any record in `pinned`. `meta` is used only when the
+    /// record is *not* resident (it lost a capacity fight during the
+    /// union replay) and must be re-inserted with its combined history.
+    fn insert_pinned(
+        &mut self,
+        record: TraceRecord,
+        meta: TraceMeta,
+        pinned: &FxHashSet<TraceRecord>,
+    ) {
+        self.tick += 1;
+        self.insert_impl(record, meta, false, Some(pinned));
+    }
+
+    fn insert_impl(
+        &mut self,
+        record: TraceRecord,
+        meta: TraceMeta,
+        absorb: bool,
+        pinned: Option<&FxHashSet<TraceRecord>>,
+    ) {
         let pc = record.start_pc;
         if let Some(entries) = self.store.group_mut(pc) {
             if let Some(idx) = entries
                 .iter()
-                .position(|e| e.ins == record.ins && e.len == record.len)
+                .position(|e| e.rec.ins == record.ins && e.rec.len == record.len)
             {
-                if entries[idx] == record {
+                if entries[idx].rec == record {
+                    if absorb {
+                        entries[idx].meta.absorb(&meta);
+                    }
                     self.store.touch(pc, idx);
                     self.stats.duplicate_stores += 1;
                 } else {
-                    entries[idx] = record;
+                    entries[idx] = RtmEntry { rec: record, meta };
                     self.store.touch(pc, idx);
                     self.stats.conflicting_stores += 1;
                 }
@@ -390,7 +630,13 @@ impl ReuseTraceMemory {
             }
         }
         self.stats.stores += 1;
-        self.stats.evictions += self.store.insert(pc, record);
+        let policy = self.policy;
+        self.stats.evictions += self.store.insert_with(
+            pc,
+            RtmEntry { rec: record, meta },
+            &mut |entries| entry_victim(policy, entries, pinned),
+            &mut |groups| group_victim(policy, groups, pinned),
+        );
     }
 
     /// The configuration this RTM was built with.
@@ -400,22 +646,52 @@ impl ReuseTraceMemory {
         }
     }
 
-    /// Capture the resident traces (and geometry) as a portable
-    /// [`RtmSnapshot`] — the warm-start state a later run can
-    /// [`import`](ReuseTraceMemory::import).
+    /// Every resident trace with its provenance (store order).
+    pub fn provenance(&self) -> impl Iterator<Item = (&TraceRecord, &TraceMeta)> {
+        self.store
+            .iter_groups()
+            .flat_map(|g| g.entries.iter())
+            .map(|e| (&e.rec, &e.meta))
+    }
+
+    /// Sum of resident traces' hit counts — how much *observed* reuse
+    /// the resident state represents, the serving registry's
+    /// hit-weighted residency metric.
+    pub fn hit_weighted_residency(&self) -> u64 {
+        self.provenance()
+            .fold(0, |acc, (_, m)| acc.saturating_add(m.hits))
+    }
+
+    /// Capture the resident traces (geometry, records, and provenance)
+    /// as a portable [`RtmSnapshot`] — the warm-start state a later run
+    /// can [`import`](ReuseTraceMemory::import).
     pub fn export(&self) -> RtmSnapshot {
+        let mut traces = Vec::with_capacity(self.store.resident as usize);
+        let mut meta = Vec::with_capacity(self.store.resident as usize);
+        for (_, e) in self.store.iter_lru() {
+            traces.push(e.rec.clone());
+            meta.push(e.meta);
+        }
         RtmSnapshot {
             config: self.config(),
-            traces: self.store.iter_lru().map(|(_, rec)| rec.clone()).collect(),
+            traces,
+            meta,
         }
     }
 
-    /// Rebuild an RTM from a snapshot. The result starts with fresh
-    /// statistics: warm-start runs measure only their own behaviour.
+    /// Rebuild an RTM from a snapshot under LRU replacement. The result
+    /// starts with fresh statistics: warm-start runs measure only their
+    /// own behaviour.
     pub fn import(snapshot: &RtmSnapshot) -> Self {
-        let mut rtm = Self::new(snapshot.config);
-        for trace in &snapshot.traces {
-            rtm.insert(trace.clone());
+        Self::import_with(snapshot, ReplacementPolicy::Lru)
+    }
+
+    /// Rebuild an RTM from a snapshot under an explicit policy,
+    /// preserving each trace's provenance.
+    pub fn import_with(snapshot: &RtmSnapshot, policy: ReplacementPolicy) -> Self {
+        let mut rtm = Self::new_with(snapshot.config, policy);
+        for (trace, meta) in snapshot.entries() {
+            rtm.insert_seeded(trace.clone(), meta);
         }
         rtm.stats = RtmStats::default();
         rtm
@@ -432,6 +708,10 @@ impl ReuseBackend for ReuseTraceMemory {
     }
 
     fn on_write(&mut self, _loc: Loc) {}
+
+    fn set_source_run(&mut self, run: u64) {
+        ReuseTraceMemory::set_source_run(self, run)
+    }
 
     fn stats(&self) -> RtmStats {
         ReuseTraceMemory::stats(self)
@@ -686,6 +966,140 @@ mod tests {
         let snap = backend.snapshot().expect("value-compare RTM snapshots");
         assert_eq!(snap.traces.len(), 1);
         assert_eq!(snap.traces[0].start_pc, 7);
+    }
+
+    #[test]
+    fn lfu_keeps_hot_entry_lru_would_evict() {
+        // per_pc = 4. Fill a group, hit the oldest entry twice, then
+        // let three younger entries refresh past it. Under LRU the hot
+        // entry is the victim; under LFU the never-hit LRU-most young
+        // entry goes instead.
+        let run = |policy: ReplacementPolicy| -> ReuseTraceMemory {
+            let mut rtm = ReuseTraceMemory::new_with(RtmConfig::RTM_512, policy);
+            for v in 0..4u64 {
+                rtm.insert(rec(10, &[(R1, v)], &[(R2, v)], 20));
+            }
+            assert!(rtm.lookup(10, |l| if l == R1 { 0 } else { 9 }).is_some());
+            assert!(rtm.lookup(10, |l| if l == R1 { 0 } else { 9 }).is_some());
+            for v in 1..4u64 {
+                rtm.insert(rec(10, &[(R1, v)], &[(R2, v)], 20)); // duplicates: refresh
+            }
+            rtm.insert(rec(10, &[(R1, 99)], &[], 20)); // group full: evict
+            rtm
+        };
+        let mut lru = run(ReplacementPolicy::Lru);
+        assert!(
+            lru.lookup(10, |l| if l == R1 { 0 } else { 9 }).is_none(),
+            "LRU keeps the hot-but-old entry?"
+        );
+        let mut lfu = run(ReplacementPolicy::Lfu);
+        assert!(
+            lfu.lookup(10, |l| if l == R1 { 0 } else { 9 }).is_some(),
+            "LFU evicted the hottest entry"
+        );
+        assert!(lfu.lookup(10, |l| if l == R1 { 1 } else { 9 }).is_none());
+    }
+
+    #[test]
+    fn cost_benefit_weighs_trace_length() {
+        // Two never-hit entries: a short recent one and a long old one.
+        // Cost/benefit evicts the short one even though it is more
+        // recent; LRU would evict the long (older) one.
+        let mut rtm =
+            ReuseTraceMemory::new_with(RtmConfig::RTM_512, ReplacementPolicy::CostBenefit);
+        let mut long = rec(10, &[(R1, 0)], &[(R2, 0)], 40);
+        long.len = 30;
+        rtm.insert(long);
+        let mut short = rec(10, &[(R1, 1)], &[(R2, 1)], 12);
+        short.len = 2;
+        rtm.insert(short.clone());
+        for v in 2..4u64 {
+            rtm.insert(rec(10, &[(R1, v)], &[], 20));
+        }
+        rtm.insert(rec(10, &[(R1, 99)], &[], 20)); // group full: evict
+        assert!(
+            rtm.lookup(10, |l| if l == R1 { 0 } else { 9 }).is_some(),
+            "cost/benefit evicted the long trace"
+        );
+        assert!(rtm.lookup(10, |l| if l == R1 { 1 } else { 9 }).is_none());
+    }
+
+    #[test]
+    fn provenance_tracks_hits_and_survives_roundtrip() {
+        let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        rtm.set_source_run(42);
+        rtm.insert(rec(10, &[(R1, 5)], &[(R2, 6)], 13));
+        assert!(rtm.lookup(10, |l| if l == R1 { 5 } else { 0 }).is_some());
+        assert!(rtm.lookup(10, |l| if l == R1 { 5 } else { 0 }).is_some());
+        assert_eq!(rtm.hit_weighted_residency(), 2);
+        let (_, meta) = rtm.provenance().next().unwrap();
+        assert_eq!(meta.hits, 2);
+        assert_eq!(meta.source_run, 42);
+
+        let snapshot = rtm.export();
+        assert_eq!(snapshot.meta.len(), snapshot.traces.len());
+        assert_eq!(snapshot.total_hits(), 2);
+        let again = ReuseTraceMemory::import(&snapshot);
+        assert_eq!(again.export(), snapshot, "provenance lost in roundtrip");
+        assert_eq!(again.hit_weighted_residency(), 2);
+    }
+
+    #[test]
+    fn merge_absorbs_provenance_of_shared_traces() {
+        let shared = rec(10, &[(R1, 0)], &[(R2, 0)], 20);
+        let hot_run = |hits: u64| {
+            let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512);
+            rtm.insert(shared.clone());
+            for _ in 0..hits {
+                assert!(rtm.lookup(10, |l| if l == R1 { 0 } else { 9 }).is_some());
+            }
+            rtm.export()
+        };
+        let outcome =
+            RtmSnapshot::merge_detailed_with(&[hot_run(3), hot_run(2)], ReplacementPolicy::Lfu)
+                .unwrap();
+        assert_eq!(outcome.snapshot.len(), 1);
+        assert_eq!(
+            outcome.snapshot.total_hits(),
+            5,
+            "shared trace must combine both runs' hit counts"
+        );
+    }
+
+    #[test]
+    fn merge_with_lfu_preserves_unanimous_traces_under_contention() {
+        // per_pc = 4. Both inputs keep the same two never-hit traces;
+        // each also brings its own extras (B's are hot), so the union's
+        // six distinct traces overflow the group. No unanimous trace
+        // may be lost, whatever the policy ranks lowest.
+        let unanimous: Vec<TraceRecord> = (0..2u64)
+            .map(|v| rec(10, &[(R1, v)], &[(R2, v)], 20))
+            .collect();
+        let mut a = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        let mut b = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        for t in &unanimous {
+            a.insert(t.clone());
+            b.insert(t.clone());
+        }
+        for v in 50..52u64 {
+            a.insert(rec(10, &[(R1, v)], &[(R2, v)], 20));
+        }
+        for v in 100..102u64 {
+            b.insert(rec(10, &[(R1, v)], &[(R2, v)], 20));
+            // Make the extras hot so LFU ranks the unanimous set lowest.
+            for _ in 0..5 {
+                assert!(b.lookup(10, |l| if l == R1 { v } else { 9 }).is_some());
+            }
+        }
+        for policy in ReplacementPolicy::ALL {
+            let merged = RtmSnapshot::merge_with(&[a.export(), b.export()], policy).unwrap();
+            for t in &unanimous {
+                assert!(
+                    merged.traces.contains(t),
+                    "{policy}: merge dropped a unanimous trace"
+                );
+            }
+        }
     }
 
     #[test]

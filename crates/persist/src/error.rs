@@ -19,7 +19,8 @@ pub enum PersistError {
     UnsupportedVersion {
         /// Version stamped in the file header.
         found: u16,
-        /// Version this build writes and reads.
+        /// Newest version this build writes and reads (it also reads
+        /// back to [`crate::format::MIN_SUPPORTED_VERSION`]).
         supported: u16,
     },
     /// The file holds a different payload kind than the caller asked for
@@ -66,8 +67,9 @@ impl fmt::Display for PersistError {
             ),
             PersistError::UnsupportedVersion { found, supported } => write!(
                 f,
-                "unsupported format version {found} (this build reads version {supported}); \
-                 re-record with a matching build"
+                "unsupported format version {found} (this build reads versions {}..={supported}); \
+                 re-record with a matching build",
+                super::format::MIN_SUPPORTED_VERSION
             ),
             PersistError::KindMismatch { found, expected } => write!(
                 f,

@@ -21,13 +21,20 @@ use std::path::Path;
 /// File magic for the binary formats.
 pub const MAGIC: [u8; 4] = *b"TLRP";
 
-/// The format version this build writes and reads.
+/// The format version this build writes.
 ///
 /// History: v1 checksummed trace frames only; v2 extended the snapshot
 /// checksum to cover the geometry prelude, so v1 snapshots would fail
 /// the trailer comparison — the bump makes them fail with a version
-/// error instead of a misleading "damaged file" one.
-pub const FORMAT_VERSION: u16 = 2;
+/// error instead of a misleading "damaged file" one; v3 appends
+/// per-trace provenance ([`tlr_core::TraceMeta`]: hit count, last-use
+/// tick, source-run id) to every snapshot record. v2 files still load
+/// (their traces carry zero provenance); see
+/// [`MIN_SUPPORTED_VERSION`].
+pub const FORMAT_VERSION: u16 = 3;
+
+/// The oldest format version this build still reads.
+pub const MIN_SUPPORTED_VERSION: u16 = 2;
 
 /// Payload kind: a stream of executed [`tlr_isa::DynInstr`] records.
 pub const KIND_TRACE_STREAM: u8 = 1;
@@ -112,7 +119,7 @@ impl Header {
             return Err(PersistError::BadMagic { found: magic });
         }
         let version = wire::get_u16(r)?;
-        if version != FORMAT_VERSION {
+        if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(PersistError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,

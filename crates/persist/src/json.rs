@@ -80,6 +80,16 @@ impl Json {
             other => Err(type_err(key, "object", other)),
         }
     }
+
+    /// Fetch an optional object field: `None` when the key is absent or
+    /// `self` is not an object (format-evolution fields, e.g. per-trace
+    /// provenance, which older files legitimately lack).
+    pub fn opt_field<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
 }
 
 fn type_err(what: &str, expected: &str, got: &Json) -> PersistError {

@@ -77,12 +77,13 @@ pub mod wire;
 
 pub use error::{PersistError, Result};
 pub use format::{
-    FileFormat, Header, FORMAT_VERSION, KIND_RTM_SNAPSHOT, KIND_TRACE_STREAM, MAGIC, SNAPSHOT_EXT,
-    TRACE_EXT,
+    FileFormat, Header, FORMAT_VERSION, KIND_RTM_SNAPSHOT, KIND_TRACE_STREAM, MAGIC,
+    MIN_SUPPORTED_VERSION, SNAPSHOT_EXT, TRACE_EXT,
 };
 pub use replay::{replay, MemorySource, RecordSource, ReplayStats};
 pub use snapshot::{
-    load_merged_snapshots, load_snapshot, peek_snapshot_fingerprint, save_snapshot,
+    load_merged_snapshots, load_merged_snapshots_with, load_snapshot, peek_snapshot_fingerprint,
+    save_snapshot,
 };
 pub use stream::{load_trace, save_trace, TraceFile, TraceReader, TraceWriter};
 pub use wire::program_fingerprint;

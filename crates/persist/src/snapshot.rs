@@ -6,8 +6,13 @@
 //! |---|---|
 //! | geometry: sets, ways, per-PC | 3 × u32 |
 //! | trace count | u64 |
-//! | traces | count × length-prefixed [`tlr_core::TraceRecord`] frames |
+//! | traces | count × length-prefixed frames: [`tlr_core::TraceRecord`] + (v3) [`tlr_core::TraceMeta`] |
 //! | trailer | u32 zero marker, u64 count, u64 checksum |
+//!
+//! Format v3 appends the 24-byte per-trace provenance
+//! ([`tlr_core::TraceMeta`]: hits, last-use tick, source-run id) inside
+//! each trace's frame, covered by the frame checksum. v2 files still
+//! load; their traces carry zero provenance.
 
 use crate::error::{PersistError, Result};
 use crate::format::{FileFormat, Header, KIND_RTM_SNAPSHOT};
@@ -19,7 +24,9 @@ use std::fs::File;
 use std::hash::Hasher;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
-use tlr_core::{IoCaps, RtmConfig, RtmSnapshot, SetAssocGeometry, TraceRecord};
+use tlr_core::{
+    IoCaps, ReplacementPolicy, RtmConfig, RtmSnapshot, SetAssocGeometry, TraceMeta, TraceRecord,
+};
 use tlr_util::fxhash::FxHasher64;
 
 /// JSON format tag for RTM snapshots.
@@ -93,6 +100,17 @@ pub fn load_merged_snapshots(
     paths: &[impl AsRef<Path>],
     expected_fingerprint: Option<u64>,
 ) -> Result<(u64, RtmSnapshot)> {
+    load_merged_snapshots_with(paths, expected_fingerprint, ReplacementPolicy::Lru)
+}
+
+/// [`load_merged_snapshots`] merging under an explicit replacement
+/// policy ([`RtmSnapshot::merge_with`] semantics): the non-recency
+/// policies rank the pooled traces by their persisted provenance.
+pub fn load_merged_snapshots_with(
+    paths: &[impl AsRef<Path>],
+    expected_fingerprint: Option<u64>,
+    policy: ReplacementPolicy,
+) -> Result<(u64, RtmSnapshot)> {
     if paths.is_empty() {
         return Err(PersistError::Merge(tlr_core::MergeError::Empty));
     }
@@ -103,7 +121,7 @@ pub fn load_merged_snapshots(
         pinned = Some(fp);
         snapshots.push(snapshot);
     }
-    let merged = RtmSnapshot::merge(&snapshots)?;
+    let merged = RtmSnapshot::merge_with(&snapshots, policy)?;
     Ok((pinned.expect("at least one file loaded"), merged))
 }
 
@@ -149,9 +167,10 @@ pub fn write_snapshot(w: &mut impl Write, fingerprint: u64, snapshot: &RtmSnapsh
     let mut checksum = FxHasher64::new();
     checksum.write(&prelude);
     let mut scratch = Vec::with_capacity(256);
-    for trace in &snapshot.traces {
+    for (trace, meta) in snapshot.entries() {
         scratch.clear();
         wire::put_trace_record(&mut scratch, trace)?;
+        wire::put_trace_meta(&mut scratch, &meta);
         wire::write_frame(w, &scratch, &mut checksum)?;
     }
     let mut trailer = Vec::with_capacity(20);
@@ -180,10 +199,24 @@ pub fn read_snapshot(
     let declared = wire::get_u64(&mut cursor)?;
     let mut checksum = FxHasher64::new();
     checksum.write(&prelude);
+    // v2 frames hold the bare record; v3 frames append provenance.
+    let with_provenance = header.version >= 3;
     let mut traces = Vec::with_capacity(declared.min(1 << 20) as usize);
+    let mut meta = Vec::with_capacity(declared.min(1 << 20) as usize);
     while let Some(frame) = wire::read_frame(r, &mut checksum)? {
         let mut slice = frame.as_slice();
         let trace = wire::get_trace_record(&mut slice)?;
+        let trace_meta = if with_provenance {
+            wire::get_trace_meta(&mut slice).map_err(|_| {
+                PersistError::Corrupt(format!(
+                    "trace {} (pc={:#x}) is missing its provenance record",
+                    traces.len(),
+                    trace.start_pc
+                ))
+            })?
+        } else {
+            TraceMeta::default()
+        };
         if !slice.is_empty() {
             return Err(PersistError::Corrupt(format!(
                 "{} stray bytes after trace {}",
@@ -193,6 +226,7 @@ pub fn read_snapshot(
         }
         validate_record(traces.len(), &trace)?;
         traces.push(trace);
+        meta.push(trace_meta);
     }
     let count = wire::get_u64(r)?;
     let stored_checksum = wire::get_u64(r)?;
@@ -212,6 +246,7 @@ pub fn read_snapshot(
         RtmSnapshot {
             config: RtmConfig { geometry },
             traces,
+            meta,
         },
     ))
 }
@@ -289,15 +324,19 @@ fn snapshot_to_json(fingerprint: u64, snapshot: &RtmSnapshot) -> Json {
         )
     };
     let traces = snapshot
-        .traces
-        .iter()
-        .map(|t| {
+        .entries()
+        .map(|(t, m)| {
             let mut obj = BTreeMap::new();
             obj.insert("start_pc".into(), Json::Num(t.start_pc as u64));
             obj.insert("next_pc".into(), Json::Num(t.next_pc as u64));
             obj.insert("len".into(), Json::Num(t.len as u64));
             obj.insert("ins".into(), pairs(&t.ins));
             obj.insert("outs".into(), pairs(&t.outs));
+            let mut meta = BTreeMap::new();
+            meta.insert("hits".into(), Json::Num(m.hits));
+            meta.insert("last_use".into(), Json::Num(m.last_use));
+            meta.insert("source_run".into(), Json::Num(m.source_run));
+            obj.insert("meta".into(), Json::Obj(meta));
             Json::Obj(obj)
         })
         .collect();
@@ -333,28 +372,36 @@ fn snapshot_from_json(doc: &Json, expected_fingerprint: Option<u64>) -> Result<(
         per_pc: geom.field("per_pc")?.as_u32("per_pc")?,
     };
     validate_geometry(&geometry)?;
-    let traces = doc
-        .field("traces")?
-        .as_arr("traces")?
-        .iter()
-        .enumerate()
-        .map(|(index, t)| {
-            let trace = TraceRecord {
-                start_pc: t.field("start_pc")?.as_u32("start_pc")?,
-                next_pc: t.field("next_pc")?.as_u32("next_pc")?,
-                len: t.field("len")?.as_u32("len")?,
-                ins: json_pairs(t.field("ins")?, "ins")?.into_boxed_slice(),
-                outs: json_pairs(t.field("outs")?, "outs")?.into_boxed_slice(),
-            };
-            validate_record(index, &trace)?;
-            Ok(trace)
-        })
-        .collect::<Result<Vec<_>>>()?;
+    let mut traces = Vec::new();
+    let mut meta = Vec::new();
+    for (index, t) in doc.field("traces")?.as_arr("traces")?.iter().enumerate() {
+        let trace = TraceRecord {
+            start_pc: t.field("start_pc")?.as_u32("start_pc")?,
+            next_pc: t.field("next_pc")?.as_u32("next_pc")?,
+            len: t.field("len")?.as_u32("len")?,
+            ins: json_pairs(t.field("ins")?, "ins")?.into_boxed_slice(),
+            outs: json_pairs(t.field("outs")?, "outs")?.into_boxed_slice(),
+        };
+        validate_record(index, &trace)?;
+        // Provenance arrived with format v3; older JSON dumps lack the
+        // field and load as zero provenance.
+        let trace_meta = match t.opt_field("meta") {
+            Some(m) => TraceMeta {
+                hits: m.field("hits")?.as_u64("meta.hits")?,
+                last_use: m.field("last_use")?.as_u64("meta.last_use")?,
+                source_run: m.field("source_run")?.as_u64("meta.source_run")?,
+            },
+            None => TraceMeta::default(),
+        };
+        traces.push(trace);
+        meta.push(trace_meta);
+    }
     Ok((
         fingerprint,
         RtmSnapshot {
             config: RtmConfig { geometry },
             traces,
+            meta,
         },
     ))
 }
@@ -365,9 +412,9 @@ mod tests {
     use tlr_isa::Loc;
 
     fn sample_snapshot() -> RtmSnapshot {
-        RtmSnapshot {
-            config: RtmConfig::RTM_512,
-            traces: (0..20)
+        let mut snapshot = RtmSnapshot::from_traces(
+            RtmConfig::RTM_512,
+            (0..20)
                 .map(|i| TraceRecord {
                     start_pc: i,
                     next_pc: i + 4,
@@ -377,7 +424,14 @@ mod tests {
                     outs: vec![(Loc::IntReg(2), i as u64 * 2)].into_boxed_slice(),
                 })
                 .collect(),
+        );
+        // Non-trivial provenance, so roundtrips prove it is carried.
+        for (i, m) in snapshot.meta.iter_mut().enumerate() {
+            m.hits = i as u64 * 3;
+            m.last_use = 1000 + i as u64;
+            m.source_run = 0xabcd;
         }
+        snapshot
     }
 
     #[test]

@@ -275,6 +275,25 @@ pub(crate) fn get_trace_record(r: &mut impl Read) -> Result<TraceRecord> {
     })
 }
 
+// ---- TraceMeta ------------------------------------------------------------
+
+/// Encode one trace's provenance (format v3+: appended to the trace
+/// record inside its frame, so the frame checksum covers it).
+pub(crate) fn put_trace_meta(out: &mut Vec<u8>, meta: &tlr_core::TraceMeta) {
+    put_u64(out, meta.hits);
+    put_u64(out, meta.last_use);
+    put_u64(out, meta.source_run);
+}
+
+/// Decode one trace's provenance.
+pub(crate) fn get_trace_meta(r: &mut impl Read) -> Result<tlr_core::TraceMeta> {
+    Ok(tlr_core::TraceMeta {
+        hits: get_u64(r)?,
+        last_use: get_u64(r)?,
+        source_run: get_u64(r)?,
+    })
+}
+
 // ---- fingerprint ----------------------------------------------------------
 
 /// Fingerprint of everything a recording's validity depends on: the

@@ -25,8 +25,14 @@
 //! * **LRU bounding** — each shard keeps at most a configured number of
 //!   resident RTMs, evicting the least recently fetched entry, so a
 //!   registry serving thousands of programs stays within memory budget;
+//! * **replacement policy** — [`RegistryConfig::policy`] selects the
+//!   [`tlr_core::ReplacementPolicy`] every pooling merge (load-time and
+//!   publish-back) resolves capacity contention under, ranking traces
+//!   by their persisted provenance for the non-recency policies;
 //! * **per-entry stats** — hits, misses, and refreshes per fingerprint
-//!   ([`EntryStats`]), plus registry-wide aggregates
+//!   ([`EntryStats`]), plus hit-weighted residency gauges
+//!   ([`EntryStats::resident_hits`]: how much *observed* reuse the
+//!   resident state represents) and registry-wide aggregates
 //!   ([`RegistryStats`]).
 //!
 //! The `tlrsim serve --snapshots DIR` subcommand drives a registry over

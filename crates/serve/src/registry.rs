@@ -13,15 +13,15 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use tlr_core::{ReuseTraceMemory, RtmSnapshot};
-use tlr_persist::{load_merged_snapshots, peek_snapshot_fingerprint, PersistError};
+use tlr_core::{ReplacementPolicy, ReuseTraceMemory, RtmSnapshot};
+use tlr_persist::{load_merged_snapshots_with, peek_snapshot_fingerprint, PersistError};
 use tlr_util::FxHashMap;
 
 /// File extension the directory scan considers ([`SnapshotRegistry::open`]):
 /// binary RTM snapshots only; JSON debug dumps are ignored.
 pub const SNAPSHOT_FILE_EXT: &str = "tlrsnap";
 
-/// Registry sizing.
+/// Registry sizing and policy.
 #[derive(Clone, Copy, Debug)]
 pub struct RegistryConfig {
     /// Number of shards (one lock each). Use at least the expected
@@ -30,6 +30,11 @@ pub struct RegistryConfig {
     /// Resident RTMs a shard may hold before evicting its least
     /// recently fetched entry.
     pub max_resident_per_shard: usize,
+    /// Replacement policy applied when pooling reuse state: both the
+    /// merge-on-load of several snapshot files and every publish-back
+    /// merge resolve capacity contention under this policy, ranking by
+    /// the persisted per-trace provenance for the non-recency policies.
+    pub policy: ReplacementPolicy,
 }
 
 impl Default for RegistryConfig {
@@ -37,11 +42,12 @@ impl Default for RegistryConfig {
         Self {
             shards: 8,
             max_resident_per_shard: 64,
+            policy: ReplacementPolicy::Lru,
         }
     }
 }
 
-/// Per-entry behaviour counters.
+/// Per-entry behaviour counters and residency gauges.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EntryStats {
     /// Fetches answered from the resident entry.
@@ -50,6 +56,13 @@ pub struct EntryStats {
     pub misses: u64,
     /// Publish-back merges applied to the resident entry.
     pub refreshes: u64,
+    /// Traces resident for this program (gauge, refreshed on every
+    /// load/publish).
+    pub resident_traces: u64,
+    /// Hit-weighted residency: the sum of resident traces' provenance
+    /// hit counts — how much *observed* reuse the resident state
+    /// represents, not just how many traces it holds (gauge).
+    pub resident_hits: u64,
 }
 
 /// Registry-wide aggregates.
@@ -253,15 +266,18 @@ impl SnapshotRegistry {
             self.unknown.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
         };
-        // Miss: load and merge outside the lock.
-        let (_, merged) = load_merged_snapshots(paths, Some(fingerprint))?;
+        // Miss: load and merge outside the lock, under the configured
+        // policy.
+        let (_, merged) = load_merged_snapshots_with(paths, Some(fingerprint), self.config.policy)?;
         let loaded = Entry {
-            rtm: ReuseTraceMemory::import(&merged),
-            snap: Arc::new(merged),
+            rtm: ReuseTraceMemory::import_with(&merged, self.config.policy),
             stats: EntryStats {
                 misses: 1,
+                resident_traces: merged.len() as u64,
+                resident_hits: merged.total_hits(),
                 ..EntryStats::default()
             },
+            snap: Arc::new(merged),
             last_touch: 0,
         };
         let mut shard = self.shard_of(fingerprint).lock().unwrap();
@@ -305,9 +321,15 @@ impl SnapshotRegistry {
             }
             // The proper interleaved union, not a sequential replay: a
             // near-capacity publish must not wholesale-evict the pooled
-            // hot state of every prior run.
-            let merged = RtmSnapshot::merge(&[entry.rtm.export(), snapshot.clone()])?;
-            entry.rtm = ReuseTraceMemory::import(&merged);
+            // hot state of every prior run. The configured policy
+            // decides what survives contention.
+            let merged = RtmSnapshot::merge_with(
+                &[entry.rtm.export(), snapshot.clone()],
+                self.config.policy,
+            )?;
+            entry.rtm = ReuseTraceMemory::import_with(&merged, self.config.policy);
+            entry.stats.resident_traces = merged.len() as u64;
+            entry.stats.resident_hits = merged.total_hits();
             entry.snap = Arc::new(merged);
             entry.stats.refreshes += 1;
             return Ok(());
@@ -317,10 +339,12 @@ impl SnapshotRegistry {
         shard.entries.insert(
             fingerprint,
             Entry {
-                rtm: ReuseTraceMemory::import(snapshot),
+                rtm: ReuseTraceMemory::import_with(snapshot, self.config.policy),
                 snap: Arc::new(snapshot.clone()),
                 stats: EntryStats {
                     refreshes: 1,
+                    resident_traces: snapshot.len() as u64,
+                    resident_hits: snapshot.total_hits(),
                     ..EntryStats::default()
                 },
                 last_touch: tick,
@@ -489,6 +513,7 @@ mod tests {
             RegistryConfig {
                 shards: 1,
                 max_resident_per_shard: 2,
+                ..RegistryConfig::default()
             },
         )
         .unwrap();
@@ -507,6 +532,87 @@ mod tests {
         // Refetching 2 reloads from disk.
         assert!(registry.get(2).unwrap().is_some());
         assert_eq!(registry.stats().misses, 4);
+    }
+
+    #[test]
+    fn residency_gauges_expose_hit_weighted_state() {
+        let dir = temp_dir("gauges");
+        // A producer whose traces have real hit history.
+        let mut rtm = tlr_core::ReuseTraceMemory::new(RtmConfig::RTM_512);
+        rtm.insert(rec(8, 1));
+        rtm.insert(rec(8, 2));
+        for _ in 0..3 {
+            assert!(rtm
+                .lookup(8, |l| if l == tlr_isa::Loc::IntReg(1) { 1 } else { 0 })
+                .is_some());
+        }
+        save_snapshot(&dir.join("hot.tlrsnap"), 5, &rtm.export()).unwrap();
+
+        let registry = SnapshotRegistry::open(&dir, RegistryConfig::default()).unwrap();
+        registry.get(5).unwrap().unwrap();
+        let stats = registry.entry_stats(5).unwrap();
+        assert_eq!(stats.resident_traces, 2);
+        assert_eq!(stats.resident_hits, 3, "persisted hit history lost");
+
+        // Publish-back folds in more observed reuse.
+        let mut update = tlr_core::ReuseTraceMemory::new(RtmConfig::RTM_512);
+        update.insert(rec(8, 1));
+        for _ in 0..2 {
+            assert!(update
+                .lookup(8, |l| if l == tlr_isa::Loc::IntReg(1) { 1 } else { 0 })
+                .is_some());
+        }
+        registry.publish(5, &update.export()).unwrap();
+        let stats = registry.entry_stats(5).unwrap();
+        assert_eq!(stats.resident_traces, 2);
+        assert_eq!(stats.resident_hits, 5, "publish must absorb hit history");
+    }
+
+    #[test]
+    fn policy_is_applied_to_pooling() {
+        // Under capacity contention (per_pc = 4 at one PC), an LFU
+        // registry keeps all of the publisher's hot traces over the
+        // on-disk cold ones; an LRU registry's interleaved recency
+        // merge keeps only half of them.
+        let dir = temp_dir("policy");
+        let cold: Vec<TraceRecord> = (0..4u64).map(|v| rec(8, v)).collect();
+        save_snapshot(&dir.join("cold.tlrsnap"), 9, &snapshot_of(&cold)).unwrap();
+
+        let mut hot_rtm = tlr_core::ReuseTraceMemory::new(RtmConfig::RTM_512);
+        for v in 100..104u64 {
+            hot_rtm.insert(rec(8, v));
+            for _ in 0..4 {
+                assert!(hot_rtm
+                    .lookup(8, |l| if l == tlr_isa::Loc::IntReg(1) { v } else { 0 })
+                    .is_some());
+            }
+        }
+        let hot = hot_rtm.export();
+
+        for (policy, expect_hot_survivors) in
+            [(ReplacementPolicy::Lfu, 4), (ReplacementPolicy::Lru, 2)]
+        {
+            let registry = SnapshotRegistry::open(
+                &dir,
+                RegistryConfig {
+                    policy,
+                    ..RegistryConfig::default()
+                },
+            )
+            .unwrap();
+            registry.get(9).unwrap().unwrap();
+            registry.publish(9, &hot).unwrap();
+            let snap = registry.get(9).unwrap().unwrap();
+            let hot_survivors = snap.traces.iter().filter(|t| t.ins[0].1 >= 100).count();
+            assert_eq!(
+                hot_survivors, expect_hot_survivors,
+                "{policy}: hot traces lost in publish merge"
+            );
+            if policy == ReplacementPolicy::Lfu {
+                // LFU keeps observed-reuse weight across the merge.
+                assert_eq!(registry.entry_stats(9).unwrap().resident_hits, 16);
+            }
+        }
     }
 
     #[test]

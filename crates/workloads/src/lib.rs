@@ -75,6 +75,7 @@ pub struct PaperRefs {
 }
 
 /// A registered workload.
+#[derive(Clone, Copy)]
 pub struct Workload {
     /// Benchmark name (paper's SPEC95 subset).
     pub name: &'static str,

@@ -3,18 +3,20 @@
 //!
 //! ```text
 //! tlrsim run FILE      [--budget N] [--reuse] [--rtm SIZE] [--heuristic H]
-//!                      [--warm-rtm SNAP]
+//!                      [--policy P] [--warm-rtm SNAP]
 //! tlrsim disasm FILE
 //! tlrsim analyze FILE  [--budget N] [--window W]
 //! tlrsim record FILE   --out TRACE [--budget N]
 //! tlrsim replay FILE   --trace TRACE
 //! tlrsim snapshot FILE --out SNAP  [--budget N] [--rtm SIZE] [--heuristic H]
-//! tlrsim merge SNAP SNAP [SNAP...] --out SNAP
+//!                      [--policy P]
+//! tlrsim merge SNAP SNAP [SNAP...] --out SNAP [--policy P]
 //! tlrsim serve --snapshots DIR [--budget N] [--rtm SIZE] [--heuristic H]
-//!                              [--threads N] [--seed N] [--save]
+//!                              [--policy P] [--threads N] [--seed N] [--save]
 //!
 //!   SIZE:  512 | 4k | 32k | 256k            (default 4k)
 //!   H:     i1..i8 | ilr-ne | ilr-exp | bb   (default i4)
+//!   P:     lru | lfu | cost-benefit         (default lru)
 //!   TRACE: *.tlrtrace (binary) or *.json (debug format)
 //!   SNAP:  *.tlrsnap  (binary) or *.json (debug format)
 //! ```
@@ -42,16 +44,26 @@ use trace_reuse::prelude::*;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  tlrsim run FILE     [--budget N] [--reuse] [--rtm 512|4k|32k|256k] \
-         [--heuristic i1..i8|ilr-ne|ilr-exp|bb] [--warm-rtm SNAP]\n  tlrsim disasm FILE\n  \
+         [--heuristic i1..i8|ilr-ne|ilr-exp|bb] [--policy lru|lfu|cost-benefit] \
+         [--warm-rtm SNAP]\n  tlrsim disasm FILE\n  \
          tlrsim analyze FILE [--budget N] [--window W]\n  \
          tlrsim record FILE   --out TRACE [--budget N]\n  \
          tlrsim replay FILE   --trace TRACE\n  \
-         tlrsim snapshot FILE --out SNAP [--budget N] [--rtm ...] [--heuristic ...]\n  \
-         tlrsim merge SNAP SNAP [SNAP...] --out SNAP\n  \
+         tlrsim snapshot FILE --out SNAP [--budget N] [--rtm ...] [--heuristic ...] \
+         [--policy ...]\n  \
+         tlrsim merge SNAP SNAP [SNAP...] --out SNAP [--policy ...]\n  \
          tlrsim serve --snapshots DIR [--budget N] [--rtm ...] [--heuristic ...] \
-         [--threads N] [--seed N] [--save]"
+         [--policy ...] [--threads N] [--seed N] [--save]"
     );
     std::process::exit(2);
+}
+
+/// A named command-line error followed by the usage text: every bad
+/// invocation exits 2 with a message saying *what* was wrong, never a
+/// panic or a bare usage dump.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    usage();
 }
 
 fn fail(msg: &str) -> ! {
@@ -74,7 +86,7 @@ fn parse_rtm(s: &str) -> RtmConfig {
         "4k" => RtmConfig::RTM_4K,
         "32k" => RtmConfig::RTM_32K,
         "256k" => RtmConfig::RTM_256K,
-        other => fail(&format!("unknown RTM size '{other}' (512|4k|32k|256k)")),
+        other => usage_error(&format!("unknown RTM size '{other}' (512|4k|32k|256k)")),
     }
 }
 
@@ -85,11 +97,16 @@ fn parse_heuristic(s: &str) -> Heuristic {
         "bb" => Heuristic::BasicBlock,
         other => match other.strip_prefix('i').and_then(|n| n.parse::<u32>().ok()) {
             Some(n) if (1..=64).contains(&n) => Heuristic::FixedExp(n),
-            _ => fail(&format!(
+            _ => usage_error(&format!(
                 "unknown heuristic '{other}' (i1..i8, ilr-ne, ilr-exp, bb)"
             )),
         },
     }
+}
+
+fn parse_policy(s: &str) -> ReplacementPolicy {
+    ReplacementPolicy::parse(s)
+        .unwrap_or_else(|| usage_error(&format!("unknown policy '{s}' (lru, lfu, cost-benefit)")))
 }
 
 struct Flags {
@@ -98,6 +115,7 @@ struct Flags {
     reuse: bool,
     rtm: RtmConfig,
     heuristic: Heuristic,
+    policy: ReplacementPolicy,
     out: Option<String>,
     trace: Option<String>,
     warm_rtm: Option<String>,
@@ -114,6 +132,7 @@ fn parse_flags(args: &[String]) -> Flags {
         reuse: false,
         rtm: RtmConfig::RTM_4K,
         heuristic: Heuristic::FixedExp(4),
+        policy: ReplacementPolicy::Lru,
         out: None,
         trace: None,
         warm_rtm: None,
@@ -126,20 +145,20 @@ fn parse_flags(args: &[String]) -> Flags {
     let value = |args: &[String], i: usize, name: &str| -> String {
         args.get(i + 1)
             .cloned()
-            .unwrap_or_else(|| fail(&format!("missing value for {name}")))
+            .unwrap_or_else(|| usage_error(&format!("missing value for {name}")))
     };
     while i < args.len() {
         match args[i].as_str() {
             "--budget" => {
                 flags.budget = value(args, i, "--budget")
                     .parse()
-                    .unwrap_or_else(|e| fail(&format!("--budget: {e}")));
+                    .unwrap_or_else(|e| usage_error(&format!("--budget: {e}")));
                 i += 2;
             }
             "--window" => {
                 flags.window = value(args, i, "--window")
                     .parse()
-                    .unwrap_or_else(|e| fail(&format!("--window: {e}")));
+                    .unwrap_or_else(|e| usage_error(&format!("--window: {e}")));
                 i += 2;
             }
             "--reuse" => {
@@ -152,6 +171,10 @@ fn parse_flags(args: &[String]) -> Flags {
             }
             "--heuristic" => {
                 flags.heuristic = parse_heuristic(&value(args, i, "--heuristic"));
+                i += 2;
+            }
+            "--policy" => {
+                flags.policy = parse_policy(&value(args, i, "--policy"));
                 i += 2;
             }
             "--out" => {
@@ -173,20 +196,20 @@ fn parse_flags(args: &[String]) -> Flags {
             "--threads" => {
                 flags.threads = value(args, i, "--threads")
                     .parse()
-                    .unwrap_or_else(|e| fail(&format!("--threads: {e}")));
+                    .unwrap_or_else(|e| usage_error(&format!("--threads: {e}")));
                 i += 2;
             }
             "--seed" => {
                 flags.seed = value(args, i, "--seed")
                     .parse()
-                    .unwrap_or_else(|e| fail(&format!("--seed: {e}")));
+                    .unwrap_or_else(|e| usage_error(&format!("--seed: {e}")));
                 i += 2;
             }
             "--save" => {
                 flags.save = true;
                 i += 1;
             }
-            other => fail(&format!("unknown option '{other}'")),
+            other => usage_error(&format!("unknown option '{other}'")),
         }
     }
     flags
@@ -213,7 +236,7 @@ fn cmd_run(path: &str, flags: &Flags) {
         );
         return;
     }
-    let config = EngineConfig::paper(flags.rtm, flags.heuristic);
+    let config = EngineConfig::paper(flags.rtm, flags.heuristic).with_policy(flags.policy);
     let mut engine = match &flags.warm_rtm {
         Some(snap_path) => {
             let fingerprint = program_fingerprint(&program);
@@ -248,9 +271,10 @@ fn cmd_run(path: &str, flags: &Flags) {
         stats.avg_reused_trace_size()
     );
     println!(
-        "RTM [{} {}]: {} lookups, {} hits, {} stores, {} evictions",
+        "RTM [{} {} {}]: {} lookups, {} hits, {} stores, {} evictions",
         flags.rtm.label(),
         flags.heuristic.label(),
+        flags.policy.label(),
         stats.rtm.lookups,
         stats.rtm.hits,
         stats.rtm.stores,
@@ -336,8 +360,11 @@ fn cmd_snapshot(path: &str, flags: &Flags) {
         .as_deref()
         .unwrap_or_else(|| fail("snapshot needs --out SNAP"));
     let program = load(path);
-    let mut engine =
-        TraceReuseEngine::new(&program, EngineConfig::paper(flags.rtm, flags.heuristic));
+    let mut engine = TraceReuseEngine::new(
+        &program,
+        EngineConfig::paper(flags.rtm, flags.heuristic).with_policy(flags.policy),
+    );
+    engine.set_source_run(flags.seed);
     let stats = engine
         .run(flags.budget)
         .unwrap_or_else(|e| fail(&format!("engine error: {e}")));
@@ -379,15 +406,16 @@ fn cmd_merge(inputs: &[String], flags: &Flags) {
                 .1
         })
         .collect();
-    let outcome =
-        RtmSnapshot::merge_detailed(&snapshots).unwrap_or_else(|e| fail(&format!("merge: {e}")));
+    let outcome = RtmSnapshot::merge_detailed_with(&snapshots, flags.policy)
+        .unwrap_or_else(|e| fail(&format!("merge: {e}")));
     save_snapshot(Path::new(out), fingerprint, &outcome.snapshot)
         .unwrap_or_else(|e| fail(&format!("{out}: {e}")));
     println!(
-        "merged {} snapshots ({} traces) into {out}: {} traces, \
+        "merged {} snapshots ({} traces) into {out} [{}]: {} traces, \
          {} duplicates coalesced, {} conflicts resolved, {} evicted",
         inputs.len(),
         outcome.input_traces,
+        flags.policy.label(),
         outcome.snapshot.len(),
         outcome.duplicates,
         outcome.conflicts,
@@ -408,13 +436,20 @@ fn cmd_serve(flags: &Flags) {
         .snapshots
         .as_deref()
         .unwrap_or_else(|| fail("serve needs --snapshots DIR"));
-    let registry = SnapshotRegistry::open(Path::new(dir), RegistryConfig::default())
-        .unwrap_or_else(|e| fail(&format!("{dir}: {e}")));
+    let registry = SnapshotRegistry::open(
+        Path::new(dir),
+        RegistryConfig {
+            policy: flags.policy,
+            ..RegistryConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| fail(&format!("{dir}: {e}")));
     println!(
-        "registry over {dir}: snapshots for {} programs",
-        registry.fingerprints().len()
+        "registry over {dir}: snapshots for {} programs [{} pooling]",
+        registry.fingerprints().len(),
+        flags.policy.label()
     );
-    let config = EngineConfig::paper(flags.rtm, flags.heuristic);
+    let config = EngineConfig::paper(flags.rtm, flags.heuristic).with_policy(flags.policy);
     let workloads = tlr_workloads::all();
     let threads = if flags.threads == 0 {
         std::thread::available_parallelism()
@@ -444,6 +479,7 @@ fn cmd_serve(flags: &Flags) {
                     Some(snapshot) => TraceReuseEngine::new_warm(&program, config, snapshot),
                     None => TraceReuseEngine::new(&program, config),
                 };
+                engine.set_source_run(flags.seed);
                 let stats = engine
                     .run(flags.budget)
                     .unwrap_or_else(|e| fail(&format!("{}: engine error: {e}", w.name)));
@@ -531,8 +567,11 @@ fn cmd_analyze(path: &str, flags: &Flags) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        usage()
+        usage_error("no subcommand given")
     };
+    if matches!(cmd.as_str(), "--help" | "-h" | "help") {
+        usage();
+    }
     // Leading positional arguments (program / snapshot files), then flags.
     let positional: Vec<String> = rest
         .iter()
@@ -549,6 +588,17 @@ fn main() {
         ("snapshot", [file]) => cmd_snapshot(file, &flags),
         ("merge", inputs) if !inputs.is_empty() => cmd_merge(inputs, &flags),
         ("serve", []) => cmd_serve(&flags),
-        _ => usage(),
+        ("run" | "disasm" | "analyze" | "record" | "replay" | "snapshot", files) => {
+            usage_error(&format!(
+                "'{cmd}' takes exactly one program file, got {}",
+                files.len()
+            ))
+        }
+        ("merge", []) => usage_error("'merge' needs at least one input snapshot"),
+        ("serve", files) => usage_error(&format!(
+            "'serve' takes no positional arguments, got {} (use --snapshots DIR)",
+            files.len()
+        )),
+        _ => usage_error(&format!("unknown subcommand '{cmd}'")),
     }
 }

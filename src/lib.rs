@@ -68,8 +68,9 @@ pub mod prelude {
     pub use tlr_asm::{assemble, Program, ProgramBuilder};
     pub use tlr_core::RtmSnapshot;
     pub use tlr_core::{
-        EngineConfig, EngineStats, Heuristic, InstrReuseTable, IoCaps, LimitConfig, LimitStudySink,
-        ReuseTraceMemory, RtmConfig, TraceReuseEngine,
+        DecisionLog, EngineConfig, EngineStats, Heuristic, InstrReuseTable, IoCaps, LimitConfig,
+        LimitStudySink, ReplacementPolicy, ReuseTraceMemory, RtmConfig, TraceMeta,
+        TraceReuseEngine,
     };
     pub use tlr_isa::{Alpha21164, CollectSink, DynInstr, Loc, NullSink, StreamSink};
     pub use tlr_persist::{PersistError, TraceReader, TraceWriter};

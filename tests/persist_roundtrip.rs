@@ -97,7 +97,13 @@ proptest! {
         traces in proptest::collection::vec(trace_record_strategy(), 0..32),
         fingerprint in any::<u64>(),
     ) {
-        let snapshot = RtmSnapshot { config: RtmConfig::RTM_4K, traces };
+        let mut snapshot = RtmSnapshot::from_traces(RtmConfig::RTM_4K, traces);
+        // Non-zero provenance, so the roundtrip proves v3 carries it.
+        for (i, m) in snapshot.meta.iter_mut().enumerate() {
+            m.hits = fingerprint.wrapping_add(i as u64);
+            m.last_use = i as u64 * 17;
+            m.source_run = fingerprint ^ 0x5a5a;
+        }
 
         let mut buf = Vec::new();
         write_snapshot(&mut buf, fingerprint, &snapshot).unwrap();
@@ -182,10 +188,7 @@ fn kind_mismatch_rejected() {
         Err(PersistError::KindMismatch { .. })
     ));
 
-    let snapshot = RtmSnapshot {
-        config: RtmConfig::RTM_512,
-        traces: Vec::new(),
-    };
+    let snapshot = RtmSnapshot::from_traces(RtmConfig::RTM_512, Vec::new());
     let mut buf = Vec::new();
     write_snapshot(&mut buf, 0, &snapshot).unwrap();
     assert!(matches!(

@@ -9,8 +9,8 @@
 
 use proptest::prelude::*;
 use tlr_core::{
-    EngineConfig, Heuristic, MergeError, ReuseTraceMemory, RtmConfig, RtmSnapshot,
-    SetAssocGeometry, TraceRecord, TraceReuseEngine,
+    EngineConfig, Heuristic, MergeError, ReplacementPolicy, ReuseTraceMemory, RtmConfig,
+    RtmSnapshot, SetAssocGeometry, TraceRecord, TraceReuseEngine,
 };
 use tlr_isa::Loc;
 
@@ -41,6 +41,23 @@ fn snapshot_strategy() -> impl Strategy<Value = RtmSnapshot> {
         let mut rtm = ReuseTraceMemory::new(TINY);
         for record in records {
             rtm.insert(record);
+        }
+        rtm.export()
+    })
+}
+
+/// Like [`snapshot_strategy`], but each record is also *used* a few
+/// times after insertion, so exports carry non-trivial provenance for
+/// the frequency-weighted policies to rank by.
+fn warm_snapshot_strategy() -> impl Strategy<Value = RtmSnapshot> {
+    proptest::collection::vec((record_strategy(), 0u8..4), 0..24).prop_map(|records| {
+        let mut rtm = ReuseTraceMemory::new(TINY);
+        for (record, hits) in records {
+            let (pc, in_val) = (record.start_pc, record.ins[0].1);
+            rtm.insert(record);
+            for _ in 0..hits {
+                rtm.lookup(pc, |l| if l == Loc::IntReg(1) { in_val } else { 0 });
+            }
         }
         rtm.export()
     })
@@ -89,6 +106,37 @@ proptest! {
     fn merge_with_self_is_identity(a in snapshot_strategy()) {
         let merged = RtmSnapshot::merge(&[a.clone(), a.clone()]).unwrap();
         prop_assert_eq!(merged, a);
+    }
+
+    /// The acceptance property of the policy refactor: under **every**
+    /// replacement policy — including the frequency-weighted ones,
+    /// whose victim ranking actively disfavours cold traces — a merge
+    /// is deterministic, respects capacity, is a fixed point of
+    /// same-policy import/export, and never drops a trace all inputs
+    /// kept.
+    #[test]
+    fn policy_merges_uphold_unanimity_and_capacity(
+        a in warm_snapshot_strategy(),
+        b in warm_snapshot_strategy(),
+    ) {
+        for policy in ReplacementPolicy::ALL {
+            let merged = RtmSnapshot::merge_with(&[a.clone(), b.clone()], policy).unwrap();
+            let again = RtmSnapshot::merge_with(&[a.clone(), b.clone()], policy).unwrap();
+            prop_assert_eq!(&merged, &again, "{} merge not deterministic", policy);
+            prop_assert!(merged.len() as u64 <= TINY.capacity());
+            let canonical = ReuseTraceMemory::import_with(&merged, policy).export();
+            prop_assert_eq!(&canonical, &merged, "{} merge not a fixed point", policy);
+            for trace in a.traces.iter() {
+                if b.traces.contains(trace) {
+                    prop_assert!(
+                        merged.traces.contains(trace),
+                        "{} merge dropped a unanimous trace: {:?}",
+                        policy,
+                        trace
+                    );
+                }
+            }
+        }
     }
 }
 

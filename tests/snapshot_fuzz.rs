@@ -21,9 +21,9 @@ fn temp_path(name: &str) -> PathBuf {
 }
 
 fn well_formed_snapshot() -> RtmSnapshot {
-    RtmSnapshot {
-        config: RtmConfig::RTM_512,
-        traces: (0..8)
+    let mut snapshot = RtmSnapshot::from_traces(
+        RtmConfig::RTM_512,
+        (0..8)
             .map(|i| TraceRecord {
                 start_pc: i * 3,
                 next_pc: i * 3 + 4,
@@ -32,7 +32,15 @@ fn well_formed_snapshot() -> RtmSnapshot {
                 outs: vec![(Loc::IntReg(2), i as u64 + 1)].into_boxed_slice(),
             })
             .collect(),
+    );
+    // Non-zero provenance so the bit-flip and truncation properties
+    // cover the v3 provenance bytes too.
+    for (i, m) in snapshot.meta.iter_mut().enumerate() {
+        m.hits = i as u64 + 1;
+        m.last_use = 100 + i as u64;
+        m.source_run = 0x5eed;
     }
+    snapshot
 }
 
 /// Writer for hostile content: `write_snapshot`/`save_snapshot`

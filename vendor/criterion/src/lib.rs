@@ -3,11 +3,15 @@
 //!
 //! The build environment has no network access, so the real `criterion`
 //! crate cannot be fetched. This shim keeps `cargo bench` (and the bench
-//! targets under `cargo test`) compiling and running: every benchmark
-//! runs a short fixed number of iterations and prints mean wall-clock
-//! time plus throughput. It performs no statistical analysis, outlier
-//! rejection, or HTML reporting — treat the numbers as smoke-level
-//! indicators and use `hyperfine`/`perf` for real measurements.
+//! targets under `cargo test`) compiling and running: every benchmark is
+//! measured as **N independent samples of a fixed iteration count**, and
+//! the report quotes the **median** per-iteration time with the observed
+//! spread (min–max across samples) — never a single-run number, which on
+//! a noisy machine can be off by an order of magnitude. Throughput is
+//! computed from the median. There is still no warm-up modelling,
+//! outlier rejection, or HTML reporting; for publication-grade numbers
+//! use `hyperfine`/`perf` or the real crate once the build environment
+//! has network.
 //!
 //! [criterion]: https://crates.io/crates/criterion
 
@@ -69,16 +73,19 @@ impl Bencher {
 /// Top-level benchmark driver.
 pub struct Criterion {
     iters: u32,
+    samples: u32,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // `cargo test` runs bench targets too (tier-1 must stay fast);
-        // a single iteration per bench keeps that cheap while still
-        // exercising every bench body end-to-end.
+        // a single iteration of a single sample keeps that cheap while
+        // still exercising every bench body end-to-end. Real `--bench`
+        // invocations take several samples so the median is meaningful.
         let bench_mode = std::env::args().any(|a| a == "--bench");
         Self {
             iters: if bench_mode { 5 } else { 1 },
+            samples: if bench_mode { 7 } else { 1 },
         }
     }
 }
@@ -110,7 +117,7 @@ impl Criterion {
 
     /// Run one ungrouped benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_one(self.iters, name, None, f);
+        run_one(self.iters, self.samples, name, None, f);
         self
     }
 }
@@ -137,7 +144,13 @@ impl BenchmarkGroup<'_> {
     /// Run one benchmark in this group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
         let full = format!("{}/{}", self.name, name);
-        run_one(self.criterion.iters, &full, self.throughput, f);
+        run_one(
+            self.criterion.iters,
+            self.criterion.samples,
+            &full,
+            self.throughput,
+            f,
+        );
         self
     }
 
@@ -147,29 +160,44 @@ impl BenchmarkGroup<'_> {
 
 fn run_one<F: FnMut(&mut Bencher)>(
     iters: u32,
+    samples: u32,
     name: &str,
     throughput: Option<Throughput>,
     mut f: F,
 ) {
-    let mut b = Bencher {
-        iters,
-        elapsed: Duration::ZERO,
+    // N independent samples; each invokes the routine `iters` times.
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples.max(1) as usize);
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / b.iters.max(1) as f64);
+    }
+    per_iter.sort_by(f64::total_cmp);
+    let median = if per_iter.len() % 2 == 1 {
+        per_iter[per_iter.len() / 2]
+    } else {
+        (per_iter[per_iter.len() / 2 - 1] + per_iter[per_iter.len() / 2]) / 2.0
     };
-    f(&mut b);
-    let per_iter = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+    let spread = per_iter.last().unwrap() - per_iter.first().unwrap();
     let rate = match throughput {
-        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
-            format!(" ({:.1} Melem/s)", n as f64 / per_iter / 1e6)
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!(" ({:.1} Melem/s)", n as f64 / median / 1e6)
         }
-        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
-            format!(" ({:.1} MB/s)", n as f64 / per_iter / 1e6)
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!(" ({:.1} MB/s)", n as f64 / median / 1e6)
         }
         _ => String::new(),
     };
     println!(
-        "bench {name:<40} {:>10.3} ms/iter{rate}  [shim: {} iters]",
-        per_iter * 1e3,
-        b.iters
+        "bench {name:<40} median {:>10.3} ms/iter (spread {:.3} ms){rate}  \
+         [shim: {} samples x {} iters]",
+        median * 1e3,
+        spread * 1e3,
+        per_iter.len(),
+        iters
     );
 }
 
