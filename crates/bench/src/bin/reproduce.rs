@@ -4,7 +4,7 @@
 //! reproduce [OPTIONS] [TARGETS...]
 //!
 //! TARGETS: fig3 fig4 fig5 fig6 fig7 fig8 io fig9 ablation pipeline validbit schemes
-//!          warmstart fleet policy all   (default: all)
+//!          warmstart fleet policy daemon all   (default: all)
 //!
 //! OPTIONS:
 //!   --budget N    dynamic instructions per benchmark   (default 400000)
@@ -79,7 +79,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const HELP: &str = "reproduce [--budget N] [--seed N] [--window N] [--threads N] [--out DIR] [--json OUT] [--charts] [--check] \
-                    [fig3|fig4|fig5|fig6|fig7|fig8|io|fig9|ablation|pipeline|validbit|schemes|warmstart|fleet|policy|all ...]";
+                    [fig3|fig4|fig5|fig6|fig7|fig8|io|fig9|ablation|pipeline|validbit|schemes|warmstart|fleet|policy|daemon|all ...]";
 
 /// JSON schema tag of the `--json` results document.
 const RESULTS_FORMAT: &str = "tlr-bench-v1";
@@ -399,6 +399,34 @@ fn main() {
                 std::process::exit(1);
             }
             println!("policy check: ok");
+        }
+    }
+
+    if wants(&opts.targets, "daemon") {
+        let start = std::time::Instant::now();
+        // Real client processes when the tlrsim binary sits next to
+        // this one (a normal cargo build); in-thread clients otherwise.
+        let tlrsim = tlr_bench::sibling_tlrsim();
+        if tlrsim.is_none() {
+            eprintln!(
+                "[daemon: no tlrsim binary found next to reproduce; using in-thread clients]"
+            );
+        }
+        let outcome = tlr_bench::run_daemon_bench(&opts.cfg, RtmConfig::RTM_32K, tlrsim.as_deref());
+        eprintln!("[daemon: {:?}]", start.elapsed());
+        emit(
+            &opts.out_dir,
+            doc,
+            "daemon",
+            "Daemon serving (ours): concurrent clients warm-started from one tlrd vs the in-process registry path",
+            &tlr_bench::daemon_table(&outcome),
+        );
+        if opts.check {
+            if let Err(msg) = tlr_bench::check_daemon(&outcome) {
+                eprintln!("error: daemon regression: {msg}");
+                std::process::exit(1);
+            }
+            println!("daemon check: ok");
         }
     }
 

@@ -20,12 +20,15 @@
 //! | `reproduce warmstart` | ours — cold vs RTM-snapshot-seeded engine |
 //! | `reproduce fleet` | ours — solo-warm vs merged-warm reuse (snapshot pooling for a serving fleet) |
 //! | `reproduce policy` | ours — RTM replacement-policy sweep (LRU vs LFU vs cost/benefit, cold and merged-warm) |
+//! | `reproduce daemon` | ours — N concurrent clients warm-starting from one `tlrd` daemon vs the in-process registry path |
 //!
-//! With `--check`, the `warmstart`, `fleet`, and `policy` targets
-//! additionally act as regression gates: the process exits nonzero when
-//! a warm start reuses less than its cold run, a merged warm start
-//! reuses less than the better solo warm start, or any policy
-//! configuration fails architectural-state equality.
+//! With `--check`, the `warmstart`, `fleet`, `policy`, and `daemon`
+//! targets additionally act as regression gates: the process exits
+//! nonzero when a warm start reuses less than its cold run, a merged
+//! warm start reuses less than the better solo warm start, any policy
+//! configuration fails architectural-state equality, or a
+//! daemon-served client's final architectural-state digest differs
+//! from the in-process registry path's.
 //!
 //! With `--json OUT`, every table produced by the invocation is also
 //! written to `OUT` as one machine-readable JSON document (config +
@@ -35,12 +38,16 @@
 //! All figure functions are library code so the integration tests can run
 //! them at reduced budgets.
 
+pub mod daemon;
 pub mod figures;
 pub mod fleet;
 pub mod harness;
 pub mod policy;
 pub mod warmstart;
 
+pub use daemon::{
+    check_daemon, daemon_table, run_daemon_bench, sibling_tlrsim, DaemonCell, DaemonOutcome,
+};
 pub use fleet::{check_fleet, fleet_table, run_fleet, FleetCell};
 pub use harness::{run_engine_grid, run_limit_studies, BenchResult, EngineCell, HarnessConfig};
 pub use policy::{check_policy, policy_table, run_policy_sweep, state_digest, PolicyCell};

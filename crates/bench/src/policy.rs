@@ -17,33 +17,21 @@
 
 use crate::fleet::{FLEET_COLD_A, FLEET_COLD_B, FLEET_WARM};
 use crate::harness::{pool_run, HarnessConfig};
-use std::hash::Hasher;
 use tlr_core::{
     EngineConfig, EngineStats, Heuristic, ReplacementPolicy, RtmConfig, RtmSnapshot,
     TraceReuseEngine,
 };
-use tlr_isa::{Loc, NullSink};
+use tlr_isa::NullSink;
 use tlr_stats::Table;
-use tlr_util::fxhash::FxHasher64;
 use tlr_vm::Vm;
 
 /// Full-architectural-state digest: every register (integer and FP) and
-/// every initialized memory word, in a canonical order.
+/// every initialized memory word, in a canonical order. Now provided by
+/// the VM itself ([`Vm::state_digest`]) so the CLI and the daemon gate
+/// share the exact same equality token; kept here as an alias for the
+/// bench API.
 pub fn state_digest(vm: &Vm) -> u64 {
-    let mut h = FxHasher64::new();
-    for r in 0..32u8 {
-        h.write_u64(vm.peek_loc(Loc::IntReg(r)));
-    }
-    for r in 0..32u8 {
-        h.write_u64(vm.peek_loc(Loc::FpReg(r)));
-    }
-    let mut words: Vec<(u64, u64)> = vm.memory().iter_words().collect();
-    words.sort_unstable();
-    for (addr, value) in words {
-        h.write_u64(addr);
-        h.write_u64(value);
-    }
-    h.finish()
+    vm.state_digest()
 }
 
 /// One workload × policy outcome.

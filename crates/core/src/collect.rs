@@ -32,7 +32,7 @@ pub enum Heuristic {
     /// Fixed-length traces of `n` instructions with expansion on reuse.
     FixedExp(u32),
     /// Dynamic basic blocks (a trace ends at every control-flow
-    /// instruction), no expansion — Huang & Lilja's block reuse [6],
+    /// instruction), no expansion — Huang & Lilja's block reuse \[6\],
     /// which §2 calls "a particular case of trace-level reuse".
     BasicBlock,
 }

@@ -29,7 +29,11 @@ pub enum ReplacementPolicy {
     Lru,
     /// Frequency-weighted: evict the entry with the fewest recorded
     /// hits (ties broken by recency). Groups are ranked by their total
-    /// hit count.
+    /// hit count. Hit counts **age**: the effective count halves every
+    /// [`LFU_HALF_LIFE`] RTM ticks since the entry's last use
+    /// ([`TraceMeta::decayed_hits`]), so a once-hot trace that stopped
+    /// hitting eventually loses to a fresh streak instead of squatting
+    /// on its stale total forever.
     Lfu,
     /// Cost/benefit: evict the entry with the least *instructions
     /// saved* potential — `(hits + 1) × trace length` — so a long trace
@@ -73,6 +77,15 @@ impl std::fmt::Display for ReplacementPolicy {
     }
 }
 
+/// Aging half-life for [`ReplacementPolicy::Lfu`], in RTM ticks (the
+/// RTM advances one tick per lookup or store): an entry's effective hit
+/// count halves for every `LFU_HALF_LIFE` ticks it has gone untouched.
+/// 4096 ticks is a few round trips through the paper's largest per-PC
+/// group under a hot loop — long enough that a briefly idle trace keeps
+/// its rank, short enough that a trace idle for a whole phase change
+/// does not.
+pub const LFU_HALF_LIFE: u64 = 4096;
+
 /// Per-trace provenance: the replacement-relevant history of one RTM
 /// entry. Persisted alongside the trace in snapshot format v3 (older
 /// snapshots load as all-zero provenance).
@@ -103,6 +116,15 @@ impl TraceMeta {
     /// weighted by how often the trace has hit so far.
     pub fn benefit(&self, trace_len: u32) -> u128 {
         (self.hits as u128 + 1) * trace_len as u128
+    }
+
+    /// The LFU ranking score at RTM tick `now`: the recorded hit count
+    /// halved once per [`LFU_HALF_LIFE`] ticks since the last use.
+    /// Saturating: ticks from a previous life (an imported snapshot's
+    /// `last_use` can exceed a fresh RTM's clock) age nothing.
+    pub fn decayed_hits(&self, now: u64) -> u64 {
+        let epochs = (now.saturating_sub(self.last_use) / LFU_HALF_LIFE).min(63);
+        self.hits >> epochs
     }
 }
 
@@ -148,6 +170,29 @@ mod tests {
             source_run: 9,
         });
         assert_eq!(a.hits, u64::MAX, "hit counts saturate, never wrap");
+    }
+
+    #[test]
+    fn decayed_hits_halve_per_half_life() {
+        let meta = TraceMeta {
+            hits: 8,
+            last_use: 100,
+            ..TraceMeta::default()
+        };
+        assert_eq!(meta.decayed_hits(100), 8, "no age, no decay");
+        assert_eq!(meta.decayed_hits(100 + LFU_HALF_LIFE - 1), 8);
+        assert_eq!(meta.decayed_hits(100 + LFU_HALF_LIFE), 4);
+        assert_eq!(meta.decayed_hits(100 + 3 * LFU_HALF_LIFE), 1);
+        assert_eq!(meta.decayed_hits(100 + 4 * LFU_HALF_LIFE), 0);
+        // An imported trace's last_use may be from a longer-lived clock.
+        assert_eq!(meta.decayed_hits(0), 8, "future last_use must not wrap");
+        // The shift is clamped: astronomically old entries don't overflow.
+        let ancient = TraceMeta {
+            hits: u64::MAX,
+            last_use: 0,
+            ..TraceMeta::default()
+        };
+        assert_eq!(ancient.decayed_hits(u64::MAX), u64::MAX >> 63);
     }
 
     #[test]

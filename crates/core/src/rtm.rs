@@ -436,11 +436,13 @@ pub struct ReuseTraceMemory {
 
 /// Pick the entry to evict from a full PC group (entries in LRU→MRU
 /// order), honouring `policy` and never choosing a `pinned` record when
-/// an unpinned candidate exists.
+/// an unpinned candidate exists. `now` is the RTM tick the LFU aging
+/// term measures idleness against ([`TraceMeta::decayed_hits`]).
 fn entry_victim(
     policy: ReplacementPolicy,
     entries: &[RtmEntry],
     pinned: Option<&FxHashSet<TraceRecord>>,
+    now: u64,
 ) -> usize {
     let mut candidates = entries
         .iter()
@@ -450,7 +452,7 @@ fn entry_victim(
         // First candidate in LRU→MRU order is the least recently used.
         ReplacementPolicy::Lru => candidates.next().map(|(i, _)| i),
         ReplacementPolicy::Lfu => candidates
-            .min_by_key(|(i, e)| (e.meta.hits, e.meta.last_use, *i))
+            .min_by_key(|(i, e)| (e.meta.decayed_hits(now), e.meta.last_use, *i))
             .map(|(i, _)| i),
         ReplacementPolicy::CostBenefit => candidates
             .min_by_key(|(i, e)| (e.meta.benefit(e.rec.len), e.meta.last_use, *i))
@@ -466,6 +468,7 @@ fn group_victim(
     policy: ReplacementPolicy,
     groups: &[PcGroup<RtmEntry>],
     pinned: Option<&FxHashSet<TraceRecord>>,
+    now: u64,
 ) -> usize {
     let candidates = groups
         .iter()
@@ -474,7 +477,7 @@ fn group_victim(
     match policy {
         ReplacementPolicy::Lru => candidates.min_by_key(|(_, g)| g.last_touch),
         ReplacementPolicy::Lfu => candidates.min_by_key(|(_, g)| {
-            let hits: u64 = g.entries.iter().map(|e| e.meta.hits).sum();
+            let hits: u64 = g.entries.iter().map(|e| e.meta.decayed_hits(now)).sum();
             (hits, g.last_touch)
         }),
         ReplacementPolicy::CostBenefit => candidates.min_by_key(|(_, g)| {
@@ -631,11 +634,12 @@ impl ReuseTraceMemory {
         }
         self.stats.stores += 1;
         let policy = self.policy;
+        let now = self.tick;
         self.stats.evictions += self.store.insert_with(
             pc,
             RtmEntry { rec: record, meta },
-            &mut |entries| entry_victim(policy, entries, pinned),
-            &mut |groups| group_victim(policy, groups, pinned),
+            &mut |entries| entry_victim(policy, entries, pinned, now),
+            &mut |groups| group_victim(policy, groups, pinned, now),
         );
     }
 
@@ -998,6 +1002,64 @@ mod tests {
             "LFU evicted the hottest entry"
         );
         assert!(lfu.lookup(10, |l| if l == R1 { 1 } else { 9 }).is_none());
+    }
+
+    #[test]
+    fn lfu_aging_forgets_stale_hot_trace() {
+        use crate::policy::LFU_HALF_LIFE;
+        // per_pc = 4. An early trace racks up 8 hits, then goes idle for
+        // many half-lives while a fresh streak (3 traces, 2 recent hits
+        // each) fills the group. Without aging, pure frequency keeps the
+        // stale trace forever; with decay its effective count (8 >> 4 =
+        // 0) loses to the streak and it is the eviction victim.
+        let mut rtm = ReuseTraceMemory::new_with(RtmConfig::RTM_512, ReplacementPolicy::Lfu);
+        rtm.insert(rec(10, &[(R1, 0)], &[(R2, 0)], 20));
+        for _ in 0..8 {
+            assert!(rtm.lookup(10, |l| if l == R1 { 0 } else { 9 }).is_some());
+        }
+        // Idle period: unrelated lookups advance the RTM clock.
+        for _ in 0..4 * LFU_HALF_LIFE {
+            assert!(rtm.lookup(999, |_| 0).is_none());
+        }
+        for v in 1..4u64 {
+            rtm.insert(rec(10, &[(R1, v)], &[(R2, v)], 20));
+            for _ in 0..2 {
+                assert!(rtm.lookup(10, |l| if l == R1 { v } else { 9 }).is_some());
+            }
+        }
+        rtm.insert(rec(10, &[(R1, 99)], &[], 20)); // group full: evict
+        assert!(
+            rtm.lookup(10, |l| if l == R1 { 0 } else { 9 }).is_none(),
+            "stale high-hit trace survived a fresh streak"
+        );
+        for v in 1..4u64 {
+            assert!(
+                rtm.lookup(10, |l| if l == R1 { v } else { 9 }).is_some(),
+                "fresh trace {v} lost to the stale one"
+            );
+        }
+    }
+
+    #[test]
+    fn lfu_keeps_recent_hot_trace_within_half_life() {
+        // The same shape without the idle period: the hot trace's count
+        // has not decayed, so it survives (the pre-aging behaviour).
+        let mut rtm = ReuseTraceMemory::new_with(RtmConfig::RTM_512, ReplacementPolicy::Lfu);
+        rtm.insert(rec(10, &[(R1, 0)], &[(R2, 0)], 20));
+        for _ in 0..8 {
+            assert!(rtm.lookup(10, |l| if l == R1 { 0 } else { 9 }).is_some());
+        }
+        for v in 1..4u64 {
+            rtm.insert(rec(10, &[(R1, v)], &[(R2, v)], 20));
+            for _ in 0..2 {
+                assert!(rtm.lookup(10, |l| if l == R1 { v } else { 9 }).is_some());
+            }
+        }
+        rtm.insert(rec(10, &[(R1, 99)], &[], 20));
+        assert!(
+            rtm.lookup(10, |l| if l == R1 { 0 } else { 9 }).is_some(),
+            "recently hot trace evicted with no aging due"
+        );
     }
 
     #[test]

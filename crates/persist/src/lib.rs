@@ -9,7 +9,7 @@
 //! * **record** — [`TraceWriter`] is a [`tlr_isa::StreamSink`] tap: run
 //!   any program through `tlr_vm::Vm::run` with it and every committed
 //!   [`tlr_isa::DynInstr`] is appended to a trace file;
-//! * **replay** — [`replay`] re-executes the program against the
+//! * **replay** — [`replay`](replay()) re-executes the program against the
 //!   recording and fails loudly on the first divergence (mismatched PC
 //!   or live-in/live-out values), wasm-rr style;
 //! * **warm-start** — [`save_snapshot`] / [`load_snapshot`] persist a

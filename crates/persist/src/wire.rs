@@ -20,20 +20,27 @@ use tlr_util::fxhash::FxHasher64;
 pub const ISA_REVISION: u64 = 1;
 
 // ---- primitive readers/writers ------------------------------------------
+//
+// Public: the `tlrd` socket protocol (`tlr-serve::proto`) encodes its
+// frames with the same little-endian primitives the file formats use.
 
-pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+/// Append one little-endian `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
     out.push(v);
 }
 
-pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+/// Append one little-endian `u16`.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+/// Append one little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+/// Append one little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -43,25 +50,29 @@ pub(crate) fn read_exact<const N: usize>(r: &mut impl Read) -> Result<[u8; N]> {
     Ok(buf)
 }
 
-pub(crate) fn get_u8(r: &mut impl Read) -> Result<u8> {
+/// Read one little-endian `u8`.
+pub fn get_u8(r: &mut impl Read) -> Result<u8> {
     Ok(read_exact::<1>(r)?[0])
 }
 
-pub(crate) fn get_u16(r: &mut impl Read) -> Result<u16> {
+/// Read one little-endian `u16`.
+pub fn get_u16(r: &mut impl Read) -> Result<u16> {
     Ok(u16::from_le_bytes(read_exact::<2>(r)?))
 }
 
-pub(crate) fn get_u32(r: &mut impl Read) -> Result<u32> {
+/// Read one little-endian `u32`.
+pub fn get_u32(r: &mut impl Read) -> Result<u32> {
     Ok(u32::from_le_bytes(read_exact::<4>(r)?))
 }
 
-pub(crate) fn get_u64(r: &mut impl Read) -> Result<u64> {
+/// Read one little-endian `u64`.
+pub fn get_u64(r: &mut impl Read) -> Result<u64> {
     Ok(u64::from_le_bytes(read_exact::<8>(r)?))
 }
 
-/// Cap on one frame's payload size, enforced symmetrically: the writer
-/// refuses to produce what the reader would refuse to load.
-pub(crate) const MAX_FRAME: u32 = 1 << 20;
+/// Cap on one file frame's payload size, enforced symmetrically: the
+/// writer refuses to produce what the reader would refuse to load.
+pub const MAX_FRAME: u32 = 1 << 20;
 
 /// Write one length-prefixed frame and fold it into `checksum`.
 pub(crate) fn write_frame(

@@ -33,14 +33,37 @@
 //!   ([`EntryStats`]), plus hit-weighted residency gauges
 //!   ([`EntryStats::resident_hits`]: how much *observed* reuse the
 //!   resident state represents) and registry-wide aggregates
-//!   ([`RegistryStats`]).
+//!   ([`RegistryStats`]);
+//! * **background refresh** — [`SnapshotRegistry::refresh`] rescans the
+//!   snapshot directory for files that appeared after `open`, indexing
+//!   them and folding them into resident entries; [`RefreshTicker`]
+//!   runs that on an interval in the background;
+//! * **cross-process serving** — the [`daemon`] module is `tlrd`: a
+//!   blocking, thread-per-connection server exposing the registry over
+//!   a Unix-domain socket with the framed, checksummed, versioned
+//!   [`proto`] protocol (`Hello`/`Get`/`Publish`/`Stats`/`Refresh`),
+//!   and [`RemoteRegistry`] is the client that mirrors the in-process
+//!   API, so `TraceReuseEngine::new_warm` warm-starts from a daemon
+//!   exactly as it would from a local snapshot directory. The wire
+//!   format is documented normatively in `docs/PROTOCOL.md`.
 //!
 //! The `tlrsim serve --snapshots DIR` subcommand drives a registry over
-//! every built-in workload in parallel; `reproduce fleet` measures the
-//! solo-warm vs merged-warm reuse gap the pooling buys.
+//! every built-in workload in parallel, or hosts it as a daemon with
+//! `--listen SOCK`; `tlrsim run --remote SOCK` is the client side;
+//! `reproduce fleet` measures the solo-warm vs merged-warm reuse gap
+//! the pooling buys, and `reproduce daemon` checks that N concurrent
+//! client processes warm-started from one daemon finish with
+//! architectural-state digests identical to the in-process path.
 
+pub mod daemon;
+pub mod proto;
 pub mod registry;
+pub mod remote;
 
+pub use daemon::{Daemon, DaemonHandle, RefreshTicker};
+pub use proto::{ErrorCode, ProtoError, PROTOCOL_VERSION};
 pub use registry::{
-    EntryStats, RegistryConfig, RegistryStats, ServeError, SnapshotRegistry, SNAPSHOT_FILE_EXT,
+    EntryStats, RefreshOutcome, RegistryConfig, RegistryStats, ServeError, SnapshotRegistry,
+    SNAPSHOT_FILE_EXT,
 };
+pub use remote::RemoteRegistry;

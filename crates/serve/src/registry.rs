@@ -1,21 +1,25 @@
 //! The sharded snapshot registry.
 //!
-//! Concurrency model: the fingerprint → path index is built once at
-//! [`SnapshotRegistry::open`] and immutable afterwards, so it is read
-//! lock-free. Resident state lives in `N` shards, each a `Mutex` over
-//! its own map; a fingerprint is pinned to one shard by a remix of its
-//! bits, so fetches for different programs contend only when they land
-//! on the same shard (1/N of the time). Snapshot files are loaded and
-//! merged *outside* the shard lock — a slow disk never stalls other
-//! programs on the shard — with a double-check on insert so a racing
-//! loader's result is reused instead of clobbered.
+//! Concurrency model: the fingerprint → path index is built at
+//! [`SnapshotRegistry::open`] and extended only by
+//! [`SnapshotRegistry::refresh`], so it sits behind an `RwLock` that is
+//! almost always read-locked. Resident state lives in `N` shards, each
+//! a `Mutex` over its own map; a fingerprint is pinned to one shard by
+//! a remix of its bits, so fetches for different programs contend only
+//! when they land on the same shard (1/N of the time). Snapshot files
+//! are loaded and merged *outside* the shard lock — a slow disk never
+//! stalls other programs on the shard — with a double-check on insert
+//! so a racing loader's result is reused instead of clobbered. The
+//! index lock and a shard lock are never held at the same time.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use tlr_core::{ReplacementPolicy, ReuseTraceMemory, RtmSnapshot};
-use tlr_persist::{load_merged_snapshots_with, peek_snapshot_fingerprint, PersistError};
-use tlr_util::FxHashMap;
+use tlr_persist::{
+    load_merged_snapshots_with, load_snapshot, peek_snapshot_fingerprint, PersistError,
+};
+use tlr_util::{FxHashMap, FxHashSet};
 
 /// File extension the directory scan considers ([`SnapshotRegistry::open`]):
 /// binary RTM snapshots only; JSON debug dumps are ignored.
@@ -82,6 +86,19 @@ pub struct RegistryStats {
     pub unknown: u64,
 }
 
+/// What one [`SnapshotRegistry::refresh`] pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefreshOutcome {
+    /// Snapshot files discovered and indexed this pass.
+    pub new_files: u64,
+    /// Resident entries that absorbed newly discovered files.
+    pub refreshed: u64,
+    /// Files with the snapshot extension that could not be indexed this
+    /// pass (unreadable or mid-write); they are left unindexed and will
+    /// be retried on the next refresh.
+    pub skipped: u64,
+}
+
 /// Why the registry could not serve.
 #[derive(Debug)]
 pub enum ServeError {
@@ -90,6 +107,8 @@ pub enum ServeError {
     /// A published snapshot's geometry disagrees with the resident
     /// entry's.
     Merge(tlr_core::MergeError),
+    /// A `tlrd` protocol exchange failed (see [`crate::proto`]).
+    Proto(crate::proto::ProtoError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -97,6 +116,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Persist(e) => write!(f, "{e}"),
             ServeError::Merge(e) => write!(f, "{e}"),
+            ServeError::Proto(e) => write!(f, "{e}"),
         }
     }
 }
@@ -106,7 +126,14 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Persist(e) => Some(e),
             ServeError::Merge(e) => Some(e),
+            ServeError::Proto(e) => Some(e),
         }
+    }
+}
+
+impl From<crate::proto::ProtoError> for ServeError {
+    fn from(e: crate::proto::ProtoError) -> Self {
+        ServeError::Proto(e)
     }
 }
 
@@ -173,17 +200,58 @@ impl Shard {
     }
 }
 
+/// The fingerprint → snapshot-file index, extended by refresh passes.
+#[derive(Default)]
+struct Index {
+    /// fingerprint → snapshot files of that program, in deterministic
+    /// (sorted-path) order so merge MRU priority is stable.
+    by_fingerprint: FxHashMap<u64, Vec<PathBuf>>,
+    /// Every path indexed so far, so a refresh scan can cheaply tell
+    /// new files from known ones.
+    files: FxHashSet<PathBuf>,
+}
+
+impl Index {
+    fn add(&mut self, fingerprint: u64, path: PathBuf) {
+        let paths = self.by_fingerprint.entry(fingerprint).or_default();
+        paths.push(path.clone());
+        paths.sort();
+        self.files.insert(path);
+    }
+}
+
 /// A concurrent, sharded cache of warm RTMs keyed by program
 /// fingerprint, backed by a directory of `.tlrsnap` files. See the
 /// crate docs for the full model.
 pub struct SnapshotRegistry {
     config: RegistryConfig,
-    /// fingerprint → snapshot files of that program, in deterministic
-    /// (sorted-path) order so merge MRU priority is stable.
-    index: FxHashMap<u64, Vec<PathBuf>>,
+    /// The snapshot directory, rescanned by [`SnapshotRegistry::refresh`].
+    dir: PathBuf,
+    index: RwLock<Index>,
+    /// Serializes [`SnapshotRegistry::refresh`] passes (see its docs).
+    refresh_serial: Mutex<()>,
     shards: Vec<Mutex<Shard>>,
     evicted: AtomicU64,
     unknown: AtomicU64,
+}
+
+/// Scan `dir` for snapshot files, sorted for deterministic merge order.
+fn scan_snapshot_files(dir: &Path) -> Result<Vec<PathBuf>, ServeError> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(PersistError::from)?
+        .collect::<std::io::Result<Vec<_>>>()
+        .map_err(PersistError::from)?
+        .into_iter()
+        .map(|entry| entry.path())
+        .filter(|p| {
+            p.is_file()
+                && p.extension()
+                    .and_then(|e| e.to_str())
+                    .is_some_and(|e| e.eq_ignore_ascii_case(SNAPSHOT_FILE_EXT))
+        })
+        .collect();
+    paths.sort();
+    Ok(paths)
 }
 
 impl SnapshotRegistry {
@@ -194,46 +262,124 @@ impl SnapshotRegistry {
     /// at first fetch. Non-snapshot extensions are ignored; a file with
     /// the snapshot extension but an invalid header is a hard error.
     pub fn open(dir: &Path, config: RegistryConfig) -> Result<Self, ServeError> {
-        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
-            .map_err(PersistError::from)?
-            .collect::<std::io::Result<Vec<_>>>()
-            .map_err(PersistError::from)?
-            .into_iter()
-            .map(|entry| entry.path())
-            .filter(|p| {
-                p.is_file()
-                    && p.extension()
-                        .and_then(|e| e.to_str())
-                        .is_some_and(|e| e.eq_ignore_ascii_case(SNAPSHOT_FILE_EXT))
-            })
-            .collect();
-        paths.sort();
-        let mut index: FxHashMap<u64, Vec<PathBuf>> = FxHashMap::default();
-        for path in paths {
+        let mut index = Index::default();
+        for path in scan_snapshot_files(dir)? {
             let fingerprint = peek_snapshot_fingerprint(&path)?;
-            index.entry(fingerprint).or_default().push(path);
+            index.add(fingerprint, path);
         }
         Ok(Self {
             shards: (0..config.shards.max(1))
                 .map(|_| Mutex::default())
                 .collect(),
             config,
-            index,
+            dir: dir.to_path_buf(),
+            index: RwLock::new(index),
+            refresh_serial: Mutex::new(()),
             evicted: AtomicU64::new(0),
             unknown: AtomicU64::new(0),
         })
     }
 
+    /// The snapshot directory this registry was opened over.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
     /// Fingerprints the snapshot directory holds state for (sorted).
     pub fn fingerprints(&self) -> Vec<u64> {
-        let mut fps: Vec<u64> = self.index.keys().copied().collect();
+        let index = self.index.read().unwrap();
+        let mut fps: Vec<u64> = index.by_fingerprint.keys().copied().collect();
         fps.sort_unstable();
         fps
     }
 
     /// Snapshot files indexed for `fingerprint`.
-    pub fn paths(&self, fingerprint: u64) -> &[PathBuf] {
-        self.index.get(&fingerprint).map_or(&[], Vec::as_slice)
+    pub fn paths(&self, fingerprint: u64) -> Vec<PathBuf> {
+        self.index
+            .read()
+            .unwrap()
+            .by_fingerprint
+            .get(&fingerprint)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Rescan the snapshot directory for files that appeared after
+    /// [`open`](SnapshotRegistry::open) (or the last refresh): new
+    /// files are validated, indexed, and any whose program is currently
+    /// *resident* are merged into the resident entry immediately — so a
+    /// long-lived registry (or a `tlrd` daemon) picks up snapshots
+    /// other processes drop into the directory without a restart.
+    ///
+    /// Ordering is deliberate, per file: a new file is **fully loaded
+    /// and validated before it is indexed**, so an unreadable,
+    /// mid-write, or damaged file is skipped (and counted) this pass
+    /// and retried on the next one instead of poisoning later fetches;
+    /// and a resident entry absorbs the new state **before** the file
+    /// becomes visible to [`get`](SnapshotRegistry::get), so a racing
+    /// fetch can never load a file that is then merged a second time.
+    /// Refresh passes are serialized against each other for the same
+    /// reason.
+    pub fn refresh(&self) -> Result<RefreshOutcome, ServeError> {
+        let _pass = self.refresh_serial.lock().unwrap();
+        let on_disk = scan_snapshot_files(&self.dir)?;
+        let unknown: Vec<PathBuf> = {
+            let index = self.index.read().unwrap();
+            on_disk
+                .into_iter()
+                .filter(|p| !index.files.contains(p))
+                .collect()
+        };
+        let mut outcome = RefreshOutcome::default();
+        if unknown.is_empty() {
+            return Ok(outcome);
+        }
+        // Validation loads happen outside every lock: disk latency must
+        // not stall index readers or the shards.
+        let mut discovered: FxHashMap<u64, Vec<(PathBuf, RtmSnapshot)>> = FxHashMap::default();
+        for path in unknown {
+            match load_snapshot(&path, None) {
+                Ok((fingerprint, snapshot)) => discovered
+                    .entry(fingerprint)
+                    .or_default()
+                    .push((path, snapshot)),
+                Err(_) => outcome.skipped += 1,
+            }
+        }
+        // Per fingerprint: pool the new files, fold them into the
+        // resident entry if there is one, then (and only then) index.
+        // A failure affects its own fingerprint only; the first one is
+        // reported after every other fingerprint has been processed.
+        let mut first_err: Option<ServeError> = None;
+        for (fingerprint, entries) in discovered {
+            let (paths, snapshots): (Vec<PathBuf>, Vec<RtmSnapshot>) = entries.into_iter().unzip();
+            let pooled = match RtmSnapshot::merge_with(&snapshots, self.config.policy) {
+                Ok(pooled) => pooled,
+                Err(e) => {
+                    outcome.skipped += paths.len() as u64;
+                    first_err.get_or_insert(e.into());
+                    continue;
+                }
+            };
+            match self.merge_into_resident(fingerprint, &pooled) {
+                Ok(true) => outcome.refreshed += 1,
+                Ok(false) => {}
+                Err(e) => {
+                    outcome.skipped += paths.len() as u64;
+                    first_err.get_or_insert(e);
+                    continue;
+                }
+            }
+            let mut index = self.index.write().unwrap();
+            for path in paths {
+                index.add(fingerprint, path);
+                outcome.new_files += 1;
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(outcome),
+        }
     }
 
     fn shard_of(&self, fingerprint: u64) -> &Mutex<Shard> {
@@ -262,13 +408,15 @@ impl SnapshotRegistry {
                 return Ok(Some(Arc::clone(&entry.snap)));
             }
         }
-        let Some(paths) = self.index.get(&fingerprint) else {
+        let paths = self.paths(fingerprint);
+        if paths.is_empty() {
             self.unknown.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
-        };
+        }
         // Miss: load and merge outside the lock, under the configured
         // policy.
-        let (_, merged) = load_merged_snapshots_with(paths, Some(fingerprint), self.config.policy)?;
+        let (_, merged) =
+            load_merged_snapshots_with(&paths, Some(fingerprint), self.config.policy)?;
         let loaded = Entry {
             rtm: ReuseTraceMemory::import_with(&merged, self.config.policy),
             stats: EntryStats {
@@ -304,6 +452,51 @@ impl SnapshotRegistry {
         Ok(Some(snap))
     }
 
+    /// Merge `snapshot` into an already-locked resident `entry` under
+    /// the registry policy, refreshing its cached export and gauges.
+    fn merge_into_entry(
+        &self,
+        entry: &mut Entry,
+        snapshot: &RtmSnapshot,
+    ) -> Result<(), ServeError> {
+        if entry.rtm.config() != snapshot.config {
+            return Err(tlr_core::MergeError::GeometryMismatch {
+                first: entry.rtm.config(),
+                other: snapshot.config,
+            }
+            .into());
+        }
+        // The proper interleaved union, not a sequential replay: a
+        // near-capacity publish must not wholesale-evict the pooled
+        // hot state of every prior run. The configured policy
+        // decides what survives contention.
+        let merged =
+            RtmSnapshot::merge_with(&[entry.rtm.export(), snapshot.clone()], self.config.policy)?;
+        entry.rtm = ReuseTraceMemory::import_with(&merged, self.config.policy);
+        entry.stats.resident_traces = merged.len() as u64;
+        entry.stats.resident_hits = merged.total_hits();
+        entry.snap = Arc::new(merged);
+        entry.stats.refreshes += 1;
+        Ok(())
+    }
+
+    /// Merge `snapshot` into the resident entry for `fingerprint`, if
+    /// one exists. Returns whether the program was resident. Shared by
+    /// [`publish`](SnapshotRegistry::publish) and
+    /// [`refresh`](SnapshotRegistry::refresh).
+    fn merge_into_resident(
+        &self,
+        fingerprint: u64,
+        snapshot: &RtmSnapshot,
+    ) -> Result<bool, ServeError> {
+        let mut shard = self.shard_of(fingerprint).lock().unwrap();
+        let Some(entry) = shard.touch(fingerprint) else {
+            return Ok(false);
+        };
+        self.merge_into_entry(entry, snapshot)?;
+        Ok(true)
+    }
+
     /// Contribute a finished run's RTM export back to the registry:
     /// merged into the resident entry (creating one if the program is
     /// not resident), so the *next* fetch serves the pooled state of
@@ -312,27 +505,7 @@ impl SnapshotRegistry {
     pub fn publish(&self, fingerprint: u64, snapshot: &RtmSnapshot) -> Result<(), ServeError> {
         let mut shard = self.shard_of(fingerprint).lock().unwrap();
         if let Some(entry) = shard.touch(fingerprint) {
-            if entry.rtm.config() != snapshot.config {
-                return Err(tlr_core::MergeError::GeometryMismatch {
-                    first: entry.rtm.config(),
-                    other: snapshot.config,
-                }
-                .into());
-            }
-            // The proper interleaved union, not a sequential replay: a
-            // near-capacity publish must not wholesale-evict the pooled
-            // hot state of every prior run. The configured policy
-            // decides what survives contention.
-            let merged = RtmSnapshot::merge_with(
-                &[entry.rtm.export(), snapshot.clone()],
-                self.config.policy,
-            )?;
-            entry.rtm = ReuseTraceMemory::import_with(&merged, self.config.policy);
-            entry.stats.resident_traces = merged.len() as u64;
-            entry.stats.resident_hits = merged.total_hits();
-            entry.snap = Arc::new(merged);
-            entry.stats.refreshes += 1;
-            return Ok(());
+            return self.merge_into_entry(entry, snapshot);
         }
         shard.tick += 1;
         let tick = shard.tick;
@@ -613,6 +786,45 @@ mod tests {
                 assert_eq!(registry.entry_stats(9).unwrap().resident_hits, 16);
             }
         }
+    }
+
+    #[test]
+    fn refresh_indexes_new_files_and_updates_resident_entries() {
+        let dir = temp_dir("refresh");
+        save_snapshot(&dir.join("p1.tlrsnap"), 1, &snapshot_of(&[rec(8, 1)])).unwrap();
+        let registry = SnapshotRegistry::open(&dir, RegistryConfig::default()).unwrap();
+        assert_eq!(registry.refresh().unwrap(), RefreshOutcome::default());
+
+        // Program 1 becomes resident; program 2 is never fetched.
+        assert_eq!(registry.get(1).unwrap().unwrap().len(), 1);
+
+        // New files appear after open: more state for resident program
+        // 1, a first file for unknown program 2, and one mid-write junk
+        // file that must be skipped, not fatal.
+        save_snapshot(&dir.join("p1-more.tlrsnap"), 1, &snapshot_of(&[rec(40, 2)])).unwrap();
+        save_snapshot(&dir.join("p2.tlrsnap"), 2, &snapshot_of(&[rec(8, 3)])).unwrap();
+        std::fs::write(dir.join("partial.tlrsnap"), b"TL").unwrap();
+
+        let outcome = registry.refresh().unwrap();
+        assert_eq!(outcome.new_files, 2);
+        assert_eq!(outcome.refreshed, 1, "resident entry not refreshed");
+        assert_eq!(outcome.skipped, 1, "mid-write file not skipped");
+
+        // The resident entry absorbed the new file without a re-fetch.
+        let stats = registry.entry_stats(1).unwrap();
+        assert_eq!(stats.refreshes, 1);
+        assert_eq!(stats.resident_traces, 2);
+        assert_eq!(registry.get(1).unwrap().unwrap().len(), 2);
+
+        // The unknown program is now indexed and warm-loads on fetch.
+        assert_eq!(registry.paths(2).len(), 1);
+        assert_eq!(registry.get(2).unwrap().unwrap().len(), 1);
+
+        // A second pass with nothing new (the junk file is retried and
+        // skipped again, still not indexed).
+        let outcome = registry.refresh().unwrap();
+        assert_eq!((outcome.new_files, outcome.refreshed), (0, 0));
+        assert_eq!(outcome.skipped, 1);
     }
 
     #[test]

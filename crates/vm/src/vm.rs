@@ -165,6 +165,29 @@ impl Vm {
         }
     }
 
+    /// Canonical digest of the full architectural state: every register
+    /// (integer and FP, bit patterns) and every nonzero memory word in
+    /// address order. Two runs that made the same progress must produce
+    /// equal digests — the equality the warm-start, policy, and daemon
+    /// regression gates compare on.
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = tlr_util::fxhash::FxHasher64::new();
+        for r in 0..32u8 {
+            h.write_u64(self.peek_loc(Loc::IntReg(r)));
+        }
+        for r in 0..32u8 {
+            h.write_u64(self.peek_loc(Loc::FpReg(r)));
+        }
+        let mut words: Vec<(u64, u64)> = self.mem.iter_words().collect();
+        words.sort_unstable();
+        for (addr, value) in words {
+            h.write_u64(addr);
+            h.write_u64(value);
+        }
+        h.finish()
+    }
+
     /// Apply a reused trace's outputs and jump to its next PC — the
     /// processor-state update of §3.3, performed *instead of* fetching and
     /// executing the trace body. `skipped` is the number of dynamic

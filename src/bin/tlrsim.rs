@@ -13,13 +13,21 @@
 //! tlrsim merge SNAP SNAP [SNAP...] --out SNAP [--policy P]
 //! tlrsim serve --snapshots DIR [--budget N] [--rtm SIZE] [--heuristic H]
 //!                              [--policy P] [--threads N] [--seed N] [--save]
+//!                              [--listen SOCK] [--refresh-secs N]
 //!
 //!   SIZE:  512 | 4k | 32k | 256k            (default 4k)
 //!   H:     i1..i8 | ilr-ne | ilr-exp | bb   (default i4)
 //!   P:     lru | lfu | cost-benefit         (default lru)
 //!   TRACE: *.tlrtrace (binary) or *.json (debug format)
 //!   SNAP:  *.tlrsnap  (binary) or *.json (debug format)
+//!   FILE:  an assembly file, or workload:NAME for a built-in workload
+//!          (seeded with --seed)
 //! ```
+//!
+//! `run` also takes `--remote SOCK` (warm-start from a `tlrd` daemon and
+//! publish the run's RTM back — implies the reuse engine) and `--digest`
+//! (print the final architectural-state digest, the equality token the
+//! daemon/fleet gates compare).
 //!
 //! `run` executes a program (optionally under the reuse engine; with
 //! `--warm-rtm` the engine starts from a saved RTM snapshot), `disasm`
@@ -30,9 +38,14 @@
 //! later warm starts, `merge` pools several runs' snapshots of one
 //! program into a single snapshot (MRU-priority union; list the
 //! freshest run last), and `serve` hosts a sharded snapshot registry
-//! over a directory and drives every built-in workload through it in
-//! parallel — warm where the directory has state, cold otherwise —
-//! publishing each run's RTM back to the registry.
+//! over a directory — without `--listen`, driving every built-in
+//! workload through it in parallel (warm where the directory has
+//! state, cold otherwise, publishing each run's RTM back); with
+//! `--listen SOCK`, as the `tlrd` daemon serving the registry to other
+//! processes over a Unix-domain socket (see `docs/PROTOCOL.md`). Both
+//! serve modes background-rescan the directory every `--refresh-secs`
+//! seconds so snapshots dropped in by other processes reach resident
+//! entries without a restart.
 
 use std::path::Path;
 use trace_reuse::persist::{
@@ -53,7 +66,10 @@ fn usage() -> ! {
          [--policy ...]\n  \
          tlrsim merge SNAP SNAP [SNAP...] --out SNAP [--policy ...]\n  \
          tlrsim serve --snapshots DIR [--budget N] [--rtm ...] [--heuristic ...] \
-         [--policy ...] [--threads N] [--seed N] [--save]"
+         [--policy ...] [--threads N] [--seed N] [--save] [--listen SOCK] \
+         [--refresh-secs N]\n\
+         FILE may be an assembly file or workload:NAME (built-in workload); \
+         run also takes --remote SOCK (tlrd warm start) and --digest"
     );
     std::process::exit(2);
 }
@@ -71,7 +87,20 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1);
 }
 
-fn load(path: &str) -> Program {
+/// Load a program: `workload:NAME` picks a built-in workload (seeded
+/// with `--seed`, so daemon clients and the daemon's producers agree on
+/// the program fingerprint); anything else is an assembly file.
+fn load(path: &str, seed: u64) -> Program {
+    if let Some(name) = path.strip_prefix("workload:") {
+        let Some(workload) = tlr_workloads::by_name(name) else {
+            let names: Vec<&str> = tlr_workloads::all().iter().map(|w| w.name).collect();
+            fail(&format!(
+                "unknown workload '{name}' (built-ins: {})",
+                names.join(", ")
+            ));
+        };
+        return workload.program(seed);
+    }
     let source =
         std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
     match assemble(&source) {
@@ -123,6 +152,10 @@ struct Flags {
     threads: usize,
     seed: u64,
     save: bool,
+    listen: Option<String>,
+    remote: Option<String>,
+    digest: bool,
+    refresh_secs: u64,
 }
 
 fn parse_flags(args: &[String]) -> Flags {
@@ -140,6 +173,10 @@ fn parse_flags(args: &[String]) -> Flags {
         threads: 0,
         seed: 20260611,
         save: false,
+        listen: None,
+        remote: None,
+        digest: false,
+        refresh_secs: 1,
     };
     let mut i = 0;
     let value = |args: &[String], i: usize, name: &str| -> String {
@@ -209,6 +246,24 @@ fn parse_flags(args: &[String]) -> Flags {
                 flags.save = true;
                 i += 1;
             }
+            "--listen" => {
+                flags.listen = Some(value(args, i, "--listen"));
+                i += 2;
+            }
+            "--remote" => {
+                flags.remote = Some(value(args, i, "--remote"));
+                i += 2;
+            }
+            "--digest" => {
+                flags.digest = true;
+                i += 1;
+            }
+            "--refresh-secs" => {
+                flags.refresh_secs = value(args, i, "--refresh-secs")
+                    .parse()
+                    .unwrap_or_else(|e| usage_error(&format!("--refresh-secs: {e}")));
+                i += 2;
+            }
             other => usage_error(&format!("unknown option '{other}'")),
         }
     }
@@ -216,8 +271,8 @@ fn parse_flags(args: &[String]) -> Flags {
 }
 
 fn cmd_run(path: &str, flags: &Flags) {
-    let program = load(path);
-    if !flags.reuse && flags.warm_rtm.is_none() {
+    let program = load(path, flags.seed);
+    if !flags.reuse && flags.warm_rtm.is_none() && flags.remote.is_none() {
         let mut vm = Vm::new(&program);
         let started = std::time::Instant::now();
         let outcome = vm
@@ -234,25 +289,61 @@ fn cmd_run(path: &str, flags: &Flags) {
             dt.as_secs_f64() * 1e3,
             outcome.executed() as f64 / dt.as_secs_f64() / 1e6
         );
+        if flags.digest {
+            println!("state digest: {:016x}", vm.state_digest());
+        }
         return;
     }
+    if flags.warm_rtm.is_some() && flags.remote.is_some() {
+        usage_error("--warm-rtm and --remote are mutually exclusive warm-start sources");
+    }
     let config = EngineConfig::paper(flags.rtm, flags.heuristic).with_policy(flags.policy);
-    let mut engine = match &flags.warm_rtm {
-        Some(snap_path) => {
-            let fingerprint = program_fingerprint(&program);
-            let (_, snapshot) = load_snapshot(Path::new(snap_path), Some(fingerprint))
-                .unwrap_or_else(|e| fail(&format!("{snap_path}: {e}")));
-            println!(
-                "warm start: {} traces imported from {snap_path}",
-                snapshot.len()
-            );
-            TraceReuseEngine::new_warm(&program, config, &snapshot)
+    let fingerprint = program_fingerprint(&program);
+    // --remote warm-starts from (and publishes back to) a tlrd daemon.
+    let remote = flags.remote.as_deref().map(|sock| {
+        RemoteRegistry::connect(Path::new(sock)).unwrap_or_else(|e| fail(&format!("{sock}: {e}")))
+    });
+    let mut engine = if let Some(remote) = &remote {
+        let sock = flags.remote.as_deref().unwrap_or_default();
+        match remote
+            .get(fingerprint)
+            .unwrap_or_else(|e| fail(&format!("{sock}: {e}")))
+        {
+            Some(snapshot) => {
+                println!(
+                    "warm start: {} traces from daemon at {sock}",
+                    snapshot.len()
+                );
+                TraceReuseEngine::new_warm(&program, config, &snapshot)
+            }
+            None => {
+                println!("cold start: daemon at {sock} has no state for this program");
+                TraceReuseEngine::new(&program, config)
+            }
         }
-        None => TraceReuseEngine::new(&program, config),
+    } else if let Some(snap_path) = &flags.warm_rtm {
+        let (_, snapshot) = load_snapshot(Path::new(snap_path), Some(fingerprint))
+            .unwrap_or_else(|e| fail(&format!("{snap_path}: {e}")));
+        println!(
+            "warm start: {} traces imported from {snap_path}",
+            snapshot.len()
+        );
+        TraceReuseEngine::new_warm(&program, config, &snapshot)
+    } else {
+        TraceReuseEngine::new(&program, config)
     };
+    engine.set_source_run(flags.seed);
     let stats = engine
         .run(flags.budget)
         .unwrap_or_else(|e| fail(&format!("engine error: {e}")));
+    if let Some(remote) = &remote {
+        if let Some(snapshot) = engine.export_rtm() {
+            remote
+                .publish(fingerprint, &snapshot)
+                .unwrap_or_else(|e| fail(&format!("publish: {e}")));
+            println!("published {} traces back to the daemon", snapshot.len());
+        }
+    }
     println!(
         "{}: {} total instructions ({} executed, {} skipped)",
         if stats.halted {
@@ -280,6 +371,9 @@ fn cmd_run(path: &str, flags: &Flags) {
         stats.rtm.stores,
         stats.rtm.evictions
     );
+    if flags.digest {
+        println!("state digest: {:016x}", engine.vm().state_digest());
+    }
 }
 
 fn cmd_record(path: &str, flags: &Flags) {
@@ -287,7 +381,7 @@ fn cmd_record(path: &str, flags: &Flags) {
         .out
         .as_deref()
         .unwrap_or_else(|| fail("record needs --out TRACE"));
-    let program = load(path);
+    let program = load(path, flags.seed);
     let fingerprint = program_fingerprint(&program);
     let mut vm = Vm::new(&program);
     let (outcome, count) = if FileFormat::detect(Path::new(out)) == FileFormat::Json {
@@ -327,7 +421,7 @@ fn cmd_replay(path: &str, flags: &Flags) {
         .trace
         .as_deref()
         .unwrap_or_else(|| fail("replay needs --trace TRACE"));
-    let program = load(path);
+    let program = load(path, flags.seed);
     let fingerprint = program_fingerprint(&program);
     let stats = if FileFormat::detect(Path::new(trace)) == FileFormat::Json {
         let file = load_trace(Path::new(trace), Some(fingerprint))
@@ -359,7 +453,7 @@ fn cmd_snapshot(path: &str, flags: &Flags) {
         .out
         .as_deref()
         .unwrap_or_else(|| fail("snapshot needs --out SNAP"));
-    let program = load(path);
+    let program = load(path, flags.seed);
     let mut engine = TraceReuseEngine::new(
         &program,
         EngineConfig::paper(flags.rtm, flags.heuristic).with_policy(flags.policy),
@@ -449,6 +543,34 @@ fn cmd_serve(flags: &Flags) {
         registry.fingerprints().len(),
         flags.policy.label()
     );
+    // Both serve modes share the registry and its background refresh
+    // ticker; they differ only in who the clients are (other processes
+    // over the socket vs workload threads in this process).
+    let registry = std::sync::Arc::new(registry);
+    let _ticker = (flags.refresh_secs > 0).then(|| {
+        RefreshTicker::spawn(
+            std::sync::Arc::clone(&registry),
+            std::time::Duration::from_secs(flags.refresh_secs),
+        )
+    });
+    // --listen: host the registry as the tlrd daemon instead of driving
+    // workloads in this process. Runs until killed (or until a handle
+    // from the library API shuts it down); clients connect with
+    // `tlrsim run --remote SOCK` or `tlr_serve::RemoteRegistry`.
+    if let Some(sock) = flags.listen.as_deref() {
+        let daemon = Daemon::bind(Path::new(sock), registry)
+            .unwrap_or_else(|e| fail(&format!("{sock}: {e}")));
+        println!(
+            "tlrd listening on {sock} (protocol v{}, refresh every {}s)",
+            tlr_serve::PROTOCOL_VERSION,
+            flags.refresh_secs
+        );
+        daemon
+            .run()
+            .unwrap_or_else(|e| fail(&format!("daemon: {e}")));
+        return;
+    }
+    let registry = registry.as_ref();
     let config = EngineConfig::paper(flags.rtm, flags.heuristic).with_policy(flags.policy);
     let workloads = tlr_workloads::all();
     let threads = if flags.threads == 0 {
@@ -519,8 +641,8 @@ fn cmd_serve(flags: &Flags) {
     );
 }
 
-fn cmd_disasm(path: &str) {
-    let program = load(path);
+fn cmd_disasm(path: &str, flags: &Flags) {
+    let program = load(path, flags.seed);
     print!("{}", program.disassemble());
     if !program.data.is_empty() {
         println!("; data image: {} initialized words", program.data.len());
@@ -528,7 +650,7 @@ fn cmd_disasm(path: &str) {
 }
 
 fn cmd_analyze(path: &str, flags: &Flags) {
-    let program = load(path);
+    let program = load(path, flags.seed);
     let mut vm = Vm::new(&program);
     let mut sink = LimitStudySink::new(
         tlr_core::LimitConfig {
@@ -581,7 +703,7 @@ fn main() {
     let flags = parse_flags(&rest[positional.len()..]);
     match (cmd.as_str(), positional.as_slice()) {
         ("run", [file]) => cmd_run(file, &flags),
-        ("disasm", [file]) => cmd_disasm(file),
+        ("disasm", [file]) => cmd_disasm(file, &flags),
         ("analyze", [file]) => cmd_analyze(file, &flags),
         ("record", [file]) => cmd_record(file, &flags),
         ("replay", [file]) => cmd_replay(file, &flags),

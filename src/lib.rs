@@ -18,17 +18,17 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`isa`](tlr_isa) | Alpha-flavoured ISA, dynamic-instruction records, 21164 latency model |
-//! | [`asm`](tlr_asm) | two-pass assembler + programmatic builder |
-//! | [`vm`](tlr_vm) | functional simulator (the ATOM-instrumentation substitute) |
-//! | [`workloads`](tlr_workloads) | 14 SPEC95-named kernels with dialled-in reuse profiles |
-//! | [`timing`](tlr_timing) | Austin–Sohi dependence analysis; infinite & finite windows |
-//! | [`core`](tlr_core) | **the paper's contribution**: reusability tables, trace partitioning, the RTM, collection heuristics, the execution-driven engine, limit studies, theorems |
-//! | [`persist`](tlr_persist) | durable trace state: record/replay streams, RTM snapshots, warm starts |
-//! | [`serve`](tlr_serve) | sharded registry of warm RTMs keyed by program fingerprint, with snapshot merging |
-//! | [`pipeline`](tlr_pipeline) | cycle-level superscalar with the RTM at fetch (§3) |
-//! | [`stats`](tlr_stats) | means, tables, histograms, charts |
-//! | [`util`](tlr_util) | inline vectors, fx hashing, deterministic RNGs |
+//! | [`isa`] | Alpha-flavoured ISA, dynamic-instruction records, 21164 latency model |
+//! | [`asm`] | two-pass assembler + programmatic builder |
+//! | [`vm`] | functional simulator (the ATOM-instrumentation substitute) |
+//! | [`workloads`] | 14 SPEC95-named kernels with dialled-in reuse profiles |
+//! | [`timing`] | Austin–Sohi dependence analysis; infinite & finite windows |
+//! | [`core`] | **the paper's contribution**: reusability tables, trace partitioning, the RTM, collection heuristics, the execution-driven engine, limit studies, theorems |
+//! | [`persist`] | durable trace state: record/replay streams, RTM snapshots, warm starts |
+//! | [`serve`] | sharded registry of warm RTMs keyed by program fingerprint, with snapshot merging |
+//! | [`pipeline`] | cycle-level superscalar with the RTM at fetch (§3) |
+//! | [`stats`] | means, tables, histograms, charts |
+//! | [`util`] | inline vectors, fx hashing, deterministic RNGs |
 //!
 //! ## Quick start
 //!
@@ -75,7 +75,9 @@ pub mod prelude {
     pub use tlr_isa::{Alpha21164, CollectSink, DynInstr, Loc, NullSink, StreamSink};
     pub use tlr_persist::{PersistError, TraceReader, TraceWriter};
     pub use tlr_pipeline::{PipeConfig, Pipeline, ReuseConfig};
-    pub use tlr_serve::{RegistryConfig, SnapshotRegistry};
+    pub use tlr_serve::{
+        Daemon, DaemonHandle, RefreshTicker, RegistryConfig, RemoteRegistry, SnapshotRegistry,
+    };
     pub use tlr_timing::{analyze_base, TimingSim, Window};
     pub use tlr_vm::{RunOutcome, Vm};
 }
