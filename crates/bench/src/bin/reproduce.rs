@@ -4,7 +4,7 @@
 //! reproduce [OPTIONS] [TARGETS...]
 //!
 //! TARGETS: fig3 fig4 fig5 fig6 fig7 fig8 io fig9 ablation pipeline validbit schemes
-//!          warmstart fleet policy daemon all   (default: all)
+//!          warmstart fleet policy daemon decant all   (default: all)
 //!
 //! OPTIONS:
 //!   --budget N    dynamic instructions per benchmark   (default 400000)
@@ -15,7 +15,8 @@
 //!   --json OUT    also write every produced table to OUT as one
 //!                 machine-readable JSON document (config + targets)
 //!   --charts      also print ASCII bar charts
-//!   --check       exit nonzero on a regression (warmstart, fleet, policy)
+//!   --check       exit nonzero on a regression (warmstart, fleet, policy,
+//!                 daemon, decant)
 //! ```
 
 use std::collections::BTreeMap;
@@ -79,7 +80,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const HELP: &str = "reproduce [--budget N] [--seed N] [--window N] [--threads N] [--out DIR] [--json OUT] [--charts] [--check] \
-                    [fig3|fig4|fig5|fig6|fig7|fig8|io|fig9|ablation|pipeline|validbit|schemes|warmstart|fleet|policy|daemon|all ...]";
+                    [fig3|fig4|fig5|fig6|fig7|fig8|io|fig9|ablation|pipeline|validbit|schemes|warmstart|fleet|policy|daemon|decant|all ...]";
 
 /// JSON schema tag of the `--json` results document.
 const RESULTS_FORMAT: &str = "tlr-bench-v1";
@@ -427,6 +428,40 @@ fn main() {
                 std::process::exit(1);
             }
             println!("daemon check: ok");
+        }
+    }
+
+    if wants(&opts.targets, "decant") {
+        let start = std::time::Instant::now();
+        let cells = tlr_bench::run_decant(&opts.cfg, RtmConfig::RTM_32K);
+        eprintln!("[decant: {:?}]", start.elapsed());
+        emit(
+            &opts.out_dir,
+            doc,
+            "decant",
+            "Reuse attribution (ours): per-workload decant of the decision tap by class and loop structure",
+            &tlr_bench::decant_table(&cells),
+        );
+        emit(
+            &opts.out_dir,
+            doc,
+            "decant_classes",
+            "Reuse attribution (ours): per-opcode-class split, suite aggregate per policy",
+            &tlr_bench::decant_class_table(&cells),
+        );
+        emit(
+            &opts.out_dir,
+            doc,
+            "decant_loops",
+            "Reuse attribution (ours): per-loop-structure split, suite aggregate per policy",
+            &tlr_bench::decant_loop_table(&cells),
+        );
+        if opts.check {
+            if let Err(msg) = tlr_bench::check_decant(&cells) {
+                eprintln!("error: decant regression: {msg}");
+                std::process::exit(1);
+            }
+            println!("decant check: ok");
         }
     }
 

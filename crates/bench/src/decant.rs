@@ -1,0 +1,247 @@
+//! The reuse-attribution study (ours, enabled by `tlr-decant`).
+//!
+//! The paper reports *how much* is reused (§4); this experiment reports
+//! *who benefits*: every paper workload runs cold under every
+//! replacement policy with the engine's decision tap enabled, and the
+//! log is decanted by opcode class and by loop structure
+//! ([`tlr_decant::decant`]). The headline table shows, per
+//! workload × policy, the reuse rate, the attributed saved cycles
+//! (Alpha 21164 latencies), and where the reuse lives in the loop
+//! structure; companion tables aggregate the per-class and
+//! per-loop-shape split across the suite.
+//!
+//! The `--check` gate enforces the subsystem's contract rather than a
+//! performance ranking: attribution must **conserve the log's totals
+//! exactly** on every cell ([`Attribution::verify`]), must agree with
+//! the engine's own counters, and — because cold runs collect every
+//! trace live, with its mix — must leave *nothing* unattributed.
+
+use crate::harness::{pool_run, HarnessConfig};
+use tlr_core::{EngineConfig, ReplacementPolicy, RtmConfig, TraceReuseEngine};
+use tlr_decant::{decant, Attribution, LoopShape};
+use tlr_isa::{Alpha21164, LatencyModel, OpClass};
+use tlr_stats::{fnum, Table};
+
+// Collection heuristic for the tapped runs (the fleet/policy default).
+use crate::fleet::FLEET_WARM;
+
+/// One workload × policy attribution outcome.
+pub struct DecantCell {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Replacement policy the tapped cold run used.
+    pub policy: ReplacementPolicy,
+    /// Decanted attribution of the run's decision log.
+    pub attribution: Attribution,
+    /// Attribution sums match the log's totals exactly
+    /// ([`Attribution::verify`]) *and* the engine's own counters.
+    pub totals_exact: bool,
+}
+
+/// Run the attribution study: every paper workload × every policy, one
+/// tapped cold run each, decanted.
+pub fn run_decant(cfg: &HarnessConfig, rtm: RtmConfig) -> Vec<DecantCell> {
+    let mut tasks = Vec::new();
+    for w in tlr_workloads::all() {
+        for policy in ReplacementPolicy::ALL {
+            tasks.push((w, policy));
+        }
+    }
+    let threads = cfg.effective_threads(tasks.len());
+    pool_run(threads, tasks, |(w, policy)| {
+        let prog = w.program(cfg.seed);
+        let config = EngineConfig::paper(rtm, FLEET_WARM).with_policy(policy);
+        let mut engine = TraceReuseEngine::new(&prog, config);
+        // One decision covers at least one instruction, so a cap of
+        // `budget` never truncates and still bounds the tap's memory.
+        engine.enable_tap_with_cap(usize::try_from(cfg.budget).unwrap_or(usize::MAX));
+        let stats = engine
+            .run(cfg.budget)
+            .unwrap_or_else(|e| panic!("{} [{policy}]: engine error: {e}", w.name));
+        let log = engine.tap().expect("tap was enabled");
+        let attribution = decant(log);
+        let totals_exact = attribution.verify(log).is_ok()
+            && attribution.executed == stats.executed
+            && attribution.skipped == stats.skipped
+            && attribution.reuse_ops == stats.reuse_ops;
+        DecantCell {
+            name: w.name,
+            policy,
+            attribution,
+            totals_exact,
+        }
+    })
+}
+
+/// Headline table: per workload × policy, reuse rate, attributed saved
+/// cycles, and the loop-structure split of the skipped instructions.
+pub fn decant_table(cells: &[DecantCell]) -> Table {
+    let mut table = Table::new(vec![
+        "benchmark",
+        "policy",
+        "reuse %",
+        "decisions",
+        "skipped",
+        "saved cycles",
+        "loop %",
+        "unattrib",
+        "totals",
+    ]);
+    for cell in cells {
+        let a = &cell.attribution;
+        let in_loops =
+            a.shape(LoopShape::LoopHeader).skipped + a.shape(LoopShape::LoopBody).skipped;
+        let loop_pct = if a.skipped == 0 {
+            0.0
+        } else {
+            in_loops as f64 / a.skipped as f64 * 100.0
+        };
+        table.row(vec![
+            cell.name.to_string(),
+            cell.policy.label().to_string(),
+            fnum(a.pct_reused(), 1),
+            (a.executed + a.reuse_ops).to_string(),
+            a.skipped.to_string(),
+            a.saved_cycles(&Alpha21164).to_string(),
+            fnum(loop_pct, 1),
+            a.unattributed.to_string(),
+            if cell.totals_exact {
+                "exact"
+            } else {
+                "MISMATCH"
+            }
+            .to_string(),
+        ]);
+    }
+    table
+}
+
+/// Per-opcode-class attribution aggregated across the whole suite, one
+/// block of rows per policy.
+pub fn decant_class_table(cells: &[DecantCell]) -> Table {
+    let mut table = Table::new(vec![
+        "policy",
+        "class",
+        "executed",
+        "skipped",
+        "reuse %",
+        "saved cycles",
+    ]);
+    for policy in ReplacementPolicy::ALL {
+        let mut exec = [0u64; OpClass::COUNT];
+        let mut skip = [0u64; OpClass::COUNT];
+        for cell in cells.iter().filter(|c| c.policy == policy) {
+            for i in 0..OpClass::COUNT {
+                exec[i] += cell.attribution.exec_by_class[i];
+                skip[i] += cell.attribution.skip_by_class[i];
+            }
+        }
+        for &class in &OpClass::ALL {
+            let (e, s) = (exec[class.index()], skip[class.index()]);
+            if e == 0 && s == 0 {
+                continue;
+            }
+            table.row(vec![
+                policy.label().to_string(),
+                class.label().to_string(),
+                e.to_string(),
+                s.to_string(),
+                fnum(s as f64 / (e + s) as f64 * 100.0, 1),
+                s.saturating_mul(Alpha21164.latency(class)).to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// Per-loop-structure attribution aggregated across the whole suite,
+/// one block of rows per policy.
+pub fn decant_loop_table(cells: &[DecantCell]) -> Table {
+    let mut table = Table::new(vec![
+        "policy",
+        "context",
+        "executed",
+        "skipped",
+        "reuse ops",
+        "reuse %",
+    ]);
+    for policy in ReplacementPolicy::ALL {
+        for shape in LoopShape::ALL {
+            let mut bucket = tlr_decant::ShapeBucket::default();
+            for cell in cells.iter().filter(|c| c.policy == policy) {
+                let b = cell.attribution.shape(shape);
+                bucket.executed += b.executed;
+                bucket.skipped += b.skipped;
+                bucket.reuse_ops += b.reuse_ops;
+            }
+            table.row(vec![
+                policy.label().to_string(),
+                shape.label().to_string(),
+                bucket.executed.to_string(),
+                bucket.skipped.to_string(),
+                bucket.reuse_ops.to_string(),
+                fnum(bucket.pct_reused(), 1),
+            ]);
+        }
+    }
+    table
+}
+
+/// Regression gate for CI: exact conservation on every cell, a
+/// non-empty log for every cell, no truncation, and — cold runs
+/// collect every trace live — nothing unattributed.
+pub fn check_decant(cells: &[DecantCell]) -> Result<(), String> {
+    for cell in cells {
+        let a = &cell.attribution;
+        let tag = format!("{} [{}]", cell.name, cell.policy);
+        if !cell.totals_exact {
+            return Err(format!(
+                "{tag}: attribution does not sum to the decision log's totals"
+            ));
+        }
+        if a.total() == 0 {
+            return Err(format!("{tag}: empty attribution (tap recorded nothing)"));
+        }
+        if a.dropped != 0 {
+            return Err(format!(
+                "{tag}: decision log dropped {} events despite a budget-sized cap",
+                a.dropped
+            ));
+        }
+        if a.unattributed != 0 {
+            return Err(format!(
+                "{tag}: {} skipped instructions lost their class on a cold run",
+                a.unattributed
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decant_study_conserves_totals_on_every_cell() {
+        let cfg = HarnessConfig {
+            budget: 20_000,
+            ..HarnessConfig::quick()
+        };
+        let cells = run_decant(&cfg, RtmConfig::RTM_32K);
+        assert_eq!(
+            cells.len(),
+            tlr_workloads::all().len() * ReplacementPolicy::ALL.len()
+        );
+        check_decant(&cells).unwrap();
+        // At least one workload must show real reuse for the tables to
+        // say anything.
+        assert!(cells.iter().any(|c| c.attribution.reuse_ops > 0));
+        assert_eq!(decant_table(&cells).len(), cells.len());
+        assert!(!decant_class_table(&cells).is_empty());
+        assert_eq!(
+            decant_loop_table(&cells).len(),
+            ReplacementPolicy::ALL.len() * LoopShape::ALL.len()
+        );
+    }
+}

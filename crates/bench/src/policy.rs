@@ -9,19 +9,28 @@
 //! snapshots are pooled with [`RtmSnapshot::merge_with`] under the
 //! policy, then a warm run serves from the pool).
 //!
+//! A fourth configuration closes the tap → decant → policy loop: per
+//! workload, a tapped probe run under plain cost/benefit is decanted
+//! ([`tlr_decant::decant`]) into measured per-class weights
+//! ([`Attribution::class_weights`]), and the sweep then runs
+//! [`ReplacementPolicy::CostBenefitMeasured`] with those weights
+//! alongside the built-in length-weighted variant.
+//!
 //! Replacement never touches the reuse *test*, so every configuration
 //! must leave the architecture exactly where plain execution leaves it.
 //! Each engine run is checked against a fresh plain-VM run of the same
 //! dynamic instruction count ([`PolicyCell::state_ok`]); `--check` turns
 //! any mismatch into a nonzero exit.
+//!
+//! [`Attribution::class_weights`]: tlr_decant::Attribution::class_weights
 
 use crate::fleet::{FLEET_COLD_A, FLEET_COLD_B, FLEET_WARM};
 use crate::harness::{pool_run, HarnessConfig};
 use tlr_core::{
-    EngineConfig, EngineStats, Heuristic, ReplacementPolicy, RtmConfig, RtmSnapshot,
+    ClassWeights, EngineConfig, EngineStats, Heuristic, ReplacementPolicy, RtmConfig, RtmSnapshot,
     TraceReuseEngine,
 };
-use tlr_isa::NullSink;
+use tlr_isa::{Alpha21164, NullSink};
 use tlr_stats::Table;
 use tlr_vm::Vm;
 
@@ -63,17 +72,47 @@ fn baseline_digest(prog: &tlr_asm::Program, total: u64) -> u64 {
     state_digest(&vm)
 }
 
+/// Label of the decant-derived measured-weights configuration in the
+/// sweep (it is not a member of [`ReplacementPolicy::ALL`] because its
+/// weights are measured per workload, not fixed).
+pub fn measured_label() -> &'static str {
+    ReplacementPolicy::CostBenefitMeasured(ClassWeights::UNIT).label()
+}
+
 /// Run the policy sweep over every workload × policy, in parallel.
+///
+/// Tasks carry `Some(policy)` for the three fixed policies and `None`
+/// for the measured-weights configuration, which first derives its
+/// [`ClassWeights`] from a tapped probe run of the same workload.
 pub fn run_policy_sweep(cfg: &HarnessConfig, rtm: RtmConfig) -> Vec<PolicyCell> {
     let mut tasks = Vec::new();
     for w in tlr_workloads::all() {
         for policy in ReplacementPolicy::ALL {
-            tasks.push((w, policy));
+            tasks.push((w, Some(policy)));
         }
+        tasks.push((w, None));
     }
     let threads = cfg.effective_threads(tasks.len());
-    pool_run(threads, tasks, |(w, policy)| {
+    pool_run(threads, tasks, |(w, preset)| {
         let prog = w.program(cfg.seed);
+        let policy = match preset {
+            Some(policy) => policy,
+            None => {
+                // Tapped probe run under plain cost/benefit; its decanted
+                // attribution prices each opcode class by measured saved
+                // cycles per skipped instruction.
+                let config = EngineConfig::paper(rtm, FLEET_WARM)
+                    .with_policy(ReplacementPolicy::CostBenefit);
+                let mut probe = TraceReuseEngine::new(&prog, config);
+                probe.enable_tap_with_cap(usize::try_from(cfg.budget).unwrap_or(usize::MAX));
+                probe
+                    .run(cfg.budget)
+                    .unwrap_or_else(|e| panic!("{}: probe engine error: {e}", w.name));
+                let weights = tlr_decant::decant(probe.tap().expect("tap was enabled"))
+                    .class_weights(&Alpha21164);
+                ReplacementPolicy::CostBenefitMeasured(weights)
+            }
+        };
         let run = |config: EngineConfig, warm: Option<&RtmSnapshot>| -> (EngineStats, bool) {
             let mut engine = match warm {
                 Some(snapshot) => TraceReuseEngine::new_warm(&prog, config, snapshot),
@@ -145,8 +184,12 @@ pub fn policy_table(cells: &[PolicyCell]) -> Table {
             if cell.state_ok { "ok" } else { "MISMATCH" }.to_string(),
         ]);
     }
-    for policy in ReplacementPolicy::ALL {
-        let subset: Vec<&PolicyCell> = cells.iter().filter(|c| c.policy == policy).collect();
+    let mut labels: Vec<&'static str> = ReplacementPolicy::ALL.iter().map(|p| p.label()).collect();
+    labels.push(measured_label());
+    for label in labels {
+        // Group by label: measured cells carry per-workload weights, so
+        // they never compare equal as policies but share one label.
+        let subset: Vec<&PolicyCell> = cells.iter().filter(|c| c.policy.label() == label).collect();
         if subset.is_empty() {
             continue;
         }
@@ -159,7 +202,7 @@ pub fn policy_table(cells: &[PolicyCell]) -> Table {
             / n;
         table.row(vec![
             "mean".to_string(),
-            policy.label().to_string(),
+            label.to_string(),
             format!("{cold:.1}"),
             format!("{warm:.1}"),
             format!("{:+.1}", warm - cold),
@@ -204,12 +247,18 @@ mod tests {
             ..HarnessConfig::quick()
         };
         let cells = run_policy_sweep(&cfg, RtmConfig::RTM_32K);
+        // Three fixed policies plus the measured-weights configuration.
         assert_eq!(
             cells.len(),
-            tlr_workloads::all().len() * ReplacementPolicy::ALL.len()
+            tlr_workloads::all().len() * (ReplacementPolicy::ALL.len() + 1)
         );
         check_policy(&cells).unwrap();
+        let measured: Vec<&PolicyCell> = cells
+            .iter()
+            .filter(|c| c.policy.label() == measured_label())
+            .collect();
+        assert_eq!(measured.len(), tlr_workloads::all().len());
         let table = policy_table(&cells);
-        assert_eq!(table.len(), cells.len() + ReplacementPolicy::ALL.len());
+        assert_eq!(table.len(), cells.len() + ReplacementPolicy::ALL.len() + 1);
     }
 }

@@ -359,6 +359,7 @@ mod tests {
             len: 4,
             ins: Box::new([]),
             outs: Box::new([]),
+            mix: Default::default(),
         };
         let out = c.on_reuse_hit(&hit);
         assert_eq!(out.len(), 1);
@@ -399,6 +400,7 @@ mod tests {
             len: 3,
             ins: vec![(R1, 1)].into_boxed_slice(),
             outs: vec![(R2, 2)].into_boxed_slice(),
+            mix: Default::default(),
         };
         let t2 = TraceRecord {
             start_pc: 3,
@@ -406,6 +408,7 @@ mod tests {
             len: 4,
             ins: vec![(R2, 2)].into_boxed_slice(),
             outs: vec![(R1, 9)].into_boxed_slice(),
+            mix: Default::default(),
         };
         assert!(c.on_reuse_hit(&t1).is_empty());
         let out = c.on_reuse_hit(&t2);
@@ -420,6 +423,7 @@ mod tests {
             len: 2,
             ins: Box::new([]),
             outs: Box::new([]),
+            mix: Default::default(),
         };
         let out = c.on_reuse_hit(&t3);
         assert_eq!(out.len(), 1);
@@ -441,6 +445,7 @@ mod tests {
             len: 3,
             ins: vec![(R1, 1)].into_boxed_slice(),
             outs: Box::new([]),
+            mix: Default::default(),
         };
         assert!(c.on_reuse_hit(&base).is_empty());
         // Now a and b execute again (reusable) and then a fresh one ends
@@ -465,6 +470,7 @@ mod tests {
             len: 2,
             ins: Box::new([]),
             outs: Box::new([]),
+            mix: Default::default(),
         };
         assert!(c.on_reuse_hit(&t).is_empty());
         assert!(c.on_reuse_hit(&t).is_empty());

@@ -53,6 +53,10 @@ pub struct EngineConfig {
     /// [`ReplacementPolicy::Lru`]). Ignored by the valid-bit backend,
     /// which has its own invalid-first reclamation.
     pub policy: ReplacementPolicy,
+    /// Aging half-life (in RTM ticks) for [`ReplacementPolicy::Lfu`]
+    /// victim selection; [`crate::policy::LFU_HALF_LIFE`] by default.
+    /// Other policies ignore it.
+    pub lfu_half_life: u64,
 }
 
 impl EngineConfig {
@@ -65,6 +69,7 @@ impl EngineConfig {
             caps: IoCaps::PAPER,
             reuse_test: ReuseTest::ValueCompare,
             policy: ReplacementPolicy::Lru,
+            lfu_half_life: crate::policy::LFU_HALF_LIFE,
         }
     }
 
@@ -77,6 +82,13 @@ impl EngineConfig {
     /// Same configuration under a different RTM replacement policy.
     pub fn with_policy(mut self, policy: ReplacementPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Same configuration under a different LFU aging half-life (the
+    /// `--lfu-half-life` knob).
+    pub fn with_lfu_half_life(mut self, half_life: u64) -> Self {
+        self.lfu_half_life = half_life;
         self
     }
 }
@@ -93,11 +105,17 @@ pub enum ReuseEvent {
         len: u32,
         /// Where control resumed.
         next_pc: u32,
+        /// Per-class histogram of the skipped instructions. May total
+        /// less than `len` when the trace came from a snapshot written
+        /// before mixes existed; the shortfall is *unattributed*.
+        mix: tlr_isa::ClassMix,
     },
     /// The reuse test missed at `pc` and one instruction executed.
     Exec {
         /// Fetch PC that executed normally.
         pc: u32,
+        /// Class of the executed instruction.
+        class: tlr_isa::OpClass,
     },
 }
 
@@ -106,14 +124,52 @@ pub enum ReuseEvent {
 /// VM (validating *what* executed), this validates the *engine*: two
 /// runs under the same configuration must take identical decisions, and
 /// a warm start must change them only by hitting earlier.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DecisionLog {
-    /// Every decision, in fetch order.
+    /// Every decision, in fetch order (oldest first; recording stops at
+    /// the cap, see [`DecisionLog::dropped`]).
     pub events: Vec<ReuseEvent>,
+    /// Decisions *not* recorded because the cap was reached. The digest
+    /// covers this count, so a truncated log never silently matches a
+    /// complete one of the same prefix.
+    pub dropped: u64,
+    /// Maximum events retained ([`usize::MAX`] = unbounded).
+    cap: usize,
+}
+
+impl Default for DecisionLog {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl DecisionLog {
-    /// Number of decisions recorded.
+    /// An unbounded log.
+    pub fn new() -> Self {
+        Self::with_cap(usize::MAX)
+    }
+
+    /// A log that retains at most `cap` events; further decisions are
+    /// counted in [`DecisionLog::dropped`] instead of growing the
+    /// buffer, so tapping a long run cannot exhaust memory.
+    pub fn with_cap(cap: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            dropped: 0,
+            cap,
+        }
+    }
+
+    /// Record one decision, honouring the cap.
+    pub fn push(&mut self, event: ReuseEvent) {
+        if self.events.len() < self.cap {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of decisions recorded (excluding dropped ones).
     pub fn len(&self) -> usize {
         self.events.len()
     }
@@ -132,6 +188,7 @@ impl DecisionLog {
         for event in &self.events {
             event.hash(&mut h);
         }
+        self.dropped.hash(&mut h);
         h.finish()
     }
 }
@@ -206,9 +263,10 @@ impl TraceReuseEngine {
             Heuristic::FixedExp(_) | Heuristic::BasicBlock => None,
         };
         let rtm: Box<dyn ReuseBackend> = match config.reuse_test {
-            ReuseTest::ValueCompare => {
-                Box::new(ReuseTraceMemory::new_with(config.rtm, config.policy))
-            }
+            ReuseTest::ValueCompare => Box::new(
+                ReuseTraceMemory::new_with(config.rtm, config.policy)
+                    .with_lfu_half_life(config.lfu_half_life),
+            ),
             ReuseTest::ValidBit => Box::new(InvalidatingRtm::new(config.rtm.geometry)),
         };
         Self {
@@ -240,7 +298,10 @@ impl TraceReuseEngine {
                 ..config
             },
         );
-        engine.rtm = Box::new(ReuseTraceMemory::import_with(snapshot, config.policy));
+        engine.rtm = Box::new(
+            ReuseTraceMemory::import_with(snapshot, config.policy)
+                .with_lfu_half_life(config.lfu_half_life),
+        );
         engine
     }
 
@@ -253,7 +314,14 @@ impl TraceReuseEngine {
     /// (replaces any previous log). Costs one event per engine step, so
     /// enable it for validation runs, not for long sweeps.
     pub fn enable_tap(&mut self) {
-        self.tap = Some(DecisionLog::default());
+        self.tap = Some(DecisionLog::new());
+    }
+
+    /// Like [`enable_tap`](TraceReuseEngine::enable_tap), but the log
+    /// retains at most `cap` events (the rest are counted as dropped) —
+    /// use this to tap arbitrarily long runs with bounded memory.
+    pub fn enable_tap_with_cap(&mut self, cap: usize) {
+        self.tap = Some(DecisionLog::with_cap(cap));
     }
 
     /// The decision log so far, if the tap is enabled.
@@ -305,10 +373,11 @@ impl TraceReuseEngine {
             self.reuse_ops += 1;
             self.reused_sizes.record(hit.len as u64);
             if let Some(tap) = self.tap.as_mut() {
-                tap.events.push(ReuseEvent::Hit {
+                tap.push(ReuseEvent::Hit {
                     pc,
                     len: hit.len,
                     next_pc: hit.next_pc,
+                    mix: hit.mix,
                 });
             }
             // The trace's outputs are architectural writes: valid-bit
@@ -328,7 +397,7 @@ impl TraceReuseEngine {
             StepResult::Executed(d) => {
                 self.executed += 1;
                 if let Some(tap) = self.tap.as_mut() {
-                    tap.events.push(ReuseEvent::Exec { pc });
+                    tap.push(ReuseEvent::Exec { pc, class: d.class });
                 }
                 for (loc, _) in d.writes.iter() {
                     self.rtm.on_write(*loc);
@@ -529,15 +598,121 @@ mod tests {
         // The log accounts for every step: hits carry trace lengths,
         // execs one instruction each.
         let (mut skipped, mut executed) = (0u64, 0u64);
+        let mut mix_total = 0u64;
         for event in &first.events {
             match event {
-                ReuseEvent::Hit { len, .. } => skipped += *len as u64,
+                ReuseEvent::Hit { len, mix, .. } => {
+                    skipped += *len as u64;
+                    mix_total += mix.total();
+                }
                 ReuseEvent::Exec { .. } => executed += 1,
             }
         }
         let stats = TraceReuseEngine::new(&prog, config).run(100_000).unwrap();
         assert_eq!(skipped, stats.skipped);
         assert_eq!(executed, stats.executed);
+        // Cold-run traces are collected with full mixes, so every hit is
+        // fully attributed by instruction class.
+        assert_eq!(mix_total, stats.skipped, "unattributed skips in a cold run");
+    }
+
+    #[test]
+    fn tap_cap_bounds_memory_and_digest_sees_truncation() {
+        let prog = assemble(HOT_LOOP).unwrap();
+        let config = EngineConfig::paper(RtmConfig::RTM_4K, Heuristic::FixedExp(4));
+        let mut engine = TraceReuseEngine::new(&prog, config);
+        engine.enable_tap_with_cap(100);
+        engine.run(100_000).unwrap();
+        let capped = engine.take_tap().unwrap();
+        assert_eq!(capped.len(), 100);
+        assert!(capped.dropped > 0, "the run surely took > 100 decisions");
+
+        let mut full_engine = TraceReuseEngine::new(&prog, config);
+        full_engine.enable_tap();
+        full_engine.run(100_000).unwrap();
+        let full = full_engine.take_tap().unwrap();
+        assert_eq!(full.dropped, 0);
+        assert_eq!(
+            capped.events[..],
+            full.events[..100],
+            "the cap must truncate, not alter, the stream"
+        );
+        // Same prefix, but the digest must still distinguish them.
+        assert_ne!(capped.digest(), full.digest());
+        let mut prefix = DecisionLog::new();
+        for e in &full.events[..100] {
+            prefix.push(*e);
+        }
+        assert_ne!(
+            capped.digest(),
+            prefix.digest(),
+            "dropped count is digested"
+        );
+    }
+
+    #[test]
+    fn tap_digest_replays_identically_under_every_policy() {
+        // The engine-level replay oracle, exercised across all three
+        // stock policies plus the measured cost-benefit variant: same
+        // program + config ⇒ bit-identical decision streams.
+        let prog = assemble(HOT_LOOP).unwrap();
+        let mut weights_table = [1u16; tlr_isa::OpClass::COUNT];
+        weights_table[tlr_isa::OpClass::Load.index()] = 2;
+        let mut policies = crate::policy::ReplacementPolicy::ALL.to_vec();
+        policies.push(ReplacementPolicy::CostBenefitMeasured(
+            crate::policy::ClassWeights::from_table(weights_table),
+        ));
+        for policy in policies {
+            let run = || {
+                let mut engine = TraceReuseEngine::new(
+                    &prog,
+                    EngineConfig::paper(RtmConfig::RTM_512, Heuristic::FixedExp(4))
+                        .with_policy(policy),
+                );
+                engine.enable_tap();
+                let stats = engine.run(60_000).unwrap();
+                (engine.take_tap().unwrap(), stats)
+            };
+            let ((first, stats), (second, _)) = (run(), run());
+            assert!(!first.is_empty(), "{policy}");
+            assert_eq!(first.digest(), second.digest(), "{policy}");
+            assert_eq!(first, second, "{policy}: decisions not deterministic");
+            // The log reconstructs the run's totals exactly.
+            let (mut skipped, mut executed) = (0u64, 0u64);
+            for event in &first.events {
+                match event {
+                    ReuseEvent::Hit { len, .. } => skipped += u64::from(*len),
+                    ReuseEvent::Exec { .. } => executed += 1,
+                }
+            }
+            assert_eq!(skipped, stats.skipped, "{policy}");
+            assert_eq!(executed, stats.executed, "{policy}");
+        }
+    }
+
+    #[test]
+    fn lfu_half_life_knob_reaches_the_rtm() {
+        // A maximally forgetful half-life must change LFU victim choices
+        // on some workload/geometry; at minimum the config plumbs through
+        // and runs stay architecturally correct.
+        let prog = assemble(HOT_LOOP).unwrap();
+        let mut plain = tlr_vm::Vm::new(&prog);
+        plain.run(1_000_000, &mut NullSink).unwrap();
+        let expect = plain.peek_loc(Loc::Mem(64));
+        for half_life in [1u64, 64, crate::policy::LFU_HALF_LIFE, u64::MAX] {
+            let config = EngineConfig::paper(RtmConfig::RTM_512, Heuristic::FixedExp(4))
+                .with_policy(ReplacementPolicy::Lfu)
+                .with_lfu_half_life(half_life);
+            assert_eq!(config.lfu_half_life, half_life);
+            let mut engine = TraceReuseEngine::new(&prog, config);
+            let stats = engine.run(1_000_000).unwrap();
+            assert!(stats.halted, "half_life={half_life}");
+            assert_eq!(
+                engine.vm().peek_loc(Loc::Mem(64)),
+                expect,
+                "half_life={half_life} corrupted state"
+            );
+        }
     }
 
     #[test]

@@ -20,6 +20,58 @@
 //! never what may be reused, so every policy preserves architectural
 //! equivalence (the `reproduce policy` sweep asserts this).
 
+use tlr_isa::{ClassMix, OpClass};
+
+/// Per-[`OpClass`] eviction weights for
+/// [`ReplacementPolicy::CostBenefitMeasured`]: roughly "cycles a skipped
+/// instruction of this class saves", as measured by a decant attribution
+/// pass. Weights are clamped to ≥ 1 when scoring so an unobserved class
+/// never zeroes a trace's benefit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ClassWeights {
+    weights: [u16; OpClass::COUNT],
+}
+
+impl Default for ClassWeights {
+    fn default() -> Self {
+        Self::UNIT
+    }
+}
+
+impl ClassWeights {
+    /// All-ones weights: every instruction worth exactly one unit, which
+    /// makes the measured score degenerate to the plain
+    /// [`ReplacementPolicy::CostBenefit`] length weighting.
+    pub const UNIT: ClassWeights = ClassWeights {
+        weights: [1; OpClass::COUNT],
+    };
+
+    /// Build from a per-class table in [`OpClass::ALL`] order.
+    pub fn from_table(weights: [u16; OpClass::COUNT]) -> Self {
+        Self { weights }
+    }
+
+    /// The weight for one class.
+    #[inline]
+    pub fn get(&self, class: OpClass) -> u16 {
+        self.weights[class.index()]
+    }
+
+    /// Weighted instruction count of a trace: each attributed
+    /// instruction costs its class weight, and any *unattributed* tail
+    /// (`len − mix.total()`, nonzero only for records imported from
+    /// pre-mix snapshots) costs 1 — so a zero-mix record scores exactly
+    /// its length and never gains or loses rank from missing data.
+    pub fn effective_len(&self, len: u32, mix: ClassMix) -> u128 {
+        let attributed: u128 = mix
+            .iter()
+            .map(|(class, n)| u128::from(n) * u128::from(self.get(class).max(1)))
+            .sum();
+        let unattributed = u128::from(len).saturating_sub(mix.total() as u128);
+        attributed + unattributed
+    }
+}
+
 /// How the RTM picks victims under capacity pressure.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum ReplacementPolicy {
@@ -40,6 +92,16 @@ pub enum ReplacementPolicy {
     /// that skips many instructions per reuse outranks a short one with
     /// the same hit count. Groups are ranked by the same score summed.
     CostBenefit,
+    /// Cost/benefit with *measured* per-class weights instead of raw
+    /// length: benefit = `(hits + 1) ×` [`ClassWeights::effective_len`],
+    /// pricing each skipped instruction by what a decant attribution
+    /// pass observed its class to actually save. With
+    /// [`ClassWeights::UNIT`] this is exactly
+    /// [`ReplacementPolicy::CostBenefit`]. Not in [`ALL`](Self::ALL)
+    /// (weights come from a measurement, not a CLI spelling); the
+    /// `reproduce policy` sweep reports it alongside the length-weighted
+    /// variant.
+    CostBenefitMeasured(ClassWeights),
 }
 
 impl ReplacementPolicy {
@@ -56,6 +118,7 @@ impl ReplacementPolicy {
             ReplacementPolicy::Lru => "lru",
             ReplacementPolicy::Lfu => "lfu",
             ReplacementPolicy::CostBenefit => "cost-benefit",
+            ReplacementPolicy::CostBenefitMeasured(_) => "cost-benefit-measured",
         }
     }
 
@@ -118,12 +181,26 @@ impl TraceMeta {
         (self.hits as u128 + 1) * trace_len as u128
     }
 
+    /// The measured cost/benefit score: like [`TraceMeta::benefit`], but
+    /// each skipped instruction is priced by its class weight instead of
+    /// counting 1. `ClassWeights::UNIT` makes the two scores identical.
+    pub fn benefit_measured(&self, trace_len: u32, mix: ClassMix, weights: &ClassWeights) -> u128 {
+        (self.hits as u128 + 1) * weights.effective_len(trace_len, mix)
+    }
+
     /// The LFU ranking score at RTM tick `now`: the recorded hit count
     /// halved once per [`LFU_HALF_LIFE`] ticks since the last use.
     /// Saturating: ticks from a previous life (an imported snapshot's
     /// `last_use` can exceed a fresh RTM's clock) age nothing.
     pub fn decayed_hits(&self, now: u64) -> u64 {
-        let epochs = (now.saturating_sub(self.last_use) / LFU_HALF_LIFE).min(63);
+        self.decayed_hits_with(now, LFU_HALF_LIFE)
+    }
+
+    /// [`TraceMeta::decayed_hits`] under a caller-chosen half-life (the
+    /// `--lfu-half-life` knob). A zero half-life is treated as 1 tick —
+    /// maximally forgetful — rather than a division by zero.
+    pub fn decayed_hits_with(&self, now: u64, half_life: u64) -> u64 {
+        let epochs = (now.saturating_sub(self.last_use) / half_life.max(1)).min(63);
         self.hits >> epochs
     }
 }
@@ -193,6 +270,79 @@ mod tests {
             ..TraceMeta::default()
         };
         assert_eq!(ancient.decayed_hits(u64::MAX), u64::MAX >> 63);
+    }
+
+    #[test]
+    fn decayed_hits_with_respects_custom_half_life() {
+        let meta = TraceMeta {
+            hits: 8,
+            last_use: 100,
+            ..TraceMeta::default()
+        };
+        // A shorter half-life forgets faster than the default …
+        assert_eq!(meta.decayed_hits_with(100 + 64, 64), 4);
+        assert_eq!(meta.decayed_hits(100 + 64), 8);
+        // … a longer one slower.
+        assert_eq!(meta.decayed_hits_with(100 + 4 * LFU_HALF_LIFE, u64::MAX), 8);
+        // The default delegates.
+        assert_eq!(
+            meta.decayed_hits(100 + LFU_HALF_LIFE),
+            meta.decayed_hits_with(100 + LFU_HALF_LIFE, LFU_HALF_LIFE)
+        );
+        // Zero half-life is clamped, not a division by zero.
+        assert_eq!(meta.decayed_hits_with(100 + 63, 0), 0);
+    }
+
+    #[test]
+    fn unit_weights_reduce_measured_benefit_to_plain() {
+        let meta = TraceMeta {
+            hits: 5,
+            ..TraceMeta::default()
+        };
+        let mut mix = ClassMix::EMPTY;
+        for _ in 0..3 {
+            mix.record(OpClass::FpDiv);
+        }
+        mix.record(OpClass::Load);
+        assert_eq!(
+            meta.benefit_measured(4, mix, &ClassWeights::UNIT),
+            meta.benefit(4)
+        );
+        // Zero-mix records (old snapshots) also score exactly their
+        // length under any weights' unattributed fallback.
+        assert_eq!(
+            meta.benefit_measured(9, ClassMix::EMPTY, &ClassWeights::UNIT),
+            meta.benefit(9)
+        );
+    }
+
+    #[test]
+    fn measured_weights_price_classes_differently() {
+        let mut table = [1u16; OpClass::COUNT];
+        table[OpClass::FpDiv.index()] = 22;
+        let weights = ClassWeights::from_table(table);
+        let mut divs = ClassMix::EMPTY;
+        divs.record(OpClass::FpDiv);
+        divs.record(OpClass::FpDiv);
+        let mut alus = ClassMix::EMPTY;
+        alus.record(OpClass::IntAlu);
+        alus.record(OpClass::IntAlu);
+        let meta = TraceMeta::default();
+        // Same length, but the divide-heavy trace saves far more.
+        assert!(
+            meta.benefit_measured(2, divs, &weights) > meta.benefit_measured(2, alus, &weights)
+        );
+        assert_eq!(meta.benefit_measured(2, divs, &weights), 44);
+        // Attributed part weighted, unattributed tail counts 1 each.
+        assert_eq!(meta.benefit_measured(5, divs, &weights), 44 + 3);
+        // A zero weight is clamped to 1 when scoring.
+        let zeroed = ClassWeights::from_table([0; OpClass::COUNT]);
+        assert_eq!(meta.benefit_measured(2, alus, &zeroed), 2);
+        assert_eq!(
+            ReplacementPolicy::CostBenefitMeasured(weights).label(),
+            "cost-benefit-measured"
+        );
+        assert_eq!(ReplacementPolicy::parse("cost-benefit-measured"), None);
     }
 
     #[test]

@@ -289,6 +289,17 @@ impl RtmSnapshot {
         snapshots: &[RtmSnapshot],
         policy: ReplacementPolicy,
     ) -> Result<MergeOutcome, MergeError> {
+        Self::merge_detailed_tuned(snapshots, policy, crate::policy::LFU_HALF_LIFE)
+    }
+
+    /// [`merge_detailed_with`](RtmSnapshot::merge_detailed_with) under a
+    /// caller-chosen LFU aging half-life (the `--lfu-half-life` knob;
+    /// only [`ReplacementPolicy::Lfu`] victim selection consults it).
+    pub fn merge_detailed_tuned(
+        snapshots: &[RtmSnapshot],
+        policy: ReplacementPolicy,
+        lfu_half_life: u64,
+    ) -> Result<MergeOutcome, MergeError> {
         let first = snapshots.first().ok_or(MergeError::Empty)?;
         for s in &snapshots[1..] {
             if s.config != first.config {
@@ -298,7 +309,8 @@ impl RtmSnapshot {
                 });
             }
         }
-        let mut rtm = ReuseTraceMemory::new_with(first.config, policy);
+        let mut rtm =
+            ReuseTraceMemory::new_with(first.config, policy).with_lfu_half_life(lfu_half_life);
         let input_traces: usize = snapshots.iter().map(|s| s.traces.len()).sum();
         let mut iters: Vec<_> = snapshots.iter().map(|s| s.entries()).collect();
         loop {
@@ -432,17 +444,22 @@ pub struct ReuseTraceMemory {
     tick: u64,
     /// Run id stamped into fresh inserts' provenance.
     source_run: u64,
+    /// Aging half-life for [`ReplacementPolicy::Lfu`] victim selection,
+    /// in RTM ticks ([`crate::policy::LFU_HALF_LIFE`] by default).
+    lfu_half_life: u64,
 }
 
 /// Pick the entry to evict from a full PC group (entries in LRU→MRU
 /// order), honouring `policy` and never choosing a `pinned` record when
 /// an unpinned candidate exists. `now` is the RTM tick the LFU aging
-/// term measures idleness against ([`TraceMeta::decayed_hits`]).
+/// term measures idleness against, and `half_life` its aging rate
+/// ([`TraceMeta::decayed_hits_with`]).
 fn entry_victim(
     policy: ReplacementPolicy,
     entries: &[RtmEntry],
     pinned: Option<&FxHashSet<TraceRecord>>,
     now: u64,
+    half_life: u64,
 ) -> usize {
     let mut candidates = entries
         .iter()
@@ -452,10 +469,25 @@ fn entry_victim(
         // First candidate in LRU→MRU order is the least recently used.
         ReplacementPolicy::Lru => candidates.next().map(|(i, _)| i),
         ReplacementPolicy::Lfu => candidates
-            .min_by_key(|(i, e)| (e.meta.decayed_hits(now), e.meta.last_use, *i))
+            .min_by_key(|(i, e)| {
+                (
+                    e.meta.decayed_hits_with(now, half_life),
+                    e.meta.last_use,
+                    *i,
+                )
+            })
             .map(|(i, _)| i),
         ReplacementPolicy::CostBenefit => candidates
             .min_by_key(|(i, e)| (e.meta.benefit(e.rec.len), e.meta.last_use, *i))
+            .map(|(i, _)| i),
+        ReplacementPolicy::CostBenefitMeasured(weights) => candidates
+            .min_by_key(|(i, e)| {
+                (
+                    e.meta.benefit_measured(e.rec.len, e.rec.mix, &weights),
+                    e.meta.last_use,
+                    *i,
+                )
+            })
             .map(|(i, _)| i),
     }
     .unwrap_or(0)
@@ -469,6 +501,7 @@ fn group_victim(
     groups: &[PcGroup<RtmEntry>],
     pinned: Option<&FxHashSet<TraceRecord>>,
     now: u64,
+    half_life: u64,
 ) -> usize {
     let candidates = groups
         .iter()
@@ -477,11 +510,23 @@ fn group_victim(
     match policy {
         ReplacementPolicy::Lru => candidates.min_by_key(|(_, g)| g.last_touch),
         ReplacementPolicy::Lfu => candidates.min_by_key(|(_, g)| {
-            let hits: u64 = g.entries.iter().map(|e| e.meta.decayed_hits(now)).sum();
+            let hits: u64 = g
+                .entries
+                .iter()
+                .map(|e| e.meta.decayed_hits_with(now, half_life))
+                .sum();
             (hits, g.last_touch)
         }),
         ReplacementPolicy::CostBenefit => candidates.min_by_key(|(_, g)| {
             let benefit: u128 = g.entries.iter().map(|e| e.meta.benefit(e.rec.len)).sum();
+            (benefit, g.last_touch)
+        }),
+        ReplacementPolicy::CostBenefitMeasured(weights) => candidates.min_by_key(|(_, g)| {
+            let benefit: u128 = g
+                .entries
+                .iter()
+                .map(|e| e.meta.benefit_measured(e.rec.len, e.rec.mix, &weights))
+                .sum();
             (benefit, g.last_touch)
         }),
     }
@@ -504,7 +549,15 @@ impl ReuseTraceMemory {
             policy,
             tick: 0,
             source_run: 0,
+            lfu_half_life: crate::policy::LFU_HALF_LIFE,
         }
+    }
+
+    /// Same RTM with a different LFU aging half-life (in ticks). Only
+    /// [`ReplacementPolicy::Lfu`] victim selection consults it.
+    pub fn with_lfu_half_life(mut self, half_life: u64) -> Self {
+        self.lfu_half_life = half_life;
+        self
     }
 
     /// The replacement policy this RTM evicts under.
@@ -622,6 +675,13 @@ impl ReuseTraceMemory {
                     if absorb {
                         entries[idx].meta.absorb(&meta);
                     }
+                    // Equality ignores the class mix; if the resident
+                    // copy predates mixes (imported from an old
+                    // snapshot) and the incoming one knows the mix,
+                    // upgrade in place.
+                    if entries[idx].rec.mix.is_empty() && !record.mix.is_empty() {
+                        entries[idx].rec.mix = record.mix;
+                    }
                     self.store.touch(pc, idx);
                     self.stats.duplicate_stores += 1;
                 } else {
@@ -635,11 +695,12 @@ impl ReuseTraceMemory {
         self.stats.stores += 1;
         let policy = self.policy;
         let now = self.tick;
+        let half_life = self.lfu_half_life;
         self.stats.evictions += self.store.insert_with(
             pc,
             RtmEntry { rec: record, meta },
-            &mut |entries| entry_victim(policy, entries, pinned, now),
-            &mut |groups| group_victim(policy, groups, pinned, now),
+            &mut |entries| entry_victim(policy, entries, pinned, now, half_life),
+            &mut |groups| group_victim(policy, groups, pinned, now, half_life),
         );
     }
 
@@ -742,6 +803,7 @@ mod tests {
             len: 3,
             ins: ins.to_vec().into_boxed_slice(),
             outs: outs.to_vec().into_boxed_slice(),
+            mix: Default::default(),
         }
     }
 

@@ -8,7 +8,9 @@
 //! incrementally as instructions execute; [`TraceRecord`] is the
 //! finished, immutable form stored in the RTM.
 
-use tlr_isa::{DynInstr, Loc};
+use std::hash::{Hash, Hasher};
+
+use tlr_isa::{ClassMix, DynInstr, Loc};
 use tlr_util::{FxHashMap, FxHashSet};
 
 /// Per-trace input/output capacity limits.
@@ -47,7 +49,7 @@ impl IoCaps {
 }
 
 /// A finished trace: the RTM entry payload (Figure 1 of the paper).
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug)]
 pub struct TraceRecord {
     /// Starting PC ("initial PC" field).
     pub start_pc: u32,
@@ -59,6 +61,35 @@ pub struct TraceRecord {
     pub ins: Box<[(Loc, u64)]>,
     /// Output locations and their final values, in first-write order.
     pub outs: Box<[(Loc, u64)]>,
+    /// Per-[`OpClass`](tlr_isa::OpClass) histogram of the instructions
+    /// the trace covers. Derived metadata, **not** identity: records
+    /// loaded from snapshots written before mixes existed carry an
+    /// empty mix and must still deduplicate against freshly collected
+    /// ones, so equality and hashing exclude this field.
+    pub mix: ClassMix,
+}
+
+// Identity is {start_pc, next_pc, len, ins, outs} only — see `mix`.
+impl PartialEq for TraceRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.start_pc == other.start_pc
+            && self.next_pc == other.next_pc
+            && self.len == other.len
+            && self.ins == other.ins
+            && self.outs == other.outs
+    }
+}
+
+impl Eq for TraceRecord {}
+
+impl Hash for TraceRecord {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.start_pc.hash(state);
+        self.next_pc.hash(state);
+        self.len.hash(state);
+        self.ins.hash(state);
+        self.outs.hash(state);
+    }
 }
 
 impl TraceRecord {
@@ -123,6 +154,7 @@ impl TraceRecord {
             len: self.len + next.len,
             ins: ins.into_boxed_slice(),
             outs: outs.into_boxed_slice(),
+            mix: self.mix.sum(next.mix),
         };
         record.within_caps(caps).then_some(record)
     }
@@ -152,6 +184,7 @@ pub struct TraceAccum {
     len: u32,
     ins: Vec<(Loc, u64)>,
     outs: Vec<(Loc, u64)>,
+    mix: ClassMix,
     in_locs: FxHashSet<Loc>,
     out_index: FxHashMap<Loc, usize>,
     reg_ins: usize,
@@ -170,6 +203,7 @@ impl TraceAccum {
             len: 0,
             ins: Vec::new(),
             outs: Vec::new(),
+            mix: ClassMix::EMPTY,
             in_locs: FxHashSet::default(),
             out_index: FxHashMap::default(),
             reg_ins: 0,
@@ -255,6 +289,7 @@ impl TraceAccum {
             }
         }
         self.next_pc = d.next_pc;
+        self.mix.record(d.class);
         self.len += 1;
         true
     }
@@ -271,6 +306,7 @@ impl TraceAccum {
             len: self.len,
             ins: std::mem::take(&mut self.ins).into_boxed_slice(),
             outs: std::mem::take(&mut self.outs).into_boxed_slice(),
+            mix: std::mem::take(&mut self.mix),
         };
         self.len = 0;
         self.in_locs.clear();
@@ -401,12 +437,20 @@ mod tests {
     #[test]
     fn merge_chains_adjacent_traces() {
         // T1: in {r1}, out {r2}; T2: in {r2, r3}, out {r2, r4}.
+        let mut mix1 = ClassMix::EMPTY;
+        mix1.record(OpClass::IntAlu);
+        mix1.record(OpClass::Load);
+        let mut mix2 = ClassMix::EMPTY;
+        mix2.record(OpClass::IntAlu);
+        mix2.record(OpClass::Store);
+        mix2.record(OpClass::Branch);
         let t1 = TraceRecord {
             start_pc: 0,
             next_pc: 2,
             len: 2,
             ins: vec![(R1, 1)].into_boxed_slice(),
             outs: vec![(R2, 5)].into_boxed_slice(),
+            mix: mix1,
         };
         let t2 = TraceRecord {
             start_pc: 2,
@@ -414,6 +458,7 @@ mod tests {
             len: 3,
             ins: vec![(R2, 5), (R3, 3)].into_boxed_slice(),
             outs: vec![(R2, 9), (Loc::Mem(4), 1)].into_boxed_slice(),
+            mix: mix2,
         };
         let m = t1.merge(&t2, &IoCaps::UNLIMITED).unwrap();
         assert_eq!(m.start_pc, 0);
@@ -423,6 +468,10 @@ mod tests {
         assert_eq!(m.ins.as_ref(), &[(R1, 1), (R3, 3)]);
         // r2's final value comes from t2.
         assert_eq!(m.outs.as_ref(), &[(R2, 9), (Loc::Mem(4), 1)]);
+        // The merged mix is the lane-wise sum, and still covers `len`.
+        assert_eq!(m.mix, mix1.sum(mix2));
+        assert_eq!(m.mix.get(OpClass::IntAlu), 2);
+        assert_eq!(m.mix.total(), u64::from(m.len));
     }
 
     #[test]
@@ -433,6 +482,7 @@ mod tests {
             len: 1,
             ins: Box::new([]),
             outs: Box::new([]),
+            mix: ClassMix::EMPTY,
         };
         let t2 = TraceRecord {
             start_pc: 3,
@@ -440,6 +490,7 @@ mod tests {
             len: 1,
             ins: Box::new([]),
             outs: Box::new([]),
+            mix: ClassMix::EMPTY,
         };
         assert_eq!(t1.merge(&t2, &IoCaps::UNLIMITED), None);
     }
@@ -452,6 +503,7 @@ mod tests {
             len: 1,
             ins: vec![(R1, 1)].into_boxed_slice(),
             outs: vec![(R2, 2)].into_boxed_slice(),
+            mix: ClassMix::EMPTY,
         };
         let t2 = TraceRecord {
             start_pc: 1,
@@ -459,6 +511,7 @@ mod tests {
             len: 1,
             ins: vec![(R3, 3)].into_boxed_slice(),
             outs: vec![(Loc::IntReg(4), 4)].into_boxed_slice(),
+            mix: ClassMix::EMPTY,
         };
         let tight = IoCaps {
             reg_in: 1,
@@ -474,6 +527,48 @@ mod tests {
             mem_out: 0,
         };
         assert!(t1.merge(&t2, &loose).is_some());
+    }
+
+    #[test]
+    fn accum_counts_class_mix() {
+        let mut acc = TraceAccum::new(IoCaps::UNLIMITED);
+        let mut load = di(0, &[(Loc::Mem(8), 1)], &[(R1, 1)]);
+        load.class = OpClass::Load;
+        assert!(acc.try_add(&load));
+        assert!(acc.try_add(&di(1, &[(R1, 1)], &[(R2, 2)])));
+        let rec = acc.finalize().unwrap();
+        assert_eq!(rec.mix.get(OpClass::Load), 1);
+        assert_eq!(rec.mix.get(OpClass::IntAlu), 1);
+        assert_eq!(rec.mix.total(), u64::from(rec.len));
+        // finalize resets the mix along with everything else.
+        assert!(acc.try_add(&di(5, &[(R2, 2)], &[(R3, 3)])));
+        let rec2 = acc.finalize().unwrap();
+        assert_eq!(rec2.mix.total(), 1);
+        assert_eq!(rec2.mix.get(OpClass::Load), 0);
+    }
+
+    #[test]
+    fn identity_and_hash_ignore_mix() {
+        use std::hash::{BuildHasher, RandomState};
+        let base = TraceRecord {
+            start_pc: 0,
+            next_pc: 1,
+            len: 1,
+            ins: vec![(R1, 1)].into_boxed_slice(),
+            outs: vec![(R2, 2)].into_boxed_slice(),
+            mix: ClassMix::EMPTY,
+        };
+        let mut with_mix = base.clone();
+        with_mix.mix.record(OpClass::IntAlu);
+        // A zero-mix record (e.g. from an old snapshot) and the same
+        // trace freshly collected are the *same* trace.
+        assert_eq!(base, with_mix);
+        let s = RandomState::new();
+        assert_eq!(s.hash_one(&base), s.hash_one(&with_mix));
+        // But a different trace is still unequal.
+        let mut other = base.clone();
+        other.len = 2;
+        assert_ne!(base, other);
     }
 
     #[test]

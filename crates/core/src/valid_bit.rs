@@ -199,6 +199,7 @@ mod tests {
             len: 3,
             ins: ins.to_vec().into_boxed_slice(),
             outs: outs.to_vec().into_boxed_slice(),
+            mix: Default::default(),
         }
     }
 

@@ -1,0 +1,449 @@
+//! Decanting a [`DecisionLog`] into per-class / per-loop-structure
+//! attribution.
+//!
+//! The central invariant — checked by [`Attribution::verify`] and
+//! property-tested — is **exact conservation**: every instruction the
+//! log accounts for lands in exactly one bucket on each axis.
+//!
+//! * By class: `Σ exec_by_class == executed`, and
+//!   `Σ skip_by_class + unattributed == skipped` (the unattributed
+//!   tail is nonzero only for hits on traces imported from pre-mix
+//!   snapshots, whose per-class histogram was never recorded).
+//! * By loop structure: the three [`LoopShape`] buckets partition both
+//!   `executed` and `skipped` with no remainder.
+
+use crate::loops::{LoopDetector, LoopShape};
+use tlr_core::{ClassWeights, DecisionLog, ReuseEvent};
+use tlr_isa::{LatencyModel, OpClass};
+use tlr_stats::{fnum, Histogram, Table};
+
+/// Executed/skipped totals of one loop-structure bucket.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShapeBucket {
+    /// Instructions executed (reuse-test misses) in this context.
+    pub executed: u64,
+    /// Instructions covered by reuse hits taken in this context.
+    pub skipped: u64,
+    /// Reuse hits taken in this context.
+    pub reuse_ops: u64,
+}
+
+impl ShapeBucket {
+    /// Share of this bucket's instructions that were reused, in percent.
+    pub fn pct_reused(&self) -> f64 {
+        let total = self.executed + self.skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / total as f64 * 100.0
+        }
+    }
+}
+
+/// Full attribution of one decision log: who benefited from reuse, by
+/// opcode class and by loop structure. Built by [`decant`].
+#[derive(Clone, Debug)]
+pub struct Attribution {
+    /// Executed (missed) instructions per opcode class.
+    pub exec_by_class: [u64; OpClass::COUNT],
+    /// Reuse-skipped instructions per opcode class.
+    pub skip_by_class: [u64; OpClass::COUNT],
+    /// Skipped instructions whose class is unknown (hits on traces from
+    /// snapshots written before class mixes existed).
+    pub unattributed: u64,
+    /// Total instructions executed (== number of `Exec` events).
+    pub executed: u64,
+    /// Total instructions covered by reuse hits.
+    pub skipped: u64,
+    /// Reuse hits taken.
+    pub reuse_ops: u64,
+    /// Decisions the log dropped at its cap — *not* attributed; an
+    /// attribution of a truncated log is explicitly partial.
+    pub dropped: u64,
+    /// Per-loop-structure totals, indexed by [`LoopShape::index`].
+    pub shapes: [ShapeBucket; LoopShape::ALL.len()],
+    /// Loop-nesting depth of each reuse hit taken.
+    pub hit_depth: Histogram,
+}
+
+/// Decant `log` into an [`Attribution`]: one pass over the decision
+/// stream, driving a [`LoopDetector`] with every fetch PC in order.
+///
+/// A reuse hit is attributed to the loop context of its *start* PC (the
+/// PC the reuse test answered); its skipped instructions are split
+/// across opcode classes by the trace's recorded mix.
+pub fn decant(log: &DecisionLog) -> Attribution {
+    let mut a = Attribution {
+        exec_by_class: [0; OpClass::COUNT],
+        skip_by_class: [0; OpClass::COUNT],
+        unattributed: 0,
+        executed: 0,
+        skipped: 0,
+        reuse_ops: 0,
+        dropped: log.dropped,
+        shapes: Default::default(),
+        hit_depth: Histogram::new(),
+    };
+    let mut detector = LoopDetector::new();
+    for event in &log.events {
+        match *event {
+            ReuseEvent::Exec { pc, class } => {
+                let ctx = detector.observe(pc);
+                a.exec_by_class[class.index()] += 1;
+                a.executed += 1;
+                a.shapes[ctx.shape.index()].executed += 1;
+            }
+            ReuseEvent::Hit { pc, len, mix, .. } => {
+                let ctx = detector.observe(pc);
+                for (class, n) in mix.iter() {
+                    a.skip_by_class[class.index()] += u64::from(n);
+                }
+                a.unattributed += u64::from(len).saturating_sub(mix.total());
+                a.skipped += u64::from(len);
+                a.reuse_ops += 1;
+                let bucket = &mut a.shapes[ctx.shape.index()];
+                bucket.skipped += u64::from(len);
+                bucket.reuse_ops += 1;
+                a.hit_depth.record(ctx.depth as u64);
+            }
+        }
+    }
+    a
+}
+
+impl Attribution {
+    /// Total instructions the attribution accounts for.
+    pub fn total(&self) -> u64 {
+        self.executed + self.skipped
+    }
+
+    /// Share of all instructions covered by reuse, in percent.
+    pub fn pct_reused(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / self.total() as f64 * 100.0
+        }
+    }
+
+    /// Cycles the attributed reuse hits saved under `model` (the
+    /// unattributed tail is priced at nothing — it cannot be priced).
+    pub fn saved_cycles(&self, model: &dyn LatencyModel) -> u64 {
+        OpClass::ALL
+            .iter()
+            .map(|&c| self.skip_by_class[c.index()].saturating_mul(model.latency(c)))
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Check exact conservation against `log` (see the module docs):
+    /// both class axes and the loop-structure axis must sum to the
+    /// log's own totals, with nothing lost and nothing invented.
+    pub fn verify(&self, log: &DecisionLog) -> Result<(), String> {
+        let mut executed = 0u64;
+        let mut skipped = 0u64;
+        let mut reuse_ops = 0u64;
+        for event in &log.events {
+            match event {
+                ReuseEvent::Exec { .. } => executed += 1,
+                ReuseEvent::Hit { len, .. } => {
+                    skipped += u64::from(*len);
+                    reuse_ops += 1;
+                }
+            }
+        }
+        let checks = [
+            ("executed", self.executed, executed),
+            ("skipped", self.skipped, skipped),
+            ("reuse ops", self.reuse_ops, reuse_ops),
+            ("dropped", self.dropped, log.dropped),
+            (
+                "class-attributed executed",
+                self.exec_by_class.iter().sum::<u64>(),
+                executed,
+            ),
+            (
+                "class-attributed skipped",
+                self.skip_by_class.iter().sum::<u64>() + self.unattributed,
+                skipped,
+            ),
+            (
+                "shape-attributed executed",
+                self.shapes.iter().map(|s| s.executed).sum::<u64>(),
+                executed,
+            ),
+            (
+                "shape-attributed skipped",
+                self.shapes.iter().map(|s| s.skipped).sum::<u64>(),
+                skipped,
+            ),
+            (
+                "shape-attributed reuse ops",
+                self.shapes.iter().map(|s| s.reuse_ops).sum::<u64>(),
+                reuse_ops,
+            ),
+            ("depth-recorded hits", self.hit_depth.count(), reuse_ops),
+        ];
+        for (what, got, want) in checks {
+            if got != want {
+                return Err(format!("{what}: attributed {got}, log totals {want}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Bucket totals for one shape.
+    pub fn shape(&self, shape: LoopShape) -> ShapeBucket {
+        self.shapes[shape.index()]
+    }
+
+    /// Measured per-class replacement weights: each observed class is
+    /// priced at its average saved cycles per skipped instruction
+    /// (clamped to `1..=u16::MAX`); classes never seen in a reuse hit —
+    /// and the unattributed tail — keep weight 1, so missing data never
+    /// changes a trace's rank. Feed the result to
+    /// [`tlr_core::ReplacementPolicy::CostBenefitMeasured`].
+    pub fn class_weights(&self, model: &dyn LatencyModel) -> ClassWeights {
+        let mut table = [1u16; OpClass::COUNT];
+        for &class in &OpClass::ALL {
+            let skipped = self.skip_by_class[class.index()];
+            if skipped > 0 {
+                let saved = skipped.saturating_mul(model.latency(class));
+                let per_instr = saved / skipped;
+                table[class.index()] = per_instr.clamp(1, u64::from(u16::MAX)) as u16;
+            }
+        }
+        ClassWeights::from_table(table)
+    }
+
+    /// Per-opcode-class attribution table, priced under `model`. The
+    /// trailing rows keep the conservation visible: `unattributed` +
+    /// the class rows sum exactly to `total`.
+    pub fn class_table(&self, model: &dyn LatencyModel) -> Table {
+        let mut table = Table::new(vec![
+            "class",
+            "executed",
+            "skipped",
+            "reuse %",
+            "saved cycles",
+        ]);
+        for &class in &OpClass::ALL {
+            let executed = self.exec_by_class[class.index()];
+            let skipped = self.skip_by_class[class.index()];
+            if executed == 0 && skipped == 0 {
+                continue;
+            }
+            let total = executed + skipped;
+            table.row(vec![
+                class.label().to_string(),
+                executed.to_string(),
+                skipped.to_string(),
+                fnum(skipped as f64 / total as f64 * 100.0, 1),
+                skipped.saturating_mul(model.latency(class)).to_string(),
+            ]);
+        }
+        if self.unattributed > 0 {
+            table.row(vec![
+                "(unattributed)".to_string(),
+                "0".to_string(),
+                self.unattributed.to_string(),
+                String::new(),
+                String::new(),
+            ]);
+        }
+        table.row(vec![
+            "total".to_string(),
+            self.executed.to_string(),
+            self.skipped.to_string(),
+            fnum(self.pct_reused(), 1),
+            self.saved_cycles(model).to_string(),
+        ]);
+        table
+    }
+
+    /// Per-loop-structure attribution table, with the hit-depth profile.
+    pub fn loop_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "context",
+            "executed",
+            "skipped",
+            "reuse ops",
+            "reuse %",
+        ]);
+        for shape in LoopShape::ALL {
+            let b = self.shape(shape);
+            table.row(vec![
+                shape.label().to_string(),
+                b.executed.to_string(),
+                b.skipped.to_string(),
+                b.reuse_ops.to_string(),
+                fnum(b.pct_reused(), 1),
+            ]);
+        }
+        table.row(vec![
+            "total".to_string(),
+            self.executed.to_string(),
+            self.skipped.to_string(),
+            self.reuse_ops.to_string(),
+            fnum(self.pct_reused(), 1),
+        ]);
+        table.row(vec![
+            "hit depth".to_string(),
+            format!("mean {}", fnum(self.hit_depth.mean().unwrap_or(0.0), 2)),
+            format!("max {}", self.hit_depth.max()),
+            String::new(),
+            String::new(),
+        ]);
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlr_isa::{Alpha21164, ClassMix, UnitLatency};
+
+    fn exec(pc: u32, class: OpClass) -> ReuseEvent {
+        ReuseEvent::Exec { pc, class }
+    }
+
+    fn hit(pc: u32, len: u32, next_pc: u32, mix: ClassMix) -> ReuseEvent {
+        ReuseEvent::Hit {
+            pc,
+            len,
+            next_pc,
+            mix,
+        }
+    }
+
+    fn mix_of(pairs: &[(OpClass, u32)]) -> ClassMix {
+        let mut counts = [0u32; OpClass::COUNT];
+        for &(class, n) in pairs {
+            counts[class.index()] = n;
+        }
+        ClassMix::from_counts(counts)
+    }
+
+    fn log_of(events: Vec<ReuseEvent>) -> DecisionLog {
+        let mut log = DecisionLog::new();
+        for e in events {
+            log.push(e);
+        }
+        log
+    }
+
+    #[test]
+    fn attributes_classes_and_conserves_totals() {
+        let log = log_of(vec![
+            exec(0, OpClass::IntAlu),
+            exec(1, OpClass::Load),
+            hit(
+                2,
+                3,
+                5,
+                mix_of(&[(OpClass::IntAlu, 2), (OpClass::FpMul, 1)]),
+            ),
+            exec(5, OpClass::Store),
+        ]);
+        let a = decant(&log);
+        a.verify(&log).unwrap();
+        assert_eq!(a.executed, 3);
+        assert_eq!(a.skipped, 3);
+        assert_eq!(a.reuse_ops, 1);
+        assert_eq!(a.exec_by_class[OpClass::Load.index()], 1);
+        assert_eq!(a.skip_by_class[OpClass::IntAlu.index()], 2);
+        assert_eq!(a.skip_by_class[OpClass::FpMul.index()], 1);
+        assert_eq!(a.unattributed, 0);
+        // Alpha: IntAlu=1, FpMul=4 → 2*1 + 1*4 = 6 cycles saved.
+        assert_eq!(a.saved_cycles(&Alpha21164), 6);
+        assert_eq!(a.saved_cycles(&UnitLatency), 3);
+    }
+
+    #[test]
+    fn legacy_zero_mix_hits_land_in_unattributed() {
+        let log = log_of(vec![
+            hit(2, 4, 6, ClassMix::EMPTY),
+            hit(6, 2, 8, mix_of(&[(OpClass::Load, 1)])), // half-attributed
+        ]);
+        let a = decant(&log);
+        a.verify(&log).unwrap();
+        assert_eq!(a.skipped, 6);
+        assert_eq!(a.unattributed, 4 + 1);
+        assert_eq!(a.skip_by_class[OpClass::Load.index()], 1);
+        // Unattributed skips save no *attributed* cycles.
+        assert_eq!(a.saved_cycles(&UnitLatency), 1);
+    }
+
+    #[test]
+    fn loop_context_attributes_hits_to_the_iterating_loop() {
+        // A loop at PC 10..=12 whose body reuse-hits each iteration
+        // after the first back edge.
+        let body_mix = mix_of(&[(OpClass::IntAlu, 2)]);
+        let log = log_of(vec![
+            exec(10, OpClass::IntAlu),
+            exec(11, OpClass::IntAlu),
+            exec(12, OpClass::Branch),
+            exec(10, OpClass::IntAlu), // back edge: loop established
+            hit(11, 2, 10, body_mix),  // body hit, wraps to the header
+            exec(10, OpClass::IntAlu),
+            hit(11, 2, 10, body_mix),
+            exec(10, OpClass::IntAlu),
+            hit(11, 2, 13, body_mix), // last iteration falls through
+            exec(13, OpClass::IntAlu),
+        ]);
+        let a = decant(&log);
+        a.verify(&log).unwrap();
+        let body = a.shape(LoopShape::LoopBody);
+        assert_eq!(body.reuse_ops, 3, "all three hits are loop-body");
+        assert_eq!(body.skipped, 6);
+        assert_eq!(a.shape(LoopShape::LoopHeader).executed, 3);
+        assert_eq!(a.shape(LoopShape::StraightLine).executed, 4);
+        assert_eq!(a.hit_depth.max(), 1);
+        assert_eq!(a.pct_reused(), 6.0 / 13.0 * 100.0);
+    }
+
+    #[test]
+    fn dropped_decisions_are_reported_not_attributed() {
+        let mut log = DecisionLog::with_cap(1);
+        log.push(exec(0, OpClass::IntAlu));
+        log.push(exec(1, OpClass::IntAlu)); // dropped
+        let a = decant(&log);
+        a.verify(&log).unwrap();
+        assert_eq!(a.executed, 1);
+        assert_eq!(a.dropped, 1);
+    }
+
+    #[test]
+    fn class_weights_price_observed_classes_by_latency() {
+        let log = log_of(vec![hit(
+            0,
+            3,
+            3,
+            mix_of(&[(OpClass::IntAlu, 2), (OpClass::FpDiv, 1)]),
+        )]);
+        let a = decant(&log);
+        let w = a.class_weights(&Alpha21164);
+        assert_eq!(w.get(OpClass::IntAlu), 1);
+        assert_eq!(
+            u64::from(w.get(OpClass::FpDiv)),
+            Alpha21164.latency(OpClass::FpDiv)
+        );
+        assert_eq!(w.get(OpClass::Load), 1, "unobserved class stays neutral");
+        // Under the unit model every observed class is worth 1 → UNIT.
+        assert_eq!(a.class_weights(&UnitLatency), ClassWeights::UNIT);
+    }
+
+    #[test]
+    fn tables_render_with_conserving_totals() {
+        let log = log_of(vec![
+            exec(0, OpClass::Load),
+            hit(1, 2, 3, mix_of(&[(OpClass::IntAlu, 2)])),
+        ]);
+        let a = decant(&log);
+        let class = a.class_table(&Alpha21164);
+        let totals = class.rows().last().unwrap();
+        assert_eq!(totals[1], "1");
+        assert_eq!(totals[2], "2");
+        let loops = a.loop_table();
+        assert_eq!(loops.len(), LoopShape::ALL.len() + 2);
+    }
+}

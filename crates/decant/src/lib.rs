@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+//! # tlr-decant
+//!
+//! Reuse-**attribution** analysis: decant the engine's decision log
+//! ([`tlr_core::DecisionLog`], the tap recording every reuse decision
+//! in fetch order) into *who benefits from trace-level reuse* along two
+//! axes:
+//!
+//! * **Opcode class** ([`tlr_isa::OpClass`]) — each reuse hit's skipped
+//!   instructions are split by the trace's recorded per-class mix
+//!   ([`tlr_isa::ClassMix`]), each miss by the executed instruction's
+//!   class. Priced under a [`tlr_isa::LatencyModel`] this yields saved
+//!   cycles per class.
+//! * **Loop structure** — a streaming back-edge detector
+//!   ([`LoopDetector`]) recovers dynamic loop nesting from the fetch-PC
+//!   stream and classifies every decision as loop-header, loop-body or
+//!   straight-line, with nesting depth.
+//!
+//! The subsystem's contract is **exact conservation**: attributed
+//! counts sum to the log's totals with no remainder on either axis
+//! ([`Attribution::verify`]; hits on traces imported from pre-mix
+//! snapshots land in an explicit *unattributed* bucket rather than
+//! being guessed). Attribution output also feeds back into policy:
+//! [`Attribution::class_weights`] turns measured per-class saved cycles
+//! into a [`tlr_core::ClassWeights`] table for
+//! [`tlr_core::ReplacementPolicy::CostBenefitMeasured`], closing the
+//! tap → decant → policy-weights loop.
+//!
+//! ```
+//! use tlr_core::{EngineConfig, Heuristic, RtmConfig, TraceReuseEngine};
+//! use tlr_isa::Alpha21164;
+//!
+//! let program = tlr_asm::assemble(
+//!     "        li   r1, 50\n\
+//!      loop:   subq r1, r1, 1\n\
+//!              bnez r1, loop\n\
+//!              halt\n",
+//! )
+//! .unwrap();
+//! let mut engine = TraceReuseEngine::new(
+//!     &program,
+//!     EngineConfig::paper(RtmConfig::RTM_4K, Heuristic::FixedExp(4)),
+//! );
+//! engine.enable_tap();
+//! engine.run(10_000).unwrap();
+//!
+//! let log = engine.tap().expect("tap enabled");
+//! let attribution = tlr_decant::decant(log);
+//! attribution.verify(log).expect("attribution conserves totals");
+//! println!("{}", attribution.class_table(&Alpha21164).to_text());
+//! println!("{}", attribution.loop_table().to_text());
+//! ```
+
+pub mod attribution;
+pub mod loops;
+
+pub use attribution::{decant, Attribution, ShapeBucket};
+pub use loops::{LoopContext, LoopDetector, LoopShape};

@@ -1,0 +1,248 @@
+//! Dynamic loop detection over the fetch-PC stream.
+//!
+//! The decision log records *where* every reuse decision happened but
+//! not the program's static control-flow graph, so loop structure is
+//! recovered the way trace-profiling tools do it: a **back edge** is a
+//! fetch whose PC does not advance (`pc <= previous pc`), its target is
+//! a loop header, and the loop extends to the largest PC observed to
+//! jump back to that header. Active loops form a stack — nesting — and
+//! every decision is classified against it.
+//!
+//! Being dynamic, the detector only knows a loop *after its first back
+//! edge*: the first iteration of a loop body is classified as
+//! straight-line code (or as the enclosing loop's body). All later
+//! iterations land in the right bucket, so on loop-dominated workloads
+//! the first-iteration slack is noise. Irreducible-looking flows —
+//! a back edge into the middle of an active loop's body — simply push
+//! a new span and classify under it; nothing wedges or misnests.
+
+/// Loop-structural position of one reuse decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LoopShape {
+    /// No active loop encloses this PC.
+    StraightLine,
+    /// The target of a back edge, at the moment an iteration restarts.
+    LoopHeader,
+    /// Inside an active loop's span, past its header.
+    LoopBody,
+}
+
+impl LoopShape {
+    /// Every shape, in display order.
+    pub const ALL: [LoopShape; 3] = [
+        LoopShape::StraightLine,
+        LoopShape::LoopHeader,
+        LoopShape::LoopBody,
+    ];
+
+    /// Stable dense index (position in [`LoopShape::ALL`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable name.
+    pub fn label(self) -> &'static str {
+        match self {
+            LoopShape::StraightLine => "straight-line",
+            LoopShape::LoopHeader => "loop-header",
+            LoopShape::LoopBody => "loop-body",
+        }
+    }
+}
+
+impl std::fmt::Display for LoopShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Where one observed PC sits in the loop structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoopContext {
+    /// Structural position.
+    pub shape: LoopShape,
+    /// Loop-nesting depth (0 = straight-line; a header counts its own
+    /// loop, so the innermost header of a doubly nested loop reports 2).
+    pub depth: usize,
+}
+
+/// One active loop: its back-edge target and the largest PC seen to
+/// jump back to it (the loop's known bottom).
+#[derive(Clone, Copy, Debug)]
+struct Span {
+    header: u32,
+    limit: u32,
+}
+
+/// Streaming back-edge detector; feed it every decision's fetch PC in
+/// order via [`LoopDetector::observe`].
+#[derive(Clone, Debug, Default)]
+pub struct LoopDetector {
+    spans: Vec<Span>,
+    prev: Option<u32>,
+}
+
+impl LoopDetector {
+    /// A detector with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of loops currently active.
+    pub fn depth(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Classify the next fetch PC of the dynamic stream.
+    pub fn observe(&mut self, pc: u32) -> LoopContext {
+        let context = match self.prev {
+            // A non-advancing fetch is a back edge targeting `pc`.
+            Some(prev) if pc <= prev => {
+                if let Some(pos) = self.spans.iter().rposition(|s| s.header == pc) {
+                    // Another iteration of an active loop: everything
+                    // nested inside it is over.
+                    self.spans.truncate(pos + 1);
+                    self.spans[pos].limit = self.spans[pos].limit.max(prev);
+                } else {
+                    // First back edge of a new (possibly irreducible)
+                    // loop: it nests inside whatever is active.
+                    self.spans.push(Span {
+                        header: pc,
+                        limit: prev,
+                    });
+                }
+                LoopContext {
+                    shape: LoopShape::LoopHeader,
+                    depth: self.spans.len(),
+                }
+            }
+            _ => {
+                // Forward progress: loops whose known bottom we passed
+                // are exited.
+                while self.spans.last().is_some_and(|s| pc > s.limit) {
+                    self.spans.pop();
+                }
+                LoopContext {
+                    shape: if self.spans.is_empty() {
+                        LoopShape::StraightLine
+                    } else {
+                        LoopShape::LoopBody
+                    },
+                    depth: self.spans.len(),
+                }
+            }
+        };
+        self.prev = Some(pc);
+        context
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shapes(pcs: &[u32]) -> Vec<(LoopShape, usize)> {
+        let mut detector = LoopDetector::new();
+        pcs.iter()
+            .map(|&pc| {
+                let c = detector.observe(pc);
+                (c.shape, c.depth)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_never_claims_a_loop() {
+        for (shape, depth) in shapes(&[0, 1, 2, 7, 30]) {
+            assert_eq!(shape, LoopShape::StraightLine);
+            assert_eq!(depth, 0);
+        }
+    }
+
+    #[test]
+    fn simple_loop_classifies_after_first_back_edge() {
+        // for-loop at 10..=12, then fall-through to 13.
+        let got = shapes(&[10, 11, 12, 10, 11, 12, 10, 11, 12, 13]);
+        assert_eq!(
+            got,
+            vec![
+                (LoopShape::StraightLine, 0), // first iteration: unknown loop
+                (LoopShape::StraightLine, 0),
+                (LoopShape::StraightLine, 0),
+                (LoopShape::LoopHeader, 1), // back edge seen
+                (LoopShape::LoopBody, 1),
+                (LoopShape::LoopBody, 1),
+                (LoopShape::LoopHeader, 1),
+                (LoopShape::LoopBody, 1),
+                (LoopShape::LoopBody, 1),
+                (LoopShape::StraightLine, 0), // past the known bottom
+            ]
+        );
+    }
+
+    #[test]
+    fn self_loop_is_a_header_every_time() {
+        let got = shapes(&[5, 5, 5, 6]);
+        assert_eq!(
+            got,
+            vec![
+                (LoopShape::StraightLine, 0),
+                (LoopShape::LoopHeader, 1),
+                (LoopShape::LoopHeader, 1),
+                (LoopShape::StraightLine, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_loops_report_their_depth() {
+        // outer 10..=40 (bottom 40), inner 20..=22: run the inner loop
+        // twice per outer iteration, across two outer iterations.
+        let iteration = [10u32, 20, 21, 22, 20, 21, 22, 40];
+        let mut stream: Vec<u32> = iteration.to_vec();
+        stream.extend_from_slice(&iteration);
+        stream.push(41); // exit everything
+        let got = shapes(&stream);
+        // Second outer iteration: outer header known, inner nests at 2.
+        assert_eq!(got[8], (LoopShape::LoopHeader, 1), "outer header");
+        assert_eq!(got[9], (LoopShape::LoopBody, 1), "first inner pass");
+        assert_eq!(got[12], (LoopShape::LoopHeader, 2), "inner header nested");
+        assert_eq!(got[13], (LoopShape::LoopBody, 2), "inner body nested");
+        assert_eq!(got[15], (LoopShape::LoopBody, 1), "outer bottom");
+        assert_eq!(*got.last().unwrap(), (LoopShape::StraightLine, 0), "exit");
+    }
+
+    #[test]
+    fn irreducible_back_edge_into_a_body_nests_instead_of_wedging() {
+        // A back edge to 15 (not a stacked header) while loop @10 is
+        // active: pushes a nested span, and re-iterating 10 pops it.
+        let got = shapes(&[10, 15, 20, 10, 15, 20, 15, 16, 10, 11]);
+        assert_eq!(got[3], (LoopShape::LoopHeader, 1), "loop @10 established");
+        assert_eq!(got[6], (LoopShape::LoopHeader, 2), "irreducible target @15");
+        assert_eq!(got[7], (LoopShape::LoopBody, 2));
+        assert_eq!(
+            got[8],
+            (LoopShape::LoopHeader, 1),
+            "outer iteration pops it"
+        );
+        assert_eq!(got[9], (LoopShape::LoopBody, 1));
+    }
+
+    #[test]
+    fn back_edge_source_extends_the_loop_bottom() {
+        // The second back edge comes from further down (14 instead of
+        // 12): 13–14 look like an exit at first, but once a back edge
+        // from 14 is seen the loop's known bottom grows to cover them.
+        let got = shapes(&[10, 11, 12, 10, 13, 14, 10, 13, 14]);
+        assert_eq!(got[3], (LoopShape::LoopHeader, 1), "bottom 12 established");
+        assert_eq!(
+            got[4],
+            (LoopShape::StraightLine, 0),
+            "13 beyond known bottom"
+        );
+        assert_eq!(got[6], (LoopShape::LoopHeader, 1), "back edge from 14");
+        assert_eq!(got[7], (LoopShape::LoopBody, 1), "bottom grew to 14");
+        assert_eq!(got[8], (LoopShape::LoopBody, 1));
+    }
+}

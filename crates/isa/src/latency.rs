@@ -36,6 +36,10 @@ pub enum OpClass {
 }
 
 impl OpClass {
+    /// Number of instruction classes (`ALL.len()` as a const usable in
+    /// array types).
+    pub const COUNT: usize = Self::ALL.len();
+
     /// All classes (for exhaustive tests and histograms).
     pub const ALL: [OpClass; 11] = [
         OpClass::IntAlu,
@@ -77,6 +81,29 @@ impl OpClass {
         }
     }
 
+    /// Dense index of this class: `OpClass::ALL[c.index()] == c`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable lowercase name, for tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::IntMul => "int-mul",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::FpAdd => "fp-add",
+            OpClass::FpMul => "fp-mul",
+            OpClass::FpDiv => "fp-div",
+            OpClass::FpSqrt => "fp-sqrt",
+            OpClass::Cvt => "cvt",
+            OpClass::Nop => "nop",
+        }
+    }
+
     /// `true` for classes whose instructions reference memory.
     pub fn is_mem(self) -> bool {
         matches!(self, OpClass::Load | OpClass::Store)
@@ -88,6 +115,76 @@ impl OpClass {
             self,
             OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt | OpClass::Cvt
         )
+    }
+}
+
+/// A per-[`OpClass`] instruction histogram: how many instructions of
+/// each class a trace (or any instruction stream) contains.
+///
+/// This is the unit of *attribution*: a trace carrying its mix lets a
+/// reuse hit report exactly which instruction classes were skipped, and
+/// lets a latency model price the skip in saved cycles. Counts saturate
+/// at `u32::MAX` per lane (a trace is bounded far below that anyway).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct ClassMix {
+    counts: [u32; OpClass::COUNT],
+}
+
+impl ClassMix {
+    /// The all-zero mix (also the `Default`).
+    pub const EMPTY: ClassMix = ClassMix {
+        counts: [0; OpClass::COUNT],
+    };
+
+    /// Build from a per-class count array in [`OpClass::ALL`] order.
+    pub fn from_counts(counts: [u32; OpClass::COUNT]) -> Self {
+        Self { counts }
+    }
+
+    /// Count one instruction of `class` (saturating).
+    #[inline]
+    pub fn record(&mut self, class: OpClass) {
+        let lane = &mut self.counts[class.index()];
+        *lane = lane.saturating_add(1);
+    }
+
+    /// The count for one class.
+    #[inline]
+    pub fn get(self, class: OpClass) -> u32 {
+        self.counts[class.index()]
+    }
+
+    /// Total instructions across every class.
+    pub fn total(self) -> u64 {
+        self.counts.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// `true` when every lane is zero (e.g. a record imported from a
+    /// snapshot written before mixes existed).
+    pub fn is_empty(self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Lane-wise saturating sum — the mix of two concatenated traces.
+    pub fn sum(self, other: ClassMix) -> ClassMix {
+        let mut out = self;
+        for (lane, add) in out.counts.iter_mut().zip(other.counts) {
+            *lane = lane.saturating_add(add);
+        }
+        out
+    }
+
+    /// Iterate `(class, count)` in [`OpClass::ALL`] order.
+    pub fn iter(self) -> impl Iterator<Item = (OpClass, u32)> {
+        OpClass::ALL.into_iter().map(move |c| (c, self.get(c)))
+    }
+
+    /// Cycles this mix would cost to execute under `model` — i.e. the
+    /// cycles a reuse hit on a trace with this mix saves.
+    pub fn saved_cycles(self, model: &dyn LatencyModel) -> u64 {
+        self.iter()
+            .map(|(class, n)| u64::from(n).saturating_mul(model.latency(class)))
+            .fold(0u64, u64::saturating_add)
     }
 }
 
@@ -165,8 +262,7 @@ impl CustomLatency {
     /// times must strictly advance).
     pub fn set(mut self, class: OpClass, cycles: u64) -> Self {
         assert!(cycles >= 1, "latency must be >= 1 cycle");
-        let idx = OpClass::ALL.iter().position(|c| *c == class).unwrap();
-        self.table[idx] = cycles;
+        self.table[class.index()] = cycles;
         self
     }
 }
@@ -174,8 +270,7 @@ impl CustomLatency {
 impl LatencyModel for CustomLatency {
     #[inline]
     fn latency(&self, class: OpClass) -> u64 {
-        let idx = OpClass::ALL.iter().position(|c| *c == class).unwrap();
-        self.table[idx]
+        self.table[class.index()]
     }
 }
 
@@ -295,6 +390,56 @@ mod tests {
         for (instr, expect) in cases {
             assert_eq!(OpClass::of(&instr), expect, "{instr:?}");
         }
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        assert_eq!(OpClass::COUNT, OpClass::ALL.len());
+        for (i, class) in OpClass::ALL.into_iter().enumerate() {
+            assert_eq!(class.index(), i);
+            assert_eq!(OpClass::ALL[class.index()], class);
+        }
+    }
+
+    #[test]
+    fn class_mix_counts_sums_and_prices() {
+        let mut mix = ClassMix::EMPTY;
+        assert!(mix.is_empty());
+        assert_eq!(mix.total(), 0);
+        mix.record(OpClass::IntAlu);
+        mix.record(OpClass::IntAlu);
+        mix.record(OpClass::FpDiv);
+        assert!(!mix.is_empty());
+        assert_eq!(mix.get(OpClass::IntAlu), 2);
+        assert_eq!(mix.get(OpClass::FpDiv), 1);
+        assert_eq!(mix.get(OpClass::Load), 0);
+        assert_eq!(mix.total(), 3);
+        // 2×1 (IntAlu) + 1×22 (FpDiv) under the Alpha table.
+        assert_eq!(mix.saved_cycles(&Alpha21164), 24);
+        assert_eq!(mix.saved_cycles(&UnitLatency), 3);
+
+        let doubled = mix.sum(mix);
+        assert_eq!(doubled.get(OpClass::IntAlu), 4);
+        assert_eq!(doubled.total(), 6);
+
+        let mut counts = [0u32; OpClass::COUNT];
+        counts[OpClass::Store.index()] = 5;
+        let stores = ClassMix::from_counts(counts);
+        assert_eq!(stores.get(OpClass::Store), 5);
+        assert_eq!(
+            stores.iter().filter(|&(_, n)| n > 0).count(),
+            1,
+            "iter covers every lane exactly once"
+        );
+    }
+
+    #[test]
+    fn class_mix_saturates_instead_of_wrapping() {
+        let mut mix = ClassMix::from_counts([u32::MAX; OpClass::COUNT]);
+        mix.record(OpClass::IntAlu);
+        assert_eq!(mix.get(OpClass::IntAlu), u32::MAX);
+        let sum = mix.sum(mix);
+        assert_eq!(sum.get(OpClass::Nop), u32::MAX);
     }
 
     #[test]

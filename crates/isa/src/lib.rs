@@ -32,5 +32,5 @@ pub mod reg;
 
 pub use dynrec::{CollectSink, DynInstr, NullSink, ReadSet, StreamSink, Tee, WriteSet};
 pub use instr::{BranchCond, CodeAddr, FpCmpOp, FpOp, FpUnOp, Instr, IntOp, Operand};
-pub use latency::{Alpha21164, CustomLatency, LatencyModel, OpClass, UnitLatency};
+pub use latency::{Alpha21164, ClassMix, CustomLatency, LatencyModel, OpClass, UnitLatency};
 pub use reg::{FReg, Loc, Reg, NUM_FREGS, NUM_IREGS};

@@ -28,10 +28,12 @@ pub const MAGIC: [u8; 4] = *b"TLRP";
 /// the trailer comparison — the bump makes them fail with a version
 /// error instead of a misleading "damaged file" one; v3 appends
 /// per-trace provenance ([`tlr_core::TraceMeta`]: hit count, last-use
-/// tick, source-run id) to every snapshot record. v2 files still load
-/// (their traces carry zero provenance); see
+/// tick, source-run id) to every snapshot record; v4 appends each
+/// trace's per-class instruction mix ([`tlr_isa::ClassMix`]) after the
+/// provenance, for reuse attribution. v2/v3 files still load (their
+/// traces carry zero provenance and/or an empty mix); see
 /// [`MIN_SUPPORTED_VERSION`].
-pub const FORMAT_VERSION: u16 = 3;
+pub const FORMAT_VERSION: u16 = 4;
 
 /// The oldest format version this build still reads.
 pub const MIN_SUPPORTED_VERSION: u16 = 2;

@@ -82,8 +82,8 @@ pub use format::{
 };
 pub use replay::{replay, MemorySource, RecordSource, ReplayStats};
 pub use snapshot::{
-    load_merged_snapshots, load_merged_snapshots_with, load_snapshot, peek_snapshot_fingerprint,
-    save_snapshot,
+    load_merged_snapshots, load_merged_snapshots_tuned, load_merged_snapshots_with, load_snapshot,
+    peek_snapshot_fingerprint, save_snapshot,
 };
 pub use stream::{load_trace, save_trace, TraceFile, TraceReader, TraceWriter};
 pub use wire::program_fingerprint;

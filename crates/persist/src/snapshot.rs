@@ -6,13 +6,14 @@
 //! |---|---|
 //! | geometry: sets, ways, per-PC | 3 × u32 |
 //! | trace count | u64 |
-//! | traces | count × length-prefixed frames: [`tlr_core::TraceRecord`] + (v3) [`tlr_core::TraceMeta`] |
+//! | traces | count × length-prefixed frames: [`tlr_core::TraceRecord`] + (v3) [`tlr_core::TraceMeta`] + (v4) [`tlr_isa::ClassMix`] |
 //! | trailer | u32 zero marker, u64 count, u64 checksum |
 //!
 //! Format v3 appends the 24-byte per-trace provenance
 //! ([`tlr_core::TraceMeta`]: hits, last-use tick, source-run id) inside
-//! each trace's frame, covered by the frame checksum. v2 files still
-//! load; their traces carry zero provenance.
+//! each trace's frame, covered by the frame checksum; v4 additionally
+//! appends the trace's per-class instruction mix. v2/v3 files still
+//! load; their traces carry zero provenance and/or an empty mix.
 
 use crate::error::{PersistError, Result};
 use crate::format::{FileFormat, Header, KIND_RTM_SNAPSHOT};
@@ -111,6 +112,18 @@ pub fn load_merged_snapshots_with(
     expected_fingerprint: Option<u64>,
     policy: ReplacementPolicy,
 ) -> Result<(u64, RtmSnapshot)> {
+    load_merged_snapshots_tuned(paths, expected_fingerprint, policy, tlr_core::LFU_HALF_LIFE)
+}
+
+/// [`load_merged_snapshots_with`] under a caller-chosen LFU aging
+/// half-life ([`RtmSnapshot::merge_detailed_tuned`] semantics; only
+/// [`ReplacementPolicy::Lfu`] victim selection consults it).
+pub fn load_merged_snapshots_tuned(
+    paths: &[impl AsRef<Path>],
+    expected_fingerprint: Option<u64>,
+    policy: ReplacementPolicy,
+    lfu_half_life: u64,
+) -> Result<(u64, RtmSnapshot)> {
     if paths.is_empty() {
         return Err(PersistError::Merge(tlr_core::MergeError::Empty));
     }
@@ -121,7 +134,7 @@ pub fn load_merged_snapshots_with(
         pinned = Some(fp);
         snapshots.push(snapshot);
     }
-    let merged = RtmSnapshot::merge_with(&snapshots, policy)?;
+    let merged = RtmSnapshot::merge_detailed_tuned(&snapshots, policy, lfu_half_life)?.snapshot;
     Ok((pinned.expect("at least one file loaded"), merged))
 }
 
@@ -171,6 +184,7 @@ pub fn write_snapshot(w: &mut impl Write, fingerprint: u64, snapshot: &RtmSnapsh
         scratch.clear();
         wire::put_trace_record(&mut scratch, trace)?;
         wire::put_trace_meta(&mut scratch, &meta);
+        wire::put_class_mix(&mut scratch, trace.mix);
         wire::write_frame(w, &scratch, &mut checksum)?;
     }
     let mut trailer = Vec::with_capacity(20);
@@ -199,13 +213,15 @@ pub fn read_snapshot(
     let declared = wire::get_u64(&mut cursor)?;
     let mut checksum = FxHasher64::new();
     checksum.write(&prelude);
-    // v2 frames hold the bare record; v3 frames append provenance.
+    // v2 frames hold the bare record; v3 frames append provenance; v4
+    // frames append the class mix after the provenance.
     let with_provenance = header.version >= 3;
+    let with_mix = header.version >= 4;
     let mut traces = Vec::with_capacity(declared.min(1 << 20) as usize);
     let mut meta = Vec::with_capacity(declared.min(1 << 20) as usize);
     while let Some(frame) = wire::read_frame(r, &mut checksum)? {
         let mut slice = frame.as_slice();
-        let trace = wire::get_trace_record(&mut slice)?;
+        let mut trace = wire::get_trace_record(&mut slice)?;
         let trace_meta = if with_provenance {
             wire::get_trace_meta(&mut slice).map_err(|_| {
                 PersistError::Corrupt(format!(
@@ -217,6 +233,16 @@ pub fn read_snapshot(
         } else {
             TraceMeta::default()
         };
+        if with_mix {
+            trace.mix = wire::get_class_mix(&mut slice).map_err(|e| match e {
+                corrupt @ PersistError::Corrupt(_) => corrupt,
+                _ => PersistError::Corrupt(format!(
+                    "trace {} (pc={:#x}) is missing its class mix",
+                    traces.len(),
+                    trace.start_pc
+                )),
+            })?;
+        }
         if !slice.is_empty() {
             return Err(PersistError::Corrupt(format!(
                 "{} stray bytes after trace {}",
@@ -302,6 +328,15 @@ fn validate_record(index: usize, rec: &TraceRecord) -> Result<()> {
             SNAPSHOT_IO_CAPS.mem_in,
         )));
     }
+    if rec.mix.total() > u64::from(rec.len) {
+        return Err(PersistError::Corrupt(format!(
+            "trace {index} (pc={:#x}) attributes {} instructions by class \
+             but covers only {}",
+            rec.start_pc,
+            rec.mix.total(),
+            rec.len
+        )));
+    }
     Ok(())
 }
 
@@ -337,6 +372,15 @@ fn snapshot_to_json(fingerprint: u64, snapshot: &RtmSnapshot) -> Json {
             meta.insert("last_use".into(), Json::Num(m.last_use));
             meta.insert("source_run".into(), Json::Num(m.source_run));
             obj.insert("meta".into(), Json::Obj(meta));
+            obj.insert(
+                "mix".into(),
+                Json::Arr(
+                    t.mix
+                        .iter()
+                        .map(|(_, count)| Json::Num(u64::from(count)))
+                        .collect(),
+                ),
+            );
             Json::Obj(obj)
         })
         .collect();
@@ -375,12 +419,33 @@ fn snapshot_from_json(doc: &Json, expected_fingerprint: Option<u64>) -> Result<(
     let mut traces = Vec::new();
     let mut meta = Vec::new();
     for (index, t) in doc.field("traces")?.as_arr("traces")?.iter().enumerate() {
+        // The class mix arrived with format v4; older JSON dumps lack
+        // the field and load as an empty (unattributed) mix.
+        let mix = match t.opt_field("mix") {
+            Some(m) => {
+                let lanes = m.as_arr("mix")?;
+                if lanes.len() != tlr_isa::OpClass::COUNT {
+                    return Err(PersistError::Corrupt(format!(
+                        "trace {index}: \"mix\" holds {} class counts; this ISA has {}",
+                        lanes.len(),
+                        tlr_isa::OpClass::COUNT
+                    )));
+                }
+                let mut counts = [0u32; tlr_isa::OpClass::COUNT];
+                for (lane, value) in counts.iter_mut().zip(lanes) {
+                    *lane = value.as_u32("mix")?;
+                }
+                tlr_isa::ClassMix::from_counts(counts)
+            }
+            None => tlr_isa::ClassMix::EMPTY,
+        };
         let trace = TraceRecord {
             start_pc: t.field("start_pc")?.as_u32("start_pc")?,
             next_pc: t.field("next_pc")?.as_u32("next_pc")?,
             len: t.field("len")?.as_u32("len")?,
             ins: json_pairs(t.field("ins")?, "ins")?.into_boxed_slice(),
             outs: json_pairs(t.field("outs")?, "outs")?.into_boxed_slice(),
+            mix,
         };
         validate_record(index, &trace)?;
         // Provenance arrived with format v3; older JSON dumps lack the
@@ -415,13 +480,20 @@ mod tests {
         let mut snapshot = RtmSnapshot::from_traces(
             RtmConfig::RTM_512,
             (0..20)
-                .map(|i| TraceRecord {
-                    start_pc: i,
-                    next_pc: i + 4,
-                    len: 4,
-                    ins: vec![(Loc::IntReg(1), i as u64), (Loc::Mem(64 + i as u64), 7)]
-                        .into_boxed_slice(),
-                    outs: vec![(Loc::IntReg(2), i as u64 * 2)].into_boxed_slice(),
+                .map(|i| {
+                    // Non-trivial, per-trace-distinct mix summing to `len`.
+                    let mut counts = [0u32; tlr_isa::OpClass::COUNT];
+                    counts[tlr_isa::OpClass::IntAlu.index()] = 3;
+                    counts[tlr_isa::OpClass::ALL[(i % 11) as usize].index()] += 1;
+                    TraceRecord {
+                        start_pc: i,
+                        next_pc: i + 4,
+                        len: 4,
+                        ins: vec![(Loc::IntReg(1), i as u64), (Loc::Mem(64 + i as u64), 7)]
+                            .into_boxed_slice(),
+                        outs: vec![(Loc::IntReg(2), i as u64 * 2)].into_boxed_slice(),
+                        mix: tlr_isa::ClassMix::from_counts(counts),
+                    }
                 })
                 .collect(),
         );
@@ -434,6 +506,18 @@ mod tests {
         snapshot
     }
 
+    /// `RtmSnapshot` equality ignores class mixes (trace identity
+    /// excludes them), so roundtrip tests must compare them explicitly.
+    fn assert_mixes_match(again: &RtmSnapshot, snapshot: &RtmSnapshot, tag: &str) {
+        for (a, b) in again.traces.iter().zip(&snapshot.traces) {
+            assert_eq!(a.mix, b.mix, "{tag}: class mix lost at pc={}", a.start_pc);
+        }
+        assert!(
+            snapshot.traces.iter().any(|t| !t.mix.is_empty()),
+            "{tag}: fixture must carry non-empty mixes"
+        );
+    }
+
     #[test]
     fn binary_roundtrip() {
         let snapshot = sample_snapshot();
@@ -442,6 +526,7 @@ mod tests {
         let (fp, again) = read_snapshot(&mut buf.as_slice(), Some(77)).unwrap();
         assert_eq!(fp, 77);
         assert_eq!(again, snapshot);
+        assert_mixes_match(&again, &snapshot, "binary");
     }
 
     #[test]
@@ -452,6 +537,44 @@ mod tests {
         let (fp, again) = snapshot_from_json(&json::parse(&text).unwrap(), Some(5)).unwrap();
         assert_eq!(fp, 5);
         assert_eq!(again, snapshot);
+        assert_mixes_match(&again, &snapshot, "json");
+    }
+
+    #[test]
+    fn overclaiming_mix_rejected_both_formats() {
+        let mut snapshot = sample_snapshot();
+        let mut counts = [0u32; tlr_isa::OpClass::COUNT];
+        counts[tlr_isa::OpClass::IntAlu.index()] = snapshot.traces[2].len + 1;
+        snapshot.traces[2].mix = tlr_isa::ClassMix::from_counts(counts);
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, 0, &snapshot).unwrap();
+        match read_snapshot(&mut buf.as_slice(), None) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("attributes"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let doc = snapshot_to_json(0, &snapshot);
+        match snapshot_from_json(&json::parse(&json::to_string_pretty(&doc)).unwrap(), None) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("attributes"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_arity_json_mix_rejected() {
+        let snapshot = sample_snapshot();
+        let text = json::to_string_pretty(&snapshot_to_json(0, &snapshot));
+        // Drop one lane from the first mix array: 11 counts become 10.
+        let start = text.find("\"mix\"").expect("mix field present");
+        let open = start + text[start..].find('[').unwrap();
+        let close = open + text[open..].find(']').unwrap();
+        let mut lanes: Vec<&str> = text[open + 1..close].split(',').collect();
+        assert_eq!(lanes.len(), tlr_isa::OpClass::COUNT);
+        lanes.pop();
+        let bad = format!("{}[{}{}", &text[..open], lanes.join(","), &text[close..]);
+        match snapshot_from_json(&json::parse(&bad).unwrap(), None) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("class counts"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

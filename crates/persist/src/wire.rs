@@ -11,7 +11,7 @@ use std::io::{Read, Write};
 use tlr_asm::Program;
 use tlr_core::TraceRecord;
 use tlr_isa::dynrec::{MAX_READS, MAX_WRITES};
-use tlr_isa::{DynInstr, Loc, OpClass};
+use tlr_isa::{ClassMix, DynInstr, Loc, OpClass};
 use tlr_util::fxhash::FxHasher64;
 
 /// Bumped when the meaning of the instruction stream changes (ISA
@@ -283,7 +283,39 @@ pub(crate) fn get_trace_record(r: &mut impl Read) -> Result<TraceRecord> {
         len,
         ins,
         outs,
+        // Format v4+ appends the mix after the provenance record; the
+        // snapshot reader fills it in. Pre-v4 records have none.
+        mix: ClassMix::EMPTY,
     })
+}
+
+// ---- ClassMix -------------------------------------------------------------
+
+/// Encode a trace's per-class instruction mix (format v4+: appended
+/// after the provenance record inside the frame). Self-describing: a
+/// lane-count prefix lets a reader reject a mix written by an ISA with a
+/// different class set instead of misparsing it.
+pub(crate) fn put_class_mix(out: &mut Vec<u8>, mix: ClassMix) {
+    put_u8(out, OpClass::COUNT as u8);
+    for (_, count) in mix.iter() {
+        put_u32(out, count);
+    }
+}
+
+/// Decode a trace's per-class instruction mix.
+pub(crate) fn get_class_mix(r: &mut impl Read) -> Result<ClassMix> {
+    let lanes = get_u8(r)? as usize;
+    if lanes != OpClass::COUNT {
+        return Err(PersistError::Corrupt(format!(
+            "class mix claims {lanes} instruction classes; this ISA has {}",
+            OpClass::COUNT
+        )));
+    }
+    let mut counts = [0u32; OpClass::COUNT];
+    for lane in counts.iter_mut() {
+        *lane = get_u32(r)?;
+    }
+    Ok(ClassMix::from_counts(counts))
 }
 
 // ---- TraceMeta ------------------------------------------------------------

@@ -349,6 +349,7 @@ mod tests {
             len: 2,
             ins: vec![(Loc::IntReg(1), v)].into_boxed_slice(),
             outs: vec![(Loc::IntReg(2), v * 3)].into_boxed_slice(),
+            mix: Default::default(),
         });
         rtm.export()
     }

@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use tlr_core::{ReplacementPolicy, ReuseTraceMemory, RtmSnapshot};
 use tlr_persist::{
-    load_merged_snapshots_with, load_snapshot, peek_snapshot_fingerprint, PersistError,
+    load_merged_snapshots_tuned, load_snapshot, peek_snapshot_fingerprint, PersistError,
 };
 use tlr_util::{FxHashMap, FxHashSet};
 
@@ -39,6 +39,10 @@ pub struct RegistryConfig {
     /// merge resolve capacity contention under this policy, ranking by
     /// the persisted per-trace provenance for the non-recency policies.
     pub policy: ReplacementPolicy,
+    /// LFU aging half-life (ticks) used by every pooling merge when
+    /// `policy` is [`ReplacementPolicy::Lfu`]; the other policies
+    /// ignore it. Defaults to [`tlr_core::LFU_HALF_LIFE`].
+    pub lfu_half_life: u64,
 }
 
 impl Default for RegistryConfig {
@@ -47,6 +51,7 @@ impl Default for RegistryConfig {
             shards: 8,
             max_resident_per_shard: 64,
             policy: ReplacementPolicy::Lru,
+            lfu_half_life: tlr_core::LFU_HALF_LIFE,
         }
     }
 }
@@ -353,7 +358,7 @@ impl SnapshotRegistry {
         let mut first_err: Option<ServeError> = None;
         for (fingerprint, entries) in discovered {
             let (paths, snapshots): (Vec<PathBuf>, Vec<RtmSnapshot>) = entries.into_iter().unzip();
-            let pooled = match RtmSnapshot::merge_with(&snapshots, self.config.policy) {
+            let pooled = match self.pool(&snapshots) {
                 Ok(pooled) => pooled,
                 Err(e) => {
                     outcome.skipped += paths.len() as u64;
@@ -380,6 +385,25 @@ impl SnapshotRegistry {
             Some(e) => Err(e),
             None => Ok(outcome),
         }
+    }
+
+    /// Pool several snapshots under the registry's policy and LFU
+    /// half-life — the one merge rule every path (load, refresh,
+    /// publish) shares.
+    fn pool(&self, snapshots: &[RtmSnapshot]) -> Result<RtmSnapshot, tlr_core::MergeError> {
+        Ok(RtmSnapshot::merge_detailed_tuned(
+            snapshots,
+            self.config.policy,
+            self.config.lfu_half_life,
+        )?
+        .snapshot)
+    }
+
+    /// Import a snapshot into a resident RTM tuned to the registry's
+    /// policy and LFU half-life.
+    fn import(&self, snapshot: &RtmSnapshot) -> ReuseTraceMemory {
+        ReuseTraceMemory::import_with(snapshot, self.config.policy)
+            .with_lfu_half_life(self.config.lfu_half_life)
     }
 
     fn shard_of(&self, fingerprint: u64) -> &Mutex<Shard> {
@@ -415,10 +439,14 @@ impl SnapshotRegistry {
         }
         // Miss: load and merge outside the lock, under the configured
         // policy.
-        let (_, merged) =
-            load_merged_snapshots_with(&paths, Some(fingerprint), self.config.policy)?;
+        let (_, merged) = load_merged_snapshots_tuned(
+            &paths,
+            Some(fingerprint),
+            self.config.policy,
+            self.config.lfu_half_life,
+        )?;
         let loaded = Entry {
-            rtm: ReuseTraceMemory::import_with(&merged, self.config.policy),
+            rtm: self.import(&merged),
             stats: EntryStats {
                 misses: 1,
                 resident_traces: merged.len() as u64,
@@ -470,9 +498,8 @@ impl SnapshotRegistry {
         // near-capacity publish must not wholesale-evict the pooled
         // hot state of every prior run. The configured policy
         // decides what survives contention.
-        let merged =
-            RtmSnapshot::merge_with(&[entry.rtm.export(), snapshot.clone()], self.config.policy)?;
-        entry.rtm = ReuseTraceMemory::import_with(&merged, self.config.policy);
+        let merged = self.pool(&[entry.rtm.export(), snapshot.clone()])?;
+        entry.rtm = self.import(&merged);
         entry.stats.resident_traces = merged.len() as u64;
         entry.stats.resident_hits = merged.total_hits();
         entry.snap = Arc::new(merged);
@@ -512,7 +539,7 @@ impl SnapshotRegistry {
         shard.entries.insert(
             fingerprint,
             Entry {
-                rtm: ReuseTraceMemory::import_with(snapshot, self.config.policy),
+                rtm: self.import(snapshot),
                 snap: Arc::new(snapshot.clone()),
                 stats: EntryStats {
                     refreshes: 1,
@@ -576,6 +603,7 @@ mod tests {
             len: 2,
             ins: vec![(Loc::IntReg(1), v)].into_boxed_slice(),
             outs: vec![(Loc::IntReg(2), v * 3)].into_boxed_slice(),
+            mix: Default::default(),
         }
     }
 
@@ -785,6 +813,36 @@ mod tests {
                 // LFU keeps observed-reuse weight across the merge.
                 assert_eq!(registry.entry_stats(9).unwrap().resident_hits, 16);
             }
+        }
+    }
+
+    #[test]
+    fn lfu_half_life_reaches_pooling_merges() {
+        assert_eq!(
+            RegistryConfig::default().lfu_half_life,
+            tlr_core::LFU_HALF_LIFE
+        );
+        // The knob must not change *what state exists* for an
+        // uncontended pool — only how contention is ranked — so a
+        // registry tuned to an extreme half-life still pools and
+        // publishes identically here.
+        let dir = temp_dir("half-life");
+        save_snapshot(&dir.join("p.tlrsnap"), 4, &snapshot_of(&[rec(8, 1)])).unwrap();
+        for half_life in [1, u64::MAX] {
+            let registry = SnapshotRegistry::open(
+                &dir,
+                RegistryConfig {
+                    policy: ReplacementPolicy::Lfu,
+                    lfu_half_life: half_life,
+                    ..RegistryConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(registry.get(4).unwrap().unwrap().len(), 1, "{half_life}");
+            registry
+                .publish(4, &snapshot_of(&[rec(8, 1), rec(40, 2)]))
+                .unwrap();
+            assert_eq!(registry.get(4).unwrap().unwrap().len(), 2, "{half_life}");
         }
     }
 

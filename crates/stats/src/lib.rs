@@ -22,4 +22,4 @@ pub mod table;
 pub use chart::BarChart;
 pub use histogram::Histogram;
 pub use means::{arithmetic_mean, geometric_mean, harmonic_mean, Summary};
-pub use table::{Align, Table};
+pub use table::{fnum, Align, Table};

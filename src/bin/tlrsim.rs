@@ -6,6 +6,8 @@
 //!                      [--policy P] [--warm-rtm SNAP]
 //! tlrsim disasm FILE
 //! tlrsim analyze FILE  [--budget N] [--window W]
+//! tlrsim decant FILE   [--budget N] [--rtm SIZE] [--heuristic H] [--policy P]
+//!                      [--out JSON]
 //! tlrsim record FILE   --out TRACE [--budget N]
 //! tlrsim replay FILE   --trace TRACE
 //! tlrsim snapshot FILE --out SNAP  [--budget N] [--rtm SIZE] [--heuristic H]
@@ -18,6 +20,7 @@
 //!   SIZE:  512 | 4k | 32k | 256k            (default 4k)
 //!   H:     i1..i8 | ilr-ne | ilr-exp | bb   (default i4)
 //!   P:     lru | lfu | cost-benefit         (default lru)
+//!          (--lfu-half-life N tunes the LFU/cost-benefit decay window)
 //!   TRACE: *.tlrtrace (binary) or *.json (debug format)
 //!   SNAP:  *.tlrsnap  (binary) or *.json (debug format)
 //!   FILE:  an assembly file, or workload:NAME for a built-in workload
@@ -32,7 +35,10 @@
 //! `run` executes a program (optionally under the reuse engine; with
 //! `--warm-rtm` the engine starts from a saved RTM snapshot), `disasm`
 //! prints the assembled listing, `analyze` runs the paper's full limit
-//! study, `record` writes every executed instruction to a trace file,
+//! study, `decant` runs the reuse engine with its decision tap enabled
+//! and attributes every reuse decision by opcode class and loop
+//! structure (`tlr-decant`; `--out FILE.json` also writes the
+//! attribution as JSON), `record` writes every executed instruction to a trace file,
 //! `replay` re-executes against a recording and fails on the first
 //! divergence, `snapshot` runs the reuse engine and saves its RTM for
 //! later warm starts, `merge` pools several runs' snapshots of one
@@ -60,6 +66,8 @@ fn usage() -> ! {
          [--heuristic i1..i8|ilr-ne|ilr-exp|bb] [--policy lru|lfu|cost-benefit] \
          [--warm-rtm SNAP]\n  tlrsim disasm FILE\n  \
          tlrsim analyze FILE [--budget N] [--window W]\n  \
+         tlrsim decant FILE  [--budget N] [--rtm ...] [--heuristic ...] [--policy ...] \
+         [--out JSON]\n  \
          tlrsim record FILE   --out TRACE [--budget N]\n  \
          tlrsim replay FILE   --trace TRACE\n  \
          tlrsim snapshot FILE --out SNAP [--budget N] [--rtm ...] [--heuristic ...] \
@@ -69,7 +77,8 @@ fn usage() -> ! {
          [--policy ...] [--threads N] [--seed N] [--save] [--listen SOCK] \
          [--refresh-secs N]\n\
          FILE may be an assembly file or workload:NAME (built-in workload); \
-         run also takes --remote SOCK (tlrd warm start) and --digest"
+         run also takes --remote SOCK (tlrd warm start) and --digest; \
+         --lfu-half-life N tunes the lfu/cost-benefit decay window everywhere"
     );
     std::process::exit(2);
 }
@@ -145,6 +154,7 @@ struct Flags {
     rtm: RtmConfig,
     heuristic: Heuristic,
     policy: ReplacementPolicy,
+    lfu_half_life: u64,
     out: Option<String>,
     trace: Option<String>,
     warm_rtm: Option<String>,
@@ -166,6 +176,7 @@ fn parse_flags(args: &[String]) -> Flags {
         rtm: RtmConfig::RTM_4K,
         heuristic: Heuristic::FixedExp(4),
         policy: ReplacementPolicy::Lru,
+        lfu_half_life: LFU_HALF_LIFE,
         out: None,
         trace: None,
         warm_rtm: None,
@@ -212,6 +223,15 @@ fn parse_flags(args: &[String]) -> Flags {
             }
             "--policy" => {
                 flags.policy = parse_policy(&value(args, i, "--policy"));
+                i += 2;
+            }
+            "--lfu-half-life" => {
+                flags.lfu_half_life = value(args, i, "--lfu-half-life")
+                    .parse()
+                    .unwrap_or_else(|e| usage_error(&format!("--lfu-half-life: {e}")));
+                if flags.lfu_half_life == 0 {
+                    usage_error("--lfu-half-life must be at least 1 lookup");
+                }
                 i += 2;
             }
             "--out" => {
@@ -297,7 +317,9 @@ fn cmd_run(path: &str, flags: &Flags) {
     if flags.warm_rtm.is_some() && flags.remote.is_some() {
         usage_error("--warm-rtm and --remote are mutually exclusive warm-start sources");
     }
-    let config = EngineConfig::paper(flags.rtm, flags.heuristic).with_policy(flags.policy);
+    let config = EngineConfig::paper(flags.rtm, flags.heuristic)
+        .with_policy(flags.policy)
+        .with_lfu_half_life(flags.lfu_half_life);
     let fingerprint = program_fingerprint(&program);
     // --remote warm-starts from (and publishes back to) a tlrd daemon.
     let remote = flags.remote.as_deref().map(|sock| {
@@ -456,7 +478,9 @@ fn cmd_snapshot(path: &str, flags: &Flags) {
     let program = load(path, flags.seed);
     let mut engine = TraceReuseEngine::new(
         &program,
-        EngineConfig::paper(flags.rtm, flags.heuristic).with_policy(flags.policy),
+        EngineConfig::paper(flags.rtm, flags.heuristic)
+            .with_policy(flags.policy)
+            .with_lfu_half_life(flags.lfu_half_life),
     );
     engine.set_source_run(flags.seed);
     let stats = engine
@@ -534,6 +558,7 @@ fn cmd_serve(flags: &Flags) {
         Path::new(dir),
         RegistryConfig {
             policy: flags.policy,
+            lfu_half_life: flags.lfu_half_life,
             ..RegistryConfig::default()
         },
     )
@@ -571,7 +596,9 @@ fn cmd_serve(flags: &Flags) {
         return;
     }
     let registry = registry.as_ref();
-    let config = EngineConfig::paper(flags.rtm, flags.heuristic).with_policy(flags.policy);
+    let config = EngineConfig::paper(flags.rtm, flags.heuristic)
+        .with_policy(flags.policy)
+        .with_lfu_half_life(flags.lfu_half_life);
     let workloads = tlr_workloads::all();
     let threads = if flags.threads == 0 {
         std::thread::available_parallelism()
@@ -686,6 +713,123 @@ fn cmd_analyze(path: &str, flags: &Flags) {
     );
 }
 
+fn cmd_decant(path: &str, flags: &Flags) {
+    use trace_reuse::persist::json::{self, Json};
+    use trace_reuse::stats::Table;
+
+    let program = load(path, flags.seed);
+    let config = EngineConfig::paper(flags.rtm, flags.heuristic)
+        .with_policy(flags.policy)
+        .with_lfu_half_life(flags.lfu_half_life);
+    let mut engine = TraceReuseEngine::new(&program, config);
+    engine.set_source_run(flags.seed);
+    // One decision covers at least one instruction, so a budget-sized
+    // cap never truncates the tap.
+    engine.enable_tap_with_cap(usize::try_from(flags.budget).unwrap_or(usize::MAX));
+    let stats = engine
+        .run(flags.budget)
+        .unwrap_or_else(|e| fail(&format!("engine error: {e}")));
+    let log = engine.tap().expect("tap was enabled");
+    let attribution = trace_reuse::decant::decant(log);
+    if let Err(msg) = attribution.verify(log) {
+        fail(&format!(
+            "attribution failed to conserve the log's totals: {msg}"
+        ));
+    }
+    println!(
+        "{}: {} total instructions ({} executed, {} skipped, {:.1}% reused) \
+         [{} {} {}]",
+        if stats.halted {
+            "halted"
+        } else {
+            "budget exhausted"
+        },
+        stats.total(),
+        stats.executed,
+        stats.skipped,
+        stats.pct_reused(),
+        flags.rtm.label(),
+        flags.heuristic.label(),
+        flags.policy.label()
+    );
+    println!();
+    println!("attribution by opcode class:");
+    println!("{}", attribution.class_table(&Alpha21164).to_text());
+    println!("attribution by loop structure:");
+    println!("{}", attribution.loop_table().to_text());
+    let weights = attribution.class_weights(&Alpha21164);
+    let weight_list: Vec<String> = tlr_isa::OpClass::ALL
+        .iter()
+        .map(|&c| format!("{}={}", c.label(), weights.get(c)))
+        .collect();
+    println!("measured class weights: {}", weight_list.join(" "));
+    // Greppable conservation line — the CI smoke test asserts on it.
+    println!(
+        "decant totals: exact (executed {}, skipped {}, reuse ops {}, \
+         unattributed {}, dropped {})",
+        attribution.executed,
+        attribution.skipped,
+        attribution.reuse_ops,
+        attribution.unattributed,
+        attribution.dropped
+    );
+    let Some(out) = flags.out.as_deref() else {
+        return;
+    };
+    let table_json = |table: &Table| -> Json {
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert(
+            "headers".into(),
+            Json::Arr(
+                table
+                    .headers()
+                    .iter()
+                    .map(|h| Json::Str(h.clone()))
+                    .collect(),
+            ),
+        );
+        obj.insert(
+            "rows".into(),
+            Json::Arr(
+                table
+                    .rows()
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().map(|cell| Json::Str(cell.clone())).collect()))
+                    .collect(),
+            ),
+        );
+        Json::Obj(obj)
+    };
+    let mut totals = std::collections::BTreeMap::new();
+    totals.insert("executed".into(), Json::Num(attribution.executed));
+    totals.insert("skipped".into(), Json::Num(attribution.skipped));
+    totals.insert("reuse_ops".into(), Json::Num(attribution.reuse_ops));
+    totals.insert("unattributed".into(), Json::Num(attribution.unattributed));
+    totals.insert("dropped".into(), Json::Num(attribution.dropped));
+    let mut weight_obj = std::collections::BTreeMap::new();
+    for &class in &tlr_isa::OpClass::ALL {
+        weight_obj.insert(
+            class.label().to_string(),
+            Json::Num(u64::from(weights.get(class))),
+        );
+    }
+    let mut doc = std::collections::BTreeMap::new();
+    doc.insert("format".into(), Json::Str("tlr-decant-v1".into()));
+    doc.insert("program".into(), Json::Str(path.into()));
+    doc.insert("budget".into(), Json::Num(flags.budget));
+    doc.insert("policy".into(), Json::Str(flags.policy.label().into()));
+    doc.insert("totals".into(), Json::Obj(totals));
+    doc.insert(
+        "classes".into(),
+        table_json(&attribution.class_table(&Alpha21164)),
+    );
+    doc.insert("loops".into(), table_json(&attribution.loop_table()));
+    doc.insert("class_weights".into(), Json::Obj(weight_obj));
+    std::fs::write(out, json::to_string_pretty(&Json::Obj(doc)))
+        .unwrap_or_else(|e| fail(&format!("{out}: {e}")));
+    println!("wrote attribution to {out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -705,12 +849,13 @@ fn main() {
         ("run", [file]) => cmd_run(file, &flags),
         ("disasm", [file]) => cmd_disasm(file, &flags),
         ("analyze", [file]) => cmd_analyze(file, &flags),
+        ("decant", [file]) => cmd_decant(file, &flags),
         ("record", [file]) => cmd_record(file, &flags),
         ("replay", [file]) => cmd_replay(file, &flags),
         ("snapshot", [file]) => cmd_snapshot(file, &flags),
         ("merge", inputs) if !inputs.is_empty() => cmd_merge(inputs, &flags),
         ("serve", []) => cmd_serve(&flags),
-        ("run" | "disasm" | "analyze" | "record" | "replay" | "snapshot", files) => {
+        ("run" | "disasm" | "analyze" | "decant" | "record" | "replay" | "snapshot", files) => {
             usage_error(&format!(
                 "'{cmd}' takes exactly one program file, got {}",
                 files.len()

@@ -24,6 +24,7 @@
 //! | [`workloads`] | 14 SPEC95-named kernels with dialled-in reuse profiles |
 //! | [`timing`] | Austin–Sohi dependence analysis; infinite & finite windows |
 //! | [`core`] | **the paper's contribution**: reusability tables, trace partitioning, the RTM, collection heuristics, the execution-driven engine, limit studies, theorems |
+//! | [`decant`] | reuse attribution: decants the engine's decision tap by opcode class and loop structure, feeding measured policy weights |
 //! | [`persist`] | durable trace state: record/replay streams, RTM snapshots, warm starts |
 //! | [`serve`] | sharded registry of warm RTMs keyed by program fingerprint, with snapshot merging |
 //! | [`pipeline`] | cycle-level superscalar with the RTM at fetch (§3) |
@@ -53,6 +54,7 @@
 
 pub use tlr_asm as asm;
 pub use tlr_core as core;
+pub use tlr_decant as decant;
 pub use tlr_isa as isa;
 pub use tlr_persist as persist;
 pub use tlr_pipeline as pipeline;
@@ -68,11 +70,12 @@ pub mod prelude {
     pub use tlr_asm::{assemble, Program, ProgramBuilder};
     pub use tlr_core::RtmSnapshot;
     pub use tlr_core::{
-        DecisionLog, EngineConfig, EngineStats, Heuristic, InstrReuseTable, IoCaps, LimitConfig,
-        LimitStudySink, ReplacementPolicy, ReuseTraceMemory, RtmConfig, TraceMeta,
-        TraceReuseEngine,
+        ClassWeights, DecisionLog, EngineConfig, EngineStats, Heuristic, InstrReuseTable, IoCaps,
+        LimitConfig, LimitStudySink, ReplacementPolicy, ReuseTraceMemory, RtmConfig, TraceMeta,
+        TraceReuseEngine, LFU_HALF_LIFE,
     };
-    pub use tlr_isa::{Alpha21164, CollectSink, DynInstr, Loc, NullSink, StreamSink};
+    pub use tlr_decant::{decant, Attribution, LoopDetector, LoopShape};
+    pub use tlr_isa::{Alpha21164, ClassMix, CollectSink, DynInstr, Loc, NullSink, StreamSink};
     pub use tlr_persist::{PersistError, TraceReader, TraceWriter};
     pub use tlr_pipeline::{PipeConfig, Pipeline, ReuseConfig};
     pub use tlr_serve::{

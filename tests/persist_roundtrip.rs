@@ -50,6 +50,7 @@ fn trace_record_strategy() -> impl Strategy<Value = TraceRecord> {
             len,
             ins: ins.into_boxed_slice(),
             outs: outs.into_boxed_slice(),
+            mix: Default::default(),
         })
 }
 

@@ -33,6 +33,7 @@ fn record_strategy() -> impl Strategy<Value = TraceRecord> {
         len,
         ins: vec![(Loc::IntReg(1), in_val)].into_boxed_slice(),
         outs: vec![(Loc::IntReg(2), out_val)].into_boxed_slice(),
+        mix: Default::default(),
     })
 }
 

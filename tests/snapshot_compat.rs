@@ -1,13 +1,14 @@
 //! Snapshot format-version compatibility: v3 carries per-trace
-//! provenance, v2 files (written before provenance existed) must still
-//! load as zero-provenance state, and corrupt provenance — on the
-//! binary and the JSON path — must be rejected with a named error,
-//! never silently zeroed or misparsed.
+//! provenance, v4 appends a per-trace class mix, v2 files (written
+//! before either existed) must still load as zero-provenance state,
+//! and corrupt provenance or mixes — on the binary and the JSON path —
+//! must be rejected with a named error, never silently zeroed or
+//! misparsed.
 //!
-//! The v2 writer here is hand-rolled byte-for-byte from the v2 layout
-//! (header, geometry prelude, checksummed record frames, trailer), so
-//! these tests keep failing loudly if the reader ever drops v2 support
-//! by accident.
+//! The v2/v3 writer here is hand-rolled byte-for-byte from the
+//! historical layouts (header, geometry prelude, checksummed record
+//! frames, trailer), so these tests keep failing loudly if the reader
+//! ever drops old-version support by accident.
 
 use std::hash::Hasher;
 use std::path::PathBuf;
@@ -32,6 +33,7 @@ fn rec(pc: u32, v: u64) -> TraceRecord {
         len: 3,
         ins: vec![(Loc::IntReg(1), v), (Loc::Mem(64 + v * 8), v)].into_boxed_slice(),
         outs: vec![(Loc::IntReg(2), v * 7)].into_boxed_slice(),
+        mix: Default::default(),
     }
 }
 
@@ -239,6 +241,108 @@ fn v3_frame_with_stray_bytes_after_provenance_rejected() {
             assert!(msg.contains("stray bytes"), "unhelpful error: {msg}")
         }
         other => panic!("expected Corrupt(stray bytes), got {other:?}"),
+    }
+}
+
+// ---- class mixes (v4) -----------------------------------------------------
+
+/// A v3-shaped frame: record followed by zeroed provenance, no mix.
+fn encode_v3_frame(rec: &TraceRecord) -> Vec<u8> {
+    let mut frame = encode_record(rec);
+    frame.extend_from_slice(&[0u8; 24]);
+    frame
+}
+
+#[test]
+fn v3_snapshot_loads_as_empty_mix() {
+    let records = [rec(8, 1), rec(16, 2)];
+    let frames: Vec<Vec<u8>> = records.iter().map(encode_v3_frame).collect();
+    let bytes = encode_snapshot_file(3, 42, &frames);
+    let path = temp_path("v3-no-mix.tlrsnap");
+    std::fs::write(&path, &bytes).unwrap();
+    let (fp, snapshot) = load_snapshot(&path, Some(42)).expect("v3 snapshot must still load");
+    assert_eq!(fp, 42);
+    assert_eq!(snapshot.traces, records.to_vec());
+    assert!(
+        snapshot.traces.iter().all(|t| t.mix.is_empty()),
+        "v3 snapshots carry no class mix; loading must leave it empty"
+    );
+}
+
+#[test]
+fn v4_roundtrip_preserves_mix_on_disk() {
+    let mut counts = [0u32; tlr_isa::OpClass::COUNT];
+    counts[tlr_isa::OpClass::IntAlu.index()] = 2;
+    counts[tlr_isa::OpClass::Load.index()] = 1;
+    let mix = tlr_isa::ClassMix::from_counts(counts);
+    let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512);
+    rtm.insert(TraceRecord { mix, ..rec(8, 1) });
+    rtm.insert(rec(16, 2));
+    let snapshot = rtm.export();
+
+    for name in ["v4.tlrsnap", "v4.json"] {
+        let path = temp_path(name);
+        save_snapshot(&path, 5, &snapshot).unwrap();
+        let (_, loaded) = load_snapshot(&path, Some(5)).unwrap();
+        assert_eq!(loaded, snapshot, "{name}");
+        // Trace identity ignores the mix, so check it explicitly.
+        let by_pc = |s: &RtmSnapshot, pc| s.traces.iter().find(|t| t.start_pc == pc).unwrap().mix;
+        assert_eq!(by_pc(&loaded, 8), mix, "{name}: class mix lost");
+        assert!(by_pc(&loaded, 16).is_empty(), "{name}");
+    }
+}
+
+#[test]
+fn v4_frame_without_mix_rejected() {
+    // Header says v4, frames are v3-shaped: the reader must name the
+    // missing mix rather than misparse the next frame's length prefix.
+    let bytes = encode_snapshot_file(4, 1, &[encode_v3_frame(&rec(8, 1))]);
+    let path = temp_path("v4-no-mix.tlrsnap");
+    std::fs::write(&path, &bytes).unwrap();
+    match load_snapshot(&path, None) {
+        Err(PersistError::Corrupt(msg)) => {
+            assert!(msg.contains("class mix"), "unhelpful error: {msg}")
+        }
+        other => panic!("expected Corrupt(class mix), got {other:?}"),
+    }
+}
+
+#[test]
+fn v4_frame_with_truncated_mix_rejected() {
+    let mut frame = encode_v3_frame(&rec(8, 1));
+    frame.push(tlr_isa::OpClass::COUNT as u8);
+    put_u32(&mut frame, 3); // one lane of eleven
+    let bytes = encode_snapshot_file(4, 1, &[frame]);
+    let path = temp_path("v4-short-mix.tlrsnap");
+    std::fs::write(&path, &bytes).unwrap();
+    match load_snapshot(&path, None) {
+        Err(PersistError::Corrupt(msg)) => {
+            assert!(msg.contains("class mix"), "unhelpful error: {msg}")
+        }
+        other => panic!("expected Corrupt(class mix), got {other:?}"),
+    }
+}
+
+#[test]
+fn v4_frame_with_wrong_class_count_rejected() {
+    // A file written by a build with a different ISA class list must be
+    // refused, not reinterpreted lane-by-lane.
+    let mut frame = encode_v3_frame(&rec(8, 1));
+    frame.push(7);
+    for _ in 0..7 {
+        put_u32(&mut frame, 0);
+    }
+    let bytes = encode_snapshot_file(4, 1, &[frame]);
+    let path = temp_path("v4-wrong-lanes.tlrsnap");
+    std::fs::write(&path, &bytes).unwrap();
+    match load_snapshot(&path, None) {
+        Err(PersistError::Corrupt(msg)) => {
+            assert!(
+                msg.contains("instruction classes"),
+                "unhelpful error: {msg}"
+            )
+        }
+        other => panic!("expected Corrupt(instruction classes), got {other:?}"),
     }
 }
 

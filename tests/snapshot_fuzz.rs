@@ -30,6 +30,7 @@ fn well_formed_snapshot() -> RtmSnapshot {
                 len: 4,
                 ins: vec![(Loc::IntReg(1), i as u64)].into_boxed_slice(),
                 outs: vec![(Loc::IntReg(2), i as u64 + 1)].into_boxed_slice(),
+                mix: Default::default(),
             })
             .collect(),
     );
