@@ -4,7 +4,7 @@
 //! reproduce [OPTIONS] [TARGETS...]
 //!
 //! TARGETS: fig3 fig4 fig5 fig6 fig7 fig8 io fig9 ablation pipeline validbit schemes
-//!          warmstart fleet policy daemon decant all   (default: all)
+//!          warmstart fleet policy daemon decant throughput all   (default: all)
 //!
 //! OPTIONS:
 //!   --budget N    dynamic instructions per benchmark   (default 400000)
@@ -16,13 +16,16 @@
 //!                 machine-readable JSON document (config + targets)
 //!   --charts      also print ASCII bar charts
 //!   --check       exit nonzero on a regression (warmstart, fleet, policy,
-//!                 daemon, decant)
+//!                 daemon, decant, throughput)
+//!   --processes   fleet: also run the legacy per-task worker-pool path
+//!                 next to the default in-process batched path and report
+//!                 both tables
 //! ```
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use tlr_bench::figures;
-use tlr_bench::{run_engine_grid, run_limit_studies, BenchResult, HarnessConfig};
+use tlr_bench::{run_engine_grid, run_limit_studies, BenchResult, FleetExecution, HarnessConfig};
 use tlr_core::{Heuristic, RtmConfig};
 use tlr_persist::json::{self, Json};
 use tlr_stats::Table;
@@ -34,6 +37,7 @@ struct Options {
     json_out: Option<PathBuf>,
     charts: bool,
     check: bool,
+    processes: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -43,6 +47,7 @@ fn parse_args() -> Result<Options, String> {
     let mut json_out = None;
     let mut charts = false;
     let mut check = false;
+    let mut processes = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -58,6 +63,7 @@ fn parse_args() -> Result<Options, String> {
             "--json" => json_out = Some(PathBuf::from(value("--json")?)),
             "--charts" => charts = true,
             "--check" => check = true,
+            "--processes" => processes = true,
             "--help" | "-h" => {
                 println!("{}", HELP);
                 std::process::exit(0);
@@ -76,11 +82,12 @@ fn parse_args() -> Result<Options, String> {
         json_out,
         charts,
         check,
+        processes,
     })
 }
 
-const HELP: &str = "reproduce [--budget N] [--seed N] [--window N] [--threads N] [--out DIR] [--json OUT] [--charts] [--check] \
-                    [fig3|fig4|fig5|fig6|fig7|fig8|io|fig9|ablation|pipeline|validbit|schemes|warmstart|fleet|policy|daemon|decant|all ...]";
+const HELP: &str = "reproduce [--budget N] [--seed N] [--window N] [--threads N] [--out DIR] [--json OUT] [--charts] [--check] [--processes] \
+                    [fig3|fig4|fig5|fig6|fig7|fig8|io|fig9|ablation|pipeline|validbit|schemes|warmstart|fleet|policy|daemon|decant|throughput|all ...]";
 
 /// JSON schema tag of the `--json` results document.
 const RESULTS_FORMAT: &str = "tlr-bench-v1";
@@ -366,12 +373,12 @@ fn main() {
     if wants(&opts.targets, "fleet") {
         let start = std::time::Instant::now();
         let cells = tlr_bench::run_fleet(&opts.cfg, RtmConfig::RTM_32K);
-        eprintln!("[fleet: {:?}]", start.elapsed());
+        eprintln!("[fleet (batched): {:?}]", start.elapsed());
         emit(
             &opts.out_dir,
             doc,
             "fleet",
-            "Fleet pooling (ours): solo-warm vs merged-warm engine, % of instructions reused",
+            "Fleet pooling (ours): solo-warm vs merged-warm engine, in-process batched, % of instructions reused",
             &tlr_bench::fleet_table(&cells),
         );
         if opts.check {
@@ -380,6 +387,26 @@ fn main() {
                 std::process::exit(1);
             }
             println!("fleet check: ok");
+        }
+        if opts.processes {
+            let start = std::time::Instant::now();
+            let pooled =
+                tlr_bench::run_fleet_with(&opts.cfg, RtmConfig::RTM_32K, FleetExecution::Pooled);
+            eprintln!("[fleet (pooled): {:?}]", start.elapsed());
+            emit(
+                &opts.out_dir,
+                doc,
+                "fleet_pooled",
+                "Fleet pooling (ours): legacy per-task worker-pool path, % of instructions reused",
+                &tlr_bench::fleet_table(&pooled),
+            );
+            if opts.check {
+                if let Err(msg) = tlr_bench::check_fleet(&pooled) {
+                    eprintln!("error: fleet (pooled) regression: {msg}");
+                    std::process::exit(1);
+                }
+                println!("fleet (pooled) check: ok");
+            }
         }
     }
 
@@ -462,6 +489,34 @@ fn main() {
                 std::process::exit(1);
             }
             println!("decant check: ok");
+        }
+    }
+
+    if wants(&opts.targets, "throughput") {
+        let start = std::time::Instant::now();
+        let cells = tlr_bench::run_throughput(&opts.cfg, RtmConfig::RTM_4K);
+        let batch = tlr_bench::run_batch_bench(&opts.cfg, RtmConfig::RTM_4K);
+        eprintln!("[throughput: {:?}]", start.elapsed());
+        emit(
+            &opts.out_dir,
+            doc,
+            "throughput",
+            "Simulator throughput (ours): observing interpreter vs predecoded fast path, reference vs throughput engine (MIPS)",
+            &tlr_bench::throughput_table(&cells),
+        );
+        emit(
+            &opts.out_dir,
+            doc,
+            "throughput_batch",
+            "Simulator throughput (ours): whole suite as one in-process batch per schedule",
+            &tlr_bench::batch_table(&batch),
+        );
+        if opts.check {
+            if let Err(msg) = tlr_bench::check_throughput(&cells, &batch) {
+                eprintln!("error: throughput regression: {msg}");
+                std::process::exit(1);
+            }
+            println!("throughput check: ok");
         }
     }
 

@@ -22,15 +22,18 @@
 //! | `reproduce policy` | ours — RTM replacement-policy sweep (LRU vs LFU vs cost/benefit, cold and merged-warm) |
 //! | `reproduce daemon` | ours — N concurrent clients warm-starting from one `tlrd` daemon vs the in-process registry path |
 //! | `reproduce decant` | ours — reuse attribution by opcode class and loop structure (`tlr-decant` over the decision tap) |
+//! | `reproduce throughput` | ours — simulator MIPS: observing interpreter vs predecoded fast path, reference vs throughput engine, batched suite |
 //!
-//! With `--check`, the `warmstart`, `fleet`, `policy`, `daemon`, and
-//! `decant` targets additionally act as regression gates: the process
-//! exits nonzero when a warm start reuses less than its cold run, a
-//! merged warm start reuses less than the better solo warm start, any
-//! policy configuration fails architectural-state equality, a
-//! daemon-served client's final architectural-state digest differs
-//! from the in-process registry path's, or a decanted attribution
-//! fails to sum exactly to its decision log's totals.
+//! With `--check`, the `warmstart`, `fleet`, `policy`, `daemon`,
+//! `decant`, and `throughput` targets additionally act as regression
+//! gates: the process exits nonzero when a warm start reuses less than
+//! its cold run, a merged warm start reuses less than the better solo
+//! warm start, any policy configuration fails architectural-state
+//! equality, a daemon-served client's final architectural-state digest
+//! differs from the in-process registry path's, a decanted attribution
+//! fails to sum exactly to its decision log's totals, or a fast-path
+//! run diverges from its reference (state, reuse decisions, or mean
+//! speed).
 //!
 //! With `--json OUT`, every table produced by the invocation is also
 //! written to `OUT` as one machine-readable JSON document (config +
@@ -40,23 +43,30 @@
 //! All figure functions are library code so the integration tests can run
 //! them at reduced budgets.
 
+pub mod batch;
 pub mod daemon;
 pub mod decant;
 pub mod figures;
 pub mod fleet;
 pub mod harness;
 pub mod policy;
+pub mod throughput;
 pub mod warmstart;
 
+pub use batch::{BatchOutcome, BatchRunner, BatchSpec, Schedule};
 pub use daemon::{
     check_daemon, daemon_table, run_daemon_bench, sibling_tlrsim, DaemonCell, DaemonOutcome,
 };
 pub use decant::{
     check_decant, decant_class_table, decant_loop_table, decant_table, run_decant, DecantCell,
 };
-pub use fleet::{check_fleet, fleet_table, run_fleet, FleetCell};
+pub use fleet::{check_fleet, fleet_table, run_fleet, run_fleet_with, FleetCell, FleetExecution};
 pub use harness::{run_engine_grid, run_limit_studies, BenchResult, EngineCell, HarnessConfig};
 pub use policy::{
     check_policy, measured_label, policy_table, run_policy_sweep, state_digest, PolicyCell,
+};
+pub use throughput::{
+    batch_table, check_throughput, run_batch_bench, run_throughput, throughput_table, BatchCell,
+    ThroughputCell,
 };
 pub use warmstart::{check_warm_start, run_warm_start, warm_start_table, WarmStartCell};

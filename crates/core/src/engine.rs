@@ -193,8 +193,10 @@ impl DecisionLog {
     }
 }
 
-/// What a run of the engine produced.
-#[derive(Clone, Debug)]
+/// What a run of the engine produced. `PartialEq` compares every counter
+/// and the full reused-size histogram — the equality the fast-vs-observed
+/// mode tests assert.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineStats {
     /// Instructions the VM actually executed.
     pub executed: u64,

@@ -1,0 +1,412 @@
+//! The throughput engine: the reference reuse engine's semantics on the
+//! fast execution substrate.
+//!
+//! [`crate::engine::TraceReuseEngine`] is written for fidelity: a
+//! `dyn`-dispatched backend, a closure-based reuse test, and a fully
+//! materialized [`tlr_isa::DynInstr`] per executed instruction. That is
+//! the model the paper's figures are measured on, and it stays intact.
+//! [`ThroughputEngine`] is the same machine built for speed: a concrete
+//! monomorphized [`ReuseTraceMemory`], reuse hits served through cached
+//! straight-line [`crate::block::TraceBlock`]s
+//! ([`ReuseTraceMemory::lookup_fast`]), and — in [`ExecMode::Fast`] with
+//! no collector attached — an allocation-free interpreter loop
+//! ([`tlr_vm::Vm::step_fast`]) that materializes no records at all.
+//!
+//! The two engines (and the two modes of this one) must agree exactly:
+//! same final `state_digest`, same executed/skipped/hit counters, same
+//! decision stream. `tests/fast_engine.rs` cross-checks them on every
+//! workload, simple_tta-style; the per-mode equality is asserted down to
+//! full [`EngineStats`] equality including the reused-size histogram.
+
+use tlr_asm::Program;
+use tlr_stats::Histogram;
+use tlr_vm::{ExecMode, FastStep, StepResult, Vm, VmError};
+
+use crate::collect::Collector;
+use crate::engine::{DecisionLog, EngineConfig, EngineStats, ReuseEvent, ReuseTest};
+use crate::ilr::FiniteIlrBuffer;
+use crate::rtm::{ReuseTraceMemory, RtmSnapshot};
+
+/// The high-throughput trace-reuse engine.
+///
+/// Construction mirrors [`crate::engine::TraceReuseEngine`]; behaviour is
+/// bit-identical in both [`ExecMode`]s. The collector is optional: detach
+/// it with [`ThroughputEngine::without_collection`] for a serving-only
+/// engine whose fast mode touches no heap on the hot path (the RTM still
+/// answers lookups and counts hits, it just never learns new traces).
+pub struct ThroughputEngine {
+    vm: Vm,
+    rtm: ReuseTraceMemory,
+    collector: Option<Collector>,
+    mode: ExecMode,
+    executed: u64,
+    skipped: u64,
+    reuse_ops: u64,
+    halted: bool,
+    reused_sizes: Histogram,
+    tap: Option<DecisionLog>,
+}
+
+impl ThroughputEngine {
+    /// Load `program` under `config`, defaulting to [`ExecMode::Fast`].
+    ///
+    /// # Panics
+    ///
+    /// If `config.reuse_test` is not [`ReuseTest::ValueCompare`]: the
+    /// valid-bit backend needs per-write invalidation hooks that the
+    /// fast path removes. Use the reference engine for valid-bit runs.
+    pub fn new(program: &Program, config: EngineConfig) -> Self {
+        assert!(
+            config.reuse_test == ReuseTest::ValueCompare,
+            "ThroughputEngine supports only the value-comparison reuse test"
+        );
+        let ilr = match config.heuristic {
+            crate::Heuristic::IlrNe | crate::Heuristic::IlrExp => {
+                Some(FiniteIlrBuffer::new(config.rtm.geometry))
+            }
+            crate::Heuristic::FixedExp(_) | crate::Heuristic::BasicBlock => None,
+        };
+        Self {
+            vm: Vm::new(program),
+            rtm: ReuseTraceMemory::new_with(config.rtm, config.policy)
+                .with_lfu_half_life(config.lfu_half_life),
+            collector: Some(Collector::new(config.heuristic, config.caps, ilr)),
+            mode: ExecMode::Fast,
+            executed: 0,
+            skipped: 0,
+            reuse_ops: 0,
+            halted: false,
+            reused_sizes: Histogram::new(),
+            tap: None,
+        }
+    }
+
+    /// Like [`ThroughputEngine::new`], but seed the RTM from a prior
+    /// run's [`RtmSnapshot`]. The snapshot's geometry overrides
+    /// `config.rtm`, as in [`crate::engine::TraceReuseEngine::new_warm`].
+    pub fn new_warm(program: &Program, config: EngineConfig, snapshot: &RtmSnapshot) -> Self {
+        let mut engine = Self::new(
+            program,
+            EngineConfig {
+                rtm: snapshot.config,
+                reuse_test: ReuseTest::ValueCompare,
+                ..config
+            },
+        );
+        engine.rtm = ReuseTraceMemory::import_with(snapshot, config.policy)
+            .with_lfu_half_life(config.lfu_half_life);
+        engine
+    }
+
+    /// Detach the collector: the engine only *serves* resident traces
+    /// (warm-start / registry scenarios) and never inserts new ones. In
+    /// fast mode this makes the whole miss path allocation-free.
+    pub fn without_collection(mut self) -> Self {
+        self.collector = None;
+        self
+    }
+
+    /// Same engine in the given mode.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Switch execution mode (takes effect at the next step).
+    pub fn set_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    /// The current execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Access the VM (state inspection, digests).
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    /// Access the RTM.
+    pub fn rtm(&self) -> &ReuseTraceMemory {
+        &self.rtm
+    }
+
+    /// Start recording every reuse decision (replaces any previous log).
+    pub fn enable_tap(&mut self) {
+        self.tap = Some(DecisionLog::new());
+    }
+
+    /// Tap with a bounded log, as
+    /// [`crate::engine::TraceReuseEngine::enable_tap_with_cap`].
+    pub fn enable_tap_with_cap(&mut self, cap: usize) {
+        self.tap = Some(DecisionLog::with_cap(cap));
+    }
+
+    /// The decision log so far, if the tap is enabled.
+    pub fn tap(&self) -> Option<&DecisionLog> {
+        self.tap.as_ref()
+    }
+
+    /// Detach and return the decision log, disabling the tap.
+    pub fn take_tap(&mut self) -> Option<DecisionLog> {
+        self.tap.take()
+    }
+
+    /// Stamp `run` into the provenance of subsequently collected traces.
+    pub fn set_source_run(&mut self, run: u64) {
+        self.rtm.set_source_run(run);
+    }
+
+    /// Export the RTM's resident traces for persistence.
+    pub fn export_rtm(&self) -> RtmSnapshot {
+        self.rtm.export()
+    }
+
+    /// Run until `halt` or until `budget` total dynamic instructions
+    /// (executed + skipped) have been accounted. Incremental calls
+    /// continue where the previous one stopped — the batch scheduler
+    /// round-robins engines by calling this with growing budgets.
+    pub fn run(&mut self, budget: u64) -> Result<EngineStats, VmError> {
+        while self.executed + self.skipped < budget && !self.halted {
+            self.step()?;
+        }
+        Ok(self.stats())
+    }
+
+    /// One engine step: a reuse hit (skipping a whole trace) or one
+    /// executed instruction, on the path selected by the current mode.
+    pub fn step(&mut self) -> Result<(), VmError> {
+        match self.mode {
+            ExecMode::Fast => self.step_fast(),
+            ExecMode::Observed => self.step_observed(),
+        }
+    }
+
+    /// The fast path: block-served reuse test, record-free misses when
+    /// no collector is attached.
+    fn step_fast(&mut self) -> Result<(), VmError> {
+        let pc = self.vm.pc();
+        let want_record = self.collector.is_some();
+        if let Some(hit) = self.rtm.lookup_fast(pc, &mut self.vm, want_record)? {
+            self.skipped += hit.len as u64;
+            self.reuse_ops += 1;
+            self.reused_sizes.record(hit.len as u64);
+            if let Some(tap) = self.tap.as_mut() {
+                tap.push(ReuseEvent::Hit {
+                    pc,
+                    len: hit.len,
+                    next_pc: hit.next_pc,
+                    mix: hit.mix,
+                });
+            }
+            if let Some(collector) = self.collector.as_mut() {
+                let rec = hit.rec.expect("record requested when collector attached");
+                for rec in collector.on_reuse_hit(&rec) {
+                    self.rtm.insert(rec);
+                }
+            }
+            return Ok(());
+        }
+        if let Some(collector) = self.collector.as_mut() {
+            // A collector consumes the full dynamic record, so the miss
+            // path materializes one — this is exactly the "lazy
+            // DynInstr" contract: records exist because something reads
+            // them.
+            match self.vm.step()? {
+                StepResult::Executed(d) => {
+                    self.executed += 1;
+                    if let Some(tap) = self.tap.as_mut() {
+                        tap.push(ReuseEvent::Exec { pc, class: d.class });
+                    }
+                    for rec in collector.on_executed(&d) {
+                        self.rtm.insert(rec);
+                    }
+                }
+                StepResult::Halted => self.halted = true,
+            }
+        } else {
+            match self.vm.step_fast()? {
+                FastStep::Executed(class) => {
+                    self.executed += 1;
+                    if let Some(tap) = self.tap.as_mut() {
+                        tap.push(ReuseEvent::Exec { pc, class });
+                    }
+                }
+                FastStep::Halted => self.halted = true,
+            }
+        }
+        Ok(())
+    }
+
+    /// The observed path: the reference engine's exact data flow
+    /// (closure-probed lookup, record clone, `apply_trace`, a full
+    /// `DynInstr` per executed instruction) on the concrete RTM.
+    fn step_observed(&mut self) -> Result<(), VmError> {
+        let pc = self.vm.pc();
+        let vm = &self.vm;
+        if let Some(hit) = self.rtm.lookup(pc, |loc| vm.peek_loc(loc)) {
+            self.vm.apply_trace(hit.outs.iter().copied(), hit.next_pc)?;
+            self.skipped += hit.len as u64;
+            self.reuse_ops += 1;
+            self.reused_sizes.record(hit.len as u64);
+            if let Some(tap) = self.tap.as_mut() {
+                tap.push(ReuseEvent::Hit {
+                    pc,
+                    len: hit.len,
+                    next_pc: hit.next_pc,
+                    mix: hit.mix,
+                });
+            }
+            if let Some(collector) = self.collector.as_mut() {
+                for rec in collector.on_reuse_hit(&hit) {
+                    self.rtm.insert(rec);
+                }
+            }
+            return Ok(());
+        }
+        match self.vm.step()? {
+            StepResult::Executed(d) => {
+                self.executed += 1;
+                if let Some(tap) = self.tap.as_mut() {
+                    tap.push(ReuseEvent::Exec { pc, class: d.class });
+                }
+                if let Some(collector) = self.collector.as_mut() {
+                    for rec in collector.on_executed(&d) {
+                        self.rtm.insert(rec);
+                    }
+                }
+            }
+            StepResult::Halted => self.halted = true,
+        }
+        Ok(())
+    }
+
+    /// Statistics snapshot. Collector counters are zero when collection
+    /// is detached.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            executed: self.executed,
+            skipped: self.skipped,
+            reuse_ops: self.reuse_ops,
+            halted: self.halted,
+            rtm: self.rtm.stats(),
+            collect: self
+                .collector
+                .as_ref()
+                .map(|c| c.stats())
+                .unwrap_or_default(),
+            reused_sizes: self.reused_sizes.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::TraceReuseEngine;
+    use crate::{Heuristic, ReplacementPolicy, RtmConfig};
+    use tlr_asm::assemble;
+
+    const HOT_LOOP: &str = r#"
+            .org 0x80
+    tab:    .word 2, 4, 6, 8
+            li      r9, 300
+    outer:  li      r1, tab
+            li      r2, 4
+            li      r5, 0
+    inner:  ldq     r3, 0(r1)
+            addq    r5, r5, r3
+            addq    r1, r1, 1
+            subq    r2, r2, 1
+            bnez    r2, inner
+            stq     r5, 64(zero)
+            subq    r9, r9, 1
+            bnez    r9, outer
+            halt
+    "#;
+
+    fn config() -> EngineConfig {
+        EngineConfig::paper(RtmConfig::RTM_4K, Heuristic::FixedExp(4))
+    }
+
+    #[test]
+    fn fast_and_observed_modes_produce_identical_stats() {
+        let program = assemble(HOT_LOOP).unwrap();
+        let mut fast = ThroughputEngine::new(&program, config());
+        let mut observed = ThroughputEngine::new(&program, config()).with_mode(ExecMode::Observed);
+        let sf = fast.run(100_000).unwrap();
+        let so = observed.run(100_000).unwrap();
+        assert_eq!(sf, so);
+        assert!(sf.halted);
+        assert!(sf.skipped > 0);
+        assert_eq!(fast.vm().state_digest(), observed.vm().state_digest());
+    }
+
+    #[test]
+    fn fast_engine_matches_reference_engine() {
+        let program = assemble(HOT_LOOP).unwrap();
+        let mut fast = ThroughputEngine::new(&program, config());
+        let mut reference = TraceReuseEngine::new(&program, config());
+        fast.enable_tap();
+        reference.enable_tap();
+        let sf = fast.run(100_000).unwrap();
+        let sr = reference.run(100_000).unwrap();
+        assert_eq!(sf, sr);
+        assert_eq!(fast.vm().state_digest(), reference.vm().state_digest());
+        assert_eq!(
+            fast.take_tap().unwrap().digest(),
+            reference.take_tap().unwrap().digest()
+        );
+    }
+
+    #[test]
+    fn serving_only_engine_hits_without_collecting() {
+        let program = assemble(HOT_LOOP).unwrap();
+        // Learn traces with a collecting run, then serve them cold.
+        let mut teacher = ThroughputEngine::new(&program, config());
+        teacher.run(100_000).unwrap();
+        let snapshot = teacher.export_rtm();
+        assert!(!snapshot.is_empty());
+
+        let mut server =
+            ThroughputEngine::new_warm(&program, config(), &snapshot).without_collection();
+        let stats = server.run(100_000).unwrap();
+        assert!(stats.halted);
+        assert!(stats.skipped > 0, "warm RTM must serve hits");
+        assert_eq!(stats.rtm.stores, 0, "serving-only engine never inserts");
+        assert_eq!(stats.collect.collected, 0);
+        // Architectural result identical to plain execution.
+        let mut plain = Vm::new(&program);
+        plain.run_fast(u64::MAX).unwrap();
+        assert_eq!(server.vm().state_digest(), plain.state_digest());
+    }
+
+    #[test]
+    fn modes_agree_across_policies_and_heuristics() {
+        let program = assemble(HOT_LOOP).unwrap();
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Lfu,
+            ReplacementPolicy::CostBenefit,
+        ] {
+            for heuristic in [Heuristic::IlrExp, Heuristic::BasicBlock] {
+                let cfg = EngineConfig::paper(RtmConfig::RTM_512, heuristic).with_policy(policy);
+                let mut fast = ThroughputEngine::new(&program, cfg);
+                let mut observed =
+                    ThroughputEngine::new(&program, cfg).with_mode(ExecMode::Observed);
+                let sf = fast.run(60_000).unwrap();
+                let so = observed.run(60_000).unwrap();
+                assert_eq!(sf, so, "policy {policy:?} heuristic {heuristic:?}");
+                assert_eq!(fast.vm().state_digest(), observed.vm().state_digest());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "value-comparison")]
+    fn valid_bit_config_is_rejected() {
+        let program = assemble("halt\n").unwrap();
+        let _ = ThroughputEngine::new(&program, config().with_valid_bit());
+    }
+}

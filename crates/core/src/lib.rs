@@ -16,6 +16,8 @@
 //! | [`policy`] | ours | pluggable RTM replacement policies + per-trace provenance |
 //! | [`collect`] | §3.2, §4.6 | dynamic trace collection heuristics: `ILR NE`, `ILR EXP`, `I(n) EXP` |
 //! | [`engine`] | §3.3, §4.6 | the execution-driven reuse engine behind Figure 9 |
+//! | [`block`] | ours | straight-line trace blocks: an RTM entry pre-validated and flattened for the fast path |
+//! | [`fast`] | ours | the throughput engine: reference semantics on the predecoded/block-served fast substrate |
 //! | [`valid_bit`] | §3.3 | the valid-bit + invalidation reuse test (the paper's "simpler" alternative) |
 //! | [`schemes`] | §2 | Sodani & Sohi's Sv / Sn instruction-reuse buffer schemes |
 //! | [`limits`] | §4.2–§4.5 | the infinite-history limit studies behind Figures 3–8 |
@@ -57,8 +59,10 @@
 //! assert!(stats.pct_reused() > 10.0);
 //! ```
 
+pub mod block;
 pub mod collect;
 pub mod engine;
+pub mod fast;
 pub mod ilr;
 pub mod limits;
 pub mod policy;
@@ -68,15 +72,18 @@ pub mod theorems;
 pub mod trace;
 pub mod valid_bit;
 
+pub use block::TraceBlock;
 pub use collect::{CollectStats, Collector, Heuristic};
 pub use engine::{
     run_engine, DecisionLog, EngineConfig, EngineStats, ReuseEvent, ReuseTest, TraceReuseEngine,
 };
+pub use fast::ThroughputEngine;
 pub use ilr::{FiniteIlrBuffer, InstrReuseTable, SetAssocGeometry};
 pub use limits::{LatencyRule, LimitConfig, LimitResult, LimitStudySink, TraceIoStats};
 pub use policy::{ClassWeights, ReplacementPolicy, TraceMeta, LFU_HALF_LIFE};
 pub use rtm::{
-    MergeError, MergeOutcome, ReuseBackend, ReuseTraceMemory, RtmConfig, RtmSnapshot, RtmStats,
+    FastHit, MergeError, MergeOutcome, ReuseBackend, ReuseTraceMemory, RtmConfig, RtmSnapshot,
+    RtmStats,
 };
 pub use schemes::{compare_schemes, SchemeComparison, SnBuffer, SvBuffer};
 pub use theorems::{check_theorem1, check_theorem3, theorem2_counterexample, TheoremCheck};

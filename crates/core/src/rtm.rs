@@ -14,11 +14,13 @@
 //! invalidation traffic; Figure 8b models its cost as reuse latency
 //! proportional to the trace I/O count, which `tlr-core::limits` covers.)
 
+use crate::block::TraceBlock;
 use crate::ilr::{lru_group_victim, PcGroup, SetAssocGeometry, SetAssocStore};
 use crate::policy::{ReplacementPolicy, TraceMeta};
 use crate::trace::TraceRecord;
-use tlr_isa::Loc;
+use tlr_isa::{ClassMix, Loc};
 use tlr_util::FxHashSet;
+use tlr_vm::{Vm, VmError};
 
 /// RTM configuration: geometry is the paper's, I/O caps are enforced at
 /// collection time (see [`crate::trace::IoCaps`]).
@@ -114,11 +116,41 @@ pub struct RtmStats {
     pub evictions: u64,
 }
 
-/// One resident RTM entry: the trace plus its provenance.
-#[derive(Clone, Debug, PartialEq)]
+/// One resident RTM entry: the trace plus its provenance, plus a lazily
+/// built straight-line [`TraceBlock`] serving the fast lookup path. The
+/// block is pure derived state: it is built from `rec` on first fast
+/// lookup and dropped whenever `rec` changes (conflict replacement, mix
+/// upgrade) or the entry is evicted, so it can never go stale.
+#[derive(Clone, Debug)]
 pub(crate) struct RtmEntry {
     pub(crate) rec: TraceRecord,
     pub(crate) meta: TraceMeta,
+    pub(crate) block: Option<Box<TraceBlock>>,
+}
+
+impl PartialEq for RtmEntry {
+    /// Identity is the trace and its provenance; the cached block is
+    /// derived state and never participates.
+    fn eq(&self, other: &Self) -> bool {
+        self.rec == other.rec && self.meta == other.meta
+    }
+}
+
+/// What [`ReuseTraceMemory::lookup_fast`] hands the engine on a hit: the
+/// bookkeeping fields of the reused trace (the architectural update has
+/// already been applied to the VM), plus the full record only when the
+/// caller asked for it (a collector needs it to drive expansion; a
+/// serving-only engine skips the clone entirely).
+#[derive(Clone, Debug)]
+pub struct FastHit {
+    /// Dynamic instructions the trace covered.
+    pub len: u32,
+    /// Where control resumed.
+    pub next_pc: u32,
+    /// Per-class histogram of the skipped instructions.
+    pub mix: ClassMix,
+    /// The reused record, cloned only when requested via `want_record`.
+    pub rec: Option<TraceRecord>,
 }
 
 /// A reuse-test mechanism behind the engine: either the full
@@ -615,6 +647,82 @@ impl ReuseTraceMemory {
         }
     }
 
+    /// The fast-path reuse test: identical decision procedure and
+    /// bookkeeping to [`ReuseTraceMemory::lookup`], but probing the VM's
+    /// register files and memory directly through each candidate's cached
+    /// [`TraceBlock`] (built here on first use) and, on a hit, applying
+    /// the trace's outputs straight to `vm` — no state closure, no
+    /// per-location `Loc` dispatch, and no record clone unless
+    /// `want_record` asks for one (a collector needs the record to drive
+    /// expansion).
+    ///
+    /// Mirrors the reference path's error contract: a matching trace
+    /// whose recorded next PC falls outside the program returns
+    /// [`VmError::BadJumpTarget`] *without* applying any outputs, exactly
+    /// as [`Vm::apply_trace`] would after a plain `lookup`, and with the
+    /// same hit bookkeeping already performed.
+    pub fn lookup_fast(
+        &mut self,
+        pc: u32,
+        vm: &mut Vm,
+        want_record: bool,
+    ) -> Result<Option<FastHit>, VmError> {
+        self.stats.lookups += 1;
+        self.tick += 1;
+        let tick = self.tick;
+        let code_len = vm.code_len();
+        let Some(entries) = self.store.group_mut(pc) else {
+            return Ok(None);
+        };
+        // MRU-first: highest index is most recently used.
+        let mut found = None;
+        for (idx, entry) in entries.iter_mut().enumerate().rev() {
+            let RtmEntry { rec, block, .. } = entry;
+            let matches = match block {
+                // A proven trace checks its flat per-class lists.
+                Some(b) => b.matches(vm),
+                // No block yet (fresh insert or invalidated entry):
+                // probe the raw record without allocating. Under
+                // collection churn most entries are evicted before they
+                // ever match, so blocks are compiled only for traces
+                // that prove themselves with a hit.
+                None => rec.ins.iter().all(|&(loc, val)| vm.peek_loc(loc) == val),
+            };
+            if matches {
+                block.get_or_insert_with(|| Box::new(TraceBlock::build(rec, code_len)));
+                found = Some(idx);
+                break;
+            }
+        }
+        match found {
+            Some(idx) => {
+                entries[idx].meta.hits = entries[idx].meta.hits.saturating_add(1);
+                entries[idx].meta.last_use = tick;
+                let block = entries[idx].block.as_deref().expect("block built above");
+                if !block.pre_validated() {
+                    let target = block.next_pc() as u64;
+                    self.store.touch(pc, idx);
+                    self.stats.hits += 1;
+                    return Err(VmError::BadJumpTarget {
+                        pc: vm.pc(),
+                        target,
+                    });
+                }
+                block.apply(vm);
+                let hit = FastHit {
+                    len: block.len(),
+                    next_pc: block.next_pc(),
+                    mix: block.mix(),
+                    rec: want_record.then(|| entries[idx].rec.clone()),
+                };
+                self.store.touch(pc, idx);
+                self.stats.hits += 1;
+                Ok(Some(hit))
+            }
+            None => Ok(None),
+        }
+    }
+
     /// Store a collected trace. A trace **fully identical** to a resident
     /// entry for the same PC is dropped (it adds no coverage) — its entry
     /// is refreshed to MRU instead. A trace whose reuse key (live-ins and
@@ -678,14 +786,20 @@ impl ReuseTraceMemory {
                     // Equality ignores the class mix; if the resident
                     // copy predates mixes (imported from an old
                     // snapshot) and the incoming one knows the mix,
-                    // upgrade in place.
+                    // upgrade in place. The cached block carries the old
+                    // mix, so it must be rebuilt.
                     if entries[idx].rec.mix.is_empty() && !record.mix.is_empty() {
                         entries[idx].rec.mix = record.mix;
+                        entries[idx].block = None;
                     }
                     self.store.touch(pc, idx);
                     self.stats.duplicate_stores += 1;
                 } else {
-                    entries[idx] = RtmEntry { rec: record, meta };
+                    entries[idx] = RtmEntry {
+                        rec: record,
+                        meta,
+                        block: None,
+                    };
                     self.store.touch(pc, idx);
                     self.stats.conflicting_stores += 1;
                 }
@@ -698,7 +812,11 @@ impl ReuseTraceMemory {
         let half_life = self.lfu_half_life;
         self.stats.evictions += self.store.insert_with(
             pc,
-            RtmEntry { rec: record, meta },
+            RtmEntry {
+                rec: record,
+                meta,
+                block: None,
+            },
             &mut |entries| entry_victim(policy, entries, pinned, now, half_life),
             &mut |groups| group_victim(policy, groups, pinned, now, half_life),
         );
@@ -1233,5 +1351,145 @@ mod tests {
         let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512);
         rtm.insert(rec(10, &[], &[(R2, 1)], 13));
         assert!(rtm.lookup(10, |_| 12345).is_some());
+    }
+
+    /// A 20-instruction VM for fast-lookup tests (all trace next_pcs in
+    /// the tests below are < 20).
+    fn fast_vm() -> Vm {
+        let src = format!("{}halt\n", "nop\n".repeat(19));
+        Vm::new(&tlr_asm::assemble(&src).unwrap())
+    }
+
+    fn cached_block(rtm: &mut ReuseTraceMemory, pc: u32, idx: usize) -> Option<&TraceBlock> {
+        rtm.store.group_mut(pc).unwrap()[idx].block.as_deref()
+    }
+
+    #[test]
+    fn fast_lookup_serves_hits_and_matches_reference_bookkeeping() {
+        let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        rtm.insert(rec(10, &[(R1, 5)], &[(R2, 12), (Loc::Mem(7), 3)], 14));
+
+        let mut vm = fast_vm();
+        vm.poke_loc(R1, 5);
+        let hit = rtm.lookup_fast(10, &mut vm, false).unwrap().unwrap();
+        assert_eq!(hit.len, 3);
+        assert_eq!(hit.next_pc, 14);
+        assert!(hit.rec.is_none(), "no record clone unless requested");
+        // Outputs applied directly.
+        assert_eq!(vm.peek_loc(R2), 12);
+        assert_eq!(vm.peek_loc(Loc::Mem(7)), 3);
+        assert_eq!(vm.pc(), 14);
+        // The block is now cached on the entry.
+        assert!(cached_block(&mut rtm, 10, 0).is_some());
+
+        // want_record clones the full record.
+        let mut vm = fast_vm();
+        vm.poke_loc(R1, 5);
+        let hit = rtm.lookup_fast(10, &mut vm, true).unwrap().unwrap();
+        assert_eq!(
+            hit.rec.unwrap().outs.as_ref(),
+            &[(R2, 12), (Loc::Mem(7), 3)]
+        );
+
+        // A miss probes without applying anything.
+        let mut vm = fast_vm();
+        vm.poke_loc(R1, 6);
+        assert!(rtm.lookup_fast(10, &mut vm, false).unwrap().is_none());
+        assert_eq!(vm.peek_loc(R2), 0);
+        assert_eq!(rtm.stats().hits, 2);
+        assert_eq!(rtm.stats().lookups, 3);
+    }
+
+    #[test]
+    fn conflict_replacement_invalidates_the_cached_block() {
+        let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        rtm.insert(rec(10, &[(R1, 5)], &[(R2, 12)], 14));
+
+        // Build and cache the block.
+        let mut vm = fast_vm();
+        vm.poke_loc(R1, 5);
+        rtm.lookup_fast(10, &mut vm, false).unwrap().unwrap();
+        assert!(cached_block(&mut rtm, 10, 0).is_some());
+
+        // Same reuse key, different outputs: conflict replacement drops
+        // the stale block...
+        rtm.insert(rec(10, &[(R1, 5)], &[(R2, 99)], 15));
+        assert_eq!(rtm.stats().conflicting_stores, 1);
+        assert!(cached_block(&mut rtm, 10, 0).is_none());
+
+        // ...and the next fast hit serves the replacement record.
+        let mut vm = fast_vm();
+        vm.poke_loc(R1, 5);
+        let hit = rtm.lookup_fast(10, &mut vm, false).unwrap().unwrap();
+        assert_eq!(hit.next_pc, 15);
+        assert_eq!(vm.peek_loc(R2), 99);
+    }
+
+    #[test]
+    fn mix_upgrade_invalidates_the_cached_block() {
+        let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        rtm.insert(rec(10, &[(R1, 5)], &[(R2, 12)], 14));
+        let mut vm = fast_vm();
+        vm.poke_loc(R1, 5);
+        rtm.lookup_fast(10, &mut vm, false).unwrap().unwrap();
+        assert!(cached_block(&mut rtm, 10, 0).is_some());
+
+        // Re-encounter of the identical record, now carrying a class
+        // mix: the duplicate path upgrades the mix in place, so the
+        // cached block (which froze the empty mix) must go.
+        let mut upgraded = rec(10, &[(R1, 5)], &[(R2, 12)], 14);
+        upgraded.mix.record(tlr_isa::OpClass::IntAlu);
+        rtm.insert(upgraded);
+        assert_eq!(rtm.stats().duplicate_stores, 1);
+        assert!(cached_block(&mut rtm, 10, 0).is_none());
+
+        let mut vm = fast_vm();
+        vm.poke_loc(R1, 5);
+        let hit = rtm.lookup_fast(10, &mut vm, false).unwrap().unwrap();
+        assert!(!hit.mix.is_empty(), "rebuilt block carries the new mix");
+    }
+
+    #[test]
+    fn eviction_discards_the_entry_and_its_block() {
+        let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512); // 4 per PC
+        rtm.insert(rec(10, &[(R1, 0)], &[(R2, 100)], 14));
+        let mut vm = fast_vm();
+        vm.poke_loc(R1, 0);
+        rtm.lookup_fast(10, &mut vm, false).unwrap().unwrap();
+
+        // Fill the PC group past capacity; the LRU entry (v=0, despite
+        // its recent hit being older than the newer stores) is evicted.
+        for v in 1..=4u64 {
+            rtm.insert(rec(10, &[(R1, v)], &[(R2, v * 10)], 14));
+        }
+        assert!(rtm.stats().evictions >= 1);
+        let mut vm = fast_vm();
+        vm.poke_loc(R1, 0);
+        assert!(
+            rtm.lookup_fast(10, &mut vm, false).unwrap().is_none(),
+            "evicted trace must not be served from any cache"
+        );
+    }
+
+    #[test]
+    fn fast_lookup_mirrors_bad_jump_target_errors() {
+        // A matched trace whose next_pc is outside the program must fail
+        // exactly like lookup + apply_trace: error, no outputs applied.
+        let mut rtm = ReuseTraceMemory::new(RtmConfig::RTM_512);
+        rtm.insert(rec(10, &[(R1, 5)], &[(R2, 12)], 999));
+        let mut vm = fast_vm();
+        vm.poke_loc(R1, 5);
+        let err = rtm.lookup_fast(10, &mut vm, false).unwrap_err();
+        assert_eq!(
+            err,
+            VmError::BadJumpTarget {
+                pc: vm.pc(),
+                target: 999
+            }
+        );
+        assert_eq!(vm.peek_loc(R2), 0, "no outputs applied on error");
+        // The reference path counts the hit before apply_trace fails;
+        // the fast path's bookkeeping matches.
+        assert_eq!(rtm.stats().hits, 1);
     }
 }

@@ -28,9 +28,11 @@ pub mod disasm;
 pub mod dynrec;
 pub mod instr;
 pub mod latency;
+pub mod predecode;
 pub mod reg;
 
 pub use dynrec::{CollectSink, DynInstr, NullSink, ReadSet, StreamSink, Tee, WriteSet};
 pub use instr::{BranchCond, CodeAddr, FpCmpOp, FpOp, FpUnOp, Instr, IntOp, Operand};
 pub use latency::{Alpha21164, ClassMix, CustomLatency, LatencyModel, OpClass, UnitLatency};
+pub use predecode::{POp, Predecoded};
 pub use reg::{FReg, Loc, Reg, NUM_FREGS, NUM_IREGS};

@@ -4,7 +4,7 @@
 
 /// A power-of-two bucketed histogram of `u64` observations with exact
 /// count/sum tracking for the mean.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Histogram {
     /// `buckets[k]` counts observations with `floor(log2(v)) == k`
     /// (v ≥ 1). Zero observations land in `zeros`.

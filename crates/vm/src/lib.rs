@@ -17,9 +17,17 @@
 //!   engine applies the recorded live-out values and jumps to the
 //!   recorded next PC without executing (or even fetching) the skipped
 //!   instructions, exactly the processor-state update of §3.3.
+//!
+//! Execution comes in two models sharing one predecoded dispatch table
+//! ([`tlr_isa::Predecoded`], built once in [`Vm::new`]): the *observed*
+//! path ([`Vm::step`]/[`Vm::run`]) materializes a full [`tlr_isa::DynInstr`]
+//! per instruction, while the *fast* path ([`Vm::step_fast`]/
+//! [`Vm::run_fast`]) is allocation-free and record-free for when nothing
+//! is consuming the dynamic stream. [`ExecMode`] selects between them;
+//! both compute identical architectural state.
 
 mod memory;
 mod vm;
 
 pub use memory::Memory;
-pub use vm::{RunOutcome, StepResult, Vm, VmError};
+pub use vm::{ExecMode, FastStep, RunOutcome, StepResult, Vm, VmError};

@@ -3,9 +3,7 @@
 use crate::memory::Memory;
 use std::fmt;
 use tlr_asm::Program;
-use tlr_isa::{
-    DynInstr, FpCmpOp, FpOp, FpUnOp, Instr, IntOp, Loc, OpClass, Operand, Reg, StreamSink,
-};
+use tlr_isa::{DynInstr, FpCmpOp, FpOp, FpUnOp, IntOp, Loc, OpClass, POp, Predecoded, StreamSink};
 
 /// An execution error. The program counter identifies the faulting
 /// instruction.
@@ -71,6 +69,33 @@ impl RunOutcome {
     }
 }
 
+/// Which execution model drives the hot loop.
+///
+/// Both modes compute identical architectural state; the split exists so
+/// that the per-instruction [`DynInstr`] record — heap-free but still a
+/// ~100-byte value with inline read/write vectors — is materialized
+/// *lazily*, only when something (a collector, a tap, a recorder) is
+/// actually consuming the dynamic stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Predecoded dispatch with no per-step record: [`Vm::step_fast`].
+    Fast,
+    /// Reference observed execution: every step materializes the full
+    /// [`DynInstr`] via [`Vm::step`].
+    #[default]
+    Observed,
+}
+
+/// Result of a single [`Vm::step_fast`] — like [`StepResult`] but
+/// reporting only the executed instruction's class, with no record built.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FastStep {
+    /// One instruction executed.
+    Executed(OpClass),
+    /// The program reached `halt`.
+    Halted,
+}
+
 /// The architectural simulator.
 ///
 /// Holds the program, the register files, memory, and the PC. `r31`/`f31`
@@ -79,6 +104,7 @@ impl RunOutcome {
 /// literals, not storage locations — Alpha convention).
 pub struct Vm {
     program: Program,
+    pre: Predecoded,
     iregs: [u64; 32],
     fregs: [f64; 32],
     mem: Memory,
@@ -88,10 +114,12 @@ pub struct Vm {
 
 impl Vm {
     /// Load a program: memory gets the data image, registers start at
-    /// zero, PC at the entry point.
+    /// zero, PC at the entry point. The instruction array is predecoded
+    /// once, here, into the dense dispatch table both step paths run on.
     pub fn new(program: &Program) -> Self {
         Self {
             mem: Memory::from_image(&program.data),
+            pre: Predecoded::of(&program.instrs),
             iregs: [0; 32],
             fregs: [0.0; 32],
             pc: program.entry,
@@ -123,22 +151,59 @@ impl Vm {
         &self.mem
     }
 
+    /// Mutable memory view. Used by the trace-block applier to write
+    /// memory outputs without the [`Loc`] indirection of
+    /// [`Vm::poke_loc`].
     #[inline]
-    fn read_ireg(&self, r: Reg) -> u64 {
-        if r.is_zero() {
-            0
-        } else {
-            self.iregs[r.index() as usize]
-        }
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
     }
 
+    /// The predecoded dispatch table (one entry per static instruction).
+    pub fn predecoded(&self) -> &Predecoded {
+        &self.pre
+    }
+
+    /// Number of static instructions; valid PCs are `0..code_len()`.
     #[inline]
-    fn read_freg(&self, r: tlr_isa::FReg) -> f64 {
-        if r.is_zero() {
-            0.0
-        } else {
-            self.fregs[r.index() as usize]
-        }
+    pub fn code_len(&self) -> usize {
+        self.pre.len()
+    }
+
+    /// Raw integer register file. Slot 31 is the hardwired zero register:
+    /// it is never written by execution, so it always reads as zero.
+    #[inline]
+    pub fn iregs(&self) -> &[u64; 32] {
+        &self.iregs
+    }
+
+    /// Mutable integer register file. Callers must preserve the zero
+    /// register invariant: never write slot 31 (the trace-block applier
+    /// filters zero-register outputs at build time).
+    #[inline]
+    pub fn iregs_mut(&mut self) -> &mut [u64; 32] {
+        &mut self.iregs
+    }
+
+    /// Raw FP register file; slot 31 is the hardwired zero register.
+    #[inline]
+    pub fn fregs(&self) -> &[f64; 32] {
+        &self.fregs
+    }
+
+    /// Mutable FP register file; same slot-31 caveat as
+    /// [`Vm::iregs_mut`].
+    #[inline]
+    pub fn fregs_mut(&mut self) -> &mut [f64; 32] {
+        &mut self.fregs
+    }
+
+    /// Redirect the PC (the trace-block analogue of the jump performed by
+    /// [`Vm::apply_trace`]). An out-of-range target is not an error here;
+    /// it surfaces as [`VmError::PcOutOfRange`] at the next fetch.
+    #[inline]
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
     }
 
     /// Read the current architectural value of a location, as the RTM
@@ -231,78 +296,83 @@ impl Vm {
     }
 
     /// Execute one instruction, returning its dynamic record (or
-    /// [`StepResult::Halted`]).
+    /// [`StepResult::Halted`]). This is the *observed* step: it
+    /// materializes the full [`DynInstr`] an ATOM-style instrumentation
+    /// pass would produce. The dispatch itself runs over the predecoded
+    /// table, exactly like [`Vm::step_fast`].
     pub fn step(&mut self) -> Result<StepResult, VmError> {
         let pc = self.pc;
-        let instr = *self
-            .program
-            .instrs
-            .get(pc as usize)
-            .ok_or(VmError::PcOutOfRange { pc })?;
+        let op = self.pre.op(pc).ok_or(VmError::PcOutOfRange { pc })?;
 
         let mut rec = DynInstr {
             pc,
             next_pc: pc + 1,
-            class: OpClass::of(&instr),
+            class: self.pre.class(pc),
             reads: Default::default(),
             writes: Default::default(),
         };
 
+        // Register fields are raw predecoded indices; index 31 is the
+        // hardwired zero register (reads unrecorded, writes discarded).
         macro_rules! read_r {
-            ($r:expr) => {{
-                let r: Reg = $r;
-                let v = self.read_ireg(r);
-                if !r.is_zero() {
-                    rec.reads.push((Loc::IntReg(r.index()), v));
+            ($n:expr) => {{
+                let n: u8 = $n;
+                if n == 31 {
+                    0
+                } else {
+                    let v = self.iregs[n as usize];
+                    rec.reads.push((Loc::IntReg(n), v));
+                    v
                 }
-                v
             }};
         }
         macro_rules! read_f {
-            ($r:expr) => {{
-                let r: tlr_isa::FReg = $r;
-                let v = self.read_freg(r);
-                if !r.is_zero() {
-                    rec.reads.push((Loc::FpReg(r.index()), v.to_bits()));
+            ($n:expr) => {{
+                let n: u8 = $n;
+                if n == 31 {
+                    0.0
+                } else {
+                    let v = self.fregs[n as usize];
+                    rec.reads.push((Loc::FpReg(n), v.to_bits()));
+                    v
                 }
-                v
             }};
         }
         macro_rules! write_r {
-            ($r:expr, $v:expr) => {{
-                let r: Reg = $r;
+            ($n:expr, $v:expr) => {{
+                let n: u8 = $n;
                 let v: u64 = $v;
-                if !r.is_zero() {
-                    self.iregs[r.index() as usize] = v;
-                    rec.writes.push((Loc::IntReg(r.index()), v));
+                if n != 31 {
+                    self.iregs[n as usize] = v;
+                    rec.writes.push((Loc::IntReg(n), v));
                 }
             }};
         }
         macro_rules! write_f {
-            ($r:expr, $v:expr) => {{
-                let r: tlr_isa::FReg = $r;
+            ($n:expr, $v:expr) => {{
+                let n: u8 = $n;
                 let v: f64 = $v;
-                if !r.is_zero() {
-                    self.fregs[r.index() as usize] = v;
-                    rec.writes.push((Loc::FpReg(r.index()), v.to_bits()));
+                if n != 31 {
+                    self.fregs[n as usize] = v;
+                    rec.writes.push((Loc::FpReg(n), v.to_bits()));
                 }
             }};
         }
 
-        match instr {
-            Instr::IntOp { op, rd, ra, rb } => {
+        match op {
+            POp::IntRR { op, rd, ra, rb } => {
                 let a = read_r!(ra);
-                let b = match rb {
-                    Operand::Reg(r) => read_r!(r),
-                    Operand::Imm(v) => v as i64 as u64,
-                };
-                let v = eval_int_op(op, a, b);
-                write_r!(rd, v);
+                let b = read_r!(rb);
+                write_r!(rd, eval_int_op(op, a, b));
             }
-            Instr::Li { rd, imm } => {
-                write_r!(rd, imm as u64);
+            POp::IntRI { op, rd, ra, imm } => {
+                let a = read_r!(ra);
+                write_r!(rd, eval_int_op(op, a, imm));
             }
-            Instr::FpOp { op, fd, fa, fb } => {
+            POp::Li { rd, imm } => {
+                write_r!(rd, imm);
+            }
+            POp::Fp { op, fd, fa, fb } => {
                 let a = read_f!(fa);
                 let b = read_f!(fb);
                 let v = match op {
@@ -313,7 +383,7 @@ impl Vm {
                 };
                 write_f!(fd, v);
             }
-            Instr::FpUn { op, fd, fa } => {
+            POp::FpUn { op, fd, fa } => {
                 let a = read_f!(fa);
                 let v = match op {
                     FpUnOp::Sqrt => a.sqrt(),
@@ -323,7 +393,7 @@ impl Vm {
                 };
                 write_f!(fd, v);
             }
-            Instr::FpCmp { op, rd, fa, fb } => {
+            POp::FpCmp { op, rd, fa, fb } => {
                 let a = read_f!(fa);
                 let b = read_f!(fb);
                 let v = match op {
@@ -333,66 +403,214 @@ impl Vm {
                 } as u64;
                 write_r!(rd, v);
             }
-            Instr::LoadInt { rd, base, disp } => {
-                let addr = read_r!(base).wrapping_add(disp as i64 as u64);
+            POp::LoadInt { rd, base, disp } => {
+                let addr = read_r!(base).wrapping_add(disp);
                 let v = self.mem.read(addr);
                 rec.reads.push((Loc::Mem(addr), v));
                 write_r!(rd, v);
             }
-            Instr::StoreInt { rs, base, disp } => {
+            POp::StoreInt { rs, base, disp } => {
                 let v = read_r!(rs);
-                let addr = read_r!(base).wrapping_add(disp as i64 as u64);
+                let addr = read_r!(base).wrapping_add(disp);
                 self.mem.write(addr, v);
                 rec.writes.push((Loc::Mem(addr), v));
             }
-            Instr::LoadFp { fd, base, disp } => {
-                let addr = read_r!(base).wrapping_add(disp as i64 as u64);
+            POp::LoadFp { fd, base, disp } => {
+                let addr = read_r!(base).wrapping_add(disp);
                 let bits = self.mem.read(addr);
                 rec.reads.push((Loc::Mem(addr), bits));
                 write_f!(fd, f64::from_bits(bits));
             }
-            Instr::StoreFp { fs, base, disp } => {
+            POp::StoreFp { fs, base, disp } => {
                 let v = read_f!(fs);
-                let addr = read_r!(base).wrapping_add(disp as i64 as u64);
+                let addr = read_r!(base).wrapping_add(disp);
                 self.mem.write(addr, v.to_bits());
                 rec.writes.push((Loc::Mem(addr), v.to_bits()));
             }
-            Instr::Itof { fd, ra } => {
+            POp::Itof { fd, ra } => {
                 let a = read_r!(ra);
                 write_f!(fd, a as i64 as f64);
             }
-            Instr::Ftoi { rd, fa } => {
+            POp::Ftoi { rd, fa } => {
                 let a = read_f!(fa);
                 // `as` saturates on overflow and maps NaN to 0: deterministic.
                 write_r!(rd, a as i64 as u64);
             }
-            Instr::Branch { cond, ra, target } => {
+            POp::Branch { cond, ra, target } => {
                 let v = read_r!(ra);
                 if cond.eval(v) {
                     rec.next_pc = target;
                 }
             }
-            Instr::Jump { target } => {
+            POp::Jump { target } => {
                 rec.next_pc = target;
             }
-            Instr::Jsr { link, target } => {
+            POp::Jsr { link, target } => {
                 write_r!(link, (pc + 1) as u64);
                 rec.next_pc = target;
             }
-            Instr::JmpReg { ra } => {
+            POp::JmpReg { ra } => {
                 let v = read_r!(ra);
-                if v as usize >= self.program.instrs.len() {
+                if v as usize >= self.pre.len() {
                     return Err(VmError::BadJumpTarget { pc, target: v });
                 }
                 rec.next_pc = v as u32;
             }
-            Instr::Halt => return Ok(StepResult::Halted),
-            Instr::Nop => {}
+            POp::Halt => return Ok(StepResult::Halted),
+            POp::Nop => {}
         }
 
         self.pc = rec.next_pc;
         self.executed += 1;
         Ok(StepResult::Executed(rec))
+    }
+
+    /// Execute one instruction with no dynamic record: the allocation-free
+    /// fast path. Architectural effects, error cases, and the `executed`
+    /// counter are identical to [`Vm::step`]; the only difference is that
+    /// nothing is materialized for an observer.
+    pub fn step_fast(&mut self) -> Result<FastStep, VmError> {
+        let pc = self.pc;
+        let op = self.pre.op(pc).ok_or(VmError::PcOutOfRange { pc })?;
+        let mut next_pc = pc + 1;
+
+        macro_rules! read_r {
+            ($n:expr) => {{
+                let n: u8 = $n;
+                if n == 31 {
+                    0
+                } else {
+                    self.iregs[n as usize]
+                }
+            }};
+        }
+        macro_rules! read_f {
+            ($n:expr) => {{
+                let n: u8 = $n;
+                if n == 31 {
+                    0.0
+                } else {
+                    self.fregs[n as usize]
+                }
+            }};
+        }
+        macro_rules! write_r {
+            ($n:expr, $v:expr) => {{
+                let n: u8 = $n;
+                let v: u64 = $v;
+                if n != 31 {
+                    self.iregs[n as usize] = v;
+                }
+            }};
+        }
+        macro_rules! write_f {
+            ($n:expr, $v:expr) => {{
+                let n: u8 = $n;
+                let v: f64 = $v;
+                if n != 31 {
+                    self.fregs[n as usize] = v;
+                }
+            }};
+        }
+
+        match op {
+            POp::IntRR { op, rd, ra, rb } => {
+                let a = read_r!(ra);
+                let b = read_r!(rb);
+                write_r!(rd, eval_int_op(op, a, b));
+            }
+            POp::IntRI { op, rd, ra, imm } => {
+                let a = read_r!(ra);
+                write_r!(rd, eval_int_op(op, a, imm));
+            }
+            POp::Li { rd, imm } => {
+                write_r!(rd, imm);
+            }
+            POp::Fp { op, fd, fa, fb } => {
+                let a = read_f!(fa);
+                let b = read_f!(fb);
+                let v = match op {
+                    FpOp::Add => a + b,
+                    FpOp::Sub => a - b,
+                    FpOp::Mul => a * b,
+                    FpOp::Div => a / b,
+                };
+                write_f!(fd, v);
+            }
+            POp::FpUn { op, fd, fa } => {
+                let a = read_f!(fa);
+                let v = match op {
+                    FpUnOp::Sqrt => a.sqrt(),
+                    FpUnOp::Neg => -a,
+                    FpUnOp::Abs => a.abs(),
+                    FpUnOp::Mov => a,
+                };
+                write_f!(fd, v);
+            }
+            POp::FpCmp { op, rd, fa, fb } => {
+                let a = read_f!(fa);
+                let b = read_f!(fb);
+                let v = match op {
+                    FpCmpOp::Eq => a == b,
+                    FpCmpOp::Lt => a < b,
+                    FpCmpOp::Le => a <= b,
+                } as u64;
+                write_r!(rd, v);
+            }
+            POp::LoadInt { rd, base, disp } => {
+                let addr = read_r!(base).wrapping_add(disp);
+                write_r!(rd, self.mem.read(addr));
+            }
+            POp::StoreInt { rs, base, disp } => {
+                let v = read_r!(rs);
+                let addr = read_r!(base).wrapping_add(disp);
+                self.mem.write(addr, v);
+            }
+            POp::LoadFp { fd, base, disp } => {
+                let addr = read_r!(base).wrapping_add(disp);
+                write_f!(fd, f64::from_bits(self.mem.read(addr)));
+            }
+            POp::StoreFp { fs, base, disp } => {
+                let v = read_f!(fs);
+                let addr = read_r!(base).wrapping_add(disp);
+                self.mem.write(addr, v.to_bits());
+            }
+            POp::Itof { fd, ra } => {
+                let a = read_r!(ra);
+                write_f!(fd, a as i64 as f64);
+            }
+            POp::Ftoi { rd, fa } => {
+                let a = read_f!(fa);
+                // `as` saturates on overflow and maps NaN to 0: deterministic.
+                write_r!(rd, a as i64 as u64);
+            }
+            POp::Branch { cond, ra, target } => {
+                let v = read_r!(ra);
+                if cond.eval(v) {
+                    next_pc = target;
+                }
+            }
+            POp::Jump { target } => {
+                next_pc = target;
+            }
+            POp::Jsr { link, target } => {
+                write_r!(link, (pc + 1) as u64);
+                next_pc = target;
+            }
+            POp::JmpReg { ra } => {
+                let v = read_r!(ra);
+                if v as usize >= self.pre.len() {
+                    return Err(VmError::BadJumpTarget { pc, target: v });
+                }
+                next_pc = v as u32;
+            }
+            POp::Halt => return Ok(FastStep::Halted),
+            POp::Nop => {}
+        }
+
+        self.pc = next_pc;
+        self.executed += 1;
+        Ok(FastStep::Executed(self.pre.class(pc)))
     }
 
     /// Run until `halt` or until `budget` instructions have executed,
@@ -413,6 +631,37 @@ impl Vm {
         }
         sink.finish();
         Ok(RunOutcome::BudgetExhausted { executed: n })
+    }
+
+    /// Run until `halt` or until `budget` instructions have executed, on
+    /// the allocation-free fast path. No records are produced.
+    pub fn run_fast(&mut self, budget: u64) -> Result<RunOutcome, VmError> {
+        let mut n = 0u64;
+        while n < budget {
+            match self.step_fast()? {
+                FastStep::Executed(_) => n += 1,
+                FastStep::Halted => return Ok(RunOutcome::Halted { executed: n }),
+            }
+        }
+        Ok(RunOutcome::BudgetExhausted { executed: n })
+    }
+
+    /// Run in the given [`ExecMode`]. `Observed` pushes every record to
+    /// `sink`; `Fast` produces no records (the sink only sees `finish`).
+    pub fn run_mode(
+        &mut self,
+        budget: u64,
+        mode: ExecMode,
+        sink: &mut impl StreamSink,
+    ) -> Result<RunOutcome, VmError> {
+        match mode {
+            ExecMode::Observed => self.run(budget, sink),
+            ExecMode::Fast => {
+                let outcome = self.run_fast(budget)?;
+                sink.finish();
+                Ok(outcome)
+            }
+        }
     }
 }
 
@@ -637,6 +886,92 @@ mod tests {
         assert_eq!(eval_int_op(IntOp::CmpUlt, (-1i64) as u64, 0), 0);
         assert_eq!(eval_int_op(IntOp::CmpLe, 3, 3), 1);
         assert_eq!(eval_int_op(IntOp::CmpEq, 3, 4), 0);
+    }
+
+    // Exercises every opcode family: int RR + RI forms, li, FP
+    // arithmetic/unary/compare, int and FP loads/stores, conversions,
+    // branches, jsr/ret, and an indirect jump.
+    const ALL_OPS: &str = r#"
+            .org 0x80
+    tab:    .double 2.25, 4.0
+            li      r1, tab
+            ldt     f1, 0(r1)
+            ldt     f2, 1(r1)
+            addt    f3, f1, f2
+            subt    f4, f3, f1
+            mult    f5, f4, f2
+            divt    f6, f5, f2
+            sqrtt   f7, f2
+            negt    f8, f7
+            cmptlt  r2, f1, f2
+            ftoi    r3, f6
+            itof    f9, r3
+            stt     f9, 4(r1)
+            li      r4, 6
+    loop:   addq    r5, r5, r4
+            mulq    r6, r4, r4
+            and     r7, r6, 0xff
+            xor     r8, r7, r5
+            srl     r9, r8, 2
+            stq     r9, 8(r1)
+            ldq     r10, 8(r1)
+            subq    r4, r4, 1
+            bnez    r4, loop
+            jsr     r26, fn
+            li      r11, 7
+            halt
+    fn:     cmpult  r12, r5, r10
+            ret     r26
+    "#;
+
+    #[test]
+    fn fast_path_matches_observed_execution() {
+        let prog = assemble(ALL_OPS).unwrap();
+        let mut obs = Vm::new(&prog);
+        let mut sink = CollectSink::default();
+        let obs_outcome = obs.run(100_000, &mut sink).unwrap();
+        let mut fast = Vm::new(&prog);
+        let fast_outcome = fast.run_fast(100_000).unwrap();
+        assert_eq!(obs_outcome, fast_outcome);
+        assert_eq!(obs.executed(), fast.executed());
+        assert_eq!(obs.pc(), fast.pc());
+        assert_eq!(obs.state_digest(), fast.state_digest());
+        // The observed run did record the stream.
+        assert_eq!(sink.records.len() as u64, obs.executed());
+    }
+
+    #[test]
+    fn run_mode_selects_the_step_path() {
+        let prog = assemble(ALL_OPS).unwrap();
+        let mut a = Vm::new(&prog);
+        let mut b = Vm::new(&prog);
+        let mut sink_a = CollectSink::default();
+        let mut sink_b = CollectSink::default();
+        let oa = a
+            .run_mode(100_000, ExecMode::Observed, &mut sink_a)
+            .unwrap();
+        let ob = b.run_mode(100_000, ExecMode::Fast, &mut sink_b).unwrap();
+        assert_eq!(oa, ob);
+        assert_eq!(a.state_digest(), b.state_digest());
+        assert!(!sink_a.records.is_empty());
+        assert!(sink_b.records.is_empty());
+    }
+
+    #[test]
+    fn fast_path_reports_identical_errors() {
+        let prog = assemble("li r1, 999\njmp r1\nhalt\n").unwrap();
+        let mut vm = Vm::new(&prog);
+        assert!(matches!(vm.step_fast(), Ok(FastStep::Executed(_))));
+        assert_eq!(
+            vm.step_fast().unwrap_err(),
+            VmError::BadJumpTarget { pc: 1, target: 999 }
+        );
+        let prog = assemble("nop\n").unwrap();
+        let mut vm = Vm::new(&prog);
+        assert_eq!(
+            vm.run_fast(10).unwrap_err(),
+            VmError::PcOutOfRange { pc: 1 }
+        );
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Cross-check harness for the predecoded throughput engine: the fast
+//! substrate (predecode tables, straight-line trace blocks, batched
+//! execution) must be *invisible* — every workload, every replacement
+//! policy, and arbitrary valid programs must end in exactly the state
+//! the reference engine and the observing interpreter produce, with
+//! identical instruction accounting and identical reuse decisions.
+
+use proptest::prelude::*;
+use tlr_core::{
+    EngineConfig, Heuristic, ReplacementPolicy, RtmConfig, ThroughputEngine, TraceReuseEngine,
+};
+use tlr_isa::NullSink;
+use tlr_vm::{ExecMode, Vm};
+use trace_reuse::asm::assemble;
+
+const BUDGET: u64 = 60_000;
+
+#[test]
+fn fast_engine_matches_reference_on_every_workload() {
+    let config = EngineConfig::paper(RtmConfig::RTM_4K, Heuristic::FixedExp(4));
+    for w in tlr_workloads::all() {
+        let prog = w.program(13);
+
+        let mut reference = TraceReuseEngine::new(&prog, config);
+        let ref_stats = reference
+            .run(BUDGET)
+            .unwrap_or_else(|e| panic!("{}: reference: {e}", w.name));
+
+        for mode in [ExecMode::Fast, ExecMode::Observed] {
+            let mut engine = ThroughputEngine::new(&prog, config).with_mode(mode);
+            let stats = engine
+                .run(BUDGET)
+                .unwrap_or_else(|e| panic!("{}/{mode:?}: throughput: {e}", w.name));
+            assert_eq!(stats, ref_stats, "{}/{mode:?}: stats diverged", w.name);
+            assert_eq!(
+                engine.vm().state_digest(),
+                reference.vm().state_digest(),
+                "{}/{mode:?}: architectural state diverged",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_engine_matches_reference_across_policies() {
+    // Policies change *which* traces survive eviction, so each policy is
+    // its own decision stream — the fast substrate must reproduce all of
+    // them. Small RTM to force evictions.
+    for w in tlr_workloads::all() {
+        let prog = w.program(29);
+        for policy in ReplacementPolicy::ALL {
+            let config =
+                EngineConfig::paper(RtmConfig::RTM_512, Heuristic::FixedExp(4)).with_policy(policy);
+            let mut reference = TraceReuseEngine::new(&prog, config);
+            let ref_stats = reference
+                .run(BUDGET)
+                .unwrap_or_else(|e| panic!("{} [{policy}]: reference: {e}", w.name));
+            let mut engine = ThroughputEngine::new(&prog, config);
+            let stats = engine
+                .run(BUDGET)
+                .unwrap_or_else(|e| panic!("{} [{policy}]: throughput: {e}", w.name));
+            assert_eq!(stats, ref_stats, "{} [{policy}]: stats diverged", w.name);
+            assert_eq!(
+                engine.vm().state_digest(),
+                reference.vm().state_digest(),
+                "{} [{policy}]: architectural state diverged",
+                w.name
+            );
+        }
+    }
+}
+
+/// One random but always-valid instruction, rendered as assembly. Every
+/// line carries a label so branch targets generated as `imm % (n + 1)`
+/// always resolve (index `n` is the trailing `halt`).
+fn render_instr(
+    i: usize,
+    n: usize,
+    (kind, a, b, c, disp, imm): (u8, u8, u8, u8, u64, u16),
+) -> String {
+    let target = (imm as usize) % (n + 1);
+    let body = match kind {
+        0 => format!("addq r{a}, r{b}, r{c}"),
+        1 => format!("subq r{a}, r{b}, r{c}"),
+        2 => format!("mulq r{a}, r{b}, r{c}"),
+        3 => format!("and r{a}, r{b}, r{c}"),
+        4 => format!("xor r{a}, r{b}, r{c}"),
+        5 => format!("addq r{a}, r{b}, {imm}"),
+        6 => format!("li r{a}, {imm}"),
+        7 => format!("ldq r{a}, {disp}(r{b})"),
+        8 => format!("stq r{a}, {disp}(r{b})"),
+        9 => format!("beqz r{a}, L{target}"),
+        10 => format!("bnez r{a}, L{target}"),
+        11 => format!("addt f{a}, f{b}, f{c}"),
+        12 => format!("itof f{a}, r{b}"),
+        13 => format!("cmplt r{a}, r{b}, r{c}"),
+        _ => "nop".to_string(),
+    };
+    format!("L{i}: {body}\n")
+}
+
+fn arb_program() -> impl Strategy<Value = String> {
+    let instr = (0u8..15, 1u8..10, 1u8..10, 1u8..10, 0u64..64, any::<u16>());
+    proptest::collection::vec(instr, 8..60).prop_map(|instrs| {
+        let n = instrs.len();
+        let mut text = String::new();
+        for (i, spec) in instrs.into_iter().enumerate() {
+            text.push_str(&render_instr(i, n, spec));
+        }
+        text.push_str(&format!("L{n}: halt\n"));
+        text
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Predecoded execution is the interpreter: same final state, same
+    /// instruction count, on arbitrary valid programs (including ones
+    /// that loop forever and exhaust the budget).
+    #[test]
+    fn predecoded_vm_matches_observing_vm(source in arb_program()) {
+        let prog = assemble(&source).expect("generated programs are valid");
+        let mut observed = Vm::new(&prog);
+        observed.run(5_000, &mut NullSink).expect("observing run");
+        let mut fast = Vm::new(&prog);
+        fast.run_fast(5_000).expect("fast run");
+        prop_assert_eq!(observed.executed(), fast.executed());
+        prop_assert_eq!(observed.state_digest(), fast.state_digest());
+    }
+
+    /// The throughput engine is the reference engine, on arbitrary valid
+    /// programs under all three replacement policies: same digest, same
+    /// executed/skipped counts, same number of reuse decisions.
+    #[test]
+    fn fast_engine_matches_reference_on_random_programs(source in arb_program()) {
+        let prog = assemble(&source).expect("generated programs are valid");
+        for policy in ReplacementPolicy::ALL {
+            let config = EngineConfig::paper(RtmConfig::RTM_512, Heuristic::FixedExp(2))
+                .with_policy(policy);
+            let mut reference = TraceReuseEngine::new(&prog, config);
+            let ref_stats = reference.run(5_000).expect("reference run");
+            let mut engine = ThroughputEngine::new(&prog, config);
+            let stats = engine.run(5_000).expect("throughput run");
+            prop_assert_eq!(stats.executed, ref_stats.executed, "{}", policy);
+            prop_assert_eq!(stats.skipped, ref_stats.skipped, "{}", policy);
+            prop_assert_eq!(stats.reuse_ops, ref_stats.reuse_ops, "{}", policy);
+            prop_assert_eq!(
+                engine.vm().state_digest(),
+                reference.vm().state_digest(),
+                "{}",
+                policy
+            );
+        }
+    }
+}
