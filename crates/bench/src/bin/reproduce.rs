@@ -4,7 +4,8 @@
 //! reproduce [OPTIONS] [TARGETS...]
 //!
 //! TARGETS: fig3 fig4 fig5 fig6 fig7 fig8 io fig9 ablation pipeline validbit schemes
-//!          warmstart fleet policy daemon decant throughput all   (default: all)
+//!          warmstart fleet policy daemon decant throughput serveperf all
+//!          (default: all)
 //!
 //! OPTIONS:
 //!   --budget N    dynamic instructions per benchmark   (default 400000)
@@ -16,7 +17,7 @@
 //!                 machine-readable JSON document (config + targets)
 //!   --charts      also print ASCII bar charts
 //!   --check       exit nonzero on a regression (warmstart, fleet, policy,
-//!                 daemon, decant, throughput)
+//!                 daemon, decant, throughput, serveperf)
 //!   --processes   fleet: also run the legacy per-task worker-pool path
 //!                 next to the default in-process batched path and report
 //!                 both tables
@@ -87,7 +88,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const HELP: &str = "reproduce [--budget N] [--seed N] [--window N] [--threads N] [--out DIR] [--json OUT] [--charts] [--check] [--processes] \
-                    [fig3|fig4|fig5|fig6|fig7|fig8|io|fig9|ablation|pipeline|validbit|schemes|warmstart|fleet|policy|daemon|decant|throughput|all ...]";
+                    [fig3|fig4|fig5|fig6|fig7|fig8|io|fig9|ablation|pipeline|validbit|schemes|warmstart|fleet|policy|daemon|decant|throughput|serveperf|all ...]";
 
 /// JSON schema tag of the `--json` results document.
 const RESULTS_FORMAT: &str = "tlr-bench-v1";
@@ -517,6 +518,40 @@ fn main() {
                 std::process::exit(1);
             }
             println!("throughput check: ok");
+        }
+    }
+
+    if wants(&opts.targets, "serveperf") {
+        let start = std::time::Instant::now();
+        let outcome = tlr_bench::run_serveperf(&opts.cfg, RtmConfig::RTM_32K);
+        eprintln!("[serveperf: {:?}]", start.elapsed());
+        emit(
+            &opts.out_dir,
+            doc,
+            "serveperf_latency",
+            "Serving path (ours): daemon Get latency, per-request re-serialization vs cached image",
+            &tlr_bench::serveperf_latency_table(&outcome.cells),
+        );
+        emit(
+            &opts.out_dir,
+            doc,
+            "serveperf_writes",
+            "Serving path (ours): publish-back write amplification, full rewrite vs delta spill",
+            &tlr_bench::serveperf_write_table(&outcome.cells),
+        );
+        emit(
+            &opts.out_dir,
+            doc,
+            "serveperf_equality",
+            "Serving path (ours): base + delta split-load vs full-snapshot load, per policy",
+            &tlr_bench::serveperf_equality_table(&outcome.equality),
+        );
+        if opts.check {
+            if let Err(msg) = tlr_bench::check_serveperf(&outcome) {
+                eprintln!("error: serveperf regression: {msg}");
+                std::process::exit(1);
+            }
+            println!("serveperf check: ok");
         }
     }
 

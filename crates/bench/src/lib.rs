@@ -23,17 +23,21 @@
 //! | `reproduce daemon` | ours — N concurrent clients warm-starting from one `tlrd` daemon vs the in-process registry path |
 //! | `reproduce decant` | ours — reuse attribution by opcode class and loop structure (`tlr-decant` over the decision tap) |
 //! | `reproduce throughput` | ours — simulator MIPS: observing interpreter vs predecoded fast path, reference vs throughput engine, batched suite |
+//! | `reproduce serveperf` | ours — zero-copy `Get` latency (cached image vs re-serialization), delta-spill write amplification, base ⊕ delta split-load equality |
 //!
 //! With `--check`, the `warmstart`, `fleet`, `policy`, `daemon`,
-//! `decant`, and `throughput` targets additionally act as regression
-//! gates: the process exits nonzero when a warm start reuses less than
-//! its cold run, a merged warm start reuses less than the better solo
-//! warm start, any policy configuration fails architectural-state
-//! equality, a daemon-served client's final architectural-state digest
-//! differs from the in-process registry path's, a decanted attribution
-//! fails to sum exactly to its decision log's totals, or a fast-path
-//! run diverges from its reference (state, reuse decisions, or mean
-//! speed).
+//! `decant`, `throughput`, and `serveperf` targets additionally act as
+//! regression gates: the process exits nonzero when a warm start reuses
+//! less than its cold run, a merged warm start reuses less than the
+//! better solo warm start, any policy configuration fails
+//! architectural-state equality, a daemon-served client's final
+//! architectural-state digest differs from the in-process registry
+//! path's, a decanted attribution fails to sum exactly to its decision
+//! log's totals, a fast-path run diverges from its reference (state,
+//! reuse decisions, or mean speed), or the serving path regresses
+//! (cached-image fetches under the speedup floor, delta spills writing
+//! at least as much as full rewrites, or a base + delta load
+//! disagreeing with the full-snapshot load of the same state).
 //!
 //! With `--json OUT`, every table produced by the invocation is also
 //! written to `OUT` as one machine-readable JSON document (config +
@@ -50,6 +54,7 @@ pub mod figures;
 pub mod fleet;
 pub mod harness;
 pub mod policy;
+pub mod serveperf;
 pub mod throughput;
 pub mod warmstart;
 
@@ -64,6 +69,10 @@ pub use fleet::{check_fleet, fleet_table, run_fleet, run_fleet_with, FleetCell, 
 pub use harness::{run_engine_grid, run_limit_studies, BenchResult, EngineCell, HarnessConfig};
 pub use policy::{
     check_policy, measured_label, policy_table, run_policy_sweep, state_digest, PolicyCell,
+};
+pub use serveperf::{
+    check_serveperf, run_serveperf, serveperf_equality_table, serveperf_latency_table,
+    serveperf_write_table, ServePerfCell, ServePerfEquality, ServePerfOutcome,
 };
 pub use throughput::{
     batch_table, check_throughput, run_batch_bench, run_throughput, throughput_table, BatchCell,

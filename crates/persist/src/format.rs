@@ -5,9 +5,9 @@
 //! | offset | size | field |
 //! |---|---|---|
 //! | 0 | 4 | magic `"TLRP"` |
-//! | 4 | 2 | format version (currently 1) |
+//! | 4 | 2 | format version (currently 5) |
 //! | 6 | 1 | payload kind (1 = trace stream, 2 = RTM snapshot) |
-//! | 7 | 1 | reserved, must be 0 |
+//! | 7 | 1 | flags (v5+; must be 0 in v2–v4) |
 //! | 8 | 8 | program/ISA fingerprint |
 //!
 //! The JSON debug format carries the same information in a `"format"`
@@ -30,13 +30,31 @@ pub const MAGIC: [u8; 4] = *b"TLRP";
 /// per-trace provenance ([`tlr_core::TraceMeta`]: hit count, last-use
 /// tick, source-run id) to every snapshot record; v4 appends each
 /// trace's per-class instruction mix ([`tlr_isa::ClassMix`]) after the
-/// provenance, for reuse attribution. v2/v3 files still load (their
-/// traces carry zero provenance and/or an empty mix); see
-/// [`MIN_SUPPORTED_VERSION`].
-pub const FORMAT_VERSION: u16 = 4;
+/// provenance, for reuse attribution; v5 turns the reserved header
+/// byte into a flags field ([`FLAG_COMPRESSED_FRAMES`],
+/// [`FLAG_DELTA_SEGMENT`]) and extends the snapshot prelude when the
+/// delta flag is set. v2–v4 files still load (their traces carry zero
+/// provenance and/or an empty mix, and their flags byte must be 0);
+/// see [`MIN_SUPPORTED_VERSION`].
+pub const FORMAT_VERSION: u16 = 5;
 
 /// The oldest format version this build still reads.
 pub const MIN_SUPPORTED_VERSION: u16 = 2;
+
+/// Header flag (v5+): trace frames are run-length compressed. Each
+/// frame payload is `u32` raw length followed by the codec stream of
+/// [`crate::compress`]; the frame checksum covers the on-disk bytes.
+pub const FLAG_COMPRESSED_FRAMES: u8 = 0x01;
+
+/// Header flag (v5+): the file is an append-only *delta segment*, not
+/// a full snapshot. Its prelude carries a sequence number and a
+/// tombstone list, and its frames replace whole PC groups of a base
+/// snapshot (see `docs/ARCHITECTURE.md`, "Snapshot file format").
+pub const FLAG_DELTA_SEGMENT: u8 = 0x02;
+
+/// Every flag bit this build understands. v5 headers with unknown
+/// bits set are rejected as corrupt rather than misparsed.
+pub const KNOWN_FLAGS: u8 = FLAG_COMPRESSED_FRAMES | FLAG_DELTA_SEGMENT;
 
 /// Payload kind: a stream of executed [`tlr_isa::DynInstr`] records.
 pub const KIND_TRACE_STREAM: u8 = 1;
@@ -86,6 +104,8 @@ pub struct Header {
     pub version: u16,
     /// Payload kind tag.
     pub kind: u8,
+    /// Encoding flags (see [`KNOWN_FLAGS`]); always 0 before v5.
+    pub flags: u8,
     /// Program/ISA fingerprint (see [`wire::program_fingerprint`]).
     pub fingerprint: u64,
 }
@@ -93,9 +113,16 @@ pub struct Header {
 impl Header {
     /// Header for a fresh file of `kind` bound to `fingerprint`.
     pub fn new(kind: u8, fingerprint: u64) -> Self {
+        Self::with_flags(kind, fingerprint, 0)
+    }
+
+    /// Header for a fresh file with explicit encoding `flags`.
+    pub fn with_flags(kind: u8, fingerprint: u64, flags: u8) -> Self {
+        debug_assert_eq!(flags & !KNOWN_FLAGS, 0, "unknown header flags");
         Self {
             version: FORMAT_VERSION,
             kind,
+            flags,
             fingerprint,
         }
     }
@@ -106,7 +133,7 @@ impl Header {
         buf.extend_from_slice(&MAGIC);
         wire::put_u16(&mut buf, self.version);
         wire::put_u8(&mut buf, self.kind);
-        wire::put_u8(&mut buf, 0);
+        wire::put_u8(&mut buf, self.flags);
         wire::put_u64(&mut buf, self.fingerprint);
         w.write_all(&buf)?;
         Ok(())
@@ -128,16 +155,23 @@ impl Header {
             });
         }
         let kind = wire::get_u8(r)?;
-        let reserved = wire::get_u8(r)?;
-        if reserved != 0 {
+        let flags = wire::get_u8(r)?;
+        if version < 5 && flags != 0 {
             return Err(PersistError::Corrupt(format!(
-                "reserved header byte is {reserved}, expected 0"
+                "reserved header byte is {flags}, expected 0"
+            )));
+        }
+        if flags & !KNOWN_FLAGS != 0 {
+            return Err(PersistError::Corrupt(format!(
+                "unknown header flags {:#04x} (known mask {:#04x})",
+                flags, KNOWN_FLAGS
             )));
         }
         let fingerprint = wire::get_u64(r)?;
         Ok(Header {
             version,
             kind,
+            flags,
             fingerprint,
         })
     }
@@ -207,6 +241,44 @@ mod tests {
     }
 
     #[test]
+    fn flags_roundtrip_on_v5() {
+        let h = Header::with_flags(
+            KIND_RTM_SNAPSHOT,
+            9,
+            FLAG_COMPRESSED_FRAMES | FLAG_DELTA_SEGMENT,
+        );
+        let mut buf = Vec::new();
+        h.write_to(&mut buf).unwrap();
+        assert_eq!(Header::read_from(&mut buf.as_slice()).unwrap(), h);
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let mut buf = Vec::new();
+        Header::new(KIND_RTM_SNAPSHOT, 9)
+            .write_to(&mut buf)
+            .unwrap();
+        buf[7] = 0x80; // a flag bit this build does not know
+        match Header::read_from(&mut buf.as_slice()) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("unknown header flags")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flags_must_be_zero_before_v5() {
+        let mut buf = Vec::new();
+        Header::with_flags(KIND_RTM_SNAPSHOT, 9, FLAG_DELTA_SEGMENT)
+            .write_to(&mut buf)
+            .unwrap();
+        buf[4] = 4; // rewrite version to v4; the flag byte is now illegal
+        match Header::read_from(&mut buf.as_slice()) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("reserved header byte")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn kind_and_fingerprint_checked() {
         let h = Header::new(KIND_TRACE_STREAM, 7);
         assert!(h.expect(KIND_TRACE_STREAM, Some(7)).is_ok());
@@ -219,6 +291,34 @@ mod tests {
             Err(PersistError::FingerprintMismatch { .. })
         ));
         assert!(h.expect(KIND_TRACE_STREAM, None).is_ok());
+    }
+
+    /// The normative format section of `docs/ARCHITECTURE.md` must
+    /// stay in sync with the code: the version pair, every flag bit,
+    /// the known mask, and the base/delta file-naming scheme are
+    /// checked against the document verbatim.
+    #[test]
+    fn format_doc_matches_wire_constants() {
+        let path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/ARCHITECTURE.md");
+        let doc = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let expect = [
+            format!("current format version is **{FORMAT_VERSION}**"),
+            format!("oldest\nloadable is **{MIN_SUPPORTED_VERSION}**"),
+            format!("| `{FLAG_COMPRESSED_FRAMES:#04x}` | `FLAG_COMPRESSED_FRAMES`"),
+            format!("| `{FLAG_DELTA_SEGMENT:#04x}` | `FLAG_DELTA_SEGMENT`"),
+            format!("known mask is `{KNOWN_FLAGS:#04x}`"),
+            format!("-base.{SNAPSHOT_EXT}"),
+            format!("-delta-NNNNNN.{SNAPSHOT_EXT}"),
+        ];
+        for needle in expect {
+            assert!(
+                doc.contains(&needle),
+                "docs/ARCHITECTURE.md is out of sync with the format constants: \
+                 missing {needle:?}"
+            );
+        }
     }
 
     #[test]

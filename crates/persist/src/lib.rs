@@ -27,9 +27,10 @@
 //!
 //! | section | contents |
 //! |---|---|
-//! | header (16 B) | magic `TLRP`, version u16, kind u8, reserved u8, fingerprint u64 |
+//! | header (16 B) | magic `TLRP`, version u16, kind u8, flags u8 (v5+; 0 before), fingerprint u64 |
 //! | trace stream | per record: u32 length + [`tlr_isa::DynInstr`] frame |
 //! | RTM snapshot | geometry (3 × u32), count u64, then per trace: u32 length + [`tlr_core::TraceRecord`] frame |
+//! | delta segment | geometry, count, seq, tombstones, then changed-group frames ([`delta`]) |
 //! | trailer | u32 `0`, u64 count, u64 checksum (+ u8 halt flag for streams) |
 //!
 //! The header is checked on every load: wrong magic, an unsupported
@@ -37,6 +38,13 @@
 //! program/ISA each produce a distinct, descriptive [`PersistError`].
 //! Frame checksums catch bit-level damage; a missing trailer reports the
 //! stream as truncated.
+//!
+//! Format v5 turns the reserved header byte into flags:
+//! [`format::FLAG_COMPRESSED_FRAMES`] run-length compresses every trace
+//! frame ([`compress`]), and [`format::FLAG_DELTA_SEGMENT`] marks an
+//! incremental **delta segment** so publish-back spills only changed PC
+//! groups next to a base file ([`delta`]); [`load_merged_snapshots`]
+//! replays base + deltas in sequence order.
 //!
 //! ## Quick start
 //!
@@ -67,6 +75,8 @@
 //! binary exposes it as `record` / `replay` / `snapshot` /
 //! `run --warm-rtm` subcommands.)
 
+pub mod compress;
+pub mod delta;
 pub mod error;
 pub mod format;
 pub mod json;
@@ -75,15 +85,21 @@ pub mod snapshot;
 pub mod stream;
 pub mod wire;
 
+pub use delta::{
+    apply_delta, base_file_name, delta_file_name, delta_seq_from_path, diff_snapshots,
+    group_digests, save_delta_segment, write_delta_segment, DeltaSegment,
+};
 pub use error::{PersistError, Result};
 pub use format::{
-    FileFormat, Header, FORMAT_VERSION, KIND_RTM_SNAPSHOT, KIND_TRACE_STREAM, MAGIC,
-    MIN_SUPPORTED_VERSION, SNAPSHOT_EXT, TRACE_EXT,
+    FileFormat, Header, FLAG_COMPRESSED_FRAMES, FLAG_DELTA_SEGMENT, FORMAT_VERSION,
+    KIND_RTM_SNAPSHOT, KIND_TRACE_STREAM, KNOWN_FLAGS, MAGIC, MIN_SUPPORTED_VERSION, SNAPSHOT_EXT,
+    TRACE_EXT,
 };
 pub use replay::{replay, MemorySource, RecordSource, ReplayStats};
 pub use snapshot::{
     load_merged_snapshots, load_merged_snapshots_tuned, load_merged_snapshots_with, load_snapshot,
-    peek_snapshot_fingerprint, save_snapshot,
+    load_snapshot_payload, peek_snapshot_fingerprint, save_snapshot, save_snapshot_with,
+    SnapshotPayload, SnapshotWriteOptions,
 };
 pub use stream::{load_trace, save_trace, TraceFile, TraceReader, TraceWriter};
 pub use wire::program_fingerprint;

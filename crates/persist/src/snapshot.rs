@@ -14,9 +14,19 @@
 //! each trace's frame, covered by the frame checksum; v4 additionally
 //! appends the trace's per-class instruction mix. v2/v3 files still
 //! load; their traces carry zero provenance and/or an empty mix.
+//!
+//! Format v5 adds two header flags: [`FLAG_COMPRESSED_FRAMES`] (each
+//! frame payload becomes `u32` raw length + the [`crate::compress`]
+//! stream) and [`FLAG_DELTA_SEGMENT`] (the file is an incremental
+//! *delta segment*, see [`crate::delta`]). Binary loads read the whole
+//! file into memory up front and parse from the buffer — one syscall
+//! per file on the serving path instead of `BufReader` chatter.
 
+use crate::compress;
 use crate::error::{PersistError, Result};
-use crate::format::{FileFormat, Header, KIND_RTM_SNAPSHOT};
+use crate::format::{
+    FileFormat, Header, FLAG_COMPRESSED_FRAMES, FLAG_DELTA_SEGMENT, KIND_RTM_SNAPSHOT,
+};
 use crate::json::{self, Json};
 use crate::stream::json_pairs;
 use crate::wire;
@@ -57,12 +67,31 @@ pub const SNAPSHOT_IO_CAPS: IoCaps = IoCaps {
     mem_out: 1024,
 };
 
+/// Encoding choices for [`save_snapshot_with`]. The default matches
+/// [`save_snapshot`]: an uncompressed full snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotWriteOptions {
+    /// Run-length compress every trace frame ([`FLAG_COMPRESSED_FRAMES`]).
+    /// Ignored by the JSON debug format.
+    pub compress: bool,
+}
+
 /// Save `snapshot` to `path`, choosing binary or JSON by extension.
 pub fn save_snapshot(path: &Path, fingerprint: u64, snapshot: &RtmSnapshot) -> Result<()> {
+    save_snapshot_with(path, fingerprint, snapshot, SnapshotWriteOptions::default())
+}
+
+/// [`save_snapshot`] with explicit [`SnapshotWriteOptions`].
+pub fn save_snapshot_with(
+    path: &Path,
+    fingerprint: u64,
+    snapshot: &RtmSnapshot,
+    options: SnapshotWriteOptions,
+) -> Result<()> {
     match FileFormat::detect(path) {
         FileFormat::Binary => {
             let mut out = BufWriter::new(File::create(path)?);
-            write_snapshot(&mut out, fingerprint, snapshot)?;
+            write_snapshot_with(&mut out, fingerprint, snapshot, options)?;
             out.flush()?;
             Ok(())
         }
@@ -76,15 +105,58 @@ pub fn save_snapshot(path: &Path, fingerprint: u64, snapshot: &RtmSnapshot) -> R
 
 /// Load a snapshot from `path` (format by extension), optionally pinning
 /// the expected program fingerprint. Returns the file's fingerprint and
-/// the snapshot.
+/// the snapshot. Delta segments are rejected with a named error — load
+/// them through [`load_merged_snapshots`] next to their base.
 pub fn load_snapshot(path: &Path, expected_fingerprint: Option<u64>) -> Result<(u64, RtmSnapshot)> {
+    match load_snapshot_payload(path, expected_fingerprint)? {
+        (fp, SnapshotPayload::Full(snapshot)) => Ok((fp, snapshot)),
+        (_, SnapshotPayload::Delta(_)) => Err(PersistError::Corrupt(format!(
+            "{} is a delta segment; load it with its base via load_merged_snapshots, \
+             or fold it with `tlrsim compact`",
+            path.display()
+        ))),
+    }
+}
+
+/// What a snapshot file holds: a full snapshot, or an incremental delta
+/// segment that overlays one (see [`crate::delta`]).
+#[derive(Clone, Debug)]
+pub enum SnapshotPayload {
+    /// A complete snapshot (formats v2–v5 without the delta flag).
+    Full(RtmSnapshot),
+    /// A v5 delta segment ([`FLAG_DELTA_SEGMENT`]).
+    Delta(crate::delta::DeltaSegment),
+}
+
+/// Load either payload kind from `path` (format by extension). Binary
+/// files are read whole into memory and parsed from the buffer.
+pub fn load_snapshot_payload(
+    path: &Path,
+    expected_fingerprint: Option<u64>,
+) -> Result<(u64, SnapshotPayload)> {
     match FileFormat::detect(path) {
         FileFormat::Binary => {
-            read_snapshot(&mut BufReader::new(File::open(path)?), expected_fingerprint)
+            let bytes = std::fs::read(path)?;
+            let mut r = bytes.as_slice();
+            let header = Header::read_from(&mut r)?;
+            header.expect(KIND_RTM_SNAPSHOT, expected_fingerprint)?;
+            if header.flags & FLAG_DELTA_SEGMENT != 0 {
+                let delta = crate::delta::read_delta_body(&mut r, &header)?;
+                Ok((header.fingerprint, SnapshotPayload::Delta(delta)))
+            } else {
+                let snapshot = read_snapshot_body(&mut r, &header)?;
+                Ok((header.fingerprint, SnapshotPayload::Full(snapshot)))
+            }
         }
         FileFormat::Json => {
             let doc = json::parse(&std::fs::read_to_string(path)?)?;
-            snapshot_from_json(&doc, expected_fingerprint)
+            if doc.opt_field("delta").is_some() {
+                let (fp, delta) = crate::delta::delta_from_json(&doc, expected_fingerprint)?;
+                Ok((fp, SnapshotPayload::Delta(delta)))
+            } else {
+                let (fp, snapshot) = snapshot_from_json(&doc, expected_fingerprint)?;
+                Ok((fp, SnapshotPayload::Full(snapshot)))
+            }
         }
     }
 }
@@ -129,13 +201,41 @@ pub fn load_merged_snapshots_tuned(
     }
     let mut pinned = expected_fingerprint;
     let mut snapshots = Vec::with_capacity(paths.len());
-    for path in paths {
-        let (fp, snapshot) = load_snapshot(path.as_ref(), pinned)?;
+    let mut deltas: Vec<(usize, crate::delta::DeltaSegment)> = Vec::new();
+    for (order, path) in paths.iter().enumerate() {
+        let (fp, payload) = load_snapshot_payload(path.as_ref(), pinned)?;
         pinned = Some(fp);
-        snapshots.push(snapshot);
+        match payload {
+            SnapshotPayload::Full(snapshot) => snapshots.push(snapshot),
+            SnapshotPayload::Delta(delta) => deltas.push((order, delta)),
+        }
     }
-    let merged = RtmSnapshot::merge_detailed_tuned(&snapshots, policy, lfu_half_life)?.snapshot;
-    Ok((pinned.expect("at least one file loaded"), merged))
+    let fingerprint = pinned.expect("at least one file loaded");
+    let mut merged = if snapshots.is_empty() {
+        // Delta-only directory (the base was compacted away elsewhere,
+        // or never written): overlay onto an empty snapshot of the
+        // deltas' geometry.
+        let config = deltas[0].1.config;
+        RtmSnapshot {
+            config,
+            traces: Vec::new(),
+            meta: Vec::new(),
+        }
+    } else {
+        RtmSnapshot::merge_detailed_tuned(&snapshots, policy, lfu_half_life)?.snapshot
+    };
+    if !deltas.is_empty() {
+        // Replay deltas in sequence order (file order breaks ties), then
+        // re-import through a single-input merge so recency seeding and
+        // capacity enforcement match a full-snapshot load exactly.
+        deltas.sort_by_key(|(order, delta)| (delta.seq, *order));
+        for (_, delta) in &deltas {
+            crate::delta::apply_delta(&mut merged, delta)?;
+        }
+        crate::delta::canonicalize(&mut merged);
+        merged = RtmSnapshot::merge_detailed_tuned(&[merged], policy, lfu_half_life)?.snapshot;
+    }
+    Ok((fingerprint, merged))
 }
 
 /// Read only a snapshot file's program fingerprint, without
@@ -163,9 +263,24 @@ pub fn peek_snapshot_fingerprint(path: &Path) -> Result<u64> {
     }
 }
 
-/// Serialize a snapshot to any writer (binary format).
+/// Serialize a snapshot to any writer (binary format, uncompressed).
 pub fn write_snapshot(w: &mut impl Write, fingerprint: u64, snapshot: &RtmSnapshot) -> Result<()> {
-    Header::new(KIND_RTM_SNAPSHOT, fingerprint).write_to(w)?;
+    write_snapshot_with(w, fingerprint, snapshot, SnapshotWriteOptions::default())
+}
+
+/// [`write_snapshot`] with explicit [`SnapshotWriteOptions`].
+pub fn write_snapshot_with(
+    w: &mut impl Write,
+    fingerprint: u64,
+    snapshot: &RtmSnapshot,
+    options: SnapshotWriteOptions,
+) -> Result<()> {
+    let flags = if options.compress {
+        FLAG_COMPRESSED_FRAMES
+    } else {
+        0
+    };
+    Header::with_flags(KIND_RTM_SNAPSHOT, fingerprint, flags).write_to(w)?;
     let geometry = snapshot.config.geometry;
     let mut prelude = Vec::with_capacity(20);
     wire::put_u32(&mut prelude, geometry.sets);
@@ -185,7 +300,7 @@ pub fn write_snapshot(w: &mut impl Write, fingerprint: u64, snapshot: &RtmSnapsh
         wire::put_trace_record(&mut scratch, trace)?;
         wire::put_trace_meta(&mut scratch, &meta);
         wire::put_class_mix(&mut scratch, trace.mix);
-        wire::write_frame(w, &scratch, &mut checksum)?;
+        emit_frame(w, &scratch, options.compress, &mut checksum)?;
     }
     let mut trailer = Vec::with_capacity(20);
     wire::put_u32(&mut trailer, 0);
@@ -195,13 +310,113 @@ pub fn write_snapshot(w: &mut impl Write, fingerprint: u64, snapshot: &RtmSnapsh
     Ok(())
 }
 
-/// Deserialize a snapshot from any reader (binary format).
+/// Write one entry frame, compressing the payload when asked. The frame
+/// checksum always covers the on-disk bytes, so damage to a compressed
+/// stream is caught before decompression output reaches the parser.
+pub(crate) fn emit_frame(
+    w: &mut impl Write,
+    raw: &[u8],
+    compress_payload: bool,
+    checksum: &mut FxHasher64,
+) -> Result<()> {
+    if compress_payload {
+        let mut payload = Vec::with_capacity(raw.len() / 2 + 8);
+        wire::put_u32(&mut payload, raw.len() as u32);
+        payload.extend_from_slice(&compress::compress(raw));
+        wire::write_frame(w, &payload, checksum)
+    } else {
+        wire::write_frame(w, raw, checksum)
+    }
+}
+
+/// Read one entry frame, inverting [`emit_frame`]. Returns `None` at
+/// the trailer marker.
+pub(crate) fn next_frame(
+    r: &mut impl Read,
+    compressed: bool,
+    checksum: &mut FxHasher64,
+) -> Result<Option<Vec<u8>>> {
+    let Some(frame) = wire::read_frame(r, checksum)? else {
+        return Ok(None);
+    };
+    if !compressed {
+        return Ok(Some(frame));
+    }
+    let mut slice = frame.as_slice();
+    let raw_len = wire::get_u32(&mut slice)?;
+    if raw_len > wire::MAX_FRAME {
+        return Err(PersistError::Corrupt(format!(
+            "compressed frame declares {raw_len} raw bytes, over the {} cap",
+            wire::MAX_FRAME
+        )));
+    }
+    Ok(Some(compress::decompress(slice, raw_len as usize)?))
+}
+
+/// Decode one entry frame's payload into record + provenance, with the
+/// per-version field layout and the loader's named corruption errors.
+pub(crate) fn decode_entry(
+    frame: &[u8],
+    version: u16,
+    index: usize,
+) -> Result<(TraceRecord, TraceMeta)> {
+    // v2 frames hold the bare record; v3 frames append provenance; v4+
+    // frames append the class mix after the provenance.
+    let with_provenance = version >= 3;
+    let with_mix = version >= 4;
+    let mut slice = frame;
+    let mut trace = wire::get_trace_record(&mut slice)?;
+    let trace_meta = if with_provenance {
+        wire::get_trace_meta(&mut slice).map_err(|_| {
+            PersistError::Corrupt(format!(
+                "trace {index} (pc={:#x}) is missing its provenance record",
+                trace.start_pc
+            ))
+        })?
+    } else {
+        TraceMeta::default()
+    };
+    if with_mix {
+        trace.mix = wire::get_class_mix(&mut slice).map_err(|e| match e {
+            corrupt @ PersistError::Corrupt(_) => corrupt,
+            _ => PersistError::Corrupt(format!(
+                "trace {index} (pc={:#x}) is missing its class mix",
+                trace.start_pc
+            )),
+        })?;
+    }
+    if !slice.is_empty() {
+        return Err(PersistError::Corrupt(format!(
+            "{} stray bytes after trace {index}",
+            slice.len()
+        )));
+    }
+    validate_record(index, &trace)?;
+    Ok((trace, trace_meta))
+}
+
+/// Deserialize a snapshot from any reader (binary format). Rejects
+/// delta segments with a named error; see [`load_snapshot_payload`].
 pub fn read_snapshot(
     r: &mut impl Read,
     expected_fingerprint: Option<u64>,
 ) -> Result<(u64, RtmSnapshot)> {
     let header = Header::read_from(r)?;
     header.expect(KIND_RTM_SNAPSHOT, expected_fingerprint)?;
+    if header.flags & FLAG_DELTA_SEGMENT != 0 {
+        return Err(PersistError::Corrupt(
+            "stream holds a delta segment, not a full snapshot; \
+             load it with its base via load_merged_snapshots"
+                .into(),
+        ));
+    }
+    let snapshot = read_snapshot_body(r, &header)?;
+    Ok((header.fingerprint, snapshot))
+}
+
+/// Parse a full snapshot's body, the header already consumed.
+pub(crate) fn read_snapshot_body(r: &mut impl Read, header: &Header) -> Result<RtmSnapshot> {
+    let compressed = header.flags & FLAG_COMPRESSED_FRAMES != 0;
     let prelude: [u8; 20] = wire::read_exact(r)?;
     let mut cursor = prelude.as_slice();
     let geometry = SetAssocGeometry {
@@ -213,44 +428,10 @@ pub fn read_snapshot(
     let declared = wire::get_u64(&mut cursor)?;
     let mut checksum = FxHasher64::new();
     checksum.write(&prelude);
-    // v2 frames hold the bare record; v3 frames append provenance; v4
-    // frames append the class mix after the provenance.
-    let with_provenance = header.version >= 3;
-    let with_mix = header.version >= 4;
     let mut traces = Vec::with_capacity(declared.min(1 << 20) as usize);
     let mut meta = Vec::with_capacity(declared.min(1 << 20) as usize);
-    while let Some(frame) = wire::read_frame(r, &mut checksum)? {
-        let mut slice = frame.as_slice();
-        let mut trace = wire::get_trace_record(&mut slice)?;
-        let trace_meta = if with_provenance {
-            wire::get_trace_meta(&mut slice).map_err(|_| {
-                PersistError::Corrupt(format!(
-                    "trace {} (pc={:#x}) is missing its provenance record",
-                    traces.len(),
-                    trace.start_pc
-                ))
-            })?
-        } else {
-            TraceMeta::default()
-        };
-        if with_mix {
-            trace.mix = wire::get_class_mix(&mut slice).map_err(|e| match e {
-                corrupt @ PersistError::Corrupt(_) => corrupt,
-                _ => PersistError::Corrupt(format!(
-                    "trace {} (pc={:#x}) is missing its class mix",
-                    traces.len(),
-                    trace.start_pc
-                )),
-            })?;
-        }
-        if !slice.is_empty() {
-            return Err(PersistError::Corrupt(format!(
-                "{} stray bytes after trace {}",
-                slice.len(),
-                traces.len()
-            )));
-        }
-        validate_record(traces.len(), &trace)?;
+    while let Some(frame) = next_frame(r, compressed, &mut checksum)? {
+        let (trace, trace_meta) = decode_entry(&frame, header.version, traces.len())?;
         traces.push(trace);
         meta.push(trace_meta);
     }
@@ -267,17 +448,14 @@ pub fn read_snapshot(
             "snapshot checksum mismatch (file is damaged)".into(),
         ));
     }
-    Ok((
-        header.fingerprint,
-        RtmSnapshot {
-            config: RtmConfig { geometry },
-            traces,
-            meta,
-        },
-    ))
+    Ok(RtmSnapshot {
+        config: RtmConfig { geometry },
+        traces,
+        meta,
+    })
 }
 
-fn validate_geometry(g: &SetAssocGeometry) -> Result<()> {
+pub(crate) fn validate_geometry(g: &SetAssocGeometry) -> Result<()> {
     if !g.sets.is_power_of_two() || g.ways == 0 || g.per_pc == 0 {
         return Err(PersistError::Corrupt(format!(
             "invalid RTM geometry: {} sets x {} ways x {} per PC",
@@ -307,7 +485,7 @@ fn validate_geometry(g: &SetAssocGeometry) -> Result<()> {
 /// Without this a `len = 0` or cap-busting record from a damaged file
 /// would enter the RTM and corrupt `pct_reused()` /
 /// `avg_reused_trace_size()` accounting.
-fn validate_record(index: usize, rec: &TraceRecord) -> Result<()> {
+pub(crate) fn validate_record(index: usize, rec: &TraceRecord) -> Result<()> {
     if rec.len == 0 {
         return Err(PersistError::Corrupt(format!(
             "trace {index} (pc={:#x}) covers zero instructions",
@@ -340,7 +518,7 @@ fn validate_record(index: usize, rec: &TraceRecord) -> Result<()> {
     Ok(())
 }
 
-fn snapshot_to_json(fingerprint: u64, snapshot: &RtmSnapshot) -> Json {
+pub(crate) fn snapshot_to_json(fingerprint: u64, snapshot: &RtmSnapshot) -> Json {
     let geometry = snapshot.config.geometry;
     let mut geom = BTreeMap::new();
     geom.insert("sets".into(), Json::Num(geometry.sets as u64));
@@ -394,6 +572,22 @@ fn snapshot_to_json(fingerprint: u64, snapshot: &RtmSnapshot) -> Json {
 }
 
 fn snapshot_from_json(doc: &Json, expected_fingerprint: Option<u64>) -> Result<(u64, RtmSnapshot)> {
+    if doc.opt_field("delta").is_some() {
+        return Err(PersistError::Corrupt(
+            "JSON document holds a delta segment, not a full snapshot; \
+             load it with its base via load_merged_snapshots"
+                .into(),
+        ));
+    }
+    snapshot_from_json_core(doc, expected_fingerprint)
+}
+
+/// JSON snapshot parsing shared by full snapshots and delta segments
+/// (which reuse the geometry/trace layout and add a `"delta"` object).
+pub(crate) fn snapshot_from_json_core(
+    doc: &Json,
+    expected_fingerprint: Option<u64>,
+) -> Result<(u64, RtmSnapshot)> {
     let format = doc.field("format")?.as_str("format")?;
     if format != JSON_SNAPSHOT_FORMAT {
         return Err(PersistError::Corrupt(format!(

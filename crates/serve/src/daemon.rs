@@ -221,8 +221,9 @@ fn serve_connection(stream: UnixStream, registry: &SnapshotRegistry) {
 }
 
 /// Map one request onto the registry, producing the encoded reply
-/// payload. `Get` serializes straight from the shared resident
-/// snapshot (`Arc`) instead of deep-cloning it into an owned reply.
+/// payload. `Get` answers from the registry's cached serialized image
+/// ([`SnapshotRegistry::get_image`]) — repeated fetches of the same
+/// resident state share one immutable buffer and never re-serialize.
 fn answer_payload(
     registry: &SnapshotRegistry,
     request: Request,
@@ -232,8 +233,15 @@ fn answer_payload(
             code: ErrorCode::BadRequest,
             message: "Hello is only valid as the first message".into(),
         },
-        Request::Get { fingerprint } => match registry.get(fingerprint) {
-            Ok(snapshot) => return proto::encode_snapshot_reply(fingerprint, snapshot.as_deref()),
+        Request::Get { fingerprint } => match registry.get_image(fingerprint) {
+            // Zero-copy: the registry's cached image bytes go straight
+            // into the reply frame; only the tag/present prefix is new.
+            Ok(image) => {
+                return Ok(proto::encode_snapshot_reply_image(
+                    fingerprint,
+                    image.as_deref(),
+                ))
+            }
             Err(e) => error_reply(e),
         },
         Request::Publish {
@@ -249,6 +257,7 @@ fn answer_payload(
                 new_files: outcome.new_files,
                 refreshed: outcome.refreshed,
                 skipped: outcome.skipped,
+                unchanged: outcome.unchanged,
             },
             Err(e) => error_reply(e),
         },

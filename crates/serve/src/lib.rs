@@ -34,10 +34,24 @@
 //!   ([`EntryStats::resident_hits`]: how much *observed* reuse the
 //!   resident state represents) and registry-wide aggregates
 //!   ([`RegistryStats`]);
+//! * **zero-copy image serving** — [`SnapshotRegistry::get_image`]
+//!   returns the serialized snapshot file image from a per-entry cache
+//!   (`Arc<[u8]>` built once, invalidated whenever publish/refresh
+//!   replaces the resident state), so the daemon's `Get` hot path and
+//!   in-process byte fetches never re-serialize nor hold a shard lock
+//!   through serialization; hit/build/invalidation counters ride in
+//!   [`EntryStats`] and [`RegistryStats`];
+//! * **incremental spills** — [`SnapshotRegistry::spill`] persists a
+//!   resident entry as an append-only **delta segment** next to its
+//!   base file (only PC groups that changed since the last spill, plus
+//!   tombstones), compacting base + deltas into a fresh base once
+//!   [`RegistryConfig::compact_threshold`] deltas accumulate;
 //! * **background refresh** — [`SnapshotRegistry::refresh`] rescans the
-//!   snapshot directory for files that appeared after `open`, indexing
-//!   them and folding them into resident entries; [`RefreshTicker`]
-//!   runs that on an interval in the background;
+//!   snapshot directory for files that appeared (or changed) after
+//!   `open`, indexing them and folding them into resident entries,
+//!   skipping files whose (mtime, length) stamp is unchanged since the
+//!   last scan; [`RefreshTicker`] runs that on an interval in the
+//!   background;
 //! * **cross-process serving** — the [`daemon`] module is `tlrd`: a
 //!   blocking, thread-per-connection server exposing the registry over
 //!   a Unix-domain socket with the framed, checksummed, versioned
@@ -64,6 +78,6 @@ pub use daemon::{Daemon, DaemonHandle, RefreshTicker};
 pub use proto::{ErrorCode, ProtoError, PROTOCOL_VERSION};
 pub use registry::{
     EntryStats, RefreshOutcome, RegistryConfig, RegistryStats, ServeError, SnapshotRegistry,
-    SNAPSHOT_FILE_EXT,
+    SpillKind, SpillOutcome, SNAPSHOT_FILE_EXT,
 };
 pub use remote::RemoteRegistry;

@@ -43,8 +43,10 @@ use tlr_util::fxhash::FxHasher64;
 /// Magic the Hello request opens with, rejecting non-`tlrd` peers.
 pub const PROTOCOL_MAGIC: [u8; 4] = *b"TLRD";
 
-/// The protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// The protocol version this build speaks. Version 2 widened the
+/// `StatsOk` reply to nine counters (image-cache hits/builds/
+/// invalidations) and `RefreshOk` to four (stamp-unchanged files).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Cap on one message payload (64 MiB): larger than any snapshot the
 /// persist layer's geometry bounds admit, small enough that a corrupt
@@ -67,9 +69,10 @@ pub const TAG_HELLO_OK: u8 = 0x81;
 pub const TAG_SNAPSHOT: u8 = 0x82;
 /// Reply tag: PublishOk (empty body).
 pub const TAG_PUBLISH_OK: u8 = 0x83;
-/// Reply tag: Stats (six u64 registry counters).
+/// Reply tag: Stats (nine u64 registry counters).
 pub const TAG_STATS_OK: u8 = 0x84;
-/// Reply tag: RefreshOk (u64 new files + u64 refreshed + u64 skipped).
+/// Reply tag: RefreshOk (u64 new files + u64 refreshed + u64 skipped +
+/// u64 unchanged).
 pub const TAG_REFRESH_OK: u8 = 0x85;
 /// Reply tag: Error (u16 code + UTF-8 message).
 pub const TAG_ERROR: u8 = 0xff;
@@ -265,10 +268,13 @@ pub enum Reply {
     RefreshOk {
         /// Snapshot files discovered and indexed.
         new_files: u64,
-        /// Resident entries that absorbed new files.
+        /// Resident entries that absorbed new or changed files.
         refreshed: u64,
         /// Files skipped as unreadable/mid-write.
         skipped: u64,
+        /// Known files skipped because their (mtime, length) stamp
+        /// matched the previous scan.
+        unchanged: u64,
     },
     /// The request failed; the session stays open unless the failure
     /// was a framing error.
@@ -449,6 +455,28 @@ pub fn encode_snapshot_reply(
     Ok(out)
 }
 
+/// Encode a [`Reply::Snapshot`] payload from an already-serialized
+/// snapshot file image — the zero-copy `Get` path: the daemon serves
+/// the registry's cached image bytes without touching the snapshot
+/// structure at all. `image` must be a complete snapshot file image
+/// (as [`SnapshotRegistry::get_image`](crate::SnapshotRegistry::get_image)
+/// returns); only the 2-byte tag/present prefix is prepended.
+pub fn encode_snapshot_reply_image(fingerprint: u64, image: Option<&[u8]>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + image.map_or(8, <[u8]>::len));
+    wire::put_u8(&mut out, TAG_SNAPSHOT);
+    match image {
+        Some(image) => {
+            wire::put_u8(&mut out, 1);
+            out.extend_from_slice(image);
+        }
+        None => {
+            wire::put_u8(&mut out, 0);
+            wire::put_u64(&mut out, fingerprint);
+        }
+    }
+    out
+}
+
 /// Encode a reply into a frame payload.
 pub fn encode_reply(reply: &Reply) -> Result<Vec<u8>, ProtoError> {
     let mut out = Vec::new();
@@ -472,6 +500,9 @@ pub fn encode_reply(reply: &Reply) -> Result<Vec<u8>, ProtoError> {
                 stats.refreshes,
                 stats.evicted,
                 stats.unknown,
+                stats.image_hits,
+                stats.image_builds,
+                stats.image_invalidations,
             ] {
                 wire::put_u64(&mut out, v);
             }
@@ -480,11 +511,13 @@ pub fn encode_reply(reply: &Reply) -> Result<Vec<u8>, ProtoError> {
             new_files,
             refreshed,
             skipped,
+            unchanged,
         } => {
             wire::put_u8(&mut out, TAG_REFRESH_OK);
             wire::put_u64(&mut out, *new_files);
             wire::put_u64(&mut out, *refreshed);
             wire::put_u64(&mut out, *skipped);
+            wire::put_u64(&mut out, *unchanged);
         }
         Reply::Error { code, message } => {
             wire::put_u8(&mut out, TAG_ERROR);
@@ -543,19 +576,22 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, ProtoError> {
                 refreshes: get()?,
                 evicted: get()?,
                 unknown: get()?,
+                image_hits: get()?,
+                image_builds: get()?,
+                image_invalidations: get()?,
             };
             expect_drained(slice, "Stats")?;
             Ok(Reply::Stats(stats))
         }
         TAG_REFRESH_OK => {
-            let new_files = wire::get_u64(&mut slice).map_err(|_| short("RefreshOk"))?;
-            let refreshed = wire::get_u64(&mut slice).map_err(|_| short("RefreshOk"))?;
-            let skipped = wire::get_u64(&mut slice).map_err(|_| short("RefreshOk"))?;
+            let mut get = || wire::get_u64(&mut slice).map_err(|_| short("RefreshOk"));
+            let (new_files, refreshed, skipped, unchanged) = (get()?, get()?, get()?, get()?);
             expect_drained(slice, "RefreshOk")?;
             Ok(Reply::RefreshOk {
                 new_files,
                 refreshed,
                 skipped,
+                unchanged,
             })
         }
         TAG_ERROR => {
@@ -665,11 +701,15 @@ mod tests {
                 refreshes: 4,
                 evicted: 5,
                 unknown: 6,
+                image_hits: 7,
+                image_builds: 8,
+                image_invalidations: 9,
             }),
             Reply::RefreshOk {
                 new_files: 2,
                 refreshed: 1,
                 skipped: 0,
+                unchanged: 3,
             },
             Reply::Error {
                 code: ErrorCode::Merge,

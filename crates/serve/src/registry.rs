@@ -12,12 +12,17 @@
 //! so a racing loader's result is reused instead of clobbered. The
 //! index lock and a shard lock are never held at the same time.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::SystemTime;
 use tlr_core::{ReplacementPolicy, ReuseTraceMemory, RtmSnapshot};
+use tlr_persist::snapshot::write_snapshot;
 use tlr_persist::{
-    load_merged_snapshots_tuned, load_snapshot, peek_snapshot_fingerprint, PersistError,
+    base_file_name, delta_file_name, delta_seq_from_path, diff_snapshots, group_digests,
+    load_merged_snapshots_tuned, load_snapshot_payload, peek_snapshot_fingerprint,
+    save_delta_segment, save_snapshot_with, PersistError, SnapshotPayload, SnapshotWriteOptions,
 };
 use tlr_util::{FxHashMap, FxHashSet};
 
@@ -43,6 +48,12 @@ pub struct RegistryConfig {
     /// `policy` is [`ReplacementPolicy::Lfu`]; the other policies
     /// ignore it. Defaults to [`tlr_core::LFU_HALF_LIFE`].
     pub lfu_half_life: u64,
+    /// Delta segments a fingerprint may accumulate before
+    /// [`spill`](SnapshotRegistry::spill) folds base + deltas into a
+    /// fresh base file (LSM level-0 style).
+    pub compact_threshold: usize,
+    /// Run-length compress spilled files (deltas and compacted bases).
+    pub compress_spills: bool,
 }
 
 impl Default for RegistryConfig {
@@ -52,6 +63,8 @@ impl Default for RegistryConfig {
             max_resident_per_shard: 64,
             policy: ReplacementPolicy::Lru,
             lfu_half_life: tlr_core::LFU_HALF_LIFE,
+            compact_threshold: 8,
+            compress_spills: true,
         }
     }
 }
@@ -72,6 +85,13 @@ pub struct EntryStats {
     /// hit counts — how much *observed* reuse the resident state
     /// represents, not just how many traces it holds (gauge).
     pub resident_hits: u64,
+    /// Image fetches answered from the cached serialized image.
+    pub image_hits: u64,
+    /// Serialized images built (first fetch after load/invalidation).
+    pub image_builds: u64,
+    /// Cached images dropped because the resident state changed
+    /// (publish/refresh merge).
+    pub image_invalidations: u64,
 }
 
 /// Registry-wide aggregates.
@@ -89,6 +109,12 @@ pub struct RegistryStats {
     pub evicted: u64,
     /// Fetches for fingerprints with no snapshot on disk.
     pub unknown: u64,
+    /// Sum of per-entry image-cache hits (evicted entries included).
+    pub image_hits: u64,
+    /// Sum of per-entry image builds (evicted entries included).
+    pub image_builds: u64,
+    /// Sum of per-entry image invalidations (evicted entries included).
+    pub image_invalidations: u64,
 }
 
 /// What one [`SnapshotRegistry::refresh`] pass did.
@@ -102,6 +128,45 @@ pub struct RefreshOutcome {
     /// pass (unreadable or mid-write); they are left unindexed and will
     /// be retried on the next refresh.
     pub skipped: u64,
+    /// Known files whose (mtime, length) stamp matched the last scan —
+    /// not re-read at all this pass.
+    pub unchanged: u64,
+}
+
+/// How [`SnapshotRegistry::spill`] persisted an entry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpillKind {
+    /// The program is not resident, or nothing changed since the last
+    /// spill — no bytes written.
+    #[default]
+    NoChange,
+    /// A full base file was written (the entry had no durable state to
+    /// diff against).
+    Base,
+    /// A delta segment holding only changed PC groups was appended next
+    /// to the base.
+    Delta,
+    /// Accumulated deltas crossed
+    /// [`RegistryConfig::compact_threshold`] and were folded into a
+    /// fresh base; the superseded files were deleted.
+    Compacted,
+}
+
+/// What one [`SnapshotRegistry::spill`] call wrote.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpillOutcome {
+    /// The kind of write performed.
+    pub kind: SpillKind,
+    /// Bytes this spill put on disk (0 for [`SpillKind::NoChange`]).
+    pub bytes_written: u64,
+    /// Changed PC groups a delta spill carried.
+    pub delta_groups: u64,
+    /// Emptied PC groups a delta spill tombstoned.
+    pub tombstones: u64,
+    /// Superseded files a compaction deleted.
+    pub removed_files: u64,
+    /// The file written, if any.
+    pub path: Option<PathBuf>,
 }
 
 /// Why the registry could not serve.
@@ -154,6 +219,22 @@ impl From<tlr_core::MergeError> for ServeError {
     }
 }
 
+/// Durable-state bookkeeping for incremental spills: what of this
+/// entry is already on disk, and under which delta sequence the next
+/// spill continues.
+#[derive(Clone, Debug)]
+struct SpillState {
+    /// Per-PC-group digests of the state already durable on disk; the
+    /// next spill diffs the resident snapshot against these.
+    groups: BTreeMap<u32, u64>,
+    /// Sequence number the next delta segment will carry.
+    next_seq: u64,
+    /// Delta files this registry has spilled (or loaded) for the
+    /// fingerprint — when they reach the compaction threshold the next
+    /// spill folds everything into a fresh base.
+    delta_files: Vec<PathBuf>,
+}
+
 /// One resident program: its warm RTM, the export handed to engines,
 /// and behaviour counters.
 struct Entry {
@@ -162,9 +243,30 @@ struct Entry {
     /// Cached export of `rtm`, shared with engines cheaply. Rebuilt on
     /// refresh.
     snap: Arc<RtmSnapshot>,
+    /// Cached serialized snapshot file image of `snap`, built lazily by
+    /// [`SnapshotRegistry::get_image`] and dropped whenever `snap` is
+    /// replaced.
+    image: Option<Arc<[u8]>>,
+    /// Bumped whenever `snap` is replaced, so an image serialized
+    /// outside the shard lock is cached only if the state it encoded
+    /// still stands.
+    generation: u64,
+    /// `None` until the entry's state has a durable representation to
+    /// diff against (publish-born entries before their first spill).
+    spill: Option<SpillState>,
     stats: EntryStats,
     /// Fetch-recency stamp for the shard's LRU bound.
     last_touch: u64,
+}
+
+impl Entry {
+    /// Drop the cached image because `snap` was replaced.
+    fn invalidate_image(&mut self) {
+        self.generation += 1;
+        if self.image.take().is_some() {
+            self.stats.image_invalidations += 1;
+        }
+    }
 }
 
 #[derive(Default)]
@@ -198,11 +300,25 @@ impl Shard {
                 self.retired.hits += e.stats.hits;
                 self.retired.misses += e.stats.misses;
                 self.retired.refreshes += e.stats.refreshes;
+                self.retired.image_hits += e.stats.image_hits;
+                self.retired.image_builds += e.stats.image_builds;
+                self.retired.image_invalidations += e.stats.image_invalidations;
             }
             evicted += 1;
         }
         evicted
     }
+}
+
+/// The (mtime, length) identity a refresh scan uses to tell whether a
+/// known file changed without re-reading it.
+type FileStamp = (SystemTime, u64);
+
+/// Stat `path` into a [`FileStamp`]; `None` when the file vanished or
+/// the filesystem reports no mtime (treated as "changed").
+fn file_stamp(path: &Path) -> Option<FileStamp> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some((meta.modified().ok()?, meta.len()))
 }
 
 /// The fingerprint → snapshot-file index, extended by refresh passes.
@@ -214,14 +330,38 @@ struct Index {
     /// Every path indexed so far, so a refresh scan can cheaply tell
     /// new files from known ones.
     files: FxHashSet<PathBuf>,
+    /// Last-seen (mtime, length) per indexed path, so refresh skips
+    /// files that have not changed since the previous scan.
+    stamps: FxHashMap<PathBuf, FileStamp>,
 }
 
 impl Index {
+    /// Index `path` under `fingerprint` (idempotent) and record its
+    /// current stamp.
     fn add(&mut self, fingerprint: u64, path: PathBuf) {
         let paths = self.by_fingerprint.entry(fingerprint).or_default();
-        paths.push(path.clone());
-        paths.sort();
+        if !paths.contains(&path) {
+            paths.push(path.clone());
+            paths.sort();
+        }
+        if let Some(stamp) = file_stamp(&path) {
+            self.stamps.insert(path.clone(), stamp);
+        } else {
+            self.stamps.remove(&path);
+        }
         self.files.insert(path);
+    }
+
+    /// Drop `path` from the index (compaction deleted it).
+    fn forget(&mut self, fingerprint: u64, path: &Path) {
+        if let Some(paths) = self.by_fingerprint.get_mut(&fingerprint) {
+            paths.retain(|p| p != path);
+            if paths.is_empty() {
+                self.by_fingerprint.remove(&fingerprint);
+            }
+        }
+        self.files.remove(path);
+        self.stamps.remove(path);
     }
 }
 
@@ -309,12 +449,17 @@ impl SnapshotRegistry {
             .unwrap_or_default()
     }
 
-    /// Rescan the snapshot directory for files that appeared after
-    /// [`open`](SnapshotRegistry::open) (or the last refresh): new
-    /// files are validated, indexed, and any whose program is currently
-    /// *resident* are merged into the resident entry immediately — so a
-    /// long-lived registry (or a `tlrd` daemon) picks up snapshots
-    /// other processes drop into the directory without a restart.
+    /// Rescan the snapshot directory for files that appeared (or
+    /// changed) after [`open`](SnapshotRegistry::open) or the last
+    /// refresh: new and changed files are validated, indexed, and any
+    /// whose program is currently *resident* are merged into the
+    /// resident entry immediately — so a long-lived registry (or a
+    /// `tlrd` daemon) picks up snapshots other processes drop into the
+    /// directory without a restart. Known files whose (mtime, length)
+    /// stamp matches the previous scan are counted as `unchanged` and
+    /// not re-read at all. Delta segments contribute their changed
+    /// groups (an absorb merge can only add state; tombstones matter
+    /// only to the merge-on-load path).
     ///
     /// Ordering is deliberate, per file: a new file is **fully loaded
     /// and validated before it is indexed**, so an unreadable,
@@ -328,40 +473,76 @@ impl SnapshotRegistry {
     pub fn refresh(&self) -> Result<RefreshOutcome, ServeError> {
         let _pass = self.refresh_serial.lock().unwrap();
         let on_disk = scan_snapshot_files(&self.dir)?;
-        let unknown: Vec<PathBuf> = {
-            let index = self.index.read().unwrap();
-            on_disk
-                .into_iter()
-                .filter(|p| !index.files.contains(p))
-                .collect()
-        };
         let mut outcome = RefreshOutcome::default();
-        if unknown.is_empty() {
+        // Partition the scan against the index: unseen paths, known
+        // paths whose stamp moved, and stamp-stable paths (skipped
+        // without a read).
+        let (new_paths, changed_paths) = {
+            let index = self.index.read().unwrap();
+            let mut new_paths = Vec::new();
+            let mut changed_paths = Vec::new();
+            for path in on_disk {
+                if !index.files.contains(&path) {
+                    new_paths.push(path);
+                } else if file_stamp(&path)
+                    .is_some_and(|fresh| index.stamps.get(&path) == Some(&fresh))
+                {
+                    outcome.unchanged += 1;
+                } else {
+                    changed_paths.push(path);
+                }
+            }
+            (new_paths, changed_paths)
+        };
+        if new_paths.is_empty() && changed_paths.is_empty() {
             return Ok(outcome);
         }
         // Validation loads happen outside every lock: disk latency must
         // not stall index readers or the shards.
-        let mut discovered: FxHashMap<u64, Vec<(PathBuf, RtmSnapshot)>> = FxHashMap::default();
-        for path in unknown {
-            match load_snapshot(&path, None) {
-                Ok((fingerprint, snapshot)) => discovered
+        let mut discovered: FxHashMap<u64, Vec<(PathBuf, RtmSnapshot, bool)>> =
+            FxHashMap::default();
+        for (path, known) in new_paths
+            .into_iter()
+            .map(|p| (p, false))
+            .chain(changed_paths.into_iter().map(|p| (p, true)))
+        {
+            match load_snapshot_payload(&path, None) {
+                Ok((fingerprint, SnapshotPayload::Full(snapshot))) => discovered
                     .entry(fingerprint)
                     .or_default()
-                    .push((path, snapshot)),
+                    .push((path, snapshot, known)),
+                Ok((fingerprint, SnapshotPayload::Delta(delta))) => {
+                    let partial = RtmSnapshot {
+                        config: delta.config,
+                        traces: delta.traces,
+                        meta: delta.meta,
+                    };
+                    discovered
+                        .entry(fingerprint)
+                        .or_default()
+                        .push((path, partial, known));
+                }
                 Err(_) => outcome.skipped += 1,
             }
         }
-        // Per fingerprint: pool the new files, fold them into the
-        // resident entry if there is one, then (and only then) index.
-        // A failure affects its own fingerprint only; the first one is
-        // reported after every other fingerprint has been processed.
+        // Per fingerprint: pool the new state, fold it into the
+        // resident entry if there is one, then (and only then) index
+        // and stamp — a load error leaves a changed file's old stamp in
+        // place so it is retried. A failure affects its own fingerprint
+        // only; the first one is reported after every other fingerprint
+        // has been processed.
         let mut first_err: Option<ServeError> = None;
         for (fingerprint, entries) in discovered {
-            let (paths, snapshots): (Vec<PathBuf>, Vec<RtmSnapshot>) = entries.into_iter().unzip();
+            let mut paths_known = Vec::with_capacity(entries.len());
+            let mut snapshots = Vec::with_capacity(entries.len());
+            for (path, snapshot, known) in entries {
+                paths_known.push((path, known));
+                snapshots.push(snapshot);
+            }
             let pooled = match self.pool(&snapshots) {
                 Ok(pooled) => pooled,
                 Err(e) => {
-                    outcome.skipped += paths.len() as u64;
+                    outcome.skipped += paths_known.len() as u64;
                     first_err.get_or_insert(e.into());
                     continue;
                 }
@@ -370,15 +551,17 @@ impl SnapshotRegistry {
                 Ok(true) => outcome.refreshed += 1,
                 Ok(false) => {}
                 Err(e) => {
-                    outcome.skipped += paths.len() as u64;
+                    outcome.skipped += paths_known.len() as u64;
                     first_err.get_or_insert(e);
                     continue;
                 }
             }
             let mut index = self.index.write().unwrap();
-            for path in paths {
+            for (path, known) in paths_known {
                 index.add(fingerprint, path);
-                outcome.new_files += 1;
+                if !known {
+                    outcome.new_files += 1;
+                }
             }
         }
         match first_err {
@@ -445,6 +628,22 @@ impl SnapshotRegistry {
             self.config.policy,
             self.config.lfu_half_life,
         )?;
+        // The loaded state *is* the durable state: seed the spill
+        // bookkeeping from it so the first publish-back spills a delta
+        // against these files instead of a full rewrite.
+        let spill = SpillState {
+            groups: group_digests(&merged)?,
+            next_seq: paths
+                .iter()
+                .filter_map(|p| delta_seq_from_path(p))
+                .max()
+                .map_or(1, |s| s + 1),
+            delta_files: paths
+                .iter()
+                .filter(|p| delta_seq_from_path(p).is_some())
+                .cloned()
+                .collect(),
+        };
         let loaded = Entry {
             rtm: self.import(&merged),
             stats: EntryStats {
@@ -454,6 +653,9 @@ impl SnapshotRegistry {
                 ..EntryStats::default()
             },
             snap: Arc::new(merged),
+            image: None,
+            generation: 0,
+            spill: Some(spill),
             last_touch: 0,
         };
         let mut shard = self.shard_of(fingerprint).lock().unwrap();
@@ -480,6 +682,236 @@ impl SnapshotRegistry {
         Ok(Some(snap))
     }
 
+    /// The serialized snapshot file image for `fingerprint` — the exact
+    /// bytes [`tlr_persist::save_snapshot`] would write, and what the
+    /// `tlrd` `Snapshot` reply embeds — from a per-entry cache, so
+    /// repeated fetches share one immutable buffer instead of
+    /// re-serializing the resident state per call. The image is built
+    /// at most once per resident state: publish/refresh merges
+    /// invalidate it (and bump the entry generation, so an image
+    /// serialized outside the lock is never cached over newer state).
+    /// `Ok(None)` mirrors [`get`](SnapshotRegistry::get).
+    pub fn get_image(&self, fingerprint: u64) -> Result<Option<Arc<[u8]>>, ServeError> {
+        let mut counted = false;
+        loop {
+            let staged = {
+                let mut shard = self.shard_of(fingerprint).lock().unwrap();
+                match shard.touch(fingerprint) {
+                    Some(entry) => {
+                        if !counted {
+                            entry.stats.hits += 1;
+                            counted = true;
+                        }
+                        if let Some(image) = &entry.image {
+                            entry.stats.image_hits += 1;
+                            return Ok(Some(Arc::clone(image)));
+                        }
+                        Some((Arc::clone(&entry.snap), entry.generation))
+                    }
+                    None => None,
+                }
+            };
+            let Some((snap, generation)) = staged else {
+                // Not resident: run the ordinary load-or-unknown path
+                // (which does its own hit/miss accounting), then retry
+                // the image build against the now-resident entry.
+                if self.get(fingerprint)?.is_none() {
+                    return Ok(None);
+                }
+                counted = true;
+                continue;
+            };
+            // Serialize outside the shard lock — a large snapshot must
+            // not stall other fetches on this shard.
+            let mut bytes = Vec::with_capacity(64 + snap.len() * 64);
+            write_snapshot(&mut bytes, fingerprint, &snap)?;
+            let image: Arc<[u8]> = bytes.into();
+            let mut shard = self.shard_of(fingerprint).lock().unwrap();
+            match shard.entries.get_mut(&fingerprint) {
+                Some(entry) if entry.generation == generation => {
+                    entry.image = Some(Arc::clone(&image));
+                    entry.stats.image_builds += 1;
+                    return Ok(Some(image));
+                }
+                // The state moved while we serialized; rebuild.
+                Some(_) => continue,
+                // Evicted while we serialized: the bytes are still the
+                // right answer, just not cacheable.
+                None => return Ok(Some(image)),
+            }
+        }
+    }
+
+    /// Persist the resident entry for `fingerprint` incrementally:
+    /// the first spill of a publish-born entry writes a full base
+    /// file; later spills diff the resident state against the
+    /// per-group digests of what is already durable and append a
+    /// delta segment carrying only changed groups (plus tombstones
+    /// for emptied ones). Once
+    /// [`RegistryConfig::compact_threshold`] deltas accumulate, the
+    /// next spill folds everything into a fresh base and deletes the
+    /// superseded files (LSM level-0 style). An entry loaded from
+    /// disk seeds its digests from the loaded state, so its first
+    /// spill is already a delta. No-ops (with
+    /// [`SpillKind::NoChange`]) when the program is not resident or
+    /// nothing changed.
+    ///
+    /// Spills serialize against [`refresh`](SnapshotRegistry::refresh)
+    /// passes, so a spilled file is always indexed and stamped before a
+    /// scan can see it — the registry never re-absorbs its own spill.
+    pub fn spill(&self, fingerprint: u64) -> Result<SpillOutcome, ServeError> {
+        let _pass = self.refresh_serial.lock().unwrap();
+        let (snap, spill_state) = {
+            let mut shard = self.shard_of(fingerprint).lock().unwrap();
+            let Some(entry) = shard.entries.get_mut(&fingerprint) else {
+                return Ok(SpillOutcome::default());
+            };
+            (Arc::clone(&entry.snap), entry.spill.clone())
+        };
+        let groups = group_digests(&snap)?;
+        let options = SnapshotWriteOptions {
+            compress: self.config.compress_spills,
+        };
+        let Some(state) = spill_state else {
+            // First durable representation: a full base file.
+            let path = self.dir.join(base_file_name(fingerprint));
+            let bytes = self.write_base(&path, fingerprint, &snap, options)?;
+            {
+                let mut index = self.index.write().unwrap();
+                index.add(fingerprint, path.clone());
+            }
+            self.set_spill_state(
+                fingerprint,
+                SpillState {
+                    groups,
+                    next_seq: 1,
+                    delta_files: Vec::new(),
+                },
+            );
+            return Ok(SpillOutcome {
+                kind: SpillKind::Base,
+                bytes_written: bytes,
+                path: Some(path),
+                ..SpillOutcome::default()
+            });
+        };
+        let delta = diff_snapshots(&state.groups, &snap, state.next_seq)?;
+        if delta.is_empty() {
+            return Ok(SpillOutcome::default());
+        }
+        if state.delta_files.len() + 1 >= self.config.compact_threshold.max(1) {
+            return self.compact_resident(fingerprint, &snap, groups, options);
+        }
+        let path = self.dir.join(delta_file_name(fingerprint, state.next_seq));
+        let delta_groups = delta
+            .traces
+            .iter()
+            .map(|t| t.start_pc)
+            .collect::<std::collections::BTreeSet<u32>>()
+            .len() as u64;
+        let tombstones = delta.tombstones.len() as u64;
+        let tmp = path.with_extension("tmp");
+        save_delta_segment(&tmp, fingerprint, &delta, options.compress)?;
+        std::fs::rename(&tmp, &path).map_err(PersistError::from)?;
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        {
+            let mut index = self.index.write().unwrap();
+            index.add(fingerprint, path.clone());
+        }
+        let mut delta_files = state.delta_files;
+        delta_files.push(path.clone());
+        self.set_spill_state(
+            fingerprint,
+            SpillState {
+                groups,
+                next_seq: state.next_seq + 1,
+                delta_files,
+            },
+        );
+        Ok(SpillOutcome {
+            kind: SpillKind::Delta,
+            bytes_written: bytes,
+            delta_groups,
+            tombstones,
+            path: Some(path),
+            ..SpillOutcome::default()
+        })
+    }
+
+    /// Write a full base file via a temp-and-rename so a concurrent
+    /// reader never sees a half-written snapshot. Returns bytes
+    /// written.
+    fn write_base(
+        &self,
+        path: &Path,
+        fingerprint: u64,
+        snap: &RtmSnapshot,
+        options: SnapshotWriteOptions,
+    ) -> Result<u64, ServeError> {
+        let tmp = path.with_extension("tmp");
+        save_snapshot_with(&tmp, fingerprint, snap, options)?;
+        std::fs::rename(&tmp, path).map_err(PersistError::from)?;
+        Ok(std::fs::metadata(path).map(|m| m.len()).unwrap_or(0))
+    }
+
+    /// Fold the resident state into a fresh base file and delete every
+    /// superseded file for `fingerprint`. Caller holds `refresh_serial`.
+    fn compact_resident(
+        &self,
+        fingerprint: u64,
+        snap: &RtmSnapshot,
+        groups: BTreeMap<u32, u64>,
+        options: SnapshotWriteOptions,
+    ) -> Result<SpillOutcome, ServeError> {
+        let base = self.dir.join(base_file_name(fingerprint));
+        let old_paths: Vec<PathBuf> = self
+            .paths(fingerprint)
+            .into_iter()
+            .filter(|p| *p != base)
+            .collect();
+        let bytes = self.write_base(&base, fingerprint, snap, options)?;
+        {
+            let mut index = self.index.write().unwrap();
+            for path in &old_paths {
+                index.forget(fingerprint, path);
+            }
+            index.add(fingerprint, base.clone());
+        }
+        // Unindexed first, deleted second: a racing fetch can no longer
+        // pick up a path that is about to vanish.
+        let mut removed = 0;
+        for path in &old_paths {
+            if std::fs::remove_file(path).is_ok() {
+                removed += 1;
+            }
+        }
+        self.set_spill_state(
+            fingerprint,
+            SpillState {
+                groups,
+                next_seq: 1,
+                delta_files: Vec::new(),
+            },
+        );
+        Ok(SpillOutcome {
+            kind: SpillKind::Compacted,
+            bytes_written: bytes,
+            removed_files: removed,
+            path: Some(base),
+            ..SpillOutcome::default()
+        })
+    }
+
+    /// Replace the spill bookkeeping for `fingerprint`, if it is still
+    /// resident (a concurrent eviction simply drops the state — the
+    /// next load reseeds it from disk, which now includes the spill).
+    fn set_spill_state(&self, fingerprint: u64, state: SpillState) {
+        let mut shard = self.shard_of(fingerprint).lock().unwrap();
+        if let Some(entry) = shard.entries.get_mut(&fingerprint) {
+            entry.spill = Some(state);
+        }
+    }
+
     /// Merge `snapshot` into an already-locked resident `entry` under
     /// the registry policy, refreshing its cached export and gauges.
     fn merge_into_entry(
@@ -503,6 +935,7 @@ impl SnapshotRegistry {
         entry.stats.resident_traces = merged.len() as u64;
         entry.stats.resident_hits = merged.total_hits();
         entry.snap = Arc::new(merged);
+        entry.invalidate_image();
         entry.stats.refreshes += 1;
         Ok(())
     }
@@ -541,6 +974,11 @@ impl SnapshotRegistry {
             Entry {
                 rtm: self.import(snapshot),
                 snap: Arc::new(snapshot.clone()),
+                image: None,
+                generation: 0,
+                // No durable representation yet: the first spill writes
+                // a full base file.
+                spill: None,
                 stats: EntryStats {
                     refreshes: 1,
                     resident_traces: snapshot.len() as u64,
@@ -579,10 +1017,16 @@ impl SnapshotRegistry {
             stats.hits += shard.retired.hits;
             stats.misses += shard.retired.misses;
             stats.refreshes += shard.retired.refreshes;
+            stats.image_hits += shard.retired.image_hits;
+            stats.image_builds += shard.retired.image_builds;
+            stats.image_invalidations += shard.retired.image_invalidations;
             for entry in shard.entries.values() {
                 stats.hits += entry.stats.hits;
                 stats.misses += entry.stats.misses;
                 stats.refreshes += entry.stats.refreshes;
+                stats.image_hits += entry.stats.image_hits;
+                stats.image_builds += entry.stats.image_builds;
+                stats.image_invalidations += entry.stats.image_invalidations;
             }
         }
         stats
@@ -851,7 +1295,15 @@ mod tests {
         let dir = temp_dir("refresh");
         save_snapshot(&dir.join("p1.tlrsnap"), 1, &snapshot_of(&[rec(8, 1)])).unwrap();
         let registry = SnapshotRegistry::open(&dir, RegistryConfig::default()).unwrap();
-        assert_eq!(registry.refresh().unwrap(), RefreshOutcome::default());
+        // Nothing new: the known file's stamp matches, so it is counted
+        // as unchanged and never re-read.
+        assert_eq!(
+            registry.refresh().unwrap(),
+            RefreshOutcome {
+                unchanged: 1,
+                ..RefreshOutcome::default()
+            }
+        );
 
         // Program 1 becomes resident; program 2 is never fetched.
         assert_eq!(registry.get(1).unwrap().unwrap().len(), 1);
@@ -867,6 +1319,7 @@ mod tests {
         assert_eq!(outcome.new_files, 2);
         assert_eq!(outcome.refreshed, 1, "resident entry not refreshed");
         assert_eq!(outcome.skipped, 1, "mid-write file not skipped");
+        assert_eq!(outcome.unchanged, 1, "stamp-stable file re-read");
 
         // The resident entry absorbed the new file without a re-fetch.
         let stats = registry.entry_stats(1).unwrap();
@@ -879,10 +1332,158 @@ mod tests {
         assert_eq!(registry.get(2).unwrap().unwrap().len(), 1);
 
         // A second pass with nothing new (the junk file is retried and
-        // skipped again, still not indexed).
+        // skipped again, still not indexed; every indexed file is
+        // stamp-stable).
         let outcome = registry.refresh().unwrap();
         assert_eq!((outcome.new_files, outcome.refreshed), (0, 0));
         assert_eq!(outcome.skipped, 1);
+        assert_eq!(outcome.unchanged, 3);
+    }
+
+    #[test]
+    fn refresh_reabsorbs_changed_files() {
+        let dir = temp_dir("refresh-changed");
+        let path = dir.join("p1.tlrsnap");
+        save_snapshot(&path, 1, &snapshot_of(&[rec(8, 1)])).unwrap();
+        let registry = SnapshotRegistry::open(&dir, RegistryConfig::default()).unwrap();
+        assert_eq!(registry.get(1).unwrap().unwrap().len(), 1);
+
+        // Another process rewrites the file with more state (the length
+        // changes, so the stamp moves even on coarse-mtime systems).
+        save_snapshot(&path, 1, &snapshot_of(&[rec(8, 1), rec(40, 2)])).unwrap();
+        let outcome = registry.refresh().unwrap();
+        assert_eq!(outcome.refreshed, 1, "changed file not re-absorbed");
+        assert_eq!(outcome.new_files, 0, "changed file is not new");
+        assert_eq!(registry.get(1).unwrap().unwrap().len(), 2);
+
+        // The rewritten stamp was recorded: the next pass skips it.
+        let outcome = registry.refresh().unwrap();
+        assert_eq!(outcome.refreshed, 0);
+        assert_eq!(outcome.unchanged, 1);
+    }
+
+    #[test]
+    fn image_cache_serves_built_bytes_until_invalidated() {
+        let dir = temp_dir("image-cache");
+        save_snapshot(&dir.join("p.tlrsnap"), 6, &snapshot_of(&[rec(8, 1)])).unwrap();
+        let registry = SnapshotRegistry::open(&dir, RegistryConfig::default()).unwrap();
+
+        // First image fetch loads (miss) and builds; the bytes are a
+        // complete snapshot file image.
+        let first = registry.get_image(6).unwrap().expect("image");
+        let (fp, decoded) = tlr_persist::snapshot::read_snapshot(&mut &first[..], Some(6)).unwrap();
+        assert_eq!(fp, 6);
+        assert_eq!(decoded.len(), 1);
+        let stats = registry.entry_stats(6).unwrap();
+        assert_eq!((stats.image_builds, stats.image_hits), (1, 0));
+        assert_eq!((stats.misses, stats.hits), (1, 0));
+
+        // Second fetch is the zero-copy path: same buffer, no rebuild.
+        let second = registry.get_image(6).unwrap().unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "image not served from cache");
+        let stats = registry.entry_stats(6).unwrap();
+        assert_eq!((stats.image_builds, stats.image_hits), (1, 1));
+
+        // Publish invalidates: the next image is rebuilt over the
+        // merged state.
+        registry.publish(6, &snapshot_of(&[rec(40, 2)])).unwrap();
+        let stats = registry.entry_stats(6).unwrap();
+        assert_eq!(stats.image_invalidations, 1);
+        let third = registry.get_image(6).unwrap().unwrap();
+        assert!(!Arc::ptr_eq(&first, &third), "stale image after publish");
+        let (_, decoded) = tlr_persist::snapshot::read_snapshot(&mut &third[..], Some(6)).unwrap();
+        assert_eq!(decoded.len(), 2);
+        let stats = registry.entry_stats(6).unwrap();
+        assert_eq!(stats.image_builds, 2);
+
+        // Unknown programs mirror `get`.
+        assert!(registry.get_image(999).unwrap().is_none());
+
+        // Registry-wide aggregates carry the image counters.
+        let totals = registry.stats();
+        assert_eq!(totals.image_builds, 2);
+        assert_eq!(totals.image_hits, 1);
+        assert_eq!(totals.image_invalidations, 1);
+    }
+
+    #[test]
+    fn spill_writes_base_then_deltas_then_compacts() {
+        let dir = temp_dir("spill");
+        let registry = SnapshotRegistry::open(
+            &dir,
+            RegistryConfig {
+                compact_threshold: 3,
+                ..RegistryConfig::default()
+            },
+        )
+        .unwrap();
+
+        // Not resident: nothing to spill.
+        assert_eq!(registry.spill(11).unwrap().kind, SpillKind::NoChange);
+
+        // A publish-born entry's first spill is a full base.
+        registry.publish(11, &snapshot_of(&[rec(8, 1)])).unwrap();
+        let outcome = registry.spill(11).unwrap();
+        assert_eq!(outcome.kind, SpillKind::Base);
+        assert!(dir.join(base_file_name(11)).is_file());
+
+        // No change since the base: nothing written.
+        assert_eq!(registry.spill(11).unwrap().kind, SpillKind::NoChange);
+
+        // New state spills an incremental delta, much smaller than the
+        // base rewrite would be.
+        registry.publish(11, &snapshot_of(&[rec(40, 2)])).unwrap();
+        let outcome = registry.spill(11).unwrap();
+        assert_eq!(outcome.kind, SpillKind::Delta);
+        assert_eq!(outcome.delta_groups, 1);
+        let delta_path = dir.join(delta_file_name(11, 1));
+        assert!(delta_path.is_file());
+
+        // Second delta (seq 2).
+        registry.publish(11, &snapshot_of(&[rec(72, 3)])).unwrap();
+        assert_eq!(registry.spill(11).unwrap().kind, SpillKind::Delta);
+
+        // Third change crosses compact_threshold = 3: everything folds
+        // into a fresh base and the deltas are deleted.
+        registry.publish(11, &snapshot_of(&[rec(104, 4)])).unwrap();
+        let outcome = registry.spill(11).unwrap();
+        assert_eq!(outcome.kind, SpillKind::Compacted);
+        assert_eq!(outcome.removed_files, 2);
+        assert!(!delta_path.exists(), "compaction left a delta behind");
+        assert_eq!(registry.paths(11), vec![dir.join(base_file_name(11))]);
+
+        // A cold registry over the same directory reconstructs the full
+        // state from the compacted base.
+        let cold = SnapshotRegistry::open(&dir, RegistryConfig::default()).unwrap();
+        assert_eq!(cold.get(11).unwrap().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn disk_loaded_entry_spills_delta_against_loaded_state() {
+        let dir = temp_dir("spill-seeded");
+        save_snapshot(&dir.join("p.tlrsnap"), 12, &snapshot_of(&[rec(8, 1)])).unwrap();
+        let registry = SnapshotRegistry::open(&dir, RegistryConfig::default()).unwrap();
+        assert_eq!(registry.get(12).unwrap().unwrap().len(), 1);
+
+        // Nothing beyond the on-disk state: no write at all.
+        assert_eq!(registry.spill(12).unwrap().kind, SpillKind::NoChange);
+
+        // Publish new state: the spill is a delta next to the existing
+        // file, not a full rewrite.
+        registry.publish(12, &snapshot_of(&[rec(40, 2)])).unwrap();
+        let outcome = registry.spill(12).unwrap();
+        assert_eq!(outcome.kind, SpillKind::Delta);
+
+        // The spilled delta is already indexed and stamped: a refresh
+        // pass does not re-absorb it.
+        let outcome = registry.refresh().unwrap();
+        assert_eq!(outcome.new_files, 0);
+        assert_eq!(outcome.refreshed, 0);
+        assert_eq!(outcome.unchanged, 2);
+
+        // A cold registry merges base + delta back to the full state.
+        let cold = SnapshotRegistry::open(&dir, RegistryConfig::default()).unwrap();
+        assert_eq!(cold.get(12).unwrap().unwrap().len(), 2);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! [`ServeError::Proto`].
 
 use crate::proto::{self, ProtoError, Reply, Request, PROTOCOL_VERSION};
-use crate::registry::{RegistryStats, ServeError};
+use crate::registry::{RefreshOutcome, RegistryStats, ServeError};
 use std::io::BufReader;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
@@ -144,16 +144,21 @@ impl RemoteRegistry {
     }
 
     /// Ask the daemon to rescan its snapshot directory now, as
-    /// [`SnapshotRegistry::refresh`](crate::SnapshotRegistry::refresh). Returns
-    /// `(new_files, refreshed, skipped)`.
-    pub fn refresh(&self) -> Result<(u64, u64, u64), ServeError> {
+    /// [`SnapshotRegistry::refresh`](crate::SnapshotRegistry::refresh).
+    pub fn refresh(&self) -> Result<RefreshOutcome, ServeError> {
         let reply = self.session.lock().unwrap().exchange(&Request::Refresh)?;
         match reply {
             Reply::RefreshOk {
                 new_files,
                 refreshed,
                 skipped,
-            } => Ok((new_files, refreshed, skipped)),
+                unchanged,
+            } => Ok(RefreshOutcome {
+                new_files,
+                refreshed,
+                skipped,
+                unchanged,
+            }),
             other => Err(unexpected(&other, "RefreshOk").into()),
         }
     }
@@ -234,10 +239,21 @@ mod tests {
             other => panic!("expected a remote Merge error, got {other:?}"),
         }
 
-        // stats and refresh still answer on the same session.
+        // stats and refresh still answer on the same session. The Get
+        // requests above were served from the image cache, and those
+        // counters travel the wire too.
         let stats = remote.stats().unwrap();
         assert!(stats.hits + stats.misses >= 3);
-        assert_eq!(remote.refresh().unwrap(), (0, 0, 0));
+        assert!(
+            stats.image_builds >= 1,
+            "daemon Get skipped the image cache"
+        );
+        let outcome = remote.refresh().unwrap();
+        assert_eq!(
+            (outcome.new_files, outcome.refreshed, outcome.skipped),
+            (0, 0, 0)
+        );
+        assert_eq!(outcome.unchanged, 1, "known file not stamp-skipped");
 
         drop(remote);
         handle.shutdown();

@@ -14,6 +14,7 @@
 //! tlrsim snapshot FILE --out SNAP  [--budget N] [--rtm SIZE] [--heuristic H]
 //!                      [--policy P]
 //! tlrsim merge SNAP SNAP [SNAP...] --out SNAP [--policy P]
+//! tlrsim compact DIR   [--policy P] [--keep-deltas]
 //! tlrsim serve --snapshots DIR [--budget N] [--rtm SIZE] [--heuristic H]
 //!                              [--policy P] [--threads N] [--seed N] [--save]
 //!                              [--listen SOCK] [--refresh-secs N]
@@ -48,7 +49,10 @@
 //! divergence, `snapshot` runs the reuse engine and saves its RTM for
 //! later warm starts, `merge` pools several runs' snapshots of one
 //! program into a single snapshot (MRU-priority union; list the
-//! freshest run last), and `serve` hosts a sharded snapshot registry
+//! freshest run last), `compact` folds each program's base + delta
+//! segments in a snapshot directory into one fresh base file
+//! (`--keep-deltas` renames the originals to `*.bak` instead of
+//! deleting them), and `serve` hosts a sharded snapshot registry
 //! over a directory — without `--listen`, driving every built-in
 //! workload through it in parallel (warm where the directory has
 //! state, cold otherwise, publishing each run's RTM back); with
@@ -56,7 +60,10 @@
 //! processes over a Unix-domain socket (see `docs/PROTOCOL.md`). Both
 //! serve modes background-rescan the directory every `--refresh-secs`
 //! seconds so snapshots dropped in by other processes reach resident
-//! entries without a restart.
+//! entries without a restart. With `--save`, serve spills each
+//! published entry back to the directory incrementally: an append-only
+//! delta segment holding only the PC groups that changed, next to the
+//! base file, compacted automatically once enough deltas accumulate.
 
 use std::path::Path;
 use trace_reuse::persist::{
@@ -79,6 +86,7 @@ fn usage() -> ! {
          tlrsim snapshot FILE --out SNAP [--budget N] [--rtm ...] [--heuristic ...] \
          [--policy ...]\n  \
          tlrsim merge SNAP SNAP [SNAP...] --out SNAP [--policy ...]\n  \
+         tlrsim compact DIR  [--policy ...] [--keep-deltas]\n  \
          tlrsim serve --snapshots DIR [--budget N] [--rtm ...] [--heuristic ...] \
          [--policy ...] [--threads N] [--seed N] [--save] [--listen SOCK] \
          [--refresh-secs N]\n\
@@ -169,6 +177,7 @@ struct Flags {
     threads: usize,
     seed: u64,
     save: bool,
+    keep_deltas: bool,
     listen: Option<String>,
     remote: Option<String>,
     digest: bool,
@@ -192,6 +201,7 @@ fn parse_flags(args: &[String]) -> Flags {
         threads: 0,
         seed: 20260611,
         save: false,
+        keep_deltas: false,
         listen: None,
         remote: None,
         digest: false,
@@ -286,6 +296,10 @@ fn parse_flags(args: &[String]) -> Flags {
             }
             "--save" => {
                 flags.save = true;
+                i += 1;
+            }
+            "--keep-deltas" => {
+                flags.keep_deltas = true;
                 i += 1;
             }
             "--listen" => {
@@ -649,6 +663,97 @@ fn cmd_merge(inputs: &[String], flags: &Flags) {
     }
 }
 
+fn cmd_compact(dir: &str, flags: &Flags) {
+    use std::collections::BTreeMap;
+    use std::path::PathBuf;
+    use trace_reuse::persist::{base_file_name, load_merged_snapshots_tuned};
+
+    let dir_path = Path::new(dir);
+    let entries = std::fs::read_dir(dir_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read snapshot directory {dir}: {e}")));
+    let mut files: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.unwrap_or_else(|e| fail(&format!("{dir}: {e}")));
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("tlrsnap") && path.is_file() {
+            files.push(path);
+        }
+    }
+    if files.is_empty() {
+        fail(&format!("no snapshot files (*.tlrsnap) in {dir}"));
+    }
+    // Deterministic order: lexicographic sorts a program's base file
+    // before its delta segments, and the loader replays deltas by
+    // embedded sequence number regardless of file order.
+    files.sort();
+    let mut groups: BTreeMap<u64, Vec<PathBuf>> = BTreeMap::new();
+    for path in files {
+        let fingerprint = peek_snapshot_fingerprint(&path)
+            .unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+        groups.entry(fingerprint).or_default().push(path);
+    }
+    let mut compacted = 0usize;
+    for (fingerprint, paths) in &groups {
+        let base = dir_path.join(base_file_name(*fingerprint));
+        if paths.len() == 1 && paths[0] == base {
+            println!("{fingerprint:016x}: already a lone base file, nothing to fold");
+            continue;
+        }
+        let (_, snapshot) = load_merged_snapshots_tuned(
+            paths,
+            Some(*fingerprint),
+            flags.policy,
+            flags.lfu_half_life,
+        )
+        .unwrap_or_else(|e| fail(&format!("{fingerprint:016x}: {e}")));
+        // Write the fresh base next to the inputs, then rename into
+        // place, so a crash mid-compaction never leaves a half-written
+        // base where loaders can see it.
+        let tmp = base.with_extension("tmp");
+        save_snapshot(&tmp, *fingerprint, &snapshot)
+            .unwrap_or_else(|e| fail(&format!("{}: {e}", tmp.display())));
+        if flags.keep_deltas {
+            for path in paths {
+                let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                    fail(&format!(
+                        "{}: snapshot file name is not UTF-8",
+                        path.display()
+                    ));
+                };
+                let bak = path.with_file_name(format!("{name}.bak"));
+                std::fs::rename(path, &bak)
+                    .unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+            }
+        }
+        std::fs::rename(&tmp, &base).unwrap_or_else(|e| fail(&format!("{}: {e}", base.display())));
+        if !flags.keep_deltas {
+            for path in paths {
+                if *path != base {
+                    std::fs::remove_file(path)
+                        .unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+                }
+            }
+        }
+        println!(
+            "{fingerprint:016x}: folded {} files ({} traces) into {} [{} pooling]{}",
+            paths.len(),
+            snapshot.len(),
+            base.display(),
+            flags.policy.label(),
+            if flags.keep_deltas {
+                "; originals kept as *.bak"
+            } else {
+                ""
+            }
+        );
+        compacted += 1;
+    }
+    println!(
+        "compacted {compacted} of {} programs in {dir}",
+        groups.len()
+    );
+}
+
 fn cmd_serve(flags: &Flags) {
     let dir = flags
         .snapshots
@@ -732,21 +837,38 @@ fn cmd_serve(flags: &Flags) {
                 let stats = engine
                     .run(flags.budget)
                     .unwrap_or_else(|e| fail(&format!("{}: engine error: {e}", w.name)));
+                let mut spilled = String::new();
                 if let Some(snapshot) = engine.export_rtm() {
                     registry_ref
                         .publish(fingerprint, &snapshot)
                         .unwrap_or_else(|e| fail(&format!("{}: publish: {e}", w.name)));
                     if flags.save {
-                        // The export already pools the warm-start state
-                        // this run imported with everything it collected,
-                        // so overwriting is an incremental refresh.
-                        let path = Path::new(dir).join(format!("{}.tlrsnap", w.name));
-                        save_snapshot(&path, fingerprint, &snapshot)
-                            .unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+                        // Spill the published entry back to the
+                        // directory incrementally: only the PC groups
+                        // that changed since the last spill go to disk,
+                        // as a delta segment next to the base file.
+                        use trace_reuse::serve::SpillKind;
+                        let outcome = registry_ref
+                            .spill(fingerprint)
+                            .unwrap_or_else(|e| fail(&format!("{}: spill: {e}", w.name)));
+                        spilled = match outcome.kind {
+                            SpillKind::NoChange => " [spill: no change]".into(),
+                            SpillKind::Base => {
+                                format!(" [spill: base, {} B]", outcome.bytes_written)
+                            }
+                            SpillKind::Delta => format!(
+                                " [spill: delta, {} groups, {} B]",
+                                outcome.delta_groups, outcome.bytes_written
+                            ),
+                            SpillKind::Compacted => format!(
+                                " [spill: compacted {} files, {} B]",
+                                outcome.removed_files, outcome.bytes_written
+                            ),
+                        };
                     }
                 }
                 lines.lock().unwrap().push(format!(
-                    "{:10} {:16x} {}: {:5.1}% reused ({} reuse ops)",
+                    "{:10} {:16x} {}: {:5.1}% reused ({} reuse ops){spilled}",
                     w.name,
                     fingerprint,
                     if warm.is_some() { "warm" } else { "cold" },
@@ -763,8 +885,17 @@ fn cmd_serve(flags: &Flags) {
     }
     let stats = registry_ref.stats();
     println!(
-        "registry: {} resident, {} hits, {} misses, {} refreshes, {} evicted, {} unknown",
-        stats.resident, stats.hits, stats.misses, stats.refreshes, stats.evicted, stats.unknown
+        "registry: {} resident, {} hits, {} misses, {} refreshes, {} evicted, {} unknown, \
+         {} image hits / {} builds / {} invalidations",
+        stats.resident,
+        stats.hits,
+        stats.misses,
+        stats.refreshes,
+        stats.evicted,
+        stats.unknown,
+        stats.image_hits,
+        stats.image_builds,
+        stats.image_invalidations
     );
 }
 
@@ -954,6 +1085,7 @@ fn main() {
         ("replay", [file]) => cmd_replay(file, &flags),
         ("snapshot", [file]) => cmd_snapshot(file, &flags),
         ("merge", inputs) if !inputs.is_empty() => cmd_merge(inputs, &flags),
+        ("compact", [dir]) => cmd_compact(dir, &flags),
         ("serve", []) => cmd_serve(&flags),
         ("run" | "disasm" | "analyze" | "decant" | "record" | "replay" | "snapshot", files) => {
             usage_error(&format!(
@@ -962,6 +1094,10 @@ fn main() {
             ))
         }
         ("merge", []) => usage_error("'merge' needs at least one input snapshot"),
+        ("compact", dirs) => usage_error(&format!(
+            "'compact' takes exactly one snapshot directory, got {}",
+            dirs.len()
+        )),
         ("serve", files) => usage_error(&format!(
             "'serve' takes no positional arguments, got {} (use --snapshots DIR)",
             files.len()
