@@ -4,7 +4,7 @@
 //! reproduce [OPTIONS] [TARGETS...]
 //!
 //! TARGETS: fig3 fig4 fig5 fig6 fig7 fig8 io fig9 ablation pipeline validbit schemes
-//!          warmstart fleet policy daemon decant throughput serveperf all
+//!          warmstart fleet policy daemon decant throughput serveperf crossseed all
 //!          (default: all)
 //!
 //! OPTIONS:
@@ -17,7 +17,7 @@
 //!                 machine-readable JSON document (config + targets)
 //!   --charts      also print ASCII bar charts
 //!   --check       exit nonzero on a regression (warmstart, fleet, policy,
-//!                 daemon, decant, throughput, serveperf)
+//!                 daemon, decant, throughput, serveperf, crossseed)
 //!   --processes   fleet: also run the legacy per-task worker-pool path
 //!                 next to the default in-process batched path and report
 //!                 both tables
@@ -88,7 +88,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const HELP: &str = "reproduce [--budget N] [--seed N] [--window N] [--threads N] [--out DIR] [--json OUT] [--charts] [--check] [--processes] \
-                    [fig3|fig4|fig5|fig6|fig7|fig8|io|fig9|ablation|pipeline|validbit|schemes|warmstart|fleet|policy|daemon|decant|throughput|serveperf|all ...]";
+                    [fig3|fig4|fig5|fig6|fig7|fig8|io|fig9|ablation|pipeline|validbit|schemes|warmstart|fleet|policy|daemon|decant|throughput|serveperf|crossseed|all ...]";
 
 /// JSON schema tag of the `--json` results document.
 const RESULTS_FORMAT: &str = "tlr-bench-v1";
@@ -552,6 +552,26 @@ fn main() {
                 std::process::exit(1);
             }
             println!("serveperf check: ok");
+        }
+    }
+
+    if wants(&opts.targets, "crossseed") {
+        let start = std::time::Instant::now();
+        let cells = tlr_bench::run_crossseed(&opts.cfg, RtmConfig::RTM_4K, Heuristic::FixedExp(4));
+        eprintln!("[cross-seed: {:?}]", start.elapsed());
+        emit(
+            &opts.out_dir,
+            doc,
+            "crossseed",
+            "Cross-seed warm start (ours): cold vs solo-warm vs shape-resolved cross-warm, % of instructions reused",
+            &tlr_bench::crossseed_table(&cells),
+        );
+        if opts.check {
+            if let Err(msg) = tlr_bench::check_crossseed(&cells) {
+                eprintln!("error: cross-seed regression: {msg}");
+                std::process::exit(1);
+            }
+            println!("crossseed check: ok");
         }
     }
 

@@ -24,9 +24,11 @@
 //! | `reproduce decant` | ours — reuse attribution by opcode class and loop structure (`tlr-decant` over the decision tap) |
 //! | `reproduce throughput` | ours — simulator MIPS: observing interpreter vs predecoded fast path, reference vs throughput engine, batched suite |
 //! | `reproduce serveperf` | ours — zero-copy `Get` latency (cached image vs re-serialization), delta-spill write amplification, base ⊕ delta split-load equality |
+//! | `reproduce crossseed` | ours — cross-seed warm start: same code under different data seeds shares reuse state by shape fingerprint |
 //!
 //! With `--check`, the `warmstart`, `fleet`, `policy`, `daemon`,
-//! `decant`, `throughput`, and `serveperf` targets additionally act as
+//! `decant`, `throughput`, `serveperf`, and `crossseed` targets
+//! additionally act as
 //! regression gates: the process exits nonzero when a warm start reuses
 //! less than its cold run, a merged warm start reuses less than the
 //! better solo warm start, any policy configuration fails
@@ -34,10 +36,12 @@
 //! architectural-state digest differs from the in-process registry
 //! path's, a decanted attribution fails to sum exactly to its decision
 //! log's totals, a fast-path run diverges from its reference (state,
-//! reuse decisions, or mean speed), or the serving path regresses
+//! reuse decisions, or mean speed), the serving path regresses
 //! (cached-image fetches under the speedup floor, delta spills writing
 //! at least as much as full rewrites, or a base + delta load
-//! disagreeing with the full-snapshot load of the same state).
+//! disagreeing with the full-snapshot load of the same state), or a
+//! cross-seed warm start breaks architectural-state equality, loses
+//! its shape fingerprint, or fails to beat cold on the suite mean.
 //!
 //! With `--json OUT`, every table produced by the invocation is also
 //! written to `OUT` as one machine-readable JSON document (config +
@@ -48,6 +52,7 @@
 //! them at reduced budgets.
 
 pub mod batch;
+pub mod crossseed;
 pub mod daemon;
 pub mod decant;
 pub mod figures;
@@ -59,6 +64,9 @@ pub mod throughput;
 pub mod warmstart;
 
 pub use batch::{BatchOutcome, BatchRunner, BatchSpec, Schedule};
+pub use crossseed::{
+    check_crossseed, crossseed_table, run_crossseed, CrossSeedCell, CROSS_TOLERANCE_PCT, SEEDS,
+};
 pub use daemon::{
     check_daemon, daemon_table, run_daemon_bench, sibling_tlrsim, DaemonCell, DaemonOutcome,
 };

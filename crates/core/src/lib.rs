@@ -87,5 +87,5 @@ pub use rtm::{
 };
 pub use schemes::{compare_schemes, SchemeComparison, SnBuffer, SvBuffer};
 pub use theorems::{check_theorem1, check_theorem3, theorem2_counterexample, TheoremCheck};
-pub use trace::{IoCaps, TraceAccum, TraceRecord};
+pub use trace::{IoCaps, TraceAccum, TraceKey, TraceRecord};
 pub use valid_bit::InvalidatingRtm;

@@ -114,6 +114,13 @@ pub struct RtmStats {
     /// Entries evicted (either level, victim chosen by the configured
     /// [`ReplacementPolicy`]).
     pub evictions: u64,
+    /// Candidate traces whose starting PC matched a lookup but whose
+    /// live-in *values* failed the reuse test. This is the
+    /// validation-at-reuse invariant doing its job: shape-shared state
+    /// (same code, different data) parks traces in the RTM that only
+    /// apply when the values line up, and every rejection lands here
+    /// instead of passing silently as a generic miss.
+    pub value_rejects: u64,
 }
 
 /// One resident RTM entry: the trace plus its provenance, plus a lazily
@@ -206,6 +213,14 @@ pub struct RtmSnapshot {
     /// format-v2 files (or hand-built without history) carry all-zero
     /// provenance; [`RtmSnapshot::from_traces`] fills that in.
     pub meta: Vec<TraceMeta>,
+    /// The producing program's *shape fingerprint*
+    /// (`tlr_persist::program_shape_fingerprint`): a hash of the code
+    /// alone, with the data image excluded — so runs of the same program
+    /// over different data agree on it and can share this snapshot,
+    /// value-validated at reuse time. `0` means value-pinned/unknown
+    /// (exports before a producer stamps it, snapshots loaded from
+    /// pre-v6 files, merges of conflicting shapes).
+    pub shape: u64,
 }
 
 impl RtmSnapshot {
@@ -218,6 +233,7 @@ impl RtmSnapshot {
             config,
             traces,
             meta,
+            shape: 0,
         }
     }
 
@@ -410,8 +426,26 @@ impl RtmSnapshot {
                 }
             }
         }
+        // The merge keeps a shape only when every shape-stamped input
+        // agrees on it; value-pinned inputs (shape 0) never veto, and a
+        // genuine conflict demotes the result to value-pinned rather
+        // than mislabelling it.
+        let mut shape = 0u64;
+        let mut conflict = false;
+        for s in snapshots {
+            if s.shape == 0 {
+                continue;
+            }
+            if shape == 0 {
+                shape = s.shape;
+            } else if shape != s.shape {
+                conflict = true;
+            }
+        }
+        let mut snapshot = rtm.export();
+        snapshot.shape = if conflict { 0 } else { shape };
         Ok(MergeOutcome {
-            snapshot: rtm.export(),
+            snapshot,
             input_traces,
             duplicates: union_stats.duplicate_stores,
             conflicts: union_stats.conflicting_stores,
@@ -627,13 +661,18 @@ impl ReuseTraceMemory {
         self.tick += 1;
         let tick = self.tick;
         let entries = self.store.group_mut(pc)?;
-        // MRU-first: highest index is most recently used.
-        let found = entries
-            .iter()
-            .enumerate()
-            .rev()
-            .find(|(_, e)| e.rec.ins.iter().all(|(loc, val)| state(*loc) == *val))
-            .map(|(i, _)| i);
+        // MRU-first: highest index is most recently used. Candidates
+        // scanned past are value rejections: right PC, wrong live-ins.
+        let mut found = None;
+        let mut rejected = 0u64;
+        for (idx, e) in entries.iter().enumerate().rev() {
+            if e.rec.ins.iter().all(|(loc, val)| state(*loc) == *val) {
+                found = Some(idx);
+                break;
+            }
+            rejected += 1;
+        }
+        self.stats.value_rejects += rejected;
         match found {
             Some(idx) => {
                 entries[idx].meta.hits = entries[idx].meta.hits.saturating_add(1);
@@ -674,8 +713,10 @@ impl ReuseTraceMemory {
         let Some(entries) = self.store.group_mut(pc) else {
             return Ok(None);
         };
-        // MRU-first: highest index is most recently used.
+        // MRU-first: highest index is most recently used. Candidates
+        // scanned past are value rejections: right PC, wrong live-ins.
         let mut found = None;
+        let mut rejected = 0u64;
         for (idx, entry) in entries.iter_mut().enumerate().rev() {
             let RtmEntry { rec, block, .. } = entry;
             let matches = match block {
@@ -693,7 +734,9 @@ impl ReuseTraceMemory {
                 found = Some(idx);
                 break;
             }
+            rejected += 1;
         }
+        self.stats.value_rejects += rejected;
         match found {
             Some(idx) => {
                 entries[idx].meta.hits = entries[idx].meta.hits.saturating_add(1);
@@ -859,6 +902,7 @@ impl ReuseTraceMemory {
             config: self.config(),
             traces,
             meta,
+            shape: 0,
         }
     }
 

@@ -92,7 +92,33 @@ impl Hash for TraceRecord {
     }
 }
 
+/// Value-independent trace identity: the starting PC plus the live-in
+/// *shape* — which locations the trace reads, in first-read order — with
+/// the values stripped.
+///
+/// Two executions of the same code whose data differs produce records
+/// with equal keys but different live-in values; the RTM's reuse test
+/// still compares values at lookup time, so sharing state across keys is
+/// always validated before a trace is applied. The key is what cross-run
+/// snapshot sharing indexes on (`tlr-serve` resolves a program's *shape
+/// fingerprint* the same way at file granularity).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// Starting PC of the trace.
+    pub start_pc: u32,
+    /// Live-in locations in first-read order, values stripped.
+    pub ins: Box<[Loc]>,
+}
+
 impl TraceRecord {
+    /// The record's value-independent identity (see [`TraceKey`]).
+    pub fn key(&self) -> TraceKey {
+        TraceKey {
+            start_pc: self.start_pc,
+            ins: self.ins.iter().map(|(loc, _)| *loc).collect(),
+        }
+    }
+
     /// Number of register live-ins.
     pub fn reg_ins(&self) -> usize {
         self.ins.iter().filter(|(l, _)| !l.is_mem()).count()

@@ -340,6 +340,7 @@ pub fn delta_to_json(fingerprint: u64, delta: &DeltaSegment) -> Json {
         config: delta.config,
         traces: delta.traces.clone(),
         meta: delta.meta.clone(),
+        shape: 0,
     };
     let Json::Obj(mut doc) = snapshot_to_json(fingerprint, &as_snapshot) else {
         unreachable!("snapshot_to_json returns an object");

@@ -5,7 +5,7 @@
 //! | offset | size | field |
 //! |---|---|---|
 //! | 0 | 4 | magic `"TLRP"` |
-//! | 4 | 2 | format version (currently 5) |
+//! | 4 | 2 | format version (currently 6) |
 //! | 6 | 1 | payload kind (1 = trace stream, 2 = RTM snapshot) |
 //! | 7 | 1 | flags (v5+; must be 0 in v2–v4) |
 //! | 8 | 8 | program/ISA fingerprint |
@@ -33,10 +33,14 @@ pub const MAGIC: [u8; 4] = *b"TLRP";
 /// provenance, for reuse attribution; v5 turns the reserved header
 /// byte into a flags field ([`FLAG_COMPRESSED_FRAMES`],
 /// [`FLAG_DELTA_SEGMENT`]) and extends the snapshot prelude when the
-/// delta flag is set. v2–v4 files still load (their traces carry zero
-/// provenance and/or an empty mix, and their flags byte must be 0);
-/// see [`MIN_SUPPORTED_VERSION`].
-pub const FORMAT_VERSION: u16 = 5;
+/// delta flag is set; v6 appends the producing program's *shape
+/// fingerprint* ([`wire::program_shape_fingerprint`]) to the full
+/// snapshot prelude, so data-varied runs of the same code can find and
+/// share each other's warm state (value-validated at reuse time).
+/// v2–v5 files still load (their traces carry zero provenance and/or
+/// an empty mix, pre-v5 flags must be 0, and pre-v6 snapshots read as
+/// value-pinned: shape 0); see [`MIN_SUPPORTED_VERSION`].
+pub const FORMAT_VERSION: u16 = 6;
 
 /// The oldest format version this build still reads.
 pub const MIN_SUPPORTED_VERSION: u16 = 2;

@@ -220,6 +220,7 @@ pub fn load_merged_snapshots_tuned(
             config,
             traces: Vec::new(),
             meta: Vec::new(),
+            shape: 0,
         }
     } else {
         RtmSnapshot::merge_detailed_tuned(&snapshots, policy, lfu_half_life)?.snapshot
@@ -263,6 +264,49 @@ pub fn peek_snapshot_fingerprint(path: &Path) -> Result<u64> {
     }
 }
 
+/// Read a snapshot file's program fingerprint *and* shape fingerprint
+/// without deserializing any traces. The shape is 0 (value-pinned) for
+/// pre-v6 files, delta segments, and JSON dumps without a `"shape"`
+/// field. Binary files cost one header + prelude read; JSON files one
+/// parse.
+pub fn peek_snapshot_identity(path: &Path) -> Result<(u64, u64)> {
+    match FileFormat::detect(path) {
+        FileFormat::Binary => {
+            let mut r = BufReader::new(File::open(path)?);
+            let header = Header::read_from(&mut r)?;
+            header.expect(KIND_RTM_SNAPSHOT, None)?;
+            if header.version < 6 || header.flags & FLAG_DELTA_SEGMENT != 0 {
+                return Ok((header.fingerprint, 0));
+            }
+            // Full v6 prelude: geometry (12 B) + count (8 B) + shape.
+            let mut prelude = [0u8; 28];
+            r.read_exact(&mut prelude)?;
+            let mut cursor = &prelude[20..];
+            let shape = wire::get_u64(&mut cursor)?;
+            Ok((header.fingerprint, shape))
+        }
+        FileFormat::Json => {
+            let doc = json::parse(&std::fs::read_to_string(path)?)?;
+            let format = doc.field("format")?.as_str("format")?;
+            if format != JSON_SNAPSHOT_FORMAT {
+                return Err(PersistError::Corrupt(format!(
+                    "\"format\" is {format:?}, expected {JSON_SNAPSHOT_FORMAT:?}"
+                )));
+            }
+            let fingerprint = doc.field("fingerprint")?.as_u64("fingerprint")?;
+            let shape = if doc.opt_field("delta").is_some() {
+                0
+            } else {
+                match doc.opt_field("shape") {
+                    Some(s) => s.as_u64("shape")?,
+                    None => 0,
+                }
+            };
+            Ok((fingerprint, shape))
+        }
+    }
+}
+
 /// Serialize a snapshot to any writer (binary format, uncompressed).
 pub fn write_snapshot(w: &mut impl Write, fingerprint: u64, snapshot: &RtmSnapshot) -> Result<()> {
     write_snapshot_with(w, fingerprint, snapshot, SnapshotWriteOptions::default())
@@ -282,11 +326,14 @@ pub fn write_snapshot_with(
     };
     Header::with_flags(KIND_RTM_SNAPSHOT, fingerprint, flags).write_to(w)?;
     let geometry = snapshot.config.geometry;
-    let mut prelude = Vec::with_capacity(20);
+    let mut prelude = Vec::with_capacity(28);
     wire::put_u32(&mut prelude, geometry.sets);
     wire::put_u32(&mut prelude, geometry.ways);
     wire::put_u32(&mut prelude, geometry.per_pc);
     wire::put_u64(&mut prelude, snapshot.traces.len() as u64);
+    // v6: the producing program's shape fingerprint (0 = value-pinned),
+    // covered by the checksum like the rest of the prelude.
+    wire::put_u64(&mut prelude, snapshot.shape);
     w.write_all(&prelude)?;
 
     // The checksum covers the geometry prelude too: a bit flip in
@@ -417,8 +464,16 @@ pub fn read_snapshot(
 /// Parse a full snapshot's body, the header already consumed.
 pub(crate) fn read_snapshot_body(r: &mut impl Read, header: &Header) -> Result<RtmSnapshot> {
     let compressed = header.flags & FLAG_COMPRESSED_FRAMES != 0;
-    let prelude: [u8; 20] = wire::read_exact(r)?;
-    let mut cursor = prelude.as_slice();
+    // v2–v5 preludes are 20 bytes; v6 appends the shape fingerprint.
+    let mut prelude = [0u8; 28];
+    let prelude = if header.version >= 6 {
+        r.read_exact(&mut prelude)?;
+        &prelude[..]
+    } else {
+        r.read_exact(&mut prelude[..20])?;
+        &prelude[..20]
+    };
+    let mut cursor = prelude;
     let geometry = SetAssocGeometry {
         sets: wire::get_u32(&mut cursor)?,
         ways: wire::get_u32(&mut cursor)?,
@@ -426,8 +481,14 @@ pub(crate) fn read_snapshot_body(r: &mut impl Read, header: &Header) -> Result<R
     };
     validate_geometry(&geometry)?;
     let declared = wire::get_u64(&mut cursor)?;
+    // Pre-v6 snapshots load as value-pinned.
+    let shape = if header.version >= 6 {
+        wire::get_u64(&mut cursor)?
+    } else {
+        0
+    };
     let mut checksum = FxHasher64::new();
-    checksum.write(&prelude);
+    checksum.write(prelude);
     let mut traces = Vec::with_capacity(declared.min(1 << 20) as usize);
     let mut meta = Vec::with_capacity(declared.min(1 << 20) as usize);
     while let Some(frame) = next_frame(r, compressed, &mut checksum)? {
@@ -452,6 +513,7 @@ pub(crate) fn read_snapshot_body(r: &mut impl Read, header: &Header) -> Result<R
         config: RtmConfig { geometry },
         traces,
         meta,
+        shape,
     })
 }
 
@@ -567,6 +629,7 @@ pub(crate) fn snapshot_to_json(fingerprint: u64, snapshot: &RtmSnapshot) -> Json
     doc.insert("format".into(), Json::Str(JSON_SNAPSHOT_FORMAT.into()));
     doc.insert("fingerprint".into(), Json::Num(fingerprint));
     doc.insert("geometry".into(), Json::Obj(geom));
+    doc.insert("shape".into(), Json::Num(snapshot.shape));
     doc.insert("traces".into(), Json::Arr(traces));
     Json::Obj(doc)
 }
@@ -610,6 +673,12 @@ pub(crate) fn snapshot_from_json_core(
         per_pc: geom.field("per_pc")?.as_u32("per_pc")?,
     };
     validate_geometry(&geometry)?;
+    // The shape fingerprint arrived with format v6; older JSON dumps
+    // lack the field and load as value-pinned.
+    let shape = match doc.opt_field("shape") {
+        Some(s) => s.as_u64("shape")?,
+        None => 0,
+    };
     let mut traces = Vec::new();
     let mut meta = Vec::new();
     for (index, t) in doc.field("traces")?.as_arr("traces")?.iter().enumerate() {
@@ -661,6 +730,7 @@ pub(crate) fn snapshot_from_json_core(
             config: RtmConfig { geometry },
             traces,
             meta,
+            shape,
         },
     ))
 }

@@ -360,6 +360,26 @@ pub fn program_fingerprint(program: &Program) -> u64 {
     h.finish()
 }
 
+/// Value-independent identity of a program: everything
+/// [`program_fingerprint`] hashes *except* the initial data image. Runs
+/// of the same code over different data agree on it, which is what lets
+/// a data-varied client warm-start from another run's published
+/// snapshot — the RTM's live-in value comparison at reuse time is the
+/// safety net that makes the weaker identity sound. A domain-separation
+/// constant keeps a program's shape fingerprint distinct from its value
+/// fingerprint even when the program carries no data image at all.
+pub fn program_shape_fingerprint(program: &Program) -> u64 {
+    let mut h = FxHasher64::new();
+    h.write_u64(0x5452_4143_4553_4850); // "TRACESHP": shape domain
+    h.write_u64(ISA_REVISION);
+    h.write_u64(program.entry as u64);
+    h.write_u64(program.instrs.len() as u64);
+    for instr in &program.instrs {
+        h.write(instr.to_string().as_bytes());
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

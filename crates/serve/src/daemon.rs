@@ -251,6 +251,24 @@ fn answer_payload(
             Ok(()) => Reply::PublishOk,
             Err(e) => error_reply(e),
         },
+        Request::GetShape { fingerprint, shape } => {
+            match registry.get_by_shape(fingerprint, shape) {
+                // Shape resolution installs a resident entry under the
+                // client's fingerprint, so the image cache serves it
+                // zero-copy exactly like a plain Get.
+                Ok(Some(_)) => match registry.get_image(fingerprint) {
+                    Ok(image) => {
+                        return Ok(proto::encode_snapshot_reply_image(
+                            fingerprint,
+                            image.as_deref(),
+                        ))
+                    }
+                    Err(e) => error_reply(e),
+                },
+                Ok(None) => return Ok(proto::encode_snapshot_reply_image(fingerprint, None)),
+                Err(e) => error_reply(e),
+            }
+        }
         Request::Stats => Reply::Stats(registry.stats()),
         Request::Refresh => match registry.refresh() {
             Ok(outcome) => Reply::RefreshOk {

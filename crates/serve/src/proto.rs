@@ -46,7 +46,10 @@ pub const PROTOCOL_MAGIC: [u8; 4] = *b"TLRD";
 /// The protocol version this build speaks. Version 2 widened the
 /// `StatsOk` reply to nine counters (image-cache hits/builds/
 /// invalidations) and `RefreshOk` to four (stamp-unchanged files).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// Version 3 added the `GetShape` request (fingerprint + shape
+/// fingerprint, answered with the existing `Snapshot` reply) and
+/// widened `StatsOk` to eleven counters (shape hits/rejects).
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Cap on one message payload (64 MiB): larger than any snapshot the
 /// persist layer's geometry bounds admit, small enough that a corrupt
@@ -63,13 +66,15 @@ pub const TAG_PUBLISH: u8 = 0x03;
 pub const TAG_STATS: u8 = 0x04;
 /// Request tag: Refresh (empty body).
 pub const TAG_REFRESH: u8 = 0x05;
+/// Request tag: GetShape (u64 fingerprint + u64 shape fingerprint; v3+).
+pub const TAG_GET_SHAPE: u8 = 0x06;
 /// Reply tag: HelloOk (u16 negotiated version + u64 indexed programs).
 pub const TAG_HELLO_OK: u8 = 0x81;
 /// Reply tag: Snapshot (u8 present flag + snapshot file image).
 pub const TAG_SNAPSHOT: u8 = 0x82;
 /// Reply tag: PublishOk (empty body).
 pub const TAG_PUBLISH_OK: u8 = 0x83;
-/// Reply tag: Stats (nine u64 registry counters).
+/// Reply tag: Stats (eleven u64 registry counters).
 pub const TAG_STATS_OK: u8 = 0x84;
 /// Reply tag: RefreshOk (u64 new files + u64 refreshed + u64 skipped +
 /// u64 unchanged).
@@ -240,6 +245,20 @@ pub enum Request {
     Stats,
     /// Rescan the snapshot directory for new files now.
     Refresh,
+    /// Fetch the pooled warm state for a program, falling back to
+    /// *shape resolution* (v3+): when the exact fingerprint is unknown,
+    /// the server pools the published state of programs sharing the
+    /// same nonzero shape fingerprint (same code, different data) and
+    /// serves that. Answered with [`Reply::Snapshot`].
+    GetShape {
+        /// Program fingerprint
+        /// ([`tlr_persist::program_fingerprint`]).
+        fingerprint: u64,
+        /// Program shape fingerprint
+        /// ([`tlr_persist::program_shape_fingerprint`]); 0 disables
+        /// the fallback.
+        shape: u64,
+    },
 }
 
 /// A server-to-client message.
@@ -383,6 +402,11 @@ pub fn encode_request(request: &Request) -> Result<Vec<u8>, ProtoError> {
         }
         Request::Stats => wire::put_u8(&mut out, TAG_STATS),
         Request::Refresh => wire::put_u8(&mut out, TAG_REFRESH),
+        Request::GetShape { fingerprint, shape } => {
+            wire::put_u8(&mut out, TAG_GET_SHAPE);
+            wire::put_u64(&mut out, *fingerprint);
+            wire::put_u64(&mut out, *shape);
+        }
     }
     Ok(out)
 }
@@ -425,6 +449,12 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
         TAG_REFRESH => {
             expect_drained(slice, "Refresh")?;
             Ok(Request::Refresh)
+        }
+        TAG_GET_SHAPE => {
+            let fingerprint = wire::get_u64(&mut slice).map_err(|_| short("GetShape"))?;
+            let shape = wire::get_u64(&mut slice).map_err(|_| short("GetShape"))?;
+            expect_drained(slice, "GetShape")?;
+            Ok(Request::GetShape { fingerprint, shape })
         }
         other => Err(ProtoError::Corrupt(format!(
             "unknown request tag {other:#04x}"
@@ -503,6 +533,8 @@ pub fn encode_reply(reply: &Reply) -> Result<Vec<u8>, ProtoError> {
                 stats.image_hits,
                 stats.image_builds,
                 stats.image_invalidations,
+                stats.shape_hits,
+                stats.shape_rejects,
             ] {
                 wire::put_u64(&mut out, v);
             }
@@ -579,6 +611,8 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, ProtoError> {
                 image_hits: get()?,
                 image_builds: get()?,
                 image_invalidations: get()?,
+                shape_hits: get()?,
+                shape_rejects: get()?,
             };
             expect_drained(slice, "Stats")?;
             Ok(Reply::Stats(stats))
@@ -670,6 +704,10 @@ mod tests {
             },
             Request::Stats,
             Request::Refresh,
+            Request::GetShape {
+                fingerprint: 0xfeed,
+                shape: 0xbeef,
+            },
         ] {
             let mut buf = Vec::new();
             write_request(&mut buf, &request).unwrap();
@@ -704,6 +742,8 @@ mod tests {
                 image_hits: 7,
                 image_builds: 8,
                 image_invalidations: 9,
+                shape_hits: 10,
+                shape_rejects: 11,
             }),
             Reply::RefreshOk {
                 new_files: 2,
@@ -828,6 +868,7 @@ mod tests {
             (TAG_PUBLISH, "Publish"),
             (TAG_STATS, "Stats"),
             (TAG_REFRESH, "Refresh"),
+            (TAG_GET_SHAPE, "GetShape"),
             (TAG_HELLO_OK, "HelloOk"),
             (TAG_SNAPSHOT, "Snapshot"),
             (TAG_PUBLISH_OK, "PublishOk"),

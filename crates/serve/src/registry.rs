@@ -21,8 +21,8 @@ use tlr_core::{ReplacementPolicy, ReuseTraceMemory, RtmSnapshot};
 use tlr_persist::snapshot::write_snapshot;
 use tlr_persist::{
     base_file_name, delta_file_name, delta_seq_from_path, diff_snapshots, group_digests,
-    load_merged_snapshots_tuned, load_snapshot_payload, peek_snapshot_fingerprint,
-    save_delta_segment, save_snapshot_with, PersistError, SnapshotPayload, SnapshotWriteOptions,
+    load_merged_snapshots_tuned, load_snapshot_payload, peek_snapshot_identity, save_delta_segment,
+    save_snapshot_with, PersistError, SnapshotPayload, SnapshotWriteOptions,
 };
 use tlr_util::{FxHashMap, FxHashSet};
 
@@ -92,6 +92,11 @@ pub struct EntryStats {
     /// Cached images dropped because the resident state changed
     /// (publish/refresh merge).
     pub image_invalidations: u64,
+    /// Fetches answered by *shape resolution*: the exact fingerprint was
+    /// unknown, but another program with the same shape fingerprint
+    /// (same code, different data) had published state this entry was
+    /// warm-started from.
+    pub shape_hits: u64,
 }
 
 /// Registry-wide aggregates.
@@ -115,6 +120,15 @@ pub struct RegistryStats {
     pub image_builds: u64,
     /// Sum of per-entry image invalidations (evicted entries included).
     pub image_invalidations: u64,
+    /// Sum of per-entry shape-resolved fetches (evicted entries
+    /// included): warm starts served to a data-varied client from
+    /// another seed's published state.
+    pub shape_hits: u64,
+    /// Shape lookups that found same-shape donors but could not pool
+    /// them (load or merge failure). Before these were counted, such a
+    /// fetch was indistinguishable from an unknown program — the miss
+    /// was silent.
+    pub shape_rejects: u64,
 }
 
 /// What one [`SnapshotRegistry::refresh`] pass did.
@@ -303,6 +317,7 @@ impl Shard {
                 self.retired.image_hits += e.stats.image_hits;
                 self.retired.image_builds += e.stats.image_builds;
                 self.retired.image_invalidations += e.stats.image_invalidations;
+                self.retired.shape_hits += e.stats.shape_hits;
             }
             evicted += 1;
         }
@@ -327,6 +342,10 @@ struct Index {
     /// fingerprint → snapshot files of that program, in deterministic
     /// (sorted-path) order so merge MRU priority is stable.
     by_fingerprint: FxHashMap<u64, Vec<PathBuf>>,
+    /// shape fingerprint → value fingerprints of programs whose
+    /// snapshots carry that shape (v6+ files only). Shape 0
+    /// (value-pinned) is never indexed.
+    by_shape: FxHashMap<u64, Vec<u64>>,
     /// Every path indexed so far, so a refresh scan can cheaply tell
     /// new files from known ones.
     files: FxHashSet<PathBuf>,
@@ -336,9 +355,11 @@ struct Index {
 }
 
 impl Index {
-    /// Index `path` under `fingerprint` (idempotent) and record its
-    /// current stamp.
-    fn add(&mut self, fingerprint: u64, path: PathBuf) {
+    /// Index `path` under `fingerprint` (idempotent), record its
+    /// current stamp, and — when the file carries a nonzero `shape` —
+    /// register the fingerprint under that shape for cross-seed
+    /// resolution.
+    fn add(&mut self, fingerprint: u64, shape: u64, path: PathBuf) {
         let paths = self.by_fingerprint.entry(fingerprint).or_default();
         if !paths.contains(&path) {
             paths.push(path.clone());
@@ -350,6 +371,32 @@ impl Index {
             self.stamps.remove(&path);
         }
         self.files.insert(path);
+        self.add_shape(fingerprint, shape);
+    }
+
+    /// Register `fingerprint` under a nonzero shape (idempotent, sorted
+    /// for deterministic donor order).
+    fn add_shape(&mut self, fingerprint: u64, shape: u64) {
+        if shape == 0 {
+            return;
+        }
+        let fps = self.by_shape.entry(shape).or_default();
+        if !fps.contains(&fingerprint) {
+            fps.push(fingerprint);
+            fps.sort_unstable();
+        }
+    }
+
+    /// Value fingerprints sharing `shape`, excluding `not` (the asking
+    /// program itself).
+    fn shape_donors(&self, shape: u64, not: u64) -> Vec<u64> {
+        if shape == 0 {
+            return Vec::new();
+        }
+        self.by_shape
+            .get(&shape)
+            .map(|fps| fps.iter().copied().filter(|fp| *fp != not).collect())
+            .unwrap_or_default()
     }
 
     /// Drop `path` from the index (compaction deleted it).
@@ -378,6 +425,9 @@ pub struct SnapshotRegistry {
     shards: Vec<Mutex<Shard>>,
     evicted: AtomicU64,
     unknown: AtomicU64,
+    /// Shape lookups that found same-shape donors but failed to pool
+    /// them (see [`RegistryStats::shape_rejects`]).
+    shape_rejects: AtomicU64,
 }
 
 /// Scan `dir` for snapshot files, sorted for deterministic merge order.
@@ -409,8 +459,8 @@ impl SnapshotRegistry {
     pub fn open(dir: &Path, config: RegistryConfig) -> Result<Self, ServeError> {
         let mut index = Index::default();
         for path in scan_snapshot_files(dir)? {
-            let fingerprint = peek_snapshot_fingerprint(&path)?;
-            index.add(fingerprint, path);
+            let (fingerprint, shape) = peek_snapshot_identity(&path)?;
+            index.add(fingerprint, shape, path);
         }
         Ok(Self {
             shards: (0..config.shards.max(1))
@@ -422,6 +472,7 @@ impl SnapshotRegistry {
             refresh_serial: Mutex::new(()),
             evicted: AtomicU64::new(0),
             unknown: AtomicU64::new(0),
+            shape_rejects: AtomicU64::new(0),
         })
     }
 
@@ -516,6 +567,7 @@ impl SnapshotRegistry {
                         config: delta.config,
                         traces: delta.traces,
                         meta: delta.meta,
+                        shape: 0,
                     };
                     discovered
                         .entry(fingerprint)
@@ -536,7 +588,7 @@ impl SnapshotRegistry {
             let mut paths_known = Vec::with_capacity(entries.len());
             let mut snapshots = Vec::with_capacity(entries.len());
             for (path, snapshot, known) in entries {
-                paths_known.push((path, known));
+                paths_known.push((path, snapshot.shape, known));
                 snapshots.push(snapshot);
             }
             let pooled = match self.pool(&snapshots) {
@@ -557,8 +609,8 @@ impl SnapshotRegistry {
                 }
             }
             let mut index = self.index.write().unwrap();
-            for (path, known) in paths_known {
-                index.add(fingerprint, path);
+            for (path, shape, known) in paths_known {
+                index.add(fingerprint, shape, path);
                 if !known {
                     outcome.new_files += 1;
                 }
@@ -682,6 +734,119 @@ impl SnapshotRegistry {
         Ok(Some(snap))
     }
 
+    /// [`get`](SnapshotRegistry::get), falling back to *shape
+    /// resolution* when the exact fingerprint is unknown: programs
+    /// whose published snapshots carry the same nonzero `shape`
+    /// fingerprint (same code, different data image) donate their warm
+    /// state, pooled under the registry's policy and installed as a
+    /// resident entry under `fingerprint`. The shared traces are only
+    /// *candidates* — the RTM's live-in value comparison validates
+    /// every reuse at fetch time, so a donor's data-dependent traces
+    /// can never corrupt the client's run.
+    ///
+    /// `Ok(None)` when neither the fingerprint nor any same-shape donor
+    /// resolves. Donors that exist but fail to load or pool are not a
+    /// silent miss: each such fetch is logged, counted in
+    /// [`RegistryStats::shape_rejects`], and still returns `Ok(None)`.
+    pub fn get_by_shape(
+        &self,
+        fingerprint: u64,
+        shape: u64,
+    ) -> Result<Option<Arc<RtmSnapshot>>, ServeError> {
+        if let Some(snap) = self.get(fingerprint)? {
+            return Ok(Some(snap));
+        }
+        if shape == 0 {
+            return Ok(None);
+        }
+        let donors = self.index.read().unwrap().shape_donors(shape, fingerprint);
+        if donors.is_empty() {
+            return Ok(None);
+        }
+        // Pool every donor's warm state (resident or disk-loaded) under
+        // the registry's policy. A donor that fails to load or a pool
+        // that fails to merge is a *shape reject* — the fetch falls
+        // back to cold, but visibly.
+        let mut pooled_inputs = Vec::with_capacity(donors.len());
+        for donor in &donors {
+            match self.get(*donor) {
+                Ok(Some(snap)) => pooled_inputs.push((*snap).clone()),
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!(
+                        "tlr-serve: shape {shape:#018x} donor {donor:#018x} \
+                         failed to load for {fingerprint:#018x}: {e}"
+                    );
+                    self.shape_rejects.fetch_add(1, Ordering::Relaxed);
+                    return Ok(None);
+                }
+            }
+        }
+        if pooled_inputs.is_empty() {
+            eprintln!(
+                "tlr-serve: shape {shape:#018x} has {} indexed donor(s) for \
+                 {fingerprint:#018x} but none produced warm state",
+                donors.len()
+            );
+            self.shape_rejects.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        }
+        let mut merged = match self.pool(&pooled_inputs) {
+            Ok(merged) => merged,
+            Err(e) => {
+                eprintln!(
+                    "tlr-serve: shape {shape:#018x} donors failed to pool for \
+                     {fingerprint:#018x}: {e}"
+                );
+                self.shape_rejects.fetch_add(1, Ordering::Relaxed);
+                return Ok(None);
+            }
+        };
+        merged.shape = shape;
+        // Install under the *client's* fingerprint so its own
+        // publish-backs land on this entry. No spill seeding: the donor
+        // files belong to the donors, and this entry's first spill must
+        // write its own base.
+        let entry = Entry {
+            rtm: self.import(&merged),
+            stats: EntryStats {
+                misses: 1,
+                shape_hits: 1,
+                resident_traces: merged.len() as u64,
+                resident_hits: merged.total_hits(),
+                ..EntryStats::default()
+            },
+            snap: Arc::new(merged),
+            image: None,
+            generation: 0,
+            spill: None,
+            last_touch: 0,
+        };
+        self.index.write().unwrap().add_shape(fingerprint, shape);
+        let mut shard = self.shard_of(fingerprint).lock().unwrap();
+        if let Some(existing) = shard.touch(fingerprint) {
+            // A racing fetch resolved this fingerprint first.
+            existing.stats.hits += 1;
+            return Ok(Some(Arc::clone(&existing.snap)));
+        }
+        shard.tick += 1;
+        let tick = shard.tick;
+        let snap = Arc::clone(&entry.snap);
+        shard.entries.insert(
+            fingerprint,
+            Entry {
+                last_touch: tick,
+                ..entry
+            },
+        );
+        let evicted = shard.enforce_bound(self.config.max_resident_per_shard);
+        drop(shard);
+        if evicted > 0 {
+            self.evicted.fetch_add(evicted, Ordering::Relaxed);
+        }
+        Ok(Some(snap))
+    }
+
     /// The serialized snapshot file image for `fingerprint` — the exact
     /// bytes [`tlr_persist::save_snapshot`] would write, and what the
     /// `tlrd` `Snapshot` reply embeds — from a per-entry cache, so
@@ -778,7 +943,7 @@ impl SnapshotRegistry {
             let bytes = self.write_base(&path, fingerprint, &snap, options)?;
             {
                 let mut index = self.index.write().unwrap();
-                index.add(fingerprint, path.clone());
+                index.add(fingerprint, snap.shape, path.clone());
             }
             self.set_spill_state(
                 fingerprint,
@@ -816,7 +981,9 @@ impl SnapshotRegistry {
         let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
         {
             let mut index = self.index.write().unwrap();
-            index.add(fingerprint, path.clone());
+            // Delta segments carry no shape; the fingerprint's shape
+            // mapping (if any) was recorded when its base was indexed.
+            index.add(fingerprint, 0, path.clone());
         }
         let mut delta_files = state.delta_files;
         delta_files.push(path.clone());
@@ -875,7 +1042,7 @@ impl SnapshotRegistry {
             for path in &old_paths {
                 index.forget(fingerprint, path);
             }
-            index.add(fingerprint, base.clone());
+            index.add(fingerprint, snap.shape, base.clone());
         }
         // Unindexed first, deleted second: a racing fetch can no longer
         // pick up a path that is about to vanish.
@@ -930,7 +1097,13 @@ impl SnapshotRegistry {
         // near-capacity publish must not wholesale-evict the pooled
         // hot state of every prior run. The configured policy
         // decides what survives contention.
-        let merged = self.pool(&[entry.rtm.export(), snapshot.clone()])?;
+        //
+        // The resident RTM's export is shape-less (an RTM holds no
+        // program identity); restamp it from the entry's snapshot so a
+        // publish-back cannot silently demote the entry to value-pinned.
+        let mut resident = entry.rtm.export();
+        resident.shape = entry.snap.shape;
+        let merged = self.pool(&[resident, snapshot.clone()])?;
         entry.rtm = self.import(&merged);
         entry.stats.resident_traces = merged.len() as u64;
         entry.stats.resident_hits = merged.total_hits();
@@ -963,6 +1136,15 @@ impl SnapshotRegistry {
     /// every run so far. In-memory only — writing refreshed snapshots
     /// back to the directory is a planned follow-up.
     pub fn publish(&self, fingerprint: u64, snapshot: &RtmSnapshot) -> Result<(), ServeError> {
+        // Record the shape mapping first (index lock and shard lock are
+        // never held together), so a later `get_by_shape` from a
+        // data-varied client can discover this entry as a donor.
+        if snapshot.shape != 0 {
+            self.index
+                .write()
+                .unwrap()
+                .add_shape(fingerprint, snapshot.shape);
+        }
         let mut shard = self.shard_of(fingerprint).lock().unwrap();
         if let Some(entry) = shard.touch(fingerprint) {
             return self.merge_into_entry(entry, snapshot);
@@ -1009,6 +1191,7 @@ impl SnapshotRegistry {
         let mut stats = RegistryStats {
             evicted: self.evicted.load(Ordering::Relaxed),
             unknown: self.unknown.load(Ordering::Relaxed),
+            shape_rejects: self.shape_rejects.load(Ordering::Relaxed),
             ..RegistryStats::default()
         };
         for shard in &self.shards {
@@ -1020,6 +1203,7 @@ impl SnapshotRegistry {
             stats.image_hits += shard.retired.image_hits;
             stats.image_builds += shard.retired.image_builds;
             stats.image_invalidations += shard.retired.image_invalidations;
+            stats.shape_hits += shard.retired.shape_hits;
             for entry in shard.entries.values() {
                 stats.hits += entry.stats.hits;
                 stats.misses += entry.stats.misses;
@@ -1027,6 +1211,7 @@ impl SnapshotRegistry {
                 stats.image_hits += entry.stats.image_hits;
                 stats.image_builds += entry.stats.image_builds;
                 stats.image_invalidations += entry.stats.image_invalidations;
+                stats.shape_hits += entry.stats.shape_hits;
             }
         }
         stats

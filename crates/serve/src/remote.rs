@@ -121,6 +121,39 @@ impl RemoteRegistry {
         }
     }
 
+    /// The warm reuse state for `fingerprint`, falling back to shape
+    /// resolution on the daemon side, as
+    /// [`SnapshotRegistry::get_by_shape`](crate::SnapshotRegistry::get_by_shape):
+    /// a data-varied client passes its program's shape fingerprint and
+    /// warm-starts from another seed's published RTM when its exact
+    /// fingerprint is unknown. `Ok(None)` when neither resolves.
+    pub fn get_by_shape(
+        &self,
+        fingerprint: u64,
+        shape: u64,
+    ) -> Result<Option<Arc<RtmSnapshot>>, ServeError> {
+        let reply = self
+            .session
+            .lock()
+            .unwrap()
+            .exchange(&Request::GetShape { fingerprint, shape })?;
+        match reply {
+            Reply::Snapshot {
+                fingerprint: fp,
+                snapshot,
+            } => {
+                if fp != fingerprint {
+                    return Err(ProtoError::Corrupt(format!(
+                        "asked for fingerprint {fingerprint:#x}, server answered for {fp:#x}"
+                    ))
+                    .into());
+                }
+                Ok(snapshot.map(Arc::new))
+            }
+            other => Err(unexpected(&other, "Snapshot").into()),
+        }
+    }
+
     /// Contribute a finished run's RTM export, as
     /// [`SnapshotRegistry::publish`](crate::SnapshotRegistry::publish).
     pub fn publish(&self, fingerprint: u64, snapshot: &RtmSnapshot) -> Result<(), ServeError> {

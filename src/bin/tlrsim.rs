@@ -15,6 +15,7 @@
 //!                      [--policy P]
 //! tlrsim merge SNAP SNAP [SNAP...] --out SNAP [--policy P]
 //! tlrsim compact DIR   [--policy P] [--keep-deltas]
+//! tlrsim golden        [--regen] [--out DIR]
 //! tlrsim serve --snapshots DIR [--budget N] [--rtm SIZE] [--heuristic H]
 //!                              [--policy P] [--threads N] [--seed N] [--save]
 //!                              [--listen SOCK] [--refresh-secs N]
@@ -52,7 +53,14 @@
 //! freshest run last), `compact` folds each program's base + delta
 //! segments in a snapshot directory into one fresh base file
 //! (`--keep-deltas` renames the originals to `*.bak` instead of
-//! deleting them), and `serve` hosts a sharded snapshot registry
+//! deleting them), `golden` maintains the golden-trace regression
+//! corpus in `tests/golden/` — with `--regen` it re-records every
+//! built-in workload (trace file + expected digests in a manifest,
+//! under pinned budget/seed/engine parameters so the corpus is
+//! canonical); without it, it regenerates into a scratch directory and
+//! byte-compares against the checked-in corpus, exiting nonzero and
+//! naming each drifted file (the CI staleness gate) — and `serve`
+//! hosts a sharded snapshot registry
 //! over a directory — without `--listen`, driving every built-in
 //! workload through it in parallel (warm where the directory has
 //! state, cold otherwise, publishing each run's RTM back); with
@@ -67,8 +75,9 @@
 
 use std::path::Path;
 use trace_reuse::persist::{
-    load_snapshot, load_trace, peek_snapshot_fingerprint, program_fingerprint, replay,
-    save_snapshot, save_trace, FileFormat, MemorySource, TraceReader, TraceWriter,
+    load_snapshot, load_trace, peek_snapshot_fingerprint, program_fingerprint,
+    program_shape_fingerprint, replay, save_snapshot, save_trace, FileFormat, MemorySource,
+    TraceReader, TraceWriter,
 };
 use trace_reuse::prelude::*;
 
@@ -87,6 +96,7 @@ fn usage() -> ! {
          [--policy ...]\n  \
          tlrsim merge SNAP SNAP [SNAP...] --out SNAP [--policy ...]\n  \
          tlrsim compact DIR  [--policy ...] [--keep-deltas]\n  \
+         tlrsim golden       [--regen] [--out DIR]\n  \
          tlrsim serve --snapshots DIR [--budget N] [--rtm ...] [--heuristic ...] \
          [--policy ...] [--threads N] [--seed N] [--save] [--listen SOCK] \
          [--refresh-secs N]\n\
@@ -178,6 +188,7 @@ struct Flags {
     seed: u64,
     save: bool,
     keep_deltas: bool,
+    regen: bool,
     listen: Option<String>,
     remote: Option<String>,
     digest: bool,
@@ -202,6 +213,7 @@ fn parse_flags(args: &[String]) -> Flags {
         seed: 20260611,
         save: false,
         keep_deltas: false,
+        regen: false,
         listen: None,
         remote: None,
         digest: false,
@@ -300,6 +312,10 @@ fn parse_flags(args: &[String]) -> Flags {
             }
             "--keep-deltas" => {
                 flags.keep_deltas = true;
+                i += 1;
+            }
+            "--regen" => {
+                flags.regen = true;
                 i += 1;
             }
             "--listen" => {
@@ -428,14 +444,18 @@ fn cmd_run(path: &str, flags: &Flags) {
         .with_policy(flags.policy)
         .with_lfu_half_life(flags.lfu_half_life);
     let fingerprint = program_fingerprint(&program);
+    let shape = program_shape_fingerprint(&program);
     // --remote warm-starts from (and publishes back to) a tlrd daemon.
+    // The fetch goes by shape, so a daemon that has never seen this
+    // exact program still warm-starts it from another data seed's
+    // published state when the code matches.
     let remote = flags.remote.as_deref().map(|sock| {
         RemoteRegistry::connect(Path::new(sock)).unwrap_or_else(|e| fail(&format!("{sock}: {e}")))
     });
     let mut engine = if let Some(remote) = &remote {
         let sock = flags.remote.as_deref().unwrap_or_default();
         match remote
-            .get(fingerprint)
+            .get_by_shape(fingerprint, shape)
             .unwrap_or_else(|e| fail(&format!("{sock}: {e}")))
         {
             Some(snapshot) => {
@@ -468,7 +488,8 @@ fn cmd_run(path: &str, flags: &Flags) {
         .unwrap_or_else(|e| fail(&format!("engine error: {e}")));
     let dt = started.elapsed();
     if let Some(remote) = &remote {
-        if let Some(snapshot) = engine.export_rtm() {
+        if let Some(mut snapshot) = engine.export_rtm() {
+            snapshot.shape = shape;
             remote
                 .publish(fingerprint, &snapshot)
                 .unwrap_or_else(|e| fail(&format!("publish: {e}")));
@@ -600,9 +621,13 @@ fn cmd_snapshot(path: &str, flags: &Flags) {
     let stats = engine
         .run(flags.budget)
         .unwrap_or_else(|e| fail(&format!("engine error: {e}")));
-    let snapshot = engine
+    let mut snapshot = engine
         .export_rtm()
         .unwrap_or_else(|| fail("this engine backend does not snapshot"));
+    // Stamp the value-independent identity so shape-resolved warm
+    // starts (registry `get_by_shape`, daemon `GetShape`) can find
+    // this file from a data-varied run of the same code.
+    snapshot.shape = program_shape_fingerprint(&program);
     save_snapshot(Path::new(out), program_fingerprint(&program), &snapshot)
         .unwrap_or_else(|e| fail(&format!("{out}: {e}")));
     println!(
@@ -754,6 +779,168 @@ fn cmd_compact(dir: &str, flags: &Flags) {
     );
 }
 
+/// Pinned parameters of the golden-trace corpus. The corpus is
+/// canonical: regeneration must be byte-identical on every machine, so
+/// the budget, seed and engine configuration are compiled in rather
+/// than taken from flags (`--out` only moves the directory).
+const GOLDEN_BUDGET: u64 = 3_000;
+const GOLDEN_SEED: u64 = 20260611;
+const GOLDEN_RTM: RtmConfig = RtmConfig::RTM_4K;
+const GOLDEN_HEURISTIC: Heuristic = Heuristic::FixedExp(4);
+/// JSON schema tag of the corpus manifest.
+const GOLDEN_FORMAT: &str = "tlr-golden-v1";
+
+/// Record the full corpus into `dir`: one binary trace per built-in
+/// workload plus `manifest.json` carrying the expected replay counts
+/// and the architectural-state / decision digests under every
+/// replacement policy.
+fn golden_generate(dir: &Path) {
+    use std::collections::BTreeMap;
+    use trace_reuse::persist::json::{self, Json};
+
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", dir.display())));
+    let hex = |v: u64| Json::Str(format!("{v:016x}"));
+    let mut entries = BTreeMap::new();
+    for w in tlr_workloads::all() {
+        let program = w.program(GOLDEN_SEED);
+        let fingerprint = program_fingerprint(&program);
+        let shape = program_shape_fingerprint(&program);
+        let trace_name = format!("{}.tlrtrace", w.name);
+        let trace_path = dir.join(&trace_name);
+
+        let mut vm = Vm::new(&program);
+        let mut sink = TraceWriter::create(&trace_path, fingerprint)
+            .unwrap_or_else(|e| fail(&format!("{}: {e}", trace_path.display())));
+        let outcome = vm
+            .run(GOLDEN_BUDGET, &mut sink)
+            .unwrap_or_else(|e| fail(&format!("{}: runtime error: {e}", w.name)));
+        let halted = matches!(outcome, RunOutcome::Halted { .. });
+        sink.set_halted(halted);
+        let records = sink
+            .close()
+            .unwrap_or_else(|e| fail(&format!("{}: {e}", trace_path.display())));
+
+        let mut policies = BTreeMap::new();
+        for &policy in &ReplacementPolicy::ALL {
+            let config = EngineConfig::paper(GOLDEN_RTM, GOLDEN_HEURISTIC).with_policy(policy);
+            let mut engine = TraceReuseEngine::new(&program, config);
+            engine.enable_tap_with_cap(usize::try_from(GOLDEN_BUDGET).unwrap_or(usize::MAX));
+            engine
+                .run(GOLDEN_BUDGET)
+                .unwrap_or_else(|e| fail(&format!("{} [{policy}]: engine error: {e}", w.name)));
+            let mut digests = BTreeMap::new();
+            digests.insert("state".to_string(), hex(engine.vm().state_digest()));
+            digests.insert(
+                "decisions".to_string(),
+                hex(engine.tap().expect("tap was enabled").digest()),
+            );
+            policies.insert(policy.label().to_string(), Json::Obj(digests));
+        }
+
+        let mut entry = BTreeMap::new();
+        entry.insert("trace".to_string(), Json::Str(trace_name));
+        entry.insert("fingerprint".to_string(), hex(fingerprint));
+        entry.insert("shape".to_string(), hex(shape));
+        entry.insert("records".to_string(), Json::Num(records));
+        entry.insert("halted".to_string(), Json::Bool(halted));
+        entry.insert("vm_digest".to_string(), hex(vm.state_digest()));
+        entry.insert("policies".to_string(), Json::Obj(policies));
+        entries.insert(w.name.to_string(), Json::Obj(entry));
+    }
+    let mut config = BTreeMap::new();
+    config.insert("budget".to_string(), Json::Num(GOLDEN_BUDGET));
+    config.insert("seed".to_string(), Json::Num(GOLDEN_SEED));
+    config.insert("rtm".to_string(), Json::Str(GOLDEN_RTM.label().to_string()));
+    config.insert(
+        "heuristic".to_string(),
+        Json::Str(GOLDEN_HEURISTIC.label().to_string()),
+    );
+    let mut doc = BTreeMap::new();
+    doc.insert("format".to_string(), Json::Str(GOLDEN_FORMAT.to_string()));
+    doc.insert("config".to_string(), Json::Obj(config));
+    doc.insert("entries".to_string(), Json::Obj(entries));
+    let manifest = dir.join("manifest.json");
+    std::fs::write(&manifest, json::to_string_pretty(&Json::Obj(doc)))
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", manifest.display())));
+}
+
+fn cmd_golden(flags: &Flags) {
+    let corpus = flags.out.clone().unwrap_or_else(|| "tests/golden".into());
+    let corpus = Path::new(&corpus);
+    if flags.regen {
+        golden_generate(corpus);
+        println!(
+            "golden corpus regenerated in {} ({} workloads, budget {}, seed {})",
+            corpus.display(),
+            tlr_workloads::all().len(),
+            GOLDEN_BUDGET,
+            GOLDEN_SEED
+        );
+        return;
+    }
+    // Staleness gate: regenerate into a scratch directory and
+    // byte-compare, so code drift that changes traces or digests is
+    // caught even when no test asserts on the drifted value.
+    let fresh = std::env::temp_dir().join(format!("tlr-golden-check-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&fresh);
+    golden_generate(&fresh);
+    let names = |dir: &Path| -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", dir.display())))
+            .map(|entry| {
+                entry
+                    .unwrap_or_else(|e| fail(&format!("{}: {e}", dir.display())))
+                    .file_name()
+                    .to_string_lossy()
+                    .into_owned()
+            })
+            .filter(|n| n == "manifest.json" || n.ends_with(".tlrtrace"))
+            .collect();
+        names.sort();
+        names
+    };
+    let expected = names(&fresh);
+    let checked_in = names(corpus);
+    let mut drifted = Vec::new();
+    for name in &expected {
+        if !checked_in.contains(name) {
+            drifted.push(format!("{name}: missing from {}", corpus.display()));
+            continue;
+        }
+        let fresh_bytes =
+            std::fs::read(fresh.join(name)).unwrap_or_else(|e| fail(&format!("{name}: {e}")));
+        let corpus_bytes =
+            std::fs::read(corpus.join(name)).unwrap_or_else(|e| fail(&format!("{name}: {e}")));
+        if fresh_bytes != corpus_bytes {
+            drifted.push(format!("{name}: differs from regeneration"));
+        }
+    }
+    for name in &checked_in {
+        if !expected.contains(name) {
+            drifted.push(format!(
+                "{name}: stale (regeneration no longer produces it)"
+            ));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&fresh);
+    if drifted.is_empty() {
+        println!(
+            "golden corpus up to date ({} files match regeneration)",
+            expected.len()
+        );
+    } else {
+        for line in &drifted {
+            eprintln!("golden drift: {line}");
+        }
+        fail(&format!(
+            "golden corpus is stale ({} file(s) drifted) — run `tlrsim golden --regen` \
+             and commit the result",
+            drifted.len()
+        ));
+    }
+}
+
 fn cmd_serve(flags: &Flags) {
     let dir = flags
         .snapshots
@@ -826,8 +1013,12 @@ fn cmd_serve(flags: &Flags) {
                 };
                 let program = w.program(flags.seed);
                 let fingerprint = program_fingerprint(&program);
+                let shape = program_shape_fingerprint(&program);
+                // Shape-resolved fetch: a directory populated by runs
+                // of the same workloads under a *different* seed still
+                // warm-starts this one.
                 let warm = registry_ref
-                    .get(fingerprint)
+                    .get_by_shape(fingerprint, shape)
                     .unwrap_or_else(|e| fail(&format!("{}: {e}", w.name)));
                 let mut engine = match &warm {
                     Some(snapshot) => TraceReuseEngine::new_warm(&program, config, snapshot),
@@ -838,7 +1029,8 @@ fn cmd_serve(flags: &Flags) {
                     .run(flags.budget)
                     .unwrap_or_else(|e| fail(&format!("{}: engine error: {e}", w.name)));
                 let mut spilled = String::new();
-                if let Some(snapshot) = engine.export_rtm() {
+                if let Some(mut snapshot) = engine.export_rtm() {
+                    snapshot.shape = shape;
                     registry_ref
                         .publish(fingerprint, &snapshot)
                         .unwrap_or_else(|e| fail(&format!("{}: publish: {e}", w.name)));
@@ -1086,6 +1278,7 @@ fn main() {
         ("snapshot", [file]) => cmd_snapshot(file, &flags),
         ("merge", inputs) if !inputs.is_empty() => cmd_merge(inputs, &flags),
         ("compact", [dir]) => cmd_compact(dir, &flags),
+        ("golden", []) => cmd_golden(&flags),
         ("serve", []) => cmd_serve(&flags),
         ("run" | "disasm" | "analyze" | "decant" | "record" | "replay" | "snapshot", files) => {
             usage_error(&format!(
@@ -1100,6 +1293,10 @@ fn main() {
         )),
         ("serve", files) => usage_error(&format!(
             "'serve' takes no positional arguments, got {} (use --snapshots DIR)",
+            files.len()
+        )),
+        ("golden", files) => usage_error(&format!(
+            "'golden' takes no positional arguments, got {} (use --out DIR)",
             files.len()
         )),
         _ => usage_error(&format!("unknown subcommand '{cmd}'")),

@@ -72,7 +72,7 @@ pub mod prelude {
     pub use tlr_core::{
         ClassWeights, DecisionLog, EngineConfig, EngineStats, Heuristic, InstrReuseTable, IoCaps,
         LimitConfig, LimitStudySink, ReplacementPolicy, ReuseTraceMemory, RtmConfig,
-        ThroughputEngine, TraceMeta, TraceReuseEngine, LFU_HALF_LIFE,
+        ThroughputEngine, TraceKey, TraceMeta, TraceReuseEngine, LFU_HALF_LIFE,
     };
     pub use tlr_decant::{decant, Attribution, LoopDetector, LoopShape};
     pub use tlr_isa::{Alpha21164, ClassMix, CollectSink, DynInstr, Loc, NullSink, StreamSink};

@@ -160,7 +160,7 @@ fn v4_snapshot_with_provenance_and_mix_still_loads() {
     // content (record + provenance + mix, flags byte 0) must survive
     // unchanged. Anchor the version pair so this test is rewritten
     // deliberately on the next bump, not silently skipped.
-    assert_eq!(FORMAT_VERSION, 5);
+    assert_eq!(FORMAT_VERSION, 6);
     assert_eq!(MIN_SUPPORTED_VERSION, 2);
 
     let mut counts = [0u32; tlr_isa::OpClass::COUNT];
@@ -196,6 +196,26 @@ fn v4_snapshot_with_provenance_and_mix_still_loads() {
     // Trace identity ignores the mix, so check it explicitly.
     assert_eq!(loaded.traces[0].mix, mix, "v4 class mix lost");
     assert!(loaded.traces[1].mix.is_empty());
+}
+
+#[test]
+fn v5_snapshot_loads_as_value_pinned() {
+    // The v6 bump appended the shape fingerprint to the full-snapshot
+    // prelude; a v5 file (20-byte prelude, same frame layout) must
+    // still load, with shape 0 — value-pinned, never shape-shared.
+    let records = [rec(8, 1), rec(16, 2)];
+    let frames: Vec<Vec<u8>> = records
+        .iter()
+        .map(|r| encode_v4_frame(r, &TraceMeta::default()))
+        .collect();
+    let bytes = encode_snapshot_file(5, 78, &frames);
+    let path = temp_path("v5", "v5.tlrsnap");
+    std::fs::write(&path, &bytes).unwrap();
+
+    let (fp, loaded) = load_snapshot(&path, Some(78)).expect("v5 snapshot must still load");
+    assert_eq!(fp, 78);
+    assert_eq!(loaded.traces, records.to_vec());
+    assert_eq!(loaded.shape, 0, "pre-v6 snapshots must be value-pinned");
 }
 
 #[test]
